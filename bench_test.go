@@ -1,0 +1,262 @@
+package rcm
+
+// Benchmark harness: one benchmark per paper artifact (see DESIGN.md §3 for
+// the experiment index). Each BenchmarkFigNN regenerates the corresponding
+// table/figure through internal/figures at a calibrated size; run
+// cmd/figures for the full-scale (N = 2^16) regeneration with printed rows.
+// Micro-benchmarks for the substrates follow the figure benches.
+//
+//	go test -bench=. -benchmem
+
+import (
+	"testing"
+
+	"rcm/internal/core"
+	"rcm/internal/dht"
+	"rcm/internal/figures"
+	"rcm/internal/markov"
+	"rcm/internal/overlay"
+	"rcm/internal/percolation"
+	"rcm/internal/sim"
+)
+
+// benchOpts keeps per-iteration cost reasonable while exercising the full
+// generation pipeline of every experiment.
+func benchOpts() figures.Options {
+	return figures.Options{Bits: 12, Pairs: 4000, Trials: 2, Seed: 1}
+}
+
+func benchFigure(b *testing.B, name string) {
+	b.Helper()
+	opt := benchOpts()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tables, err := figures.Generate(name, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tables) == 0 || tables[0].NumRows() == 0 {
+			b.Fatal("empty figure output")
+		}
+	}
+}
+
+// BenchmarkFig3 regenerates E1: the Fig. 1–3 worked example with exact
+// enumeration over the 8-node hypercube.
+func BenchmarkFig3(b *testing.B) { benchFigure(b, "3") }
+
+// BenchmarkFig4And5And8Chains regenerates E2: the routing Markov chains of
+// Fig. 4(a,b), 5(b), 8(a,b) solved against the closed forms.
+func BenchmarkFig4And5And8Chains(b *testing.B) { benchFigure(b, "chains") }
+
+// BenchmarkFig6a regenerates E3: failed paths vs q, analysis vs simulation
+// for tree, hypercube and XOR.
+func BenchmarkFig6a(b *testing.B) { benchFigure(b, "6a") }
+
+// BenchmarkFig6b regenerates E4: the ring lower bound vs simulation.
+func BenchmarkFig6b(b *testing.B) { benchFigure(b, "6b") }
+
+// BenchmarkFig7a regenerates E5: the asymptotic failed-path curves at
+// N = 2^100.
+func BenchmarkFig7a(b *testing.B) { benchFigure(b, "7a") }
+
+// BenchmarkFig7b regenerates E6: routability vs system size at q = 0.1.
+func BenchmarkFig7b(b *testing.B) { benchFigure(b, "7b") }
+
+// BenchmarkScalabilityTable regenerates E7: the §5 Knopp-test evidence and
+// verdicts.
+func BenchmarkScalabilityTable(b *testing.B) { benchFigure(b, "scalability") }
+
+// BenchmarkQxorApproximation regenerates E8: exact Eq. 6 vs the paper's
+// approximation.
+func BenchmarkQxorApproximation(b *testing.B) { benchFigure(b, "qxor") }
+
+// BenchmarkSymphonyDesign regenerates E9: the kn/ks provisioning ablation.
+func BenchmarkSymphonyDesign(b *testing.B) { benchFigure(b, "symphony") }
+
+// BenchmarkPercolation regenerates E10: connectivity ceiling vs realized
+// routability.
+func BenchmarkPercolation(b *testing.B) { benchFigure(b, "percolation") }
+
+// BenchmarkChurn regenerates E11: churn steady state vs the static model.
+func BenchmarkChurn(b *testing.B) { benchFigure(b, "churn") }
+
+// BenchmarkPathLength regenerates E12: analytic vs chain vs simulated
+// routing latency.
+func BenchmarkPathLength(b *testing.B) { benchFigure(b, "pathlen") }
+
+// BenchmarkSuccessorAblation regenerates E13: Chord successor-list sweep.
+func BenchmarkSuccessorAblation(b *testing.B) { benchFigure(b, "successors") }
+
+// BenchmarkSparseSpaces regenerates E14: non-fully-populated overlays vs
+// effective-dimension predictions.
+func BenchmarkSparseSpaces(b *testing.B) { benchFigure(b, "sparse") }
+
+// BenchmarkRadixAblation regenerates E15: identifier radix vs tree
+// resilience at equal N.
+func BenchmarkRadixAblation(b *testing.B) { benchFigure(b, "base") }
+
+// --- substrate micro-benchmarks ---
+
+// BenchmarkRoutabilityEval measures one full analytic r(N,q) evaluation per
+// geometry at the paper's N = 2^16.
+func BenchmarkRoutabilityEval(b *testing.B) {
+	for _, g := range core.AllGeometries() {
+		b.Run(g.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Routability(g, 16, 0.3); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRoutabilityEvalAsymptotic measures the N = 2^100 regime of
+// Fig. 7(a).
+func BenchmarkRoutabilityEvalAsymptotic(b *testing.B) {
+	for _, g := range core.AllGeometries() {
+		b.Run(g.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Routability(g, 100, 0.3); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRoute measures a single greedy route on a 2^14-node overlay at
+// q=0.3 for each protocol.
+func BenchmarkRoute(b *testing.B) {
+	for _, name := range dht.ProtocolNames() {
+		b.Run(name, func(b *testing.B) {
+			p, err := dht.New(name, dht.Config{Bits: 14, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			s := p.Space()
+			alive := overlay.NewBitset(int(s.Size()))
+			rng := overlay.NewRNG(7)
+			alive.FillRandomAlive(0.3, rng)
+			srcs := make([]overlay.ID, 1024)
+			dsts := make([]overlay.ID, 1024)
+			for i := range srcs {
+				srcs[i] = overlay.ID(rng.Uint64n(s.Size()))
+				dsts[i] = overlay.ID(rng.Uint64n(s.Size()))
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := i & 1023
+				p.Route(srcs[k], dsts[k], alive)
+			}
+		})
+	}
+}
+
+// BenchmarkOverlayConstruction measures routing-table construction at the
+// paper's simulation size.
+func BenchmarkOverlayConstruction(b *testing.B) {
+	for _, name := range dht.ProtocolNames() {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := dht.New(name, dht.Config{Bits: 14, Seed: uint64(i + 1)}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStaticResilienceMeasurement measures one full Fig. 6 data point
+// (20k pairs, 1 trial) on Chord.
+func BenchmarkStaticResilienceMeasurement(b *testing.B) {
+	p, err := dht.New("chord", dht.Config{Bits: 14, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.MeasureStaticResilience(p, 0.3, sim.Options{
+			Pairs: 20000, Trials: 1, Seed: uint64(i + 1),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMarkovChainSolve measures building and solving the XOR chain of
+// Fig. 5(b) at h=16.
+func BenchmarkMarkovChainSolve(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c, ep, err := markov.XORChain(16, 0.3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.AbsorptionProb(ep.Start, ep.Success); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPhaseFailure measures a single Q(m) evaluation at m=64 per
+// geometry (the inner loop of every analytic evaluation).
+func BenchmarkPhaseFailure(b *testing.B) {
+	for _, g := range core.AllGeometries() {
+		b.Run(g.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				g.PhaseFailure(64, 64, 0.3)
+			}
+		})
+	}
+}
+
+// BenchmarkComponentAnalysis measures union-find component extraction on a
+// failed 2^14-node Chord overlay.
+func BenchmarkComponentAnalysis(b *testing.B) {
+	p, err := dht.New("chord", dht.Config{Bits: 14, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := int(p.Space().Size())
+	nodes := make([]overlay.ID, n)
+	for i := range nodes {
+		nodes[i] = overlay.ID(i)
+	}
+	alive := overlay.NewBitset(n)
+	alive.FillRandomAlive(0.3, overlay.NewRNG(7))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := percolation.ComponentStats(p, nodes, alive)
+		if st.Alive == 0 {
+			b.Fatal("no survivors")
+		}
+	}
+}
+
+// BenchmarkChurnStep measures the event-driven churn engine end to end on a
+// 2^10-node Kademlia overlay.
+func BenchmarkChurnStep(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p, err := dht.New("kademlia", dht.Config{Bits: 10, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.SimulateChurn(p, sim.ChurnOptions{
+			Duration:        2,
+			MeasureEvery:    0.5,
+			PairsPerMeasure: 500,
+			Seed:            uint64(i + 1),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

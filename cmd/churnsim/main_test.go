@@ -1,0 +1,65 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func runCapture(t *testing.T, args ...string) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := run(args, &sb); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return sb.String()
+}
+
+func TestChurnEndToEnd(t *testing.T) {
+	out := runCapture(t,
+		"-protocol", "kademlia",
+		"-bits", "9",
+		"-duration", "4",
+		"-pairs", "1000",
+	)
+	if !strings.Contains(out, "churn time series") {
+		t.Errorf("missing series title:\n%s", out)
+	}
+	if !strings.Contains(out, "steady state vs the static model") {
+		t.Errorf("missing summary table:\n%s", out)
+	}
+	if !strings.Contains(out, "q_eff=0.200") {
+		t.Errorf("missing q_eff in title:\n%s", out)
+	}
+}
+
+func TestChurnAllProtocols(t *testing.T) {
+	for _, name := range []string{"plaxton", "can", "chord", "symphony"} {
+		out := runCapture(t,
+			"-protocol", name,
+			"-bits", "8",
+			"-duration", "2",
+			"-pairs", "400",
+		)
+		if !strings.Contains(out, name+" churn") {
+			t.Errorf("%s: missing protocol in title:\n%s", name, out)
+		}
+	}
+}
+
+func TestChurnUnknownProtocol(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-protocol", "pastry"}, &sb); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+}
+
+func TestGeometryForAliases(t *testing.T) {
+	for _, name := range []string{"plaxton", "tree", "can", "hypercube", "kademlia", "xor", "chord", "ring", "symphony"} {
+		if _, err := geometryFor(name); err != nil {
+			t.Errorf("geometryFor(%q): %v", name, err)
+		}
+	}
+	if _, err := geometryFor("pastry"); err == nil {
+		t.Error("geometryFor accepted unknown protocol")
+	}
+}

@@ -1,0 +1,122 @@
+// Command dhtsim runs the static-resilience experiment on a concrete DHT
+// overlay: build routing tables for 2^bits nodes, fail nodes independently
+// with probability q, route sampled pairs greedily with static tables and
+// no back-tracking, and report the surviving routability. With -compare the
+// matching RCM analytic prediction is printed alongside.
+//
+// Examples:
+//
+//	dhtsim -protocol chord -bits 16 -q 0.3
+//	dhtsim -protocol kademlia -bits 14 -sweep -compare
+//	dhtsim -protocol symphony -bits 12 -ks 3 -q 0.1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"rcm/internal/core"
+	"rcm/internal/dht"
+	"rcm/internal/sim"
+	"rcm/internal/table"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dhtsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("dhtsim", flag.ContinueOnError)
+	var (
+		protocol = fs.String("protocol", "chord", "protocol: plaxton|can|kademlia|chord|symphony")
+		bits     = fs.Int("bits", 14, "identifier length d (N = 2^d)")
+		q        = fs.Float64("q", 0.3, "node failure probability")
+		pairs    = fs.Int("pairs", 20000, "sampled pairs per trial")
+		trials   = fs.Int("trials", 3, "independent failure patterns")
+		seed     = fs.Uint64("seed", 1, "deterministic seed")
+		kn       = fs.Int("kn", 1, "symphony near neighbors")
+		ks       = fs.Int("ks", 1, "symphony shortcuts")
+		sweep    = fs.Bool("sweep", false, "sweep q over 0..0.9 instead of a single point")
+		compare  = fs.Bool("compare", false, "print the analytic RCM prediction alongside")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	p, err := dht.New(*protocol, dht.Config{
+		Bits:              *bits,
+		Seed:              *seed,
+		SymphonyNear:      *kn,
+		SymphonyShortcuts: *ks,
+	})
+	if err != nil {
+		return err
+	}
+	geom, err := matchingGeometry(p, *kn, *ks)
+	if err != nil {
+		return err
+	}
+
+	qs := []float64{*q}
+	if *sweep {
+		qs = qs[:0]
+		for v := 0.0; v <= 0.901; v += 0.05 {
+			qs = append(qs, v)
+		}
+	}
+	opt := sim.Options{Pairs: *pairs, Trials: *trials, Seed: *seed}
+	results, err := sim.Sweep(p, qs, opt)
+	if err != nil {
+		return err
+	}
+
+	cols := []string{"q %", "routability %", "failed %", "stderr %", "mean hops", "alive %"}
+	if *compare {
+		cols = append(cols, "analytic r%", "analytic failed %")
+	}
+	t := table.New(fmt.Sprintf("%s static resilience, N=2^%d, %d pairs × %d trials",
+		p.Name(), *bits, *pairs, *trials), cols...)
+	for _, r := range results {
+		row := []string{
+			table.Pct(r.Q, 0),
+			table.Pct(r.Routability, 2),
+			table.F(r.FailedPathPct, 2),
+			table.F(100*r.StdErr, 2),
+			table.F(r.MeanHops, 2),
+			table.Pct(r.AliveFraction, 1),
+		}
+		if *compare {
+			a, err := core.Routability(geom, *bits, r.Q)
+			if err != nil {
+				return err
+			}
+			row = append(row, table.Pct(a, 2), table.F(100*(1-a), 2))
+		}
+		t.AddRow(row...)
+	}
+	_, err = fmt.Fprintln(out, t.ASCII())
+	return err
+}
+
+// matchingGeometry returns the analytic model for a protocol's geometry.
+func matchingGeometry(p dht.Protocol, kn, ks int) (core.Geometry, error) {
+	switch p.GeometryName() {
+	case "tree":
+		return core.Tree{}, nil
+	case "hypercube":
+		return core.Hypercube{}, nil
+	case "xor":
+		return core.XOR{}, nil
+	case "ring":
+		return core.Ring{}, nil
+	case "symphony":
+		return core.NewSymphony(kn, ks)
+	default:
+		return nil, fmt.Errorf("no analytic model for geometry %q", p.GeometryName())
+	}
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func runCapture(t *testing.T, args ...string) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := run(args, &sb); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return sb.String()
+}
+
+func TestSinglePoint(t *testing.T) {
+	out := runCapture(t, "-protocol", "chord", "-bits", "10", "-q", "0.3",
+		"-pairs", "2000", "-trials", "2")
+	if !strings.Contains(out, "chord static resilience") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "N=2^10") {
+		t.Errorf("missing size:\n%s", out)
+	}
+	// Exactly one data row (title, header, separator, row).
+	if rows := strings.Count(strings.TrimSpace(out), "\n"); rows != 3 {
+		t.Errorf("expected 4 lines, got %d:\n%s", rows+1, out)
+	}
+}
+
+func TestCompareColumnPresent(t *testing.T) {
+	out := runCapture(t, "-protocol", "kademlia", "-bits", "10", "-q", "0.2",
+		"-pairs", "2000", "-trials", "2", "-compare")
+	if !strings.Contains(out, "analytic r%") {
+		t.Errorf("missing analytic column:\n%s", out)
+	}
+}
+
+func TestSweepRowCount(t *testing.T) {
+	out := runCapture(t, "-protocol", "can", "-bits", "10", "-sweep",
+		"-pairs", "1000", "-trials", "1")
+	// 19 q points plus 3 header lines.
+	if rows := strings.Count(strings.TrimSpace(out), "\n") + 1; rows != 22 {
+		t.Errorf("sweep line count = %d, want 22:\n%s", rows, out)
+	}
+}
+
+func TestSymphonyFlags(t *testing.T) {
+	out := runCapture(t, "-protocol", "symphony", "-bits", "10", "-q", "0.1",
+		"-pairs", "2000", "-trials", "2", "-ks", "3", "-compare")
+	if !strings.Contains(out, "symphony") {
+		t.Errorf("missing protocol name:\n%s", out)
+	}
+}
+
+func TestUnknownProtocolError(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-protocol", "pastry"}, &sb); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+}
+
+func TestBadBitsError(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-protocol", "chord", "-bits", "0"}, &sb); err == nil {
+		t.Error("bits=0 accepted")
+	}
+}
+
+func TestMatchingGeometryCoversAll(t *testing.T) {
+	for _, name := range []string{"plaxton", "can", "kademlia", "chord", "symphony"} {
+		out := runCapture(t, "-protocol", name, "-bits", "8", "-q", "0.1",
+			"-pairs", "500", "-trials", "1", "-compare")
+		if !strings.Contains(out, "analytic") {
+			t.Errorf("%s: compare output missing analytic column:\n%s", name, out)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+// Command rcmcalc evaluates the RCM analytic model: routability, failed-path
+// percentage, expected reachable-component size and scalability verdicts for
+// any of the paper's five geometries at arbitrary system size and failure
+// probability.
+//
+// Examples:
+//
+//	rcmcalc -geometry xor -bits 20 -q 0.1
+//	rcmcalc -geometry all -bits 16 -q 0.3
+//	rcmcalc -geometry tree -bits 16 -sweep-q
+//	rcmcalc -geometry symphony -kn 2 -ks 3 -q 0.1 -sweep-n
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"rcm/internal/core"
+	"rcm/internal/table"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rcmcalc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("rcmcalc", flag.ContinueOnError)
+	var (
+		geometry = fs.String("geometry", "all", "geometry: tree|hypercube|xor|ring|symphony|all")
+		bits     = fs.Int("bits", 16, "identifier length d (N = 2^d)")
+		q        = fs.Float64("q", 0.1, "node failure probability")
+		kn       = fs.Int("kn", 1, "symphony near neighbors")
+		ks       = fs.Int("ks", 1, "symphony shortcuts")
+		base     = fs.Int("base", 2, "identifier radix for the tree geometry (§3 footnote)")
+		sweepQ   = fs.Bool("sweep-q", false, "sweep q over 0..0.9 instead of a single point")
+		sweepN   = fs.Bool("sweep-n", false, "sweep system size at fixed q instead of a single point")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *base != 2 {
+		if *geometry != "tree" {
+			return fmt.Errorf("-base applies only to -geometry tree")
+		}
+		return renderTreeBase(out, *base, *bits, *q)
+	}
+
+	geoms, err := selectGeometries(*geometry, *kn, *ks)
+	if err != nil {
+		return err
+	}
+	switch {
+	case *sweepQ:
+		return renderSweepQ(out, geoms, *bits)
+	case *sweepN:
+		return renderSweepN(out, geoms, *q)
+	default:
+		return renderPoint(out, geoms, *bits, *q)
+	}
+}
+
+func selectGeometries(name string, kn, ks int) ([]core.Geometry, error) {
+	if name == "all" {
+		gs := core.AllGeometries()
+		if kn != 1 || ks != 1 {
+			sym, err := core.NewSymphony(kn, ks)
+			if err != nil {
+				return nil, err
+			}
+			gs[len(gs)-1] = sym
+		}
+		return gs, nil
+	}
+	switch name {
+	case "tree":
+		return []core.Geometry{core.Tree{}}, nil
+	case "hypercube":
+		return []core.Geometry{core.Hypercube{}}, nil
+	case "xor":
+		return []core.Geometry{core.XOR{}}, nil
+	case "ring":
+		return []core.Geometry{core.Ring{}}, nil
+	case "symphony":
+		sym, err := core.NewSymphony(kn, ks)
+		if err != nil {
+			return nil, err
+		}
+		return []core.Geometry{sym}, nil
+	default:
+		return nil, fmt.Errorf("unknown geometry %q", name)
+	}
+}
+
+// renderTreeBase evaluates the base-b tree (E15): N = base^bits nodes.
+func renderTreeBase(out io.Writer, base, digits int, q float64) error {
+	g, err := core.NewGeneralizedTree(base)
+	if err != nil {
+		return err
+	}
+	r, err := core.RoutabilityBaseB(g, base, digits, q)
+	if err != nil {
+		return err
+	}
+	t := table.New(fmt.Sprintf("RCM base-%d tree at N=%d^%d, q=%.3f", base, base, digits, q),
+		"geometry", "routability %", "failed paths %", "verdict")
+	t.AddRow(g.Name(), table.Pct(r, 3), table.F(100*(1-r), 3), core.Unscalable.String())
+	_, err = fmt.Fprintln(out, t.ASCII())
+	return err
+}
+
+func renderPoint(out io.Writer, geoms []core.Geometry, bits int, q float64) error {
+	t := table.New(fmt.Sprintf("RCM at N=2^%d, q=%.3f", bits, q),
+		"geometry", "system", "routability %", "failed paths %", "E[S]", "verdict")
+	for _, g := range geoms {
+		r, err := core.Routability(g, bits, q)
+		if err != nil {
+			return err
+		}
+		es, err := core.ExpectedReach(g, bits, q)
+		if err != nil {
+			return err
+		}
+		v, _ := core.TheoreticalVerdict(g)
+		t.AddRow(g.Name(), g.System(), table.Pct(r, 3), table.F(100*(1-r), 3), table.E(es, 4), v.String())
+	}
+	_, err := fmt.Fprintln(out, t.ASCII())
+	return err
+}
+
+func renderSweepQ(out io.Writer, geoms []core.Geometry, bits int) error {
+	cols := []string{"q %"}
+	for _, g := range geoms {
+		cols = append(cols, g.Name()+" r%")
+	}
+	t := table.New(fmt.Sprintf("routability %% vs q at N=2^%d", bits), cols...)
+	for q := 0.0; q <= 0.901; q += 0.05 {
+		row := []string{table.Pct(q, 0)}
+		for _, g := range geoms {
+			r, err := core.Routability(g, bits, q)
+			if err != nil {
+				return err
+			}
+			row = append(row, table.Pct(r, 2))
+		}
+		t.AddRow(row...)
+	}
+	_, err := fmt.Fprintln(out, t.ASCII())
+	return err
+}
+
+func renderSweepN(out io.Writer, geoms []core.Geometry, q float64) error {
+	cols := []string{"log2 N"}
+	for _, g := range geoms {
+		cols = append(cols, g.Name()+" r%")
+	}
+	t := table.New(fmt.Sprintf("routability %% vs system size at q=%.3f", q), cols...)
+	for _, d := range []int{8, 12, 16, 20, 24, 28, 32, 40, 50, 64, 80, 100} {
+		row := []string{table.I(d)}
+		for _, g := range geoms {
+			r, err := core.Routability(g, d, q)
+			if err != nil {
+				return err
+			}
+			row = append(row, table.Pct(r, 2))
+		}
+		t.AddRow(row...)
+	}
+	_, err := fmt.Fprintln(out, t.ASCII())
+	return err
+}

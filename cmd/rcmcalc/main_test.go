@@ -1,0 +1,108 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func runCapture(t *testing.T, args ...string) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := run(args, &sb); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return sb.String()
+}
+
+func TestPointAllGeometries(t *testing.T) {
+	out := runCapture(t, "-geometry", "all", "-bits", "16", "-q", "0.3")
+	for _, want := range []string{"tree", "hypercube", "xor", "ring", "symphony", "scalable", "unscalable"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "N=2^16") {
+		t.Errorf("output missing size header:\n%s", out)
+	}
+}
+
+func TestPointSingleGeometry(t *testing.T) {
+	out := runCapture(t, "-geometry", "xor", "-bits", "20", "-q", "0.1")
+	if !strings.Contains(out, "Kademlia") {
+		t.Errorf("missing system name:\n%s", out)
+	}
+	if strings.Contains(out, "Plaxton") {
+		t.Errorf("unexpected geometry in single-geometry output:\n%s", out)
+	}
+}
+
+func TestSweepQ(t *testing.T) {
+	out := runCapture(t, "-geometry", "tree", "-bits", "12", "-sweep-q")
+	lines := strings.Count(out, "\n")
+	if lines < 20 { // title + header + sep + 19 rows
+		t.Errorf("sweep produced %d lines:\n%s", lines, out)
+	}
+	if !strings.Contains(out, "90") {
+		t.Errorf("sweep missing q=90%% row:\n%s", out)
+	}
+}
+
+func TestSweepN(t *testing.T) {
+	out := runCapture(t, "-geometry", "symphony", "-q", "0.1", "-sweep-n")
+	if !strings.Contains(out, "100") { // d=100 row
+		t.Errorf("sweep-n missing d=100 row:\n%s", out)
+	}
+}
+
+func TestSymphonyParams(t *testing.T) {
+	out1 := runCapture(t, "-geometry", "symphony", "-bits", "16", "-q", "0.1", "-kn", "1", "-ks", "1")
+	out3 := runCapture(t, "-geometry", "symphony", "-bits", "16", "-q", "0.1", "-kn", "1", "-ks", "3")
+	if out1 == out3 {
+		t.Error("ks parameter had no effect on output")
+	}
+}
+
+func TestUnknownGeometryError(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-geometry", "pastry"}, &sb); err == nil {
+		t.Error("unknown geometry accepted")
+	}
+}
+
+func TestBadSymphonyParamsError(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-geometry", "symphony", "-ks", "0"}, &sb); err == nil {
+		t.Error("ks=0 accepted")
+	}
+}
+
+func TestBadFlagError(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-no-such-flag"}, &sb); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestTreeBaseFlag(t *testing.T) {
+	out := runCapture(t, "-geometry", "tree", "-base", "16", "-bits", "4", "-q", "0.1")
+	if !strings.Contains(out, "tree-b16") {
+		t.Errorf("missing base-16 geometry name:\n%s", out)
+	}
+	if !strings.Contains(out, "N=16^4") {
+		t.Errorf("missing radix header:\n%s", out)
+	}
+}
+
+func TestTreeBaseFlagRejectsOtherGeometries(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-geometry", "ring", "-base", "16"}, &sb); err == nil {
+		t.Error("-base accepted for non-tree geometry")
+	}
+}
+
+func TestTreeBaseFlagRejectsBadRadix(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-geometry", "tree", "-base", "1"}, &sb); err == nil {
+		t.Error("base 1 accepted")
+	}
+}

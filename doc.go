@@ -1,0 +1,26 @@
+// Package rcm implements the reachable component method (RCM) of Kong,
+// Bridgewater and Roychowdhury, "A General Framework for Scalability and
+// Performance Analysis of DHT Routing Systems" (DSN 2006, arXiv:cs/0603112):
+// an analytical framework that predicts how well a DHT routing geometry
+// keeps routing when every node fails independently with probability q, and
+// whether that ability survives as the system grows without bound.
+//
+// The package exposes three layers:
+//
+//   - Analytic models (Tree, Hypercube, XOR, Ring, Symphony): closed-form
+//     routability r(N,q), per-route success p(h,q), and the paper's
+//     scalable/unscalable classification, evaluated stably up to N = 2^100
+//     and beyond.
+//
+//   - Protocol simulation (Simulate): concrete Plaxton, CAN, Kademlia,
+//     Chord and Symphony overlays under the static-resilience failure
+//     model, reproducing the experimental side of the paper's validation.
+//
+//   - Churn simulation (Churn): an event-driven extension measuring how the
+//     static model's predictions transfer to dynamic node populations with
+//     and without table repair.
+//
+// The full experiment harness that regenerates every figure and table of
+// the paper lives in cmd/figures; see DESIGN.md for the experiment index
+// and EXPERIMENTS.md for recorded results.
+package rcm

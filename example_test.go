@@ -1,0 +1,87 @@
+package rcm_test
+
+import (
+	"fmt"
+	"log"
+
+	"rcm"
+)
+
+// The basic analytic question: what fraction of surviving node pairs can
+// still route at a given failure probability?
+func ExampleModel_Routability() {
+	r, err := rcm.XOR().Routability(16, 0.3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Kademlia at N=2^16, q=0.3: %.3f\n", r)
+	// Output: Kademlia at N=2^16, q=0.3: 0.755
+}
+
+// Definition 2: a geometry is scalable iff routability stays positive as
+// N grows without bound.
+func ExampleModel_Scalability() {
+	for _, m := range rcm.Models() {
+		v, _ := m.Scalability()
+		fmt.Printf("%s: %s\n", m.Name(), v)
+	}
+	// Output:
+	// tree: unscalable
+	// hypercube: scalable
+	// xor: scalable
+	// ring: scalable
+	// symphony: unscalable
+}
+
+// p(h,q) — the probability that a route of length h survives (Eq. 5). For
+// the hypercube this is the paper's worked example, Fig. 3.
+func ExampleModel_SuccessProb() {
+	p, err := rcm.Hypercube().SuccessProb(3, 3, 0.3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("p(3, 0.3) = %.6f\n", p)
+	// Output: p(3, 0.3) = 0.619801
+}
+
+// Symphony's provisioning knob: more shortcuts rescue an unscalable
+// geometry for any bounded deployment (§1).
+func ExampleSymphony() {
+	for _, ks := range []int{1, 2, 3} {
+		m, err := rcm.Symphony(1, ks)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, err := m.Routability(16, 0.1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("ks=%d: %.2f\n", ks, r)
+	}
+	// Output:
+	// ks=1: 0.21
+	// ks=2: 1.00
+	// ks=3: 1.00
+}
+
+// Simulation of a concrete overlay under the static-resilience model.
+func ExampleSimulate() {
+	res, err := rcm.Simulate(rcm.SimConfig{
+		Protocol: "chord",
+		Bits:     12,
+		Q:        0.3,
+		Pairs:    20000,
+		Trials:   3,
+		Seed:     1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Simulated routability tracks the analytic ring model (a lower bound).
+	analytic, err := rcm.Ring().Routability(12, 0.3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("within 5 points of analysis: %v\n", res.Routability > analytic-0.05)
+	// Output: within 5 points of analysis: true
+}

@@ -1,0 +1,59 @@
+// Compare: reproduce the shape of the paper's Fig. 7(a) from the public
+// API — failed paths vs failure probability for all five geometries in the
+// asymptotic regime (N = 2^100) — and render it as a terminal plot.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"rcm"
+)
+
+func main() {
+	const d = 100 // the paper's stand-in for N → ∞
+
+	models := rcm.Models()
+	fmt.Println("Fig. 7(a): percent of failed paths at N = 2^100")
+	fmt.Println()
+
+	// Terminal plot: one row per q, one column band per geometry.
+	fmt.Printf("%-5s", "q%")
+	for _, m := range models {
+		fmt.Printf("  %-22s", m.Name())
+	}
+	fmt.Println()
+	for q := 0.0; q <= 0.901; q += 0.1 {
+		fmt.Printf("%-5.0f", 100*q)
+		for _, m := range models {
+			f, err := m.FailedPathPercent(d, q)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-22s", bar(f))
+		}
+		fmt.Println()
+	}
+
+	fmt.Println()
+	fmt.Println("verdicts:")
+	for _, m := range models {
+		v, reason := m.Scalability()
+		numeric := m.ClassifyNumerically(0.3)
+		fmt.Printf("  %-10s %-10s (numeric probe agrees: %v) — %s\n",
+			m.Name(), v, numeric == v, reason)
+	}
+}
+
+// bar renders a 0–100 value as a 20-char bar with the number attached.
+func bar(pct float64) string {
+	filled := int(pct / 5)
+	if filled > 20 {
+		filled = 20
+	}
+	if filled < 0 {
+		filled = 0
+	}
+	return strings.Repeat("█", filled) + strings.Repeat("·", 20-filled)
+}

@@ -1,0 +1,61 @@
+// eDonkey case study: the paper's motivating deployment (§1). The
+// Kademlia-powered eDonkey network grew to millions of transient nodes;
+// this example asks the question the paper answers analytically — how does
+// XOR routing hold up at that scale under realistic failure, and what would
+// have happened had eDonkey been built on an unscalable geometry instead?
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rcm"
+)
+
+func main() {
+	// eDonkey-era scale: ~1–4 million concurrent nodes ≈ 2^20..2^22.
+	const bits = 21 // ~2 million nodes
+
+	fmt.Println("eDonkey-scale analysis: N = 2^21 ≈ 2.1M nodes")
+	fmt.Println()
+	fmt.Printf("%-6s  %-12s  %-12s  %-12s\n", "q %", "Kademlia r%", "Symphony r%", "Tree r%")
+	sym, err := rcm.Symphony(1, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, q := range []float64{0.05, 0.1, 0.2, 0.3, 0.5} {
+		kad, err := rcm.XOR().Routability(bits, q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sy, err := sym.Routability(bits, q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr, err := rcm.Tree().Routability(bits, q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6.0f  %-12.2f  %-12.2f  %-12.2f\n", 100*q, 100*kad, 100*sy, 100*tr)
+	}
+
+	fmt.Println()
+	fmt.Println("Growth from LAN to global scale at q = 0.2 (transient P2P population):")
+	fmt.Printf("%-8s  %-12s  %-12s\n", "log2 N", "Kademlia r%", "Symphony r%")
+	for _, d := range []int{10, 14, 18, 22, 26, 30} {
+		kad, err := rcm.XOR().Routability(d, 0.2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sy, err := sym.Routability(d, 0.2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8d  %-12.2f  %-12.2f\n", d, 100*kad, 100*sy)
+	}
+
+	fmt.Println()
+	fmt.Println("Conclusion: XOR routability is flat in system size — consistent with")
+	fmt.Println("eDonkey scaling to millions of nodes — while the basic small-world")
+	fmt.Println("geometry would have collapsed long before reaching that size.")
+}

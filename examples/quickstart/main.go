@@ -1,0 +1,62 @@
+// Quickstart: the 60-second tour of the rcm public API — evaluate a
+// geometry analytically, check its scalability verdict, and confirm the
+// prediction against a concrete overlay simulation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rcm"
+)
+
+func main() {
+	// 1. Analytic model: Kademlia's XOR geometry at N = 2^16 nodes with
+	//    every node failing independently with probability 0.3.
+	const (
+		bits = 16
+		q    = 0.3
+	)
+	model := rcm.XOR()
+	r, err := model.Routability(bits, q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("analytic  : %s keeps %.1f%% of surviving pairs routable at q=%.0f%%\n",
+		model.System(), 100*r, 100*q)
+
+	// 2. Scalability: does that hold as the network grows without bound?
+	verdict, reason := model.Scalability()
+	fmt.Printf("asymptotic: %s is %s (%s)\n", model.System(), verdict, reason)
+
+	// 3. Simulation: build a real 2^14-node Kademlia overlay, fail nodes,
+	//    route sampled pairs greedily with static tables.
+	res, err := rcm.Simulate(rcm.SimConfig{
+		Protocol: "kademlia",
+		Bits:     14,
+		Q:        q,
+		Pairs:    20000,
+		Trials:   3,
+		Seed:     1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	analytic14, err := model.Routability(14, q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated : %.1f%% ± %.1f%% routable over %s hops on average (analysis says %.1f%%)\n",
+		100*res.Routability, 100*res.StdErr, fmt.Sprintf("%.1f", res.MeanHops), 100*analytic14)
+
+	// 4. The paper's headline: compare all five geometries at a glance.
+	fmt.Printf("\n%-10s %-9s %-14s %s\n", "geometry", "system", "routability %", "verdict")
+	for _, m := range rcm.Models() {
+		ri, err := m.Routability(bits, q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		v, _ := m.Scalability()
+		fmt.Printf("%-10s %-9s %-14.2f %s\n", m.Name(), m.System(), 100*ri, v)
+	}
+}

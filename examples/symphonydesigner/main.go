@@ -1,0 +1,80 @@
+// Symphony designer: the paper stresses (§1) that an asymptotically
+// unscalable geometry is still deployable — "a system designer can always
+// add enough sequential neighbors to achieve an acceptable routability ...
+// for a maximum network size". This tool inverts the model: given a target
+// routability, a worst-case failure probability and an expected maximum
+// network size, it finds the cheapest (kn, ks) provisioning that meets the
+// requirement.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"rcm"
+)
+
+func main() {
+	var (
+		target  = flag.Float64("target", 0.95, "required routability (0,1]")
+		q       = flag.Float64("q", 0.2, "worst-case node failure probability")
+		maxBits = flag.Int("max-bits", 20, "maximum expected network size as log2 N")
+	)
+	flag.Parse()
+
+	fmt.Printf("requirement: r >= %.0f%% at q = %.0f%% up to N = 2^%d\n\n",
+		100**target, 100**q, *maxBits)
+	fmt.Printf("%-4s %-4s %-7s %-14s %s\n", "kn", "ks", "links", "r% at 2^max", "meets target")
+
+	type candidate struct {
+		kn, ks int
+		r      float64
+	}
+	var best *candidate
+	for links := 2; links <= 12; links++ {
+		for kn := 1; kn < links; kn++ {
+			ks := links - kn
+			m, err := rcm.Symphony(kn, ks)
+			if err != nil {
+				log.Fatal(err)
+			}
+			r, err := m.Routability(*maxBits, *q)
+			if err != nil {
+				log.Fatal(err)
+			}
+			ok := r >= *target
+			fmt.Printf("%-4d %-4d %-7d %-14.2f %v\n", kn, ks, links, 100*r, ok)
+			if ok && best == nil {
+				best = &candidate{kn: kn, ks: ks, r: r}
+			}
+		}
+		if best != nil {
+			break
+		}
+	}
+
+	fmt.Println()
+	if best == nil {
+		fmt.Println("no configuration with <= 12 links meets the requirement; raise the budget")
+		return
+	}
+	fmt.Printf("cheapest provisioning: kn=%d ks=%d (%d links/node), r = %.2f%%\n",
+		best.kn, best.ks, best.kn+best.ks, 100*best.r)
+	m, err := rcm.Symphony(best.kn, best.ks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nheadroom beyond the design size (the asymptotic decay never stops):")
+	for _, d := range []int{*maxBits, *maxBits + 5, *maxBits + 10, *maxBits + 20, *maxBits + 40} {
+		r, err := m.Routability(d, *q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		marker := ""
+		if r < *target {
+			marker = "  <- requirement breached"
+		}
+		fmt.Printf("  N = 2^%-3d  r = %6.2f%%%s\n", d, 100*r, marker)
+	}
+}

@@ -1,0 +1,94 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	"rcm/internal/core"
+)
+
+func TestMeanDistanceBinomialGeometries(t *testing.T) {
+	// Σ h·C(d,h) / (2^d − 1) = d·2^{d-1}/(2^d − 1) ≈ d/2.
+	for _, g := range []core.Geometry{core.Tree{}, core.Hypercube{}, core.XOR{}} {
+		for _, d := range []int{4, 10, 16, 32} {
+			got := core.MeanDistance(g, d)
+			want := float64(d) * math.Pow(2, float64(d-1)) / (math.Pow(2, float64(d)) - 1)
+			if math.Abs(got-want) > 1e-9 {
+				t.Errorf("%s d=%d: mean distance %v, want %v", g.Name(), d, got, want)
+			}
+		}
+	}
+}
+
+func TestMeanDistanceRingFamily(t *testing.T) {
+	// Σ h·2^{h-1} = (d-1)·2^d + 1, so E[h] = ((d-1)·2^d + 1)/(2^d − 1) ≈ d−1.
+	for _, g := range []core.Geometry{core.Ring{}, core.DefaultSymphony()} {
+		for _, d := range []int{4, 10, 16} {
+			got := core.MeanDistance(g, d)
+			want := (float64(d-1)*math.Pow(2, float64(d)) + 1) / (math.Pow(2, float64(d)) - 1)
+			if math.Abs(got-want) > 1e-9 {
+				t.Errorf("%s d=%d: mean distance %v, want %v", g.Name(), d, got, want)
+			}
+		}
+	}
+}
+
+func TestMeanDistanceLargeD(t *testing.T) {
+	// Log-space evaluation must hold at Fig. 7(a) scale.
+	got := core.MeanDistance(core.Hypercube{}, 1000)
+	if math.Abs(got-500) > 0.01 {
+		t.Errorf("mean distance at d=1000 = %v, want ~500", got)
+	}
+}
+
+func TestMeanSuccessfulRouteLengthAtZeroFailure(t *testing.T) {
+	// With no failures the conditional and unconditional means coincide.
+	for _, g := range core.AllGeometries() {
+		uncond := core.MeanDistance(g, 16)
+		cond, err := core.MeanSuccessfulRouteLength(g, 16, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(uncond-cond) > 1e-9 {
+			t.Errorf("%s: conditional %v vs unconditional %v at q=0", g.Name(), cond, uncond)
+		}
+	}
+}
+
+func TestSurvivorshipBiasShortensRoutes(t *testing.T) {
+	// Distant targets die first: E[h | success] decreases with q.
+	for _, g := range core.AllGeometries() {
+		prev := math.Inf(1)
+		for _, q := range []float64{0, 0.2, 0.4, 0.6} {
+			got, err := core.MeanSuccessfulRouteLength(g, 16, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got > prev+1e-9 {
+				t.Errorf("%s: conditional route length rose from %v to %v at q=%v",
+					g.Name(), prev, got, q)
+			}
+			prev = got
+		}
+	}
+}
+
+func TestMeanSuccessfulRouteLengthDegenerate(t *testing.T) {
+	// q=1: no successful routes at all; defined as 0.
+	got, err := core.MeanSuccessfulRouteLength(core.Tree{}, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("q=1 conditional length = %v, want 0", got)
+	}
+}
+
+func TestMeanSuccessfulRouteLengthValidation(t *testing.T) {
+	if _, err := core.MeanSuccessfulRouteLength(core.Tree{}, 0, 0.5); err == nil {
+		t.Error("d=0 accepted")
+	}
+	if _, err := core.MeanSuccessfulRouteLength(core.Tree{}, 8, -1); err == nil {
+		t.Error("q=-1 accepted")
+	}
+}

@@ -1,0 +1,158 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	"rcm/internal/core"
+)
+
+// Edge-case tests covering the less-traveled branches of the analytic core.
+
+func TestLogNodesAtOutOfRange(t *testing.T) {
+	gt, err := core.NewGeneralizedTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range append(core.AllGeometries(), core.Geometry(gt)) {
+		for _, h := range []int{0, -1, 17} {
+			if got := g.LogNodesAt(16, h); !math.IsInf(got, -1) {
+				t.Errorf("%s: LogNodesAt(16, %d) = %v, want -Inf", g.Name(), h, got)
+			}
+		}
+	}
+}
+
+func TestGeneralizedTreeSystem(t *testing.T) {
+	g, err := core.NewGeneralizedTree(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.System() != "Plaxton" {
+		t.Errorf("System = %q", g.System())
+	}
+}
+
+func TestRoutabilityBigEdgeCases(t *testing.T) {
+	// q=0 and q=1 short-circuit; denominator <= 0 regime returns 0.
+	g := core.Hypercube{}
+	if r, err := core.RoutabilityBig(g, 8, 0, 128); err != nil || r != 1 {
+		t.Errorf("big r(q=0) = %v, %v", r, err)
+	}
+	if r, err := core.RoutabilityBig(g, 8, 1, 128); err != nil || r != 0 {
+		t.Errorf("big r(q=1) = %v, %v", r, err)
+	}
+	// d=1, q close to 1: (1-q)*2 - 1 <= 0 → no expected pairs.
+	if r, err := core.RoutabilityBig(g, 1, 0.9, 128); err != nil || r != 0 {
+		t.Errorf("big r under-populated = %v, %v", r, err)
+	}
+	if _, err := core.RoutabilityBig(g, 0, 0.5, 128); err == nil {
+		t.Error("big r accepted d=0")
+	}
+}
+
+func TestRoutabilityUnderPopulatedRegime(t *testing.T) {
+	// (1−q)·2^d ≤ 1: fewer than one expected survivor, r defined as 0.
+	for _, g := range core.AllGeometries() {
+		r, err := core.Routability(g, 1, 0.6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r != 0 {
+			t.Errorf("%s: under-populated r = %v, want 0", g.Name(), r)
+		}
+	}
+}
+
+func TestTreeClosedFormEdgeCases(t *testing.T) {
+	tree := core.Tree{}
+	if r, err := tree.ClosedFormRoutability(16, 0); err != nil || r != 1 {
+		t.Errorf("closed form q=0: %v, %v", r, err)
+	}
+	if r, err := tree.ClosedFormRoutability(16, 1); err != nil || r != 0 {
+		t.Errorf("closed form q=1: %v, %v", r, err)
+	}
+	if r, err := tree.ClosedFormRoutability(1, 0.9); err != nil || r != 0 {
+		t.Errorf("closed form under-populated: %v, %v", r, err)
+	}
+	if _, err := tree.ClosedFormRoutability(0, 0.5); err == nil {
+		t.Error("closed form accepted d=0")
+	}
+	g4, err := core.NewGeneralizedTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, err := g4.ClosedFormRoutability(2, 0.99); err != nil || r != 0 {
+		t.Errorf("base-4 closed form under-populated: %v, %v", r, err)
+	}
+	if _, err := g4.ClosedFormRoutability(8, math.NaN()); err == nil {
+		t.Error("base-4 closed form accepted NaN")
+	}
+}
+
+func TestExpectedReachErrorPropagation(t *testing.T) {
+	if _, err := core.ExpectedReach(core.Hypercube{}, -1, 0.5); err == nil {
+		t.Error("ExpectedReach accepted d=-1")
+	}
+	if _, err := core.FailedPathPercent(core.Hypercube{}, 8, 2); err == nil {
+		t.Error("FailedPathPercent accepted q=2")
+	}
+}
+
+func TestPhaseFailureApproxEdges(t *testing.T) {
+	g := core.XOR{}
+	if got := g.PhaseFailureApprox(5, 0); got != 0 {
+		t.Errorf("approx q=0: %v", got)
+	}
+	if got := g.PhaseFailureApprox(5, 1); got != 1 {
+		t.Errorf("approx q=1: %v", got)
+	}
+	// The raw approximation can stray outside [0,1] at large q; it must be
+	// clamped.
+	for _, q := range []float64{0.7, 0.9, 0.99} {
+		for m := 1; m <= 8; m++ {
+			got := g.PhaseFailureApprox(m, q)
+			if got < 0 || got > 1 || math.IsNaN(got) {
+				t.Errorf("approx(m=%d, q=%v) = %v outside [0,1]", m, q, got)
+			}
+		}
+	}
+}
+
+func TestClassifyCustomOptions(t *testing.T) {
+	// Non-default dims and tolerance paths.
+	v := core.Classify(core.Hypercube{}, 0.4, core.ClassifyOptions{
+		Dims: []int{32, 64, 128, 256},
+		Tol:  1e-4,
+	})
+	if v != core.Scalable {
+		t.Errorf("custom-dims hypercube verdict = %v", v)
+	}
+	// Too few dims → indeterminate.
+	v = core.Classify(core.Hypercube{}, 0.4, core.ClassifyOptions{Dims: []int{16, 32}})
+	if v != core.Indeterminate {
+		t.Errorf("two-dim probe verdict = %v, want indeterminate", v)
+	}
+}
+
+func TestClassifyRejectsBrokenGeometry(t *testing.T) {
+	v := core.Classify(badGeometry{}, 0.3, core.ClassifyOptions{})
+	if v != core.Indeterminate {
+		t.Errorf("broken geometry verdict = %v, want indeterminate", v)
+	}
+}
+
+// badGeometry returns an out-of-range Q to exercise the classifier's guard.
+type badGeometry struct{ core.Hypercube }
+
+func (badGeometry) PhaseFailure(_, _ int, _ float64) float64 { return 2 }
+
+func TestRingLogNodesAtBounds(t *testing.T) {
+	g := core.Ring{}
+	if got := g.LogNodesAt(8, 1); got != 0 { // 2^0 = 1 node at h=1
+		t.Errorf("ring n(1) log = %v, want 0", got)
+	}
+	if got := math.Exp(g.LogNodesAt(8, 8)); math.Abs(got-128) > 1e-9 {
+		t.Errorf("ring n(8) = %v, want 128", got)
+	}
+}

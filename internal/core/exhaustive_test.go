@@ -1,0 +1,129 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	"rcm/internal/core"
+	"rcm/internal/dht"
+	"rcm/internal/overlay"
+)
+
+// TestHypercubeExactByEnumerationD4 enumerates ALL 2^15 failure patterns of
+// a 16-node hypercube (root conditioned alive) and checks the analytic
+// E[S] and every p(h,q) against exact expectations computed on the real
+// overlay. The hypercube's greedy candidate sets are disjoint along any
+// route, so RCM is exact here — agreement must be at machine precision.
+func TestHypercubeExactByEnumerationD4(t *testing.T) {
+	const d = 4
+	cube, err := dht.NewHypercubeCAN(dht.Config{Bits: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := core.Hypercube{}
+	space := cube.Space()
+	root := overlay.ID(0)
+	n := int(space.Size())
+
+	for _, q := range []float64{0.2, 0.5, 0.8} {
+		// Exact delivery probability per destination.
+		deliverProb := make([]float64, n)
+		var esExact float64
+		for pattern := 0; pattern < 1<<(n-1); pattern++ {
+			alive := overlay.NewBitset(n)
+			alive.Set(int(root))
+			w := 1.0
+			for j := 1; j < n; j++ {
+				if pattern&(1<<(j-1)) != 0 {
+					alive.Set(j)
+					w *= 1 - q
+				} else {
+					w *= q
+				}
+			}
+			for dst := 1; dst < n; dst++ {
+				if !alive.Get(dst) {
+					continue
+				}
+				if _, ok := cube.Route(root, overlay.ID(dst), alive); ok {
+					deliverProb[dst] += w
+					esExact += w
+				}
+			}
+		}
+		esAnalytic, err := core.ExpectedReach(g, d, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(esAnalytic-esExact) > 1e-9 {
+			t.Errorf("q=%v: E[S] analytic %v vs exact %v", q, esAnalytic, esExact)
+		}
+		// Per-distance delivery probability must equal p(h,q) for every
+		// destination at Hamming distance h.
+		for dst := 1; dst < n; dst++ {
+			h := space.HammingDist(root, overlay.ID(dst))
+			want, err := core.SuccessProb(g, d, h, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(deliverProb[dst]-want) > 1e-9 {
+				t.Errorf("q=%v dst=%s (h=%d): delivery %v, p(h,q) %v",
+					q, space.String(overlay.ID(dst)), h, deliverProb[dst], want)
+			}
+		}
+	}
+}
+
+// TestTreeEnumerationMatchesClosedForm does the same for the tree geometry
+// at d=3, where the Plaxton table is randomized: averaged over many table
+// instances, the exact per-pattern delivery probability to the farthest
+// target must approach (1−q)^H with H the realized hop count — and the
+// aggregate E[S] must approach the closed form (2−q)^d − 1.
+func TestTreeEnumerationMatchesClosedForm(t *testing.T) {
+	const d = 3
+	const tables = 200
+	g := core.Tree{}
+	q := 0.3
+	var esSum float64
+	n := 8
+	for seed := uint64(0); seed < tables; seed++ {
+		p, err := dht.NewPlaxton(dht.Config{Bits: d, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		root := overlay.ID(0)
+		for pattern := 0; pattern < 1<<(n-1); pattern++ {
+			alive := overlay.NewBitset(n)
+			alive.Set(int(root))
+			w := 1.0
+			for j := 1; j < n; j++ {
+				if pattern&(1<<(j-1)) != 0 {
+					alive.Set(j)
+					w *= 1 - q
+				} else {
+					w *= q
+				}
+			}
+			for dst := 1; dst < n; dst++ {
+				if !alive.Get(dst) {
+					continue
+				}
+				if _, ok := p.Route(root, overlay.ID(dst), alive); ok {
+					esSum += w
+				}
+			}
+		}
+	}
+	esMean := esSum / tables
+	want, err := core.ExpectedReach(g, d, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Averaged over random tables the match is statistical, not exact: the
+	// paper's tree model treats hop counts as the bit-difference count,
+	// while real Plaxton tails re-randomize. At d=3 the discrepancy is
+	// within a few percent.
+	if math.Abs(esMean-want)/want > 0.05 {
+		t.Errorf("tree E[S] enumerated %v vs closed form %v", esMean, want)
+	}
+}

@@ -1,0 +1,79 @@
+// Package core implements the paper's primary contribution: the reachable
+// component method (RCM, §4) for computing the routability of DHT routing
+// geometries under uniform random node failure, and the scalability
+// classification of §5.
+//
+// A geometry is described by two ingredients (§4.1, steps 2–3):
+//
+//	n(h)  — the routing-distance distribution: how many nodes sit at
+//	        distance h (hops or phases) from any root node, and
+//	Q(m)  — the probability that routing fails during a phase with m
+//	        phases remaining, extracted from the geometry's Markov chain.
+//
+// From these, p(h,q) = Π_{m=1..h}(1−Q(m)) (Eq. 5), the expected reachable
+// component E[S] = Σ_h n(h)·p(h,q) (step 4), and the routability
+// r = E[S]/((1−q)·2^d − 1) (Eq. 1/Eq. 3) follow mechanically. Everything is
+// evaluated in log space so the asymptotic regime of Fig. 7(a) (N = 2^100)
+// is computed directly rather than extrapolated.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Geometry is the RCM description of a DHT routing geometry. Implementations
+// must be immutable value types safe for concurrent use.
+type Geometry interface {
+	// Name returns the geometry's name as used in the paper's figures
+	// (e.g. "tree", "hypercube", "xor", "ring", "symphony").
+	Name() string
+	// System returns the DHT system the paper associates with the geometry
+	// (e.g. Plaxton, CAN, Kademlia, Chord, Symphony).
+	System() string
+	// MaxDistance returns the maximum routing distance (in hops or phases)
+	// to any node in a fully-populated d-bit identifier space. For all five
+	// geometries in the paper this is d.
+	MaxDistance(d int) int
+	// LogNodesAt returns ln n(h): the natural log of the number of nodes at
+	// routing distance h from a root node in a fully-populated d-bit space.
+	// It returns -Inf when h is outside [1, MaxDistance(d)].
+	LogNodesAt(d, h int) float64
+	// PhaseFailure returns Q(m): the probability that the routing process is
+	// absorbed into the failure state during a phase with m phases
+	// remaining, under node-failure probability q. d is the identifier
+	// length (only Symphony's Q depends on it).
+	PhaseFailure(d, m int, q float64) float64
+}
+
+// Errors returned by the evaluation entry points.
+var (
+	// ErrBadDimension indicates an identifier length outside [1, MaxDimension].
+	ErrBadDimension = errors.New("core: identifier length out of range")
+	// ErrBadProbability indicates a failure probability outside [0, 1].
+	ErrBadProbability = errors.New("core: failure probability out of [0,1]")
+	// ErrBadDistance indicates a routing distance outside [1, MaxDistance].
+	ErrBadDistance = errors.New("core: routing distance out of range")
+)
+
+// MaxDimension bounds the identifier length accepted by the evaluators.
+// Fig. 7(a) uses d=100; the log-space pipeline stays accurate well past
+// that, and the cap keeps the O(d²) XOR evaluation bounded.
+const MaxDimension = 8192
+
+func validateDQ(d int, q float64) error {
+	if d < 1 || d > MaxDimension {
+		return fmt.Errorf("%w: d=%d not in [1,%d]", ErrBadDimension, d, MaxDimension)
+	}
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return fmt.Errorf("%w: q=%v", ErrBadProbability, q)
+	}
+	return nil
+}
+
+// Default instances of the five geometries analyzed in the paper. Symphony
+// uses the Fig. 7 footnote setting kn = ks = 1.
+func AllGeometries() []Geometry {
+	return []Geometry{Tree{}, Hypercube{}, XOR{}, Ring{}, DefaultSymphony()}
+}

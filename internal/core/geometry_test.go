@@ -1,0 +1,145 @@
+package core_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"rcm/internal/core"
+)
+
+func TestGeometryIdentities(t *testing.T) {
+	tests := []struct {
+		g      core.Geometry
+		name   string
+		system string
+	}{
+		{core.Tree{}, "tree", "Plaxton"},
+		{core.Hypercube{}, "hypercube", "CAN"},
+		{core.XOR{}, "xor", "Kademlia"},
+		{core.Ring{}, "ring", "Chord"},
+		{core.DefaultSymphony(), "symphony", "Symphony"},
+	}
+	for _, tt := range tests {
+		if got := tt.g.Name(); got != tt.name {
+			t.Errorf("Name() = %q, want %q", got, tt.name)
+		}
+		if got := tt.g.System(); got != tt.system {
+			t.Errorf("System() = %q, want %q", got, tt.system)
+		}
+		if got := tt.g.MaxDistance(16); got != 16 {
+			t.Errorf("%s MaxDistance(16) = %d, want 16", tt.name, got)
+		}
+	}
+}
+
+func TestAllGeometriesComplete(t *testing.T) {
+	gs := core.AllGeometries()
+	if len(gs) != 5 {
+		t.Fatalf("AllGeometries returned %d geometries, want 5", len(gs))
+	}
+	seen := map[string]bool{}
+	for _, g := range gs {
+		seen[g.Name()] = true
+	}
+	for _, want := range []string{"tree", "hypercube", "xor", "ring", "symphony"} {
+		if !seen[want] {
+			t.Errorf("AllGeometries missing %q", want)
+		}
+	}
+}
+
+func TestDistanceDistributionSumsToNMinus1(t *testing.T) {
+	// Σ_h n(h) = 2^d − 1 for every geometry (all other nodes are at some
+	// distance in a fully-populated space).
+	for _, g := range core.AllGeometries() {
+		for _, d := range []int{1, 2, 3, 8, 16} {
+			n := core.DistanceDistribution(g, d)
+			var sum float64
+			for _, v := range n {
+				sum += v
+			}
+			want := math.Pow(2, float64(d)) - 1
+			if math.Abs(sum-want) > 1e-6*want+1e-9 {
+				t.Errorf("%s d=%d: Σn(h) = %v, want %v", g.Name(), d, sum, want)
+			}
+		}
+	}
+}
+
+func TestDistanceDistributionShapes(t *testing.T) {
+	// Fig. 3: d=3 hypercube has n = [C(3,1), C(3,2), C(3,3)] = [3,3,1].
+	n := core.DistanceDistribution(core.Hypercube{}, 3)
+	want := []float64{3, 3, 1}
+	for i := range want {
+		if n[i] != want[i] {
+			t.Errorf("hypercube d=3 n(%d) = %v, want %v", i+1, n[i], want[i])
+		}
+	}
+	// Ring d=4: n = [1, 2, 4, 8].
+	n = core.DistanceDistribution(core.Ring{}, 4)
+	want = []float64{1, 2, 4, 8}
+	for i := range want {
+		if n[i] != want[i] {
+			t.Errorf("ring d=4 n(%d) = %v, want %v", i+1, n[i], want[i])
+		}
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	g := core.Hypercube{}
+	if _, err := core.Routability(g, 0, 0.5); !errors.Is(err, core.ErrBadDimension) {
+		t.Errorf("d=0: err = %v, want ErrBadDimension", err)
+	}
+	if _, err := core.Routability(g, core.MaxDimension+1, 0.5); !errors.Is(err, core.ErrBadDimension) {
+		t.Errorf("d too large: err = %v, want ErrBadDimension", err)
+	}
+	if _, err := core.Routability(g, 8, -0.1); !errors.Is(err, core.ErrBadProbability) {
+		t.Errorf("q<0: err = %v, want ErrBadProbability", err)
+	}
+	if _, err := core.Routability(g, 8, 1.5); !errors.Is(err, core.ErrBadProbability) {
+		t.Errorf("q>1: err = %v, want ErrBadProbability", err)
+	}
+	if _, err := core.Routability(g, 8, math.NaN()); !errors.Is(err, core.ErrBadProbability) {
+		t.Errorf("q=NaN: err = %v, want ErrBadProbability", err)
+	}
+	if _, err := core.SuccessProb(g, 8, 0, 0.5); !errors.Is(err, core.ErrBadDistance) {
+		t.Errorf("h=0: err = %v, want ErrBadDistance", err)
+	}
+	if _, err := core.SuccessProb(g, 8, 9, 0.5); !errors.Is(err, core.ErrBadDistance) {
+		t.Errorf("h>d: err = %v, want ErrBadDistance", err)
+	}
+}
+
+func TestNewSymphonyValidation(t *testing.T) {
+	if _, err := core.NewSymphony(-1, 1); err == nil {
+		t.Error("kn=-1 accepted")
+	}
+	if _, err := core.NewSymphony(1, 0); err == nil {
+		t.Error("ks=0 accepted")
+	}
+	s, err := core.NewSymphony(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.KN != 2 || s.KS != 3 {
+		t.Errorf("NewSymphony(2,3) = %+v", s)
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	tests := []struct {
+		v    core.Verdict
+		want string
+	}{
+		{core.Scalable, "scalable"},
+		{core.Unscalable, "unscalable"},
+		{core.Indeterminate, "indeterminate"},
+		{core.Verdict(0), "invalid"},
+	}
+	for _, tt := range tests {
+		if got := tt.v.String(); got != tt.want {
+			t.Errorf("Verdict(%d).String() = %q, want %q", tt.v, got, tt.want)
+		}
+	}
+}

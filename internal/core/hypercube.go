@@ -1,0 +1,40 @@
+package core
+
+import (
+	"math"
+
+	"rcm/internal/numeric"
+)
+
+// Hypercube is the CAN-style hypercube routing geometry (§3.2, §4.2). Node
+// identifiers are corners of the d-cube, distance is Hamming distance, and
+// greedy routing corrects any remaining differing bit, so a phase with m
+// bits left to correct has m usable neighbors.
+type Hypercube struct{}
+
+var _ Geometry = Hypercube{}
+
+// Name implements Geometry.
+func (Hypercube) Name() string { return "hypercube" }
+
+// System implements Geometry.
+func (Hypercube) System() string { return "CAN" }
+
+// MaxDistance implements Geometry.
+func (Hypercube) MaxDistance(d int) int { return d }
+
+// LogNodesAt implements Geometry: n(h) = C(d,h) ways to place the h
+// differing bits (Fig. 2), for h >= 1.
+func (Hypercube) LogNodesAt(d, h int) float64 {
+	if h < 1 {
+		return numeric.NegInf
+	}
+	return numeric.LogBinomial(d, h)
+}
+
+// PhaseFailure implements Geometry. With m bits remaining there are m
+// neighbors that each correct one of them; the phase fails only when all m
+// have failed: Q(m) = q^m (Fig. 4(b), Eq. 2).
+func (Hypercube) PhaseFailure(_, m int, q float64) float64 {
+	return math.Pow(q, float64(m))
+}

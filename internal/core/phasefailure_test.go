@@ -1,0 +1,239 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rcm/internal/core"
+)
+
+func TestPhaseFailureBoundsAllGeometries(t *testing.T) {
+	for _, g := range core.AllGeometries() {
+		g := g
+		f := func(m8 uint8, qRaw float64) bool {
+			m := int(m8%64) + 1
+			q := math.Abs(math.Mod(qRaw, 1))
+			Q := g.PhaseFailure(64, m, q)
+			return Q >= 0 && Q <= 1 && !math.IsNaN(Q)
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%s: %v", g.Name(), err)
+		}
+	}
+}
+
+func TestPhaseFailureAtExtremes(t *testing.T) {
+	for _, g := range core.AllGeometries() {
+		for m := 1; m <= 8; m++ {
+			if Q := g.PhaseFailure(16, m, 0); Q != 0 {
+				t.Errorf("%s m=%d: Q(q=0) = %v, want 0", g.Name(), m, Q)
+			}
+			if Q := g.PhaseFailure(16, m, 1); Q != 1 {
+				t.Errorf("%s m=%d: Q(q=1) = %v, want 1", g.Name(), m, Q)
+			}
+		}
+	}
+}
+
+func TestPhaseFailureLastPhaseIsQ(t *testing.T) {
+	// With one phase remaining every geometry needs its single relevant
+	// neighbor alive... except Symphony, whose phase structure differs.
+	for _, g := range core.AllGeometries() {
+		if g.Name() == "symphony" {
+			continue
+		}
+		for _, q := range []float64{0.1, 0.5, 0.9} {
+			if Q := g.PhaseFailure(16, 1, q); math.Abs(Q-q) > 1e-12 {
+				t.Errorf("%s: Q(m=1, q=%v) = %v, want q", g.Name(), q, Q)
+			}
+		}
+	}
+}
+
+func TestTreePhaseFailureConstant(t *testing.T) {
+	g := core.Tree{}
+	for m := 1; m <= 32; m++ {
+		if Q := g.PhaseFailure(32, m, 0.37); Q != 0.37 {
+			t.Errorf("tree Q(m=%d) = %v, want 0.37", m, Q)
+		}
+	}
+}
+
+func TestHypercubePhaseFailureGeometric(t *testing.T) {
+	g := core.Hypercube{}
+	for _, q := range []float64{0.2, 0.6} {
+		for m := 1; m <= 20; m++ {
+			want := math.Pow(q, float64(m))
+			if Q := g.PhaseFailure(32, m, q); math.Abs(Q-want) > 1e-15 {
+				t.Errorf("hypercube Q(%d, %v) = %v, want %v", m, q, Q, want)
+			}
+		}
+	}
+}
+
+func TestQxorHandComputed(t *testing.T) {
+	g := core.XOR{}
+	// m=2: Q = q² + q²(1-q).
+	for _, q := range []float64{0.1, 0.5, 0.9} {
+		want := q*q + q*q*(1-q)
+		if Q := g.PhaseFailure(16, 2, q); math.Abs(Q-want) > 1e-14 {
+			t.Errorf("Qxor(2, %v) = %v, want %v", q, Q, want)
+		}
+	}
+	// m=3: Q = q³(1 + (1-q²) + (1-q²)(1-q)).
+	q := 0.5
+	want := q * q * q * (1 + (1 - q*q) + (1-q*q)*(1-q))
+	if Q := g.PhaseFailure(16, 3, q); math.Abs(Q-want) > 1e-14 {
+		t.Errorf("Qxor(3, 0.5) = %v, want %v", Q, want)
+	}
+}
+
+func TestQxorDecreasingInM(t *testing.T) {
+	// Deeper phases have more fallback options; failure probability shrinks.
+	g := core.XOR{}
+	for _, q := range []float64{0.1, 0.5, 0.9} {
+		prev := 2.0
+		for m := 1; m <= 30; m++ {
+			Q := g.PhaseFailure(32, m, q)
+			if Q > prev+1e-12 {
+				t.Errorf("Qxor increased at m=%d, q=%v: %v > %v", m, q, Q, prev)
+			}
+			prev = Q
+		}
+	}
+}
+
+func TestQxorApproximationQuality(t *testing.T) {
+	// E8: the paper's e^{-x} approximation of Eq. 6 is derived for small q;
+	// it is visibly loose at m=1 (where the exact value is just q) and
+	// tightens as m grows.
+	g := core.XOR{}
+	for _, tc := range []struct {
+		q   float64
+		tol float64
+	}{
+		{0.05, 0.01},
+		{0.1, 0.02},
+		{0.2, 0.07},
+	} {
+		for m := 1; m <= 16; m++ {
+			exact := g.PhaseFailure(32, m, tc.q)
+			approx := g.PhaseFailureApprox(m, tc.q)
+			if math.Abs(exact-approx) > tc.tol {
+				t.Errorf("q=%v m=%d: exact %v vs approx %v", tc.q, m, exact, approx)
+			}
+		}
+	}
+}
+
+func TestQringHandComputed(t *testing.T) {
+	g := core.Ring{}
+	// m=2, q=0.5: β = 0.25, K = 2: Q = 0.25·(1+0.25) = 0.3125.
+	if Q := g.PhaseFailure(16, 2, 0.5); math.Abs(Q-0.3125) > 1e-14 {
+		t.Errorf("Qring(2, 0.5) = %v, want 0.3125", Q)
+	}
+	// m=3, q=0.5: β = 0.375, K = 4: Q = 0.125·(1-0.375⁴)/0.625.
+	want := 0.125 * (1 - math.Pow(0.375, 4)) / 0.625
+	if Q := g.PhaseFailure(16, 3, 0.5); math.Abs(Q-want) > 1e-14 {
+		t.Errorf("Qring(3, 0.5) = %v, want %v", Q, want)
+	}
+}
+
+func TestQringBelowQxor(t *testing.T) {
+	// §5.4's structural comparison at the Q level.
+	ring, xor := core.Ring{}, core.XOR{}
+	for _, q := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		for m := 1; m <= 32; m++ {
+			Qr := ring.PhaseFailure(32, m, q)
+			Qx := xor.PhaseFailure(32, m, q)
+			if Qr > Qx+1e-12 {
+				t.Errorf("m=%d q=%v: Qring %v > Qxor %v", m, q, Qr, Qx)
+			}
+		}
+	}
+}
+
+func TestQringLargeMUnderflowsCleanly(t *testing.T) {
+	g := core.Ring{}
+	for _, m := range []int{100, 1000, 4000} {
+		Q := g.PhaseFailure(4096, m, 0.5)
+		if math.IsNaN(Q) || Q < 0 {
+			t.Errorf("Qring(m=%d) = %v", m, Q)
+		}
+		if Q > 1e-20 {
+			t.Errorf("Qring(m=%d, q=0.5) = %v, expected deep underflow", m, Q)
+		}
+	}
+}
+
+func TestQsymConstantInM(t *testing.T) {
+	g := core.DefaultSymphony()
+	base := g.PhaseFailure(100, 1, 0.3)
+	for m := 2; m <= 100; m++ {
+		if Q := g.PhaseFailure(100, m, 0.3); Q != base {
+			t.Errorf("Qsym(m=%d) = %v, differs from Qsym(1) = %v", m, Q, base)
+		}
+	}
+}
+
+func TestQsymHandComputed(t *testing.T) {
+	// d=16, kn=ks=1, q=0.5: y=0.25, x=1/16, α=1-1/16-0.25=0.6875,
+	// J=⌈16/0.5⌉=32; Q = 0.25·(1-α^33)/(1-α).
+	g := core.DefaultSymphony()
+	alpha := 1 - 1.0/16 - 0.25
+	want := 0.25 * (1 - math.Pow(alpha, 33)) / (1 - alpha)
+	if Q := g.PhaseFailure(16, 1, 0.5); math.Abs(Q-want) > 1e-12 {
+		t.Errorf("Qsym(d=16, q=0.5) = %v, want %v", Q, want)
+	}
+}
+
+func TestQsymMoreShortcutsHelp(t *testing.T) {
+	// Adding shortcuts strictly reduces the per-phase failure probability.
+	for _, q := range []float64{0.2, 0.5, 0.8} {
+		prev := 2.0
+		for ks := 1; ks <= 6; ks++ {
+			g := core.Symphony{KN: 1, KS: ks}
+			Q := g.PhaseFailure(64, 1, q)
+			if Q > prev+1e-15 {
+				t.Errorf("ks=%d q=%v: Q=%v not below %v", ks, q, Q, prev)
+			}
+			prev = Q
+		}
+	}
+}
+
+func TestQsymMoreNearNeighborsHelp(t *testing.T) {
+	for _, q := range []float64{0.3, 0.7} {
+		prev := 2.0
+		for kn := 0; kn <= 6; kn++ {
+			g := core.Symphony{KN: kn, KS: 1}
+			Q := g.PhaseFailure(64, 1, q)
+			if Q > prev+1e-15 {
+				t.Errorf("kn=%d q=%v: Q=%v not below %v", kn, q, Q, prev)
+			}
+			prev = Q
+		}
+	}
+}
+
+func TestQsymDenseLinkRegime(t *testing.T) {
+	// Small d with large q pushes ks/d + q^{kn+ks} past 1 (negative α);
+	// the alternating-sum branch must stay within [0,1].
+	g := core.Symphony{KN: 1, KS: 2}
+	for _, q := range []float64{0.9, 0.95, 0.99} {
+		Q := g.PhaseFailure(3, 1, q)
+		if Q < 0 || Q > 1 || math.IsNaN(Q) {
+			t.Errorf("dense regime Qsym(q=%v) = %v", q, Q)
+		}
+	}
+}
+
+func TestQsymSaneDefaultsOnZeroValue(t *testing.T) {
+	// The zero value (KN=0, KS=0) must not divide by zero; KS is floored at 1.
+	var g core.Symphony
+	Q := g.PhaseFailure(16, 1, 0.5)
+	if math.IsNaN(Q) || Q < 0 || Q > 1 {
+		t.Errorf("zero-value Symphony Q = %v", Q)
+	}
+}

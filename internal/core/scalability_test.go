@@ -1,0 +1,160 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	"rcm/internal/core"
+)
+
+func TestTheoreticalVerdicts(t *testing.T) {
+	// §5's classification of the five geometries.
+	want := map[string]core.Verdict{
+		"tree":      core.Unscalable,
+		"hypercube": core.Scalable,
+		"xor":       core.Scalable,
+		"ring":      core.Scalable,
+		"symphony":  core.Unscalable,
+	}
+	for _, g := range core.AllGeometries() {
+		v, reason := core.TheoreticalVerdict(g)
+		if v != want[g.Name()] {
+			t.Errorf("%s: verdict %v, want %v", g.Name(), v, want[g.Name()])
+		}
+		if reason == "" {
+			t.Errorf("%s: empty reason", g.Name())
+		}
+	}
+}
+
+func TestTheoreticalVerdictUnknownGeometry(t *testing.T) {
+	v, _ := core.TheoreticalVerdict(unknownGeometry{})
+	if v != core.Indeterminate {
+		t.Errorf("unknown geometry verdict = %v, want indeterminate", v)
+	}
+}
+
+type unknownGeometry struct{ core.Hypercube }
+
+func (unknownGeometry) Name() string { return "mystery" }
+
+func TestNumericClassifierMatchesTheory(t *testing.T) {
+	// The Knopp-probe classifier must recover §5's dichotomy across the
+	// whole practical failure range.
+	for _, g := range core.AllGeometries() {
+		want, _ := core.TheoreticalVerdict(g)
+		for _, q := range []float64{0.05, 0.1, 0.3, 0.5, 0.7} {
+			got := core.Classify(g, q, core.ClassifyOptions{})
+			if got != want {
+				t.Errorf("%s q=%v: Classify = %v, want %v", g.Name(), q, got, want)
+			}
+		}
+	}
+}
+
+func TestClassifyEdgeProbabilities(t *testing.T) {
+	g := core.Hypercube{}
+	if got := core.Classify(g, 0, core.ClassifyOptions{}); got != core.Scalable {
+		t.Errorf("q=0: %v, want scalable", got)
+	}
+	if got := core.Classify(g, 1, core.ClassifyOptions{}); got != core.Unscalable {
+		t.Errorf("q=1: %v, want unscalable", got)
+	}
+}
+
+func TestAsymptoticSuccessDichotomy(t *testing.T) {
+	// Eq. 8: lim p(h,q) > 0 for scalable geometries, = 0 for unscalable.
+	const q = 0.3
+	for _, g := range core.AllGeometries() {
+		limit := core.AsymptoticSuccess(g, q, 4096)
+		verdict, _ := core.TheoreticalVerdict(g)
+		switch verdict {
+		case core.Scalable:
+			if limit <= 0 {
+				t.Errorf("%s: asymptotic p = %v, want > 0", g.Name(), limit)
+			}
+		case core.Unscalable:
+			if limit > 1e-12 {
+				t.Errorf("%s: asymptotic p = %v, want ~0", g.Name(), limit)
+			}
+		}
+	}
+}
+
+func TestAsymptoticSuccessHypercubeEulerProduct(t *testing.T) {
+	// For the hypercube, lim p = Π_{m>=1}(1-q^m) — the Euler function φ(q).
+	// Spot-check against a directly computed partial product.
+	for _, q := range []float64{0.1, 0.5, 0.9} {
+		want := 1.0
+		for m := 1; m <= 10000; m++ {
+			want *= 1 - math.Pow(q, float64(m))
+		}
+		got := core.AsymptoticSuccess(core.Hypercube{}, q, 10000)
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("q=%v: asymptotic p = %v, want %v", q, got, want)
+		}
+	}
+}
+
+func TestAsymptoticSuccessDefaultHorizon(t *testing.T) {
+	if got := core.AsymptoticSuccess(core.Hypercube{}, 0.5, 0); got <= 0 || got >= 1 {
+		t.Errorf("default horizon result = %v", got)
+	}
+}
+
+func TestRoutabilityDecaysForUnscalable(t *testing.T) {
+	// Fig. 7(b): at q=0.1, tree and symphony routability decays
+	// monotonically toward 0 as d grows; the scalable three stay bounded
+	// away from zero.
+	const q = 0.1
+	dims := []int{8, 16, 32, 64, 128, 256}
+	for _, g := range core.AllGeometries() {
+		rs := make([]float64, len(dims))
+		for i, d := range dims {
+			r, err := core.Routability(g, d, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rs[i] = r
+		}
+		verdict, _ := core.TheoreticalVerdict(g)
+		switch verdict {
+		case core.Unscalable:
+			for i := 1; i < len(rs); i++ {
+				if rs[i] > rs[i-1]+1e-9 {
+					t.Errorf("%s: routability rose from %v to %v at d=%d", g.Name(), rs[i-1], rs[i], dims[i])
+				}
+			}
+			if last := rs[len(rs)-1]; last > 0.05 {
+				t.Errorf("%s: routability at d=256 is %v, expected near-zero decay", g.Name(), last)
+			}
+		case core.Scalable:
+			if last := rs[len(rs)-1]; last < 0.5 {
+				t.Errorf("%s: routability at d=256 is %v, expected to stay high at q=0.1", g.Name(), last)
+			}
+		}
+	}
+}
+
+func TestScalableTrioOrderingAtModerateFailure(t *testing.T) {
+	// Fig. 7(a) visual ordering at moderate q: hypercube routes best, then
+	// ring, then xor (failed-paths ordering reversed).
+	const d = 100
+	for _, q := range []float64{0.1, 0.2, 0.3} {
+		rh, err := core.Routability(core.Hypercube{}, d, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rr, err := core.Routability(core.Ring{}, d, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rx, err := core.Routability(core.XOR{}, d, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !(rh >= rr-1e-9 && rr >= rx-1e-9) {
+			t.Errorf("q=%v: ordering violated: hypercube %v, ring %v, xor %v", q, rh, rr, rx)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"math"
+
+	"rcm/internal/numeric"
+)
+
+// Tree is the Plaxton-style tree routing geometry (§3.1, §4.3.1). Each node
+// has d neighbors, the i-th matching the first i−1 identifier bits and
+// differing on the i-th; routing must correct the leftmost differing bit at
+// every step, so exactly one neighbor is usable per phase.
+type Tree struct{}
+
+var _ Geometry = Tree{}
+
+// Name implements Geometry.
+func (Tree) Name() string { return "tree" }
+
+// System implements Geometry.
+func (Tree) System() string { return "Plaxton" }
+
+// MaxDistance implements Geometry: a target can differ in up to d bits.
+func (Tree) MaxDistance(d int) int { return d }
+
+// LogNodesAt implements Geometry: n(h) = C(d,h) — the number of identifiers
+// differing from the root in exactly h bit positions (h >= 1; the root
+// itself is not a routing target).
+func (Tree) LogNodesAt(d, h int) float64 {
+	if h < 1 {
+		return numeric.NegInf
+	}
+	return numeric.LogBinomial(d, h)
+}
+
+// PhaseFailure implements Geometry. Only the single neighbor correcting the
+// leftmost differing bit can make progress, so Q(m) = q regardless of m
+// (Fig. 4(a)).
+func (Tree) PhaseFailure(_, _ int, q float64) float64 { return q }
+
+// ClosedFormRoutability returns the paper's closed-form tree routability
+// r = ((2−q)^d − 1) / ((1−q)·2^d − 1) (§4.3.1), evaluated in log space. It
+// is used as an independent oracle for the generic RCM pipeline.
+func (Tree) ClosedFormRoutability(d int, q float64) (float64, error) {
+	if err := validateDQ(d, q); err != nil {
+		return 0, err
+	}
+	if q == 0 {
+		return 1, nil
+	}
+	if q == 1 {
+		return 0, nil
+	}
+	logNum := numeric.LogExpm1(float64(d) * math.Log(2-q))
+	a := float64(d)*math.Ln2 + math.Log(1-q)
+	if a <= 0 {
+		// Fewer than one expected survivor: routability is defined as 0.
+		return 0, nil
+	}
+	logDen := numeric.LogExpm1(a)
+	return numeric.Clamp01(math.Exp(logNum - logDen)), nil
+}

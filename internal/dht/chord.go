@@ -1,0 +1,113 @@
+package dht
+
+import (
+	"rcm/internal/overlay"
+)
+
+// Chord is the ring routing geometry (§3.4), randomized-finger variant:
+// finger i of node x points to a node at uniform clockwise distance in
+// [2^{i−1}, 2^i). Finger 1 is therefore always the immediate successor.
+// Routing is greedy clockwise without overshooting the target; progress
+// made by suboptimal hops is preserved (the structural property that makes
+// the paper's ring analysis a lower bound, §4.3.3).
+type Chord struct {
+	space overlay.Space
+	// table[x*d + (i-1)] is node x's finger i.
+	table []overlay.ID
+}
+
+var _ Protocol = (*Chord)(nil)
+
+// NewChord builds the overlay with randomized fingers.
+func NewChord(cfg Config) (*Chord, error) {
+	s, err := cfg.space()
+	if err != nil {
+		return nil, err
+	}
+	d := s.Bits()
+	n := s.Size()
+	rng := overlay.NewRNG(cfg.Seed ^ 0x63686f7264) // "chord"
+	table := make([]overlay.ID, int(n)*d)
+	for x := uint64(0); x < n; x++ {
+		for i := 1; i <= d; i++ {
+			lo := uint64(1) << uint(i-1)
+			span := lo // window [2^{i-1}, 2^i) has width 2^{i-1}
+			dist := lo + rng.Uint64n(span)
+			table[int(x)*d+i-1] = overlay.ID((x + dist) & (n - 1))
+		}
+	}
+	return &Chord{space: s, table: table}, nil
+}
+
+// Name implements Protocol.
+func (c *Chord) Name() string { return "chord" }
+
+// GeometryName implements Protocol.
+func (c *Chord) GeometryName() string { return "ring" }
+
+// Space implements Protocol.
+func (c *Chord) Space() overlay.Space { return c.space }
+
+// Degree implements Protocol.
+func (c *Chord) Degree() int { return c.space.Bits() }
+
+// Route implements Protocol: take the alive finger that lands closest to
+// dst without passing it; fail when no alive finger makes clockwise
+// progress. The successor finger guarantees progress whenever it is alive.
+func (c *Chord) Route(src, dst overlay.ID, alive *overlay.Bitset) (int, bool) {
+	d := c.space.Bits()
+	cur := src
+	hops := 0
+	for maxHops := hopCap(c.space); hops < maxHops; {
+		if cur == dst {
+			return hops, true
+		}
+		remaining := c.space.RingDist(cur, dst)
+		var best overlay.ID
+		bestRemaining := remaining
+		found := false
+		base := int(cur) * d
+		for i := 0; i < d; i++ {
+			f := c.table[base+i]
+			// Overshooting fingers (past dst clockwise) are not eligible.
+			if c.space.RingDist(cur, f) > remaining {
+				continue
+			}
+			if !alive.Get(int(f)) {
+				continue
+			}
+			if nr := c.space.RingDist(f, dst); nr < bestRemaining {
+				bestRemaining = nr
+				best = f
+				found = true
+			}
+		}
+		if !found {
+			return hops, false
+		}
+		cur = best
+		hops++
+	}
+	return hops, false
+}
+
+// ResampleNode implements Resampler: re-draws every finger of x within its
+// window, preferring alive candidates. Not safe concurrently with Route.
+func (c *Chord) ResampleNode(x overlay.ID, alive *overlay.Bitset, rng *overlay.RNG) {
+	d := c.space.Bits()
+	n := c.space.Size()
+	for i := 1; i <= d; i++ {
+		lo := uint64(1) << uint(i-1)
+		c.table[int(x)*d+i-1] = drawAlive(alive, func() overlay.ID {
+			return overlay.ID((uint64(x) + lo + rng.Uint64n(lo)) & (n - 1))
+		})
+	}
+}
+
+// Neighbors implements Protocol.
+func (c *Chord) Neighbors(x overlay.ID) []overlay.ID {
+	d := c.space.Bits()
+	out := make([]overlay.ID, d)
+	copy(out, c.table[int(x)*d:int(x)*d+d])
+	return out
+}

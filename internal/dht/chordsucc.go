@@ -1,0 +1,128 @@
+package dht
+
+import (
+	"fmt"
+
+	"rcm/internal/overlay"
+)
+
+// ChordWithSuccessors is Chord extended with a successor list — the
+// standard fault-tolerance option the paper's §1 points at: "the designer
+// can always add enough sequential neighbors to achieve an acceptable
+// routability ... for a maximum network size". Each node keeps its d
+// randomized fingers plus the s nodes immediately following it on the ring.
+// Routing is the same greedy-without-overshoot rule over the union.
+//
+// With s = 1 this is exactly Chord (finger 1 is already the successor).
+type ChordWithSuccessors struct {
+	space      overlay.Space
+	successors int
+	// table[x*deg ... (x+1)*deg) holds s successors then d fingers.
+	table []overlay.ID
+}
+
+var _ Protocol = (*ChordWithSuccessors)(nil)
+
+// NewChordWithSuccessors builds the overlay with s >= 1 sequential
+// neighbors per node.
+func NewChordWithSuccessors(cfg Config, s int) (*ChordWithSuccessors, error) {
+	sp, err := cfg.space()
+	if err != nil {
+		return nil, err
+	}
+	if s < 1 || uint64(s) >= sp.Size() {
+		return nil, fmt.Errorf("dht: successor list length %d out of range [1, %d)", s, sp.Size())
+	}
+	d := sp.Bits()
+	n := sp.Size()
+	deg := s + d
+	rng := overlay.NewRNG(cfg.Seed ^ 0x63686f72647363) // "chordsc"
+	table := make([]overlay.ID, int(n)*deg)
+	for x := uint64(0); x < n; x++ {
+		base := int(x) * deg
+		for j := 1; j <= s; j++ {
+			table[base+j-1] = overlay.ID((x + uint64(j)) & (n - 1))
+		}
+		for i := 1; i <= d; i++ {
+			lo := uint64(1) << uint(i-1)
+			dist := lo + rng.Uint64n(lo)
+			table[base+s+i-1] = overlay.ID((x + dist) & (n - 1))
+		}
+	}
+	return &ChordWithSuccessors{space: sp, successors: s, table: table}, nil
+}
+
+// Name implements Protocol.
+func (c *ChordWithSuccessors) Name() string { return "chord+succ" }
+
+// GeometryName implements Protocol.
+func (c *ChordWithSuccessors) GeometryName() string { return "ring" }
+
+// Space implements Protocol.
+func (c *ChordWithSuccessors) Space() overlay.Space { return c.space }
+
+// Degree implements Protocol.
+func (c *ChordWithSuccessors) Degree() int { return c.successors + c.space.Bits() }
+
+// Successors returns the successor-list length s.
+func (c *ChordWithSuccessors) Successors() int { return c.successors }
+
+// Route implements Protocol: greedy clockwise over alive successors and
+// fingers without overshooting.
+func (c *ChordWithSuccessors) Route(src, dst overlay.ID, alive *overlay.Bitset) (int, bool) {
+	deg := c.Degree()
+	cur := src
+	hops := 0
+	for maxHops := hopCap(c.space); hops < maxHops; {
+		if cur == dst {
+			return hops, true
+		}
+		remaining := c.space.RingDist(cur, dst)
+		var best overlay.ID
+		bestRemaining := remaining
+		found := false
+		base := int(cur) * deg
+		for i := 0; i < deg; i++ {
+			f := c.table[base+i]
+			if c.space.RingDist(cur, f) > remaining {
+				continue
+			}
+			if !alive.Get(int(f)) {
+				continue
+			}
+			if nr := c.space.RingDist(f, dst); nr < bestRemaining {
+				bestRemaining = nr
+				best = f
+				found = true
+			}
+		}
+		if !found {
+			return hops, false
+		}
+		cur = best
+		hops++
+	}
+	return hops, false
+}
+
+// Neighbors implements Protocol.
+func (c *ChordWithSuccessors) Neighbors(x overlay.ID) []overlay.ID {
+	deg := c.Degree()
+	out := make([]overlay.ID, deg)
+	copy(out, c.table[int(x)*deg:int(x)*deg+deg])
+	return out
+}
+
+// ResampleNode implements Resampler: re-draws the randomized fingers
+// (successors are structural). Not safe concurrently with Route.
+func (c *ChordWithSuccessors) ResampleNode(x overlay.ID, alive *overlay.Bitset, rng *overlay.RNG) {
+	d := c.space.Bits()
+	n := c.space.Size()
+	base := int(x)*c.Degree() + c.successors
+	for i := 1; i <= d; i++ {
+		lo := uint64(1) << uint(i-1)
+		c.table[base+i-1] = drawAlive(alive, func() overlay.ID {
+			return overlay.ID((uint64(x) + lo + rng.Uint64n(lo)) & (n - 1))
+		})
+	}
+}

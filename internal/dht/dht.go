@@ -1,0 +1,137 @@
+// Package dht implements the five DHT routing protocols analyzed in the
+// paper — Plaxton tree (§3.1), CAN hypercube (§3.2), Kademlia XOR (§3.3),
+// Chord ring (§3.4) and Symphony small-world (§3.5) — as concrete overlay
+// networks over a fully-populated d-bit identifier space.
+//
+// These simulators are the substrate for the Gummadi-style static-resilience
+// experiments that the paper validates against (Fig. 6): routing tables are
+// built once, nodes fail independently with probability q, tables stay
+// static, and routing is greedy with no back-tracking (§4.1 assumption 3).
+// A route fails the moment the current node has no alive neighbor that makes
+// progress toward the target.
+package dht
+
+import (
+	"fmt"
+	"strings"
+
+	"rcm/internal/overlay"
+)
+
+// Protocol is a DHT overlay with static routing tables. Implementations are
+// safe for concurrent Route calls once constructed (tables are read-only).
+type Protocol interface {
+	// Name returns the protocol name (e.g. "chord").
+	Name() string
+	// GeometryName returns the paper's geometry term for the protocol
+	// (e.g. "ring" for Chord), linking simulators to analytic models.
+	GeometryName() string
+	// Space returns the identifier space the overlay populates.
+	Space() overlay.Space
+	// Degree returns the number of routing-table entries per node.
+	Degree() int
+	// Route attempts to deliver a message from src to dst using only alive
+	// nodes. src and dst are assumed alive (the static-resilience harness
+	// conditions on surviving pairs). It reports the number of hops taken
+	// and whether the destination was reached.
+	Route(src, dst overlay.ID, alive *overlay.Bitset) (hops int, ok bool)
+	// Neighbors returns a copy of node x's routing-table entries, used by
+	// the percolation analysis to build the overlay graph.
+	Neighbors(x overlay.ID) []overlay.ID
+}
+
+// Populated is implemented by overlays that occupy only part of their
+// identifier space (the paper's §6 "non-fully-populated" future-work
+// regime). Harnesses must sample sources and targets from Nodes rather than
+// from the whole space.
+type Populated interface {
+	// Nodes returns the participating identifiers in ascending order. The
+	// returned slice must not be modified.
+	Nodes() []overlay.ID
+}
+
+// Resampler is implemented by overlays whose randomized table entries can
+// be re-drawn in place — the repair step of the churn experiment (E11).
+// Repair mimics a live node re-establishing connections: each entry is
+// re-drawn until it lands on an alive node (bounded retries, since some
+// table slots have a single legal candidate). A nil alive set disables the
+// aliveness filter. ResampleNode is NOT safe to call concurrently with
+// Route.
+type Resampler interface {
+	// ResampleNode re-draws node x's randomized routing-table entries,
+	// preferring alive candidates.
+	ResampleNode(x overlay.ID, alive *overlay.Bitset, rng *overlay.RNG)
+}
+
+// resampleAttempts bounds the retry loop when repairing a table entry: a
+// slot whose candidate set is mostly dead keeps its final draw.
+const resampleAttempts = 16
+
+// drawAlive retries draw() until it returns an alive identifier, up to
+// resampleAttempts times, returning the final draw regardless.
+func drawAlive(alive *overlay.Bitset, draw func() overlay.ID) overlay.ID {
+	var id overlay.ID
+	for attempt := 0; attempt < resampleAttempts; attempt++ {
+		id = draw()
+		if alive == nil || alive.Get(int(id)) {
+			break
+		}
+	}
+	return id
+}
+
+// Config carries common construction parameters.
+type Config struct {
+	// Bits is the identifier length d; the overlay has 2^d nodes.
+	Bits int
+	// Seed seeds the deterministic RNG used for randomized table entries.
+	Seed uint64
+	// SymphonyNear and SymphonyShortcuts set kn and ks for Symphony
+	// overlays; both default to 1 (the paper's Fig. 7 setting) when zero.
+	SymphonyNear      int
+	SymphonyShortcuts int
+}
+
+// MaxSimBits caps overlay sizes: routing tables are O(N·d), so d=22 is
+// roughly 350 MB of table and already far past the paper's N = 2^16.
+const MaxSimBits = 22
+
+func (c Config) space() (overlay.Space, error) {
+	if c.Bits < 1 || c.Bits > MaxSimBits {
+		return overlay.Space{}, fmt.Errorf("dht: bits=%d out of range [1,%d]", c.Bits, MaxSimBits)
+	}
+	return overlay.NewSpace(c.Bits)
+}
+
+// New constructs a protocol by name. Accepted names (case-insensitive)
+// include both the system names and the paper's geometry terms:
+// plaxton/tree, can/hypercube, kademlia/xor, chord/ring, symphony.
+func New(name string, cfg Config) (Protocol, error) {
+	switch strings.ToLower(name) {
+	case "plaxton", "tree":
+		return NewPlaxton(cfg)
+	case "can", "hypercube":
+		return NewHypercubeCAN(cfg)
+	case "kademlia", "xor":
+		return NewKademlia(cfg)
+	case "chord", "ring":
+		return NewChord(cfg)
+	case "symphony", "smallworld", "small-world":
+		return NewSymphony(cfg)
+	default:
+		return nil, fmt.Errorf("dht: unknown protocol %q", name)
+	}
+}
+
+// ProtocolNames lists the canonical protocol names accepted by New, in the
+// paper's presentation order.
+func ProtocolNames() []string {
+	return []string{"plaxton", "can", "kademlia", "chord", "symphony"}
+}
+
+// hopCap bounds route lengths defensively. Every protocol here makes strict
+// progress per hop, so the cap is unreachable in correct operation; it
+// guards against latent bugs turning into infinite loops.
+func hopCap(s overlay.Space) int {
+	return int(s.Size()) + 1
+}

@@ -1,0 +1,228 @@
+package dht
+
+import (
+	"testing"
+
+	"rcm/internal/overlay"
+)
+
+// Targeted failure-injection tests: kill specific structural neighbors and
+// verify each protocol's failure semantics match its geometry's Markov
+// model (which fallbacks exist, which do not).
+
+func TestHypercubeSurvivesAnySingleNeighborDeath(t *testing.T) {
+	// With m >= 2 differing bits there are m correcting neighbors; killing
+	// any one must never fail the route (Fig. 4(b): fail prob q^m).
+	h, err := NewHypercubeCAN(Config{Bits: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := h.Space()
+	src, dst := overlay.ID(0), overlay.ID(0b11000000) // Hamming distance 2
+	for i := 1; i <= 8; i++ {
+		if s.Bit(src, i) == s.Bit(dst, i) {
+			continue
+		}
+		alive := allAlive(s)
+		alive.Clear(int(s.FlipBit(src, i))) // kill one correcting neighbor
+		if _, ok := h.Route(src, dst, alive); !ok {
+			t.Errorf("route failed with only neighbor bit%d dead", i)
+		}
+	}
+}
+
+func TestHypercubeDiesWhenAllCorrectingNeighborsDead(t *testing.T) {
+	h, err := NewHypercubeCAN(Config{Bits: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := h.Space()
+	src, dst := overlay.ID(0), overlay.ID(0b11000000)
+	alive := allAlive(s)
+	alive.Clear(int(s.FlipBit(src, 1)))
+	alive.Clear(int(s.FlipBit(src, 2)))
+	if _, ok := h.Route(src, dst, alive); ok {
+		t.Error("route survived with every correcting neighbor dead")
+	}
+}
+
+func TestKademliaFallsBackToLowerOrderContact(t *testing.T) {
+	// Fig. 5(a)'s scenario: the optimal (highest-order) contact is dead but
+	// a lower-order contact still reduces XOR distance; the route must
+	// survive via the fallback whenever one exists.
+	k, err := NewKademlia(Config{Bits: 10, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := k.Space()
+	rng := overlay.NewRNG(5)
+	survived, fellBack := 0, 0
+	for trial := 0; trial < 2000; trial++ {
+		src := overlay.ID(rng.Uint64n(s.Size()))
+		dst := overlay.ID(rng.Uint64n(s.Size()))
+		if src == dst {
+			continue
+		}
+		i := s.FirstDifferingBit(src, dst)
+		optimal := k.Neighbors(src)[i-1]
+		if optimal == dst {
+			continue // no intermediate to kill
+		}
+		alive := allAlive(s)
+		alive.Clear(int(optimal))
+		if hops, ok := k.Route(src, dst, alive); ok {
+			survived++
+			if hops > 0 {
+				fellBack++
+			}
+		}
+	}
+	if survived == 0 {
+		t.Fatal("no route survived an optimal-contact death")
+	}
+	// The overwhelming majority should survive via fallback at q≈0.
+	if float64(survived) < 0.9*2000*0.9 {
+		t.Errorf("only %d/2000 routes survived optimal-contact death", survived)
+	}
+	if fellBack == 0 {
+		t.Error("no route used the fallback path")
+	}
+}
+
+func TestPlaxtonHasNoFallback(t *testing.T) {
+	// The tree geometry drops the message the moment the unique
+	// leftmost-correcting neighbor is dead — no matter how healthy the rest
+	// of the system is (Fig. 4(a)).
+	p, err := NewPlaxton(Config{Bits: 10, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.Space()
+	rng := overlay.NewRNG(6)
+	killed, failures := 0, 0
+	for trial := 0; trial < 2000; trial++ {
+		src := overlay.ID(rng.Uint64n(s.Size()))
+		dst := overlay.ID(rng.Uint64n(s.Size()))
+		if src == dst {
+			continue
+		}
+		i := s.FirstDifferingBit(src, dst)
+		next := p.Neighbors(src)[i-1]
+		if next == dst {
+			continue
+		}
+		alive := allAlive(s)
+		alive.Clear(int(next))
+		killed++
+		if _, ok := p.Route(src, dst, alive); !ok {
+			failures++
+		}
+	}
+	if killed == 0 {
+		t.Fatal("no applicable trials")
+	}
+	if failures != killed {
+		t.Errorf("tree survived %d/%d dead-next-hop routes; geometry allows none", killed-failures, killed)
+	}
+}
+
+func TestChordSurvivesFingerDeathViaSuboptimalHop(t *testing.T) {
+	// Ring routing takes a suboptimal finger when the best one died; the
+	// progress is preserved (§4.3.3). Killing the single best finger must
+	// almost never fail a route in an otherwise-healthy ring.
+	c, err := NewChord(Config{Bits: 10, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := c.Space()
+	rng := overlay.NewRNG(7)
+	attempts, survived := 0, 0
+	for trial := 0; trial < 2000; trial++ {
+		src := overlay.ID(rng.Uint64n(s.Size()))
+		dst := overlay.ID(rng.Uint64n(s.Size()))
+		if src == dst || s.RingDist(src, dst) < 4 {
+			continue
+		}
+		// Find the greedy first hop and kill it.
+		alive := allAlive(s)
+		remaining := s.RingDist(src, dst)
+		var best overlay.ID
+		bestRem := remaining
+		for _, f := range c.Neighbors(src) {
+			if s.RingDist(src, f) > remaining {
+				continue
+			}
+			if nr := s.RingDist(f, dst); nr < bestRem {
+				bestRem = nr
+				best = f
+			}
+		}
+		if best == dst || bestRem == remaining {
+			continue
+		}
+		alive.Clear(int(best))
+		attempts++
+		if _, ok := c.Route(src, dst, alive); ok {
+			survived++
+		}
+	}
+	if attempts == 0 {
+		t.Fatal("no applicable trials")
+	}
+	if float64(survived)/float64(attempts) < 0.99 {
+		t.Errorf("ring survived only %d/%d best-finger deaths", survived, attempts)
+	}
+}
+
+func TestSymphonyDiesOnlyWhenAllLinksDead(t *testing.T) {
+	// §3.5: routing fails when all kn+ks links of the current node are
+	// dead. Killing all links of the source must fail any non-adjacent
+	// route; killing all but one must not (the survivor makes progress if
+	// it does not overshoot).
+	sy, err := NewSymphony(Config{Bits: 10, Seed: 21, SymphonyNear: 2, SymphonyShortcuts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sy.Space()
+	src := overlay.ID(0)
+	dst := overlay.ID(512)
+	nbs := sy.Neighbors(src)
+
+	alive := allAlive(s)
+	for _, nb := range nbs {
+		alive.Clear(int(nb))
+	}
+	if _, ok := sy.Route(src, dst, alive); ok {
+		t.Error("symphony routed with every link of the source dead")
+	}
+
+	// Revive just the first near link (the successor: never overshoots).
+	alive.Set(int(nbs[0]))
+	if _, ok := sy.Route(src, dst, alive); !ok {
+		t.Error("symphony failed with a live successor available")
+	}
+}
+
+func TestRouteDeterministicUnderFixedFailurePattern(t *testing.T) {
+	// Same overlay + same alive set ⇒ identical hop counts, every protocol.
+	for _, name := range ProtocolNames() {
+		p, err := New(name, Config{Bits: 10, Seed: 13})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := p.Space()
+		alive := overlay.NewBitset(int(s.Size()))
+		alive.FillRandomAlive(0.3, overlay.NewRNG(17))
+		rng := overlay.NewRNG(23)
+		for trial := 0; trial < 300; trial++ {
+			src := overlay.ID(rng.Uint64n(s.Size()))
+			dst := overlay.ID(rng.Uint64n(s.Size()))
+			h1, ok1 := p.Route(src, dst, alive)
+			h2, ok2 := p.Route(src, dst, alive)
+			if h1 != h2 || ok1 != ok2 {
+				t.Fatalf("%s: route %d->%d nondeterministic: (%d,%v) vs (%d,%v)",
+					name, src, dst, h1, ok1, h2, ok2)
+			}
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package dht
+
+import (
+	"rcm/internal/overlay"
+)
+
+// HypercubeCAN is the hypercube routing geometry the paper uses to model CAN
+// (§3.2): node identifiers are corners of the d-cube, each node's neighbors
+// are the d identifiers at Hamming distance one, and greedy routing corrects
+// any remaining differing bit. The neighbor set is deterministic, so no
+// tables are stored; neighbors are computed by flipping bits.
+//
+// Under failure the route proceeds if any alive neighbor reduces the
+// Hamming distance to the target, matching the Fig. 4(b) chain where a
+// phase with m bits left has m usable neighbors. Ties are broken toward the
+// highest-order differing bit for reproducibility.
+type HypercubeCAN struct {
+	space overlay.Space
+}
+
+var _ Protocol = (*HypercubeCAN)(nil)
+
+// NewHypercubeCAN builds the overlay.
+func NewHypercubeCAN(cfg Config) (*HypercubeCAN, error) {
+	s, err := cfg.space()
+	if err != nil {
+		return nil, err
+	}
+	return &HypercubeCAN{space: s}, nil
+}
+
+// Name implements Protocol.
+func (h *HypercubeCAN) Name() string { return "can" }
+
+// GeometryName implements Protocol.
+func (h *HypercubeCAN) GeometryName() string { return "hypercube" }
+
+// Space implements Protocol.
+func (h *HypercubeCAN) Space() overlay.Space { return h.space }
+
+// Degree implements Protocol.
+func (h *HypercubeCAN) Degree() int { return h.space.Bits() }
+
+// Route implements Protocol: correct the leftmost differing bit whose
+// flip-neighbor is alive; fail when every differing bit's neighbor is dead.
+func (h *HypercubeCAN) Route(src, dst overlay.ID, alive *overlay.Bitset) (int, bool) {
+	d := h.space.Bits()
+	cur := src
+	hops := 0
+	for maxHops := hopCap(h.space); hops < maxHops; {
+		if cur == dst {
+			return hops, true
+		}
+		progressed := false
+		for i := 1; i <= d; i++ {
+			if h.space.Bit(cur, i) == h.space.Bit(dst, i) {
+				continue
+			}
+			next := h.space.FlipBit(cur, i)
+			if alive.Get(int(next)) {
+				cur = next
+				hops++
+				progressed = true
+				break
+			}
+		}
+		if !progressed {
+			return hops, false
+		}
+	}
+	return hops, false
+}
+
+// Neighbors implements Protocol: the d Hamming-1 identifiers.
+func (h *HypercubeCAN) Neighbors(x overlay.ID) []overlay.ID {
+	d := h.space.Bits()
+	out := make([]overlay.ID, d)
+	for i := 1; i <= d; i++ {
+		out[i-1] = h.space.FlipBit(x, i)
+	}
+	return out
+}

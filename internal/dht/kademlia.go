@@ -1,0 +1,104 @@
+package dht
+
+import (
+	"rcm/internal/overlay"
+)
+
+// Kademlia is the XOR routing geometry (§3.3): node x keeps one contact per
+// bucket, the i-th chosen uniformly at random from XOR distance
+// [2^{d−i}, 2^{d−i+1}) — equivalently matching x's first i−1 bits, flipping
+// bit i, with a random tail. Routing is greedy in XOR distance: any alive
+// contact strictly closer to the target may be used, so a dead
+// highest-order contact can be bypassed by correcting a lower-order bit
+// (Fig. 5(a)), at the cost of progress that is not preserved across phases.
+type Kademlia struct {
+	space overlay.Space
+	// table[x*d + (i-1)] is node x's bucket-i contact.
+	table []overlay.ID
+}
+
+var _ Protocol = (*Kademlia)(nil)
+
+// NewKademlia builds the overlay with one random contact per bucket.
+func NewKademlia(cfg Config) (*Kademlia, error) {
+	s, err := cfg.space()
+	if err != nil {
+		return nil, err
+	}
+	d := s.Bits()
+	n := s.Size()
+	rng := overlay.NewRNG(cfg.Seed ^ 0x6b61646d6c6961) // "kadmlia"
+	table := make([]overlay.ID, int(n)*d)
+	for x := uint64(0); x < n; x++ {
+		id := overlay.ID(x)
+		for i := 1; i <= d; i++ {
+			table[int(x)*d+i-1] = s.RandomTail(s.FlipBit(id, i), i, rng)
+		}
+	}
+	return &Kademlia{space: s, table: table}, nil
+}
+
+// Name implements Protocol.
+func (k *Kademlia) Name() string { return "kademlia" }
+
+// GeometryName implements Protocol.
+func (k *Kademlia) GeometryName() string { return "xor" }
+
+// Space implements Protocol.
+func (k *Kademlia) Space() overlay.Space { return k.space }
+
+// Degree implements Protocol.
+func (k *Kademlia) Degree() int { return k.space.Bits() }
+
+// Route implements Protocol: greedy descent in XOR distance over alive
+// contacts; fail when no alive contact is strictly closer to dst.
+func (k *Kademlia) Route(src, dst overlay.ID, alive *overlay.Bitset) (int, bool) {
+	d := k.space.Bits()
+	cur := src
+	hops := 0
+	for maxHops := hopCap(k.space); hops < maxHops; {
+		if cur == dst {
+			return hops, true
+		}
+		curDist := k.space.XORDist(cur, dst)
+		bestDist := curDist
+		best := cur
+		base := int(cur) * d
+		for i := 0; i < d; i++ {
+			nb := k.table[base+i]
+			if !alive.Get(int(nb)) {
+				continue
+			}
+			if nd := k.space.XORDist(nb, dst); nd < bestDist {
+				bestDist = nd
+				best = nb
+			}
+		}
+		if best == cur {
+			return hops, false
+		}
+		cur = best
+		hops++
+	}
+	return hops, false
+}
+
+// ResampleNode implements Resampler: re-draws every bucket contact of x,
+// preferring alive candidates. Not safe concurrently with Route.
+func (k *Kademlia) ResampleNode(x overlay.ID, alive *overlay.Bitset, rng *overlay.RNG) {
+	d := k.space.Bits()
+	for i := 1; i <= d; i++ {
+		i := i
+		k.table[int(x)*d+i-1] = drawAlive(alive, func() overlay.ID {
+			return k.space.RandomTail(k.space.FlipBit(x, i), i, rng)
+		})
+	}
+}
+
+// Neighbors implements Protocol.
+func (k *Kademlia) Neighbors(x overlay.ID) []overlay.ID {
+	d := k.space.Bits()
+	out := make([]overlay.ID, d)
+	copy(out, k.table[int(x)*d:int(x)*d+d])
+	return out
+}

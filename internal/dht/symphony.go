@@ -1,0 +1,129 @@
+package dht
+
+import (
+	"rcm/internal/overlay"
+)
+
+// Symphony is the small-world ring geometry (§3.5): each node keeps kn
+// nearest clockwise neighbors plus ks long-range shortcuts whose clockwise
+// distance follows the harmonic (∝ 1/distance) distribution. Routing is
+// greedy clockwise without overshooting. With constant degree, an average
+// of O(log N) hops passes each distance-halving phase, giving the protocol
+// its O(log² N) expected path length.
+type Symphony struct {
+	space overlay.Space
+	kn    int
+	ks    int
+	// table[x*deg ... (x+1)*deg) holds kn near links then ks shortcuts.
+	table []overlay.ID
+}
+
+var _ Protocol = (*Symphony)(nil)
+
+// NewSymphony builds the overlay. kn and ks default to 1 (the paper's
+// Fig. 7 configuration) when left zero in cfg.
+func NewSymphony(cfg Config) (*Symphony, error) {
+	s, err := cfg.space()
+	if err != nil {
+		return nil, err
+	}
+	kn, ks := cfg.SymphonyNear, cfg.SymphonyShortcuts
+	if kn <= 0 {
+		kn = 1
+	}
+	if ks <= 0 {
+		ks = 1
+	}
+	n := s.Size()
+	deg := kn + ks
+	rng := overlay.NewRNG(cfg.Seed ^ 0x73796d70686f6e79) // "symphony"
+	table := make([]overlay.ID, int(n)*deg)
+	for x := uint64(0); x < n; x++ {
+		base := int(x) * deg
+		for j := 1; j <= kn; j++ {
+			table[base+j-1] = overlay.ID((x + uint64(j)) & (n - 1))
+		}
+		for j := 0; j < ks; j++ {
+			dist := rng.Harmonic(n - 1)
+			table[base+kn+j] = overlay.ID((x + dist) & (n - 1))
+		}
+	}
+	return &Symphony{space: s, kn: kn, ks: ks, table: table}, nil
+}
+
+// Name implements Protocol.
+func (sy *Symphony) Name() string { return "symphony" }
+
+// GeometryName implements Protocol.
+func (sy *Symphony) GeometryName() string { return "symphony" }
+
+// Space implements Protocol.
+func (sy *Symphony) Space() overlay.Space { return sy.space }
+
+// Degree implements Protocol.
+func (sy *Symphony) Degree() int { return sy.kn + sy.ks }
+
+// NearNeighbors returns kn.
+func (sy *Symphony) NearNeighbors() int { return sy.kn }
+
+// Shortcuts returns ks.
+func (sy *Symphony) Shortcuts() int { return sy.ks }
+
+// Route implements Protocol: greedy clockwise over alive links without
+// overshooting; fail when no alive link makes progress.
+func (sy *Symphony) Route(src, dst overlay.ID, alive *overlay.Bitset) (int, bool) {
+	deg := sy.Degree()
+	cur := src
+	hops := 0
+	for maxHops := hopCap(sy.space); hops < maxHops; {
+		if cur == dst {
+			return hops, true
+		}
+		remaining := sy.space.RingDist(cur, dst)
+		var best overlay.ID
+		bestRemaining := remaining
+		found := false
+		base := int(cur) * deg
+		for i := 0; i < deg; i++ {
+			l := sy.table[base+i]
+			if sy.space.RingDist(cur, l) > remaining {
+				continue
+			}
+			if !alive.Get(int(l)) {
+				continue
+			}
+			if nr := sy.space.RingDist(l, dst); nr < bestRemaining {
+				bestRemaining = nr
+				best = l
+				found = true
+			}
+		}
+		if !found {
+			return hops, false
+		}
+		cur = best
+		hops++
+	}
+	return hops, false
+}
+
+// ResampleNode implements Resampler: re-draws x's shortcuts from the
+// harmonic distribution (near links are structural and stay), preferring
+// alive candidates. Not safe concurrently with Route.
+func (sy *Symphony) ResampleNode(x overlay.ID, alive *overlay.Bitset, rng *overlay.RNG) {
+	n := sy.space.Size()
+	base := int(x) * sy.Degree()
+	for j := 0; j < sy.ks; j++ {
+		sy.table[base+sy.kn+j] = drawAlive(alive, func() overlay.ID {
+			return overlay.ID((uint64(x) + rng.Harmonic(n-1)) & (n - 1))
+		})
+	}
+}
+
+// Neighbors implements Protocol.
+func (sy *Symphony) Neighbors(x overlay.ID) []overlay.ID {
+	deg := sy.Degree()
+	out := make([]overlay.ID, deg)
+	copy(out, sy.table[int(x)*deg:int(x)*deg+deg])
+	return out
+}

@@ -1,0 +1,82 @@
+package figures
+
+import (
+	"math"
+
+	"rcm/internal/core"
+	"rcm/internal/markov"
+	"rcm/internal/table"
+)
+
+func init() {
+	register("chains", Chains)
+}
+
+// Chains realizes the paper's Markov-chain diagrams (Fig. 4(a), 4(b), 5(b),
+// 8(a), 8(b)) as executable models and cross-checks each chain's absorption
+// probability against the closed-form p(h,q) = Π(1−Q(m)) used by the
+// analytic core. The |diff| column demonstrates the two derivations agree
+// to solver precision.
+func Chains(opt Options) ([]*table.Table, error) {
+	opt = opt.withDefaults()
+	const symD = 16
+	sym := core.DefaultSymphony()
+	build := map[string]func(h int, q float64) (*markov.Chain, markov.Endpoints, error){
+		"tree":      markov.TreeChain,
+		"hypercube": markov.HypercubeChain,
+		"xor":       markov.XORChain,
+		"ring":      markov.RingChain,
+		"symphony": func(h int, q float64) (*markov.Chain, markov.Endpoints, error) {
+			return markov.SymphonyChain(h, symD, q, sym.KN, sym.KS)
+		},
+	}
+	geoms := map[string]core.Geometry{
+		"tree":      core.Tree{},
+		"hypercube": core.Hypercube{},
+		"xor":       core.XOR{},
+		"ring":      core.Ring{},
+		"symphony":  sym,
+	}
+	t := table.New("Fig. 4/5/8 — routing Markov chains vs closed-form p(h,q)",
+		"geometry", "h", "q", "states", "p chain", "p closed form", "|diff|")
+	for _, name := range []string{"tree", "hypercube", "xor", "ring", "symphony"} {
+		for _, h := range []int{2, 5, 8} {
+			for _, q := range []float64{0.1, 0.5} {
+				c, ep, err := build[name](h, q)
+				if err != nil {
+					return nil, err
+				}
+				pChain, err := c.AbsorptionProb(ep.Start, ep.Success)
+				if err != nil {
+					return nil, err
+				}
+				g := geoms[name]
+				d := symD
+				if name != "symphony" {
+					d = h
+				}
+				pClosed, err := core.SuccessProb(g, maxInt(d, h), h, q)
+				if err != nil {
+					return nil, err
+				}
+				t.AddRow(
+					name,
+					table.I(h),
+					table.F(q, 2),
+					table.I(c.NumStates()),
+					table.F(pChain, 10),
+					table.F(pClosed, 10),
+					table.E(math.Abs(pChain-pClosed), 2),
+				)
+			}
+		}
+	}
+	return []*table.Table{t}, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,97 @@
+package figures
+
+import (
+	"rcm/internal/core"
+	"rcm/internal/dht"
+	"rcm/internal/sim"
+	"rcm/internal/table"
+)
+
+func init() {
+	register("churn", Churn)
+}
+
+// Churn is experiment E11: the dynamic-failure regime the paper leaves
+// "currently under study" (§1). Nodes alternate online/offline with
+// exponential sessions giving steady-state offline fraction q_eff; the
+// table compares, per protocol:
+//
+//   - the churn steady-state lookup success with static tables (the
+//     paper's assumption carried into the dynamic setting),
+//   - the same with repair (rejoin + periodic table refresh), and
+//   - the static-model predictions (simulated and analytic) at q = q_eff.
+//
+// Agreement between column 2 and the static predictions shows the static
+// model transfers to churn equilibria; the repair column quantifies how
+// much real maintenance recovers.
+func Churn(opt Options) ([]*table.Table, error) {
+	opt = opt.withDefaults()
+	bits := opt.Bits
+	if bits > 12 {
+		bits = 12
+	}
+	geoms := map[string]core.Geometry{
+		"plaxton":  core.Tree{},
+		"can":      core.Hypercube{},
+		"kademlia": core.XOR{},
+		"chord":    core.Ring{},
+		"symphony": core.DefaultSymphony(),
+	}
+	churnOpt := sim.ChurnOptions{
+		MeanOnline:      1,
+		MeanOffline:     0.25, // q_eff = 0.2
+		Duration:        8,
+		MeasureEvery:    0.5,
+		PairsPerMeasure: opt.Pairs / 5,
+		Seed:            opt.Seed,
+	}
+	qEff := churnOpt.QEff()
+	t := table.New("E11 — churn steady state vs static model (N=2^"+table.I(bits)+", q_eff="+table.F(qEff, 2)+")",
+		"protocol", "churn success %", "churn+repair success %", "static sim %", "static analytic %", "offline %")
+	for _, name := range dht.ProtocolNames() {
+		pStatic, err := dht.New(name, dht.Config{Bits: bits, Seed: opt.Seed})
+		if err != nil {
+			return nil, err
+		}
+		pts, err := sim.SimulateChurn(pStatic, churnOpt)
+		if err != nil {
+			return nil, err
+		}
+		noRepair, offline := sim.SteadyState(pts, 1)
+
+		pRepair, err := dht.New(name, dht.Config{Bits: bits, Seed: opt.Seed})
+		if err != nil {
+			return nil, err
+		}
+		repairOpt := churnOpt
+		repairOpt.RepairOnRejoin = true
+		repairOpt.RepairEvery = 0.5
+		ptsRep, err := sim.SimulateChurn(pRepair, repairOpt)
+		if err != nil {
+			return nil, err
+		}
+		withRepair, _ := sim.SteadyState(ptsRep, 1)
+
+		static, err := sim.MeasureStaticResilience(pStatic, qEff, sim.Options{
+			Pairs:  opt.Pairs,
+			Trials: opt.Trials,
+			Seed:   opt.Seed + 99,
+		})
+		if err != nil {
+			return nil, err
+		}
+		analytic, err := core.Routability(geoms[name], bits, qEff)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(
+			name,
+			table.Pct(noRepair, 2),
+			table.Pct(withRepair, 2),
+			table.Pct(static.Routability, 2),
+			table.Pct(analytic, 2),
+			table.Pct(offline, 2),
+		)
+	}
+	return []*table.Table{t}, nil
+}

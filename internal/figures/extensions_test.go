@@ -1,0 +1,164 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPathLengthTables(t *testing.T) {
+	ts, err := Generate("pathlen", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 2 {
+		t.Fatalf("tables = %d, want 2", len(ts))
+	}
+	overlays := ts[0]
+	if overlays.NumRows() != 5 {
+		t.Fatalf("overlay rows = %d", overlays.NumRows())
+	}
+	var symHops, chordHops float64
+	for r := 0; r < overlays.NumRows(); r++ {
+		name := cell(t, overlays, r, "protocol")
+		hops := cellF(t, overlays, r, "sim hops q=0")
+		dist := cellF(t, overlays, r, "mean distance (phases)")
+		if hops <= 0 {
+			t.Errorf("%s: non-positive hops", name)
+		}
+		switch name {
+		case "symphony":
+			symHops = hops
+			// Symphony's hops far exceed its phase count (O(log²N)).
+			if hops < 1.5*dist {
+				t.Errorf("symphony hops %v not >> phases %v", hops, dist)
+			}
+		case "chord":
+			chordHops = hops
+			// Chord hops sit near (below) the phase-distance d−1.
+			if hops > dist+2 {
+				t.Errorf("chord hops %v far above phases %v", hops, dist)
+			}
+		case "can":
+			// Hypercube hops equal Hamming distance = d/2 on average.
+			if diff := hops - dist; diff > 0.2 || diff < -0.2 {
+				t.Errorf("hypercube hops %v vs distance %v", hops, dist)
+			}
+		}
+	}
+	if symHops <= chordHops {
+		t.Errorf("symphony hops %v not above chord %v", symHops, chordHops)
+	}
+
+	chain := ts[1]
+	for r := 0; r < chain.NumRows(); r++ {
+		name := cell(t, chain, r, "geometry")
+		s1 := cellF(t, chain, r, "steps q=0.1")
+		s4 := cellF(t, chain, r, "steps q=0.4")
+		switch name {
+		case "tree", "hypercube":
+			if s1 != 8 || s4 != 8 {
+				t.Errorf("%s: steps (%v, %v), want exactly 8", name, s1, s4)
+			}
+		case "symphony":
+			if s1 < 20 {
+				t.Errorf("symphony steps %v, want >> 8", s1)
+			}
+		default: // xor, ring: mild inflation
+			if s1 < 8 || s4 < s1 {
+				t.Errorf("%s: steps (%v, %v) not inflating", name, s1, s4)
+			}
+		}
+	}
+}
+
+func TestSuccessorAblationMonotone(t *testing.T) {
+	ts, err := Generate("successors", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := ts[0]
+	if tb.NumRows() != 5 {
+		t.Fatalf("rows = %d, want 5", tb.NumRows())
+	}
+	// At high q, more successors must help substantially; allow tiny noise
+	// regressions between adjacent rows but require overall improvement.
+	col := "r% at q=0.70"
+	first := cellF(t, tb, 0, col)
+	last := cellF(t, tb, tb.NumRows()-1, col)
+	if last < first+10 {
+		t.Errorf("s=16 (%v%%) did not materially beat s=1 (%v%%) at q=0.7", last, first)
+	}
+	for r := 1; r < tb.NumRows(); r++ {
+		prev := cellF(t, tb, r-1, col)
+		cur := cellF(t, tb, r, col)
+		if cur < prev-3 {
+			t.Errorf("row %d: routability dropped from %v to %v with more successors", r, prev, cur)
+		}
+	}
+}
+
+func TestSparseSpacesMatchesEffectiveDimension(t *testing.T) {
+	ts, err := Generate("sparse", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := ts[0]
+	if tb.NumRows() != 6 {
+		t.Fatalf("rows = %d, want 6", tb.NumRows())
+	}
+	if cellF(t, tb, 0, "sparse chord r%") != 100 {
+		t.Errorf("sparse chord at q=0 not perfect")
+	}
+	for r := 0; r < tb.NumRows(); r++ {
+		sparse := cellF(t, tb, r, "sparse chord r%")
+		dense := cellF(t, tb, r, "dense chord r% (d=12)")
+		if diff := sparse - dense; diff > 6 || diff < -6 {
+			t.Errorf("row %d: sparse %v vs dense %v", r, sparse, dense)
+		}
+	}
+}
+
+func TestRadixAblation(t *testing.T) {
+	ts, err := Generate("base", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 2 {
+		t.Fatalf("tables = %d, want 2", len(ts))
+	}
+	equalN := ts[0]
+	// At every q, larger radix means fewer failed paths (shorter routes).
+	for r := 0; r < equalN.NumRows(); r++ {
+		b2 := cellF(t, equalN, r, "base 2 (d=16)")
+		b16 := cellF(t, equalN, r, "base 16 (d=4)")
+		b256 := cellF(t, equalN, r, "base 256 (d=2)")
+		if !(b2 >= b16 && b16 >= b256) {
+			t.Errorf("row %d: failed paths not decreasing in radix: %v %v %v", r, b2, b16, b256)
+		}
+	}
+	scaling := ts[1]
+	prev := -1.0
+	for r := 0; r < scaling.NumRows(); r++ {
+		f := cellF(t, scaling, r, "routability %")
+		if prev >= 0 && f > prev {
+			t.Errorf("row %d: base-16 routability rose with size: %v after %v", r, f, prev)
+		}
+		prev = f
+	}
+}
+
+func TestExtensionTitlesMentionExperimentIDs(t *testing.T) {
+	for name, wantFragment := range map[string]string{
+		"pathlen":    "E12",
+		"successors": "E13",
+		"sparse":     "E14",
+	} {
+		ts, err := Generate(name, fastOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(ts[0].Title(), wantFragment) {
+			t.Errorf("%s title %q missing %q", name, ts[0].Title(), wantFragment)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package figures
+
+import (
+	"math"
+
+	"rcm/internal/core"
+	"rcm/internal/dht"
+	"rcm/internal/overlay"
+	"rcm/internal/table"
+)
+
+func init() {
+	register("3", Fig3)
+}
+
+// Fig3 reproduces the paper's worked example (Fig. 1–3): the RCM method on
+// the 8-node hypercube. It emits the Fig. 3 table (distance distribution and
+// per-hop success probabilities) and then validates the analytic E[S] and
+// p(3,q) against an exact enumeration over all failure patterns of the
+// concrete 3-cube overlay — the hypercube's per-phase candidate sets are
+// disjoint along any greedy route, so the RCM expressions are exact and the
+// two columns must agree to machine precision.
+func Fig3(opt Options) ([]*table.Table, error) {
+	opt = opt.withDefaults()
+	const d = 3
+	g := core.Hypercube{}
+
+	// The Fig. 3 table itself, at a reference q.
+	const qRef = 0.3
+	t1 := table.New("Fig. 3 — RCM on the 8-node hypercube (q=0.3)",
+		"h", "n(h)", "Pr(S_h->S_h+1)=1-q^(3-h)", "p(h,q)")
+	dist := core.DistanceDistribution(g, d)
+	for h := 1; h <= d; h++ {
+		p, err := core.SuccessProb(g, d, h, qRef)
+		if err != nil {
+			return nil, err
+		}
+		t1.AddRow(
+			table.I(h),
+			table.F(dist[h-1], 0),
+			table.F(1-math.Pow(qRef, float64(d-h+1)), 6),
+			table.F(p, 6),
+		)
+	}
+
+	// Exact enumeration: root node 000 alive; the remaining 7 nodes take
+	// every alive/dead pattern; E[S] = Σ_patterns w · |reachable(pattern)|.
+	cube, err := dht.NewHypercubeCAN(dht.Config{Bits: d})
+	if err != nil {
+		return nil, err
+	}
+	t2 := table.New("Fig. 3 validation — analytic vs exact enumeration (root 000, all 2^7 failure patterns)",
+		"q", "E[S] analytic", "E[S] exact", "|diff|", "p(3,q) analytic", "p(3,q) exact")
+	root := overlay.ID(0)
+	far := overlay.ID(7) // 111: the h=3 target
+	for _, q := range []float64{0.1, 0.2, 0.3, 0.5, 0.7, 0.9} {
+		esAnalytic, err := core.ExpectedReach(g, d, q)
+		if err != nil {
+			return nil, err
+		}
+		p3Analytic, err := core.SuccessProb(g, d, d, q)
+		if err != nil {
+			return nil, err
+		}
+		var esExact, p3Exact float64
+		for pattern := 0; pattern < 1<<7; pattern++ {
+			alive := overlay.NewBitset(8)
+			alive.Set(int(root))
+			w := 1.0
+			for j := 1; j <= 7; j++ {
+				if pattern&(1<<(j-1)) != 0 {
+					alive.Set(j)
+					w *= 1 - q
+				} else {
+					w *= q
+				}
+			}
+			reach := 0
+			for dst := overlay.ID(1); dst < 8; dst++ {
+				if !alive.Get(int(dst)) {
+					continue
+				}
+				if _, ok := cube.Route(root, dst, alive); ok {
+					reach++
+					if dst == far {
+						p3Exact += w
+					}
+				}
+			}
+			esExact += w * float64(reach)
+		}
+		// Note p(h,q) includes the destination's own survival (the final
+		// phase's single candidate IS the destination), so p3Exact is the
+		// plain delivery probability — no conditioning needed.
+		t2.AddRow(
+			table.F(q, 2),
+			table.F(esAnalytic, 10),
+			table.F(esExact, 10),
+			table.E(math.Abs(esAnalytic-esExact), 2),
+			table.F(p3Analytic, 10),
+			table.F(p3Exact, 10),
+		)
+	}
+	return []*table.Table{t1, t2}, nil
+}

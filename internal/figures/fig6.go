@@ -1,0 +1,93 @@
+package figures
+
+import (
+	"rcm/internal/core"
+	"rcm/internal/dht"
+	"rcm/internal/sim"
+	"rcm/internal/table"
+)
+
+func init() {
+	register("6a", Fig6a)
+	register("6b", Fig6b)
+}
+
+// fig6Row computes one (protocol, q) point: analytic failed-path percentage
+// from the RCM model and simulated percentage from the static-resilience
+// harness.
+func fig6Series(protocol string, g core.Geometry, opt Options) (*table.Table, error) {
+	p, err := dht.New(protocol, dht.Config{Bits: opt.Bits, Seed: opt.Seed})
+	if err != nil {
+		return nil, err
+	}
+	t := table.New("", "q %", "analytic failed %", "simulated failed %", "stderr %", "mean hops")
+	for i, q := range qGridPaper() {
+		analytic, err := core.FailedPathPercent(g, opt.Bits, q)
+		if err != nil {
+			return nil, err
+		}
+		res, err := sim.MeasureStaticResilience(p, q, sim.Options{
+			Pairs:  opt.Pairs,
+			Trials: opt.Trials,
+			Seed:   opt.Seed + uint64(i)*7919,
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(
+			table.Pct(q, 0),
+			table.F(analytic, 2),
+			table.F(res.FailedPathPct, 2),
+			table.F(100*res.StdErr, 2),
+			table.F(res.MeanHops, 2),
+		)
+	}
+	return t, nil
+}
+
+// Fig6a reproduces Fig. 6(a): percentage of failed paths vs node failure
+// probability at N = 2^Bits for the tree, hypercube and XOR geometries,
+// analysis against simulation. The paper overlays Gummadi et al.'s
+// simulation data; here the simulation is regenerated from scratch by the
+// static-resilience harness (see DESIGN.md §5, substitution 1).
+func Fig6a(opt Options) ([]*table.Table, error) {
+	opt = opt.withDefaults()
+	series := []struct {
+		protocol string
+		geom     core.Geometry
+		label    string
+	}{
+		{"plaxton", core.Tree{}, "Tree (Plaxton)"},
+		{"can", core.Hypercube{}, "Hypercube (CAN)"},
+		{"kademlia", core.XOR{}, "XOR (Kademlia)"},
+	}
+	out := make([]*table.Table, 0, len(series))
+	for _, s := range series {
+		t, err := fig6Series(s.protocol, s.geom, opt)
+		if err != nil {
+			return nil, err
+		}
+		titled := table.New("Fig. 6(a) — "+s.label+" failed paths, analysis vs simulation, N=2^"+table.I(opt.Bits), t.Columns()...)
+		for i := 0; i < t.NumRows(); i++ {
+			titled.AddRow(t.Row(i)...)
+		}
+		out = append(out, titled)
+	}
+	return out, nil
+}
+
+// Fig6b reproduces Fig. 6(b): the ring (Chord) geometry, where the analytic
+// expression is a lower bound on routability — the analytic failed-path
+// column upper-bounds the simulated one, tightly below q ≈ 20%.
+func Fig6b(opt Options) ([]*table.Table, error) {
+	opt = opt.withDefaults()
+	t, err := fig6Series("chord", core.Ring{}, opt)
+	if err != nil {
+		return nil, err
+	}
+	titled := table.New("Fig. 6(b) — Ring (Chord) failed paths, analysis (upper bound) vs simulation, N=2^"+table.I(opt.Bits), t.Columns()...)
+	for i := 0; i < t.NumRows(); i++ {
+		titled.AddRow(t.Row(i)...)
+	}
+	return []*table.Table{titled}, nil
+}

@@ -1,0 +1,66 @@
+package figures
+
+import (
+	"math"
+
+	"rcm/internal/core"
+	"rcm/internal/table"
+)
+
+func init() {
+	register("7a", Fig7a)
+	register("7b", Fig7b)
+}
+
+// Fig7a reproduces Fig. 7(a): percentage of failed paths for varying q in
+// the asymptotic limit, evaluated — as the paper does — at N = 2^100. The
+// unscalable geometries (tree, Symphony) are expected to be near-step
+// functions; the scalable three stay close to their N = 2^16 curves.
+// Symphony uses kn = ks = 1 per the figure's footnote.
+func Fig7a(opt Options) ([]*table.Table, error) {
+	const d = 100
+	geoms := core.AllGeometries()
+	cols := []string{"q %"}
+	for _, g := range geoms {
+		cols = append(cols, g.Name()+" failed %")
+	}
+	t := table.New("Fig. 7(a) — failed paths in the asymptotic limit, N=2^100", cols...)
+	for _, q := range qGridPaper() {
+		row := []string{table.Pct(q, 0)}
+		for _, g := range geoms {
+			f, err := core.FailedPathPercent(g, d, q)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, table.F(f, 3))
+		}
+		t.AddRow(row...)
+	}
+	return []*table.Table{t}, nil
+}
+
+// Fig7b reproduces Fig. 7(b): routability (%) for varying system size at
+// fixed q = 0.1. The paper plots N from ~10^5 to 10^10; the table extends
+// to 2^100 to make the tree/Symphony decay and the scalable plateaus
+// unmistakable.
+func Fig7b(opt Options) ([]*table.Table, error) {
+	const q = 0.1
+	geoms := core.AllGeometries()
+	cols := []string{"N", "log2 N"}
+	for _, g := range geoms {
+		cols = append(cols, g.Name()+" r%")
+	}
+	t := table.New("Fig. 7(b) — routability vs system size at q=0.1", cols...)
+	for _, d := range []int{10, 14, 17, 20, 24, 27, 30, 34, 40, 50, 70, 100} {
+		row := []string{table.E(math.Pow(2, float64(d)), 1), table.I(d)}
+		for _, g := range geoms {
+			r, err := core.Routability(g, d, q)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, table.Pct(r, 2))
+		}
+		t.AddRow(row...)
+	}
+	return []*table.Table{t}, nil
+}

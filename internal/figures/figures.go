@@ -1,0 +1,117 @@
+// Package figures regenerates every table and figure of the paper's
+// evaluation (plus the extension experiments catalogued in DESIGN.md) as
+// textual tables. Each generator is pure given its options and seed, so the
+// harness output is reproducible; cmd/figures renders the results and
+// bench_test.go times them.
+//
+// Experiment index (see DESIGN.md §3):
+//
+//	E1  Fig. 1–3   worked 8-node hypercube example + exact enumeration
+//	E2  Fig. 4/5/8 Markov chains vs closed forms
+//	E3  Fig. 6(a)  analysis vs simulation: tree, hypercube, xor
+//	E4  Fig. 6(b)  analysis vs simulation: ring
+//	E5  Fig. 7(a)  asymptotic failed paths at N = 2^100
+//	E6  Fig. 7(b)  routability vs system size at q = 0.1
+//	E7  §5         scalability classification
+//	E8  Eq. 6      Qxor exact vs approximation
+//	E9  §1/§4.3.4  Symphony kn/ks design ablation
+//	E10 §1         percolation: connectivity vs routability
+//	E11 §1/§6      churn vs the static model
+package figures
+
+import (
+	"fmt"
+	"sort"
+
+	"rcm/internal/table"
+)
+
+// Options tunes the expensive generators. The zero value reproduces the
+// paper's operating points (N = 2^16 for Fig. 6) — see DefaultOptions.
+type Options struct {
+	// Bits is the identifier length for simulation experiments (default 16,
+	// the paper's N = 2^16).
+	Bits int
+	// Pairs is the number of sampled pairs per simulated point (default 20000).
+	Pairs int
+	// Trials is the number of failure patterns per simulated point (default 3).
+	Trials int
+	// Seed drives all randomness (default 1).
+	Seed uint64
+}
+
+// DefaultOptions returns the paper's operating points.
+func DefaultOptions() Options {
+	return Options{Bits: 16, Pairs: 20000, Trials: 3, Seed: 1}
+}
+
+func (o Options) withDefaults() Options {
+	d := DefaultOptions()
+	if o.Bits <= 0 {
+		o.Bits = d.Bits
+	}
+	if o.Pairs <= 0 {
+		o.Pairs = d.Pairs
+	}
+	if o.Trials <= 0 {
+		o.Trials = d.Trials
+	}
+	if o.Seed == 0 {
+		o.Seed = d.Seed
+	}
+	return o
+}
+
+// Generator produces the tables for one experiment.
+type Generator func(Options) ([]*table.Table, error)
+
+// registry maps figure names to generators. Populated in init functions of
+// the per-experiment files.
+var registry = map[string]Generator{}
+
+func register(name string, g Generator) {
+	registry[name] = g
+}
+
+// Names returns the registered figure names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Generate runs the named experiment ("all" runs every one in name order).
+func Generate(name string, opt Options) ([]*table.Table, error) {
+	if name == "all" {
+		var all []*table.Table
+		for _, n := range Names() {
+			ts, err := registry[n](opt)
+			if err != nil {
+				return nil, fmt.Errorf("figures: %s: %w", n, err)
+			}
+			all = append(all, ts...)
+		}
+		return all, nil
+	}
+	g, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("figures: unknown figure %q (have %v)", name, Names())
+	}
+	ts, err := g(opt)
+	if err != nil {
+		return nil, fmt.Errorf("figures: %s: %w", name, err)
+	}
+	return ts, nil
+}
+
+// qGridPaper is the failure-probability sweep of Fig. 6/7(a): 0–90%.
+func qGridPaper() []float64 {
+	qs := make([]float64, 0, 19)
+	for q := 0.0; q <= 0.901; q += 0.05 {
+		qs = append(qs, q)
+	}
+	return qs
+}

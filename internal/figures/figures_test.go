@@ -1,0 +1,331 @@
+package figures
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"rcm/internal/table"
+)
+
+// fastOpts keeps generator tests quick while exercising every code path.
+func fastOpts() Options {
+	return Options{Bits: 10, Pairs: 2000, Trials: 2, Seed: 1}
+}
+
+func cell(t *testing.T, tb *table.Table, row int, col string) string {
+	t.Helper()
+	for i, c := range tb.Columns() {
+		if c == col {
+			return tb.Row(row)[i]
+		}
+	}
+	t.Fatalf("table %q has no column %q (have %v)", tb.Title(), col, tb.Columns())
+	return ""
+}
+
+func cellF(t *testing.T, tb *table.Table, row int, col string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(cell(t, tb, row, col), 64)
+	if err != nil {
+		t.Fatalf("cell %q/%q = %q not a float: %v", tb.Title(), col, cell(t, tb, row, col), err)
+	}
+	return v
+}
+
+func TestNamesComplete(t *testing.T) {
+	want := []string{"3", "6a", "6b", "7a", "7b", "base", "chains", "churn", "pathlen", "percolation", "qxor", "scalability", "sparse", "successors", "symphony"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Names()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestGenerateUnknown(t *testing.T) {
+	if _, err := Generate("nope", fastOpts()); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}
+
+func TestFig3ExactAgreement(t *testing.T) {
+	ts, err := Generate("3", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 2 {
+		t.Fatalf("fig3 produced %d tables", len(ts))
+	}
+	// The validation table's |diff| column must be at numeric noise level.
+	valid := ts[1]
+	for r := 0; r < valid.NumRows(); r++ {
+		if diff := cellF(t, valid, r, "|diff|"); diff > 1e-12 {
+			t.Errorf("row %d: exact enumeration differs from analytic by %v", r, diff)
+		}
+		ea := cellF(t, valid, r, "E[S] analytic")
+		ee := cellF(t, valid, r, "E[S] exact")
+		if ea != ee {
+			t.Errorf("row %d: printed E[S] differ: %v vs %v", r, ea, ee)
+		}
+	}
+}
+
+func TestChainsAgreement(t *testing.T) {
+	ts, err := Generate("chains", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := ts[0]
+	if tb.NumRows() != 5*3*2 {
+		t.Fatalf("chains rows = %d, want 30", tb.NumRows())
+	}
+	for r := 0; r < tb.NumRows(); r++ {
+		if diff := cellF(t, tb, r, "|diff|"); diff > 1e-8 {
+			t.Errorf("row %d: chain vs closed form diff %v", r, diff)
+		}
+	}
+}
+
+func TestFig6aShapes(t *testing.T) {
+	ts, err := Generate("6a", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 3 {
+		t.Fatalf("fig6a tables = %d, want 3 (tree, hypercube, xor)", len(ts))
+	}
+	for _, tb := range ts {
+		if tb.NumRows() != 19 { // q = 0..90% step 5
+			t.Errorf("%s: rows = %d, want 19", tb.Title(), tb.NumRows())
+		}
+		// Failed paths start at 0 and end high; analytic within 12 points of
+		// simulation everywhere (the paper's "great fit", plus noise head-room).
+		for r := 0; r < tb.NumRows(); r++ {
+			a := cellF(t, tb, r, "analytic failed %")
+			s := cellF(t, tb, r, "simulated failed %")
+			if diff := a - s; diff > 12 || diff < -12 {
+				t.Errorf("%s row %d: analytic %v vs simulated %v", tb.Title(), r, a, s)
+			}
+		}
+		first := cellF(t, tb, 0, "simulated failed %")
+		last := cellF(t, tb, tb.NumRows()-1, "simulated failed %")
+		if first != 0 {
+			t.Errorf("%s: failed paths at q=0 is %v", tb.Title(), first)
+		}
+		if last < 50 {
+			t.Errorf("%s: failed paths at q=0.9 only %v", tb.Title(), last)
+		}
+	}
+}
+
+func TestFig6bBoundRegimes(t *testing.T) {
+	ts, err := Generate("6b", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := ts[0]
+	for r := 0; r < tb.NumRows(); r++ {
+		q := cellF(t, tb, r, "q %")
+		a := cellF(t, tb, r, "analytic failed %")
+		s := cellF(t, tb, r, "simulated failed %")
+		switch {
+		case q <= 20:
+			if d := a - s; d < -6 || d > 6 {
+				t.Errorf("q=%v%%: tight regime violated: analytic %v vs sim %v", q, a, s)
+			}
+		case q >= 40 && q <= 80:
+			// Analytic failed-paths is an upper bound here.
+			if a < s-4 {
+				t.Errorf("q=%v%%: analytic %v not an upper bound of sim %v", q, a, s)
+			}
+		}
+	}
+}
+
+func TestFig7aStepFunctions(t *testing.T) {
+	ts, err := Generate("7a", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := ts[0]
+	if tb.NumRows() != 19 {
+		t.Fatalf("rows = %d", tb.NumRows())
+	}
+	// At q=5% (row 1) tree has failed >90% of paths at N=2^100 and is
+	// effectively at 100% by q=10% (row 2) — the near-step shape of the
+	// paper's curve. Symphony is even sharper.
+	r := 1
+	if v := cellF(t, tb, r, "tree failed %"); v < 90 {
+		t.Errorf("tree at q=5%%: %v, want near 100 (step function)", v)
+	}
+	if v := cellF(t, tb, 2, "tree failed %"); v < 99 {
+		t.Errorf("tree at q=10%%: %v, want >99", v)
+	}
+	if v := cellF(t, tb, r, "symphony failed %"); v < 95 {
+		t.Errorf("symphony at q=5%%: %v, want near 100", v)
+	}
+	for _, col := range []string{"hypercube failed %", "xor failed %", "ring failed %"} {
+		if v := cellF(t, tb, r, col); v > 15 {
+			t.Errorf("%s at q=5%%: %v, want small", col, v)
+		}
+	}
+}
+
+func TestFig7bDecayAndPlateau(t *testing.T) {
+	ts, err := Generate("7b", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := ts[0]
+	last := tb.NumRows() - 1
+	if v := cellF(t, tb, last, "tree r%"); v > 5 {
+		t.Errorf("tree at 2^100: %v%%, want decay to ~0", v)
+	}
+	if v := cellF(t, tb, last, "symphony r%"); v > 1 {
+		t.Errorf("symphony at 2^100: %v%%, want ~0", v)
+	}
+	for _, col := range []string{"hypercube r%", "xor r%", "ring r%"} {
+		first := cellF(t, tb, 0, col)
+		end := cellF(t, tb, last, col)
+		if end < 90 {
+			t.Errorf("%s at 2^100: %v%%, want plateau >90%%", col, end)
+		}
+		if first-end > 5 {
+			t.Errorf("%s decayed from %v to %v", col, first, end)
+		}
+	}
+}
+
+func TestScalabilityVerdictsAgree(t *testing.T) {
+	ts, err := Generate("scalability", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 2 {
+		t.Fatalf("tables = %d", len(ts))
+	}
+	verdicts := ts[1]
+	for r := 0; r < verdicts.NumRows(); r++ {
+		num := cell(t, verdicts, r, "numeric verdict")
+		paper := cell(t, verdicts, r, "paper verdict")
+		if num != paper {
+			t.Errorf("row %d: numeric %q vs paper %q", r, num, paper)
+		}
+	}
+}
+
+func TestQxorApproxTable(t *testing.T) {
+	ts, err := Generate("qxor", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := ts[0]
+	if tb.NumRows() != 24 {
+		t.Fatalf("rows = %d, want 24", tb.NumRows())
+	}
+	for r := 0; r < tb.NumRows(); r++ {
+		if e := cellF(t, tb, r, "exact"); e < 0 || e > 1 {
+			t.Errorf("row %d: exact Q out of range: %v", r, e)
+		}
+	}
+}
+
+func TestSymphonyDesignMonotone(t *testing.T) {
+	ts, err := Generate("symphony", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := ts[0]
+	if tb.NumRows() != 16 {
+		t.Fatalf("rows = %d, want 16", tb.NumRows())
+	}
+	// More shortcuts at fixed kn must not reduce max sustainable d.
+	// Rows are ordered kn-major, ks-minor.
+	for kn := 0; kn < 4; kn++ {
+		prev := -1.0
+		for ks := 0; ks < 4; ks++ {
+			v := cellF(t, tb, kn*4+ks, "max d with r>=90%")
+			if v < prev {
+				t.Errorf("kn=%d ks=%d: max d %v below previous %v", kn+1, ks+1, v, prev)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestPercolationCeiling(t *testing.T) {
+	ts, err := Generate("percolation", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 3 {
+		t.Fatalf("tables = %d", len(ts))
+	}
+	ceiling := ts[0]
+	for r := 0; r < ceiling.NumRows(); r++ {
+		giant := cellF(t, ceiling, r, "giant component %")
+		routed := cellF(t, ceiling, r, "simulated routability %")
+		if routed > giant+2 { // sampling noise allowance
+			t.Errorf("row %d: routability %v above connectivity ceiling %v", r, routed, giant)
+		}
+	}
+	reach := ts[1]
+	for r := 0; r < reach.NumRows(); r++ {
+		re := cellF(t, reach, r, "mean reachable")
+		co := cellF(t, reach, r, "mean connected")
+		if re > co+1e-9 {
+			t.Errorf("row %d: reachable %v exceeds connected %v", r, re, co)
+		}
+	}
+}
+
+func TestChurnTable(t *testing.T) {
+	ts, err := Generate("churn", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := ts[0]
+	if tb.NumRows() != 5 {
+		t.Fatalf("rows = %d, want 5", tb.NumRows())
+	}
+	for r := 0; r < tb.NumRows(); r++ {
+		churn := cellF(t, tb, r, "churn success %")
+		static := cellF(t, tb, r, "static sim %")
+		repair := cellF(t, tb, r, "churn+repair success %")
+		if diff := churn - static; diff > 8 || diff < -8 {
+			t.Errorf("row %d: churn %v vs static %v", r, churn, static)
+		}
+		if repair < churn-3 {
+			t.Errorf("row %d: repair %v worse than none %v", r, repair, churn)
+		}
+		off := cellF(t, tb, r, "offline %")
+		if off < 15 || off > 25 {
+			t.Errorf("row %d: offline fraction %v, want ~20", r, off)
+		}
+	}
+}
+
+func TestGenerateAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generating every figure is slow")
+	}
+	ts, err := Generate("all", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) < 11 {
+		t.Errorf("all produced %d tables", len(ts))
+	}
+	for _, tb := range ts {
+		if tb.NumRows() == 0 {
+			t.Errorf("table %q is empty", tb.Title())
+		}
+		if !strings.Contains(tb.ASCII(), "\n") {
+			t.Errorf("table %q renders empty", tb.Title())
+		}
+	}
+}

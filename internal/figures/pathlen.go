@@ -1,0 +1,102 @@
+package figures
+
+import (
+	"rcm/internal/core"
+	"rcm/internal/dht"
+	"rcm/internal/markov"
+	"rcm/internal/sim"
+	"rcm/internal/table"
+)
+
+func init() {
+	register("pathlen", PathLength)
+}
+
+// PathLength is experiment E12: routing latency. The paper's §1/§3 claims —
+// O(log N) hops for the prefix/finger geometries, O(log² N) for Symphony —
+// are checked three ways: the analytic mean routing distance Σ h·n(h)/(N−1),
+// the Markov-chain expected steps per successful route under failure, and
+// the simulated mean hop count of the concrete overlays.
+func PathLength(opt Options) ([]*table.Table, error) {
+	opt = opt.withDefaults()
+	bits := opt.Bits
+	if bits > 12 {
+		bits = 12
+	}
+	geoms := map[string]core.Geometry{
+		"plaxton":  core.Tree{},
+		"can":      core.Hypercube{},
+		"kademlia": core.XOR{},
+		"chord":    core.Ring{},
+		"symphony": core.DefaultSymphony(),
+	}
+
+	t1 := table.New("E12 — path lengths: analytic distance vs simulated hops (N=2^"+table.I(bits)+")",
+		"protocol", "mean distance (phases)", "sim hops q=0", "sim hops q=0.3", "E[h|success] q=0.3")
+	for _, name := range dht.ProtocolNames() {
+		p, err := dht.New(name, dht.Config{Bits: bits, Seed: opt.Seed})
+		if err != nil {
+			return nil, err
+		}
+		g := geoms[name]
+		r0, err := sim.MeasureStaticResilience(p, 0, sim.Options{Pairs: opt.Pairs, Trials: 1, Seed: opt.Seed})
+		if err != nil {
+			return nil, err
+		}
+		r3, err := sim.MeasureStaticResilience(p, 0.3, sim.Options{Pairs: opt.Pairs, Trials: opt.Trials, Seed: opt.Seed})
+		if err != nil {
+			return nil, err
+		}
+		cond, err := core.MeanSuccessfulRouteLength(g, bits, 0.3)
+		if err != nil {
+			return nil, err
+		}
+		t1.AddRow(
+			name,
+			table.F(core.MeanDistance(g, bits), 2),
+			table.F(r0.MeanHops, 2),
+			table.F(r3.MeanHops, 2),
+			table.F(cond, 2),
+		)
+	}
+
+	// Chain-level hop inflation: expected transitions per successful walk
+	// to a target h phases away, per geometry, at two failure levels. For
+	// tree and hypercube the walk length is exactly h; the fallback
+	// geometries pay suboptimal hops, Symphony by far the most (its
+	// per-phase cost is what turns d phases into O(d²) hops).
+	const h = 8
+	const symD = 16
+	t2 := table.New("E12 — Markov-chain expected steps per successful route (target h=8 phases away)",
+		"geometry", "steps q=0.1", "steps q=0.4", "inflation at q=0.4")
+	chainOf := map[string]func(q float64) (*markov.Chain, markov.Endpoints, error){
+		"tree":      func(q float64) (*markov.Chain, markov.Endpoints, error) { return markov.TreeChain(h, q) },
+		"hypercube": func(q float64) (*markov.Chain, markov.Endpoints, error) { return markov.HypercubeChain(h, q) },
+		"xor":       func(q float64) (*markov.Chain, markov.Endpoints, error) { return markov.XORChain(h, q) },
+		"ring":      func(q float64) (*markov.Chain, markov.Endpoints, error) { return markov.RingChain(h, q) },
+		"symphony": func(q float64) (*markov.Chain, markov.Endpoints, error) {
+			return markov.SymphonyChain(h, symD, q, 1, 1)
+		},
+	}
+	for _, name := range []string{"tree", "hypercube", "xor", "ring", "symphony"} {
+		steps := make([]float64, 0, 2)
+		for _, q := range []float64{0.1, 0.4} {
+			c, ep, err := chainOf[name](q)
+			if err != nil {
+				return nil, err
+			}
+			s, err := c.ExpectedStepsGivenSuccess(ep.Start, ep.Success)
+			if err != nil {
+				return nil, err
+			}
+			steps = append(steps, s)
+		}
+		t2.AddRow(
+			name,
+			table.F(steps[0], 3),
+			table.F(steps[1], 3),
+			table.F(steps[1]/float64(h), 2)+"x",
+		)
+	}
+	return []*table.Table{t1, t2}, nil
+}

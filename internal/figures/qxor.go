@@ -1,0 +1,42 @@
+package figures
+
+import (
+	"math"
+
+	"rcm/internal/core"
+	"rcm/internal/table"
+)
+
+func init() {
+	register("qxor", QxorApproximation)
+}
+
+// QxorApproximation reproduces the Eq. 6 approximation study (E8): the
+// paper derives a closed-form approximation of the exact Qxor(m) via
+// 1−x ≈ e^{−x} and uses it for the scalability argument. The table
+// quantifies the approximation error over the (m, q) plane.
+func QxorApproximation(opt Options) ([]*table.Table, error) {
+	g := core.XOR{}
+	t := table.New("Eq. 6 — exact Qxor(m) vs the paper's closed-form approximation",
+		"m", "q", "exact", "approx", "abs err", "rel err %")
+	for _, m := range []int{1, 2, 4, 8, 16, 32} {
+		for _, q := range []float64{0.05, 0.1, 0.2, 0.4} {
+			exact := g.PhaseFailure(64, m, q)
+			approx := g.PhaseFailureApprox(m, q)
+			absErr := math.Abs(exact - approx)
+			relPct := 0.0
+			if exact > 0 {
+				relPct = 100 * absErr / exact
+			}
+			t.AddRow(
+				table.I(m),
+				table.F(q, 2),
+				table.E(exact, 4),
+				table.E(approx, 4),
+				table.E(absErr, 2),
+				table.F(relPct, 1),
+			)
+		}
+	}
+	return []*table.Table{t}, nil
+}

@@ -1,0 +1,71 @@
+package figures
+
+import (
+	"rcm/internal/core"
+	"rcm/internal/table"
+)
+
+func init() {
+	register("symphony", SymphonyDesign)
+}
+
+// SymphonyDesign is the kn/ks ablation (E9). The paper notes (§1) that a
+// Symphony deployment, though asymptotically unscalable, can always be
+// provisioned with enough near neighbors and shortcuts to reach an
+// acceptable routability at a target maximum size. This experiment maps
+// that design space: routability across (kn, ks) at the paper's simulation
+// size and at eDonkey scale, plus the largest d sustaining r ≥ 90%.
+func SymphonyDesign(opt Options) ([]*table.Table, error) {
+	opt = opt.withDefaults()
+	const q = 0.1
+	t1 := table.New("Symphony design space — routability % at q=0.1 for kn near neighbors × ks shortcuts",
+		"kn", "ks", "Qsym", "r% (N=2^16)", "r% (N=2^20)", "r% (N=2^30)", "max d with r>=90%")
+	for kn := 1; kn <= 4; kn++ {
+		for ks := 1; ks <= 4; ks++ {
+			g, err := core.NewSymphony(kn, ks)
+			if err != nil {
+				return nil, err
+			}
+			r16, err := core.Routability(g, 16, q)
+			if err != nil {
+				return nil, err
+			}
+			r20, err := core.Routability(g, 20, q)
+			if err != nil {
+				return nil, err
+			}
+			r30, err := core.Routability(g, 30, q)
+			if err != nil {
+				return nil, err
+			}
+			t1.AddRow(
+				table.I(kn),
+				table.I(ks),
+				table.E(g.PhaseFailure(16, 1, q), 3),
+				table.Pct(r16, 2),
+				table.Pct(r20, 2),
+				table.Pct(r30, 2),
+				table.I(maxDimensionFor(g, q, 0.90)),
+			)
+		}
+	}
+	return []*table.Table{t1}, nil
+}
+
+// maxDimensionFor returns the largest identifier length d (up to 512) for
+// which the geometry's routability stays at or above target, or 0 when even
+// d=1 falls below. Routability is monotone in d for Symphony (the per-phase
+// failure constant bites once per phase), so a binary search suffices.
+func maxDimensionFor(g core.Geometry, q, target float64) int {
+	lo, hi := 0, 512
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		r, err := core.Routability(g, mid, q)
+		if err != nil || r < target {
+			hi = mid - 1
+		} else {
+			lo = mid
+		}
+	}
+	return lo
+}

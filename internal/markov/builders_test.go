@@ -1,0 +1,285 @@
+package markov
+
+import (
+	"math"
+	"testing"
+)
+
+func absorb(t *testing.T, c *Chain, ep Endpoints) float64 {
+	t.Helper()
+	p, err := c.AbsorptionProb(ep.Start, ep.Success)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestTreeChainClosedForm(t *testing.T) {
+	// Fig. 4(a): p(h,q) = (1-q)^h exactly.
+	for h := 1; h <= 10; h++ {
+		for _, q := range []float64{0, 0.1, 0.3, 0.7, 1} {
+			c, ep, err := TreeChain(h, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := absorb(t, c, ep)
+			want := math.Pow(1-q, float64(h))
+			if math.Abs(got-want) > 1e-12 {
+				t.Errorf("tree h=%d q=%v: %v, want %v", h, q, got, want)
+			}
+		}
+	}
+}
+
+func TestHypercubeChainClosedForm(t *testing.T) {
+	// Fig. 4(b) / Eq. 2: p(h,q) = Π_{m=1..h} (1-q^m).
+	for h := 1; h <= 10; h++ {
+		for _, q := range []float64{0, 0.25, 0.5, 0.9} {
+			c, ep, err := HypercubeChain(h, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := absorb(t, c, ep)
+			want := 1.0
+			for m := 1; m <= h; m++ {
+				want *= 1 - math.Pow(q, float64(m))
+			}
+			if math.Abs(got-want) > 1e-12 {
+				t.Errorf("hypercube h=%d q=%v: %v, want %v", h, q, got, want)
+			}
+		}
+	}
+}
+
+func TestXORChainFirstPhaseFailure(t *testing.T) {
+	// Absorption into F from the first phase alone must equal Eq. 6.
+	// With h=m the first phase's failure probability is Qxor(m):
+	// verify via 1 - P(ever reach S1).
+	for _, m := range []int{1, 2, 3, 5, 8} {
+		for _, q := range []float64{0.1, 0.4, 0.8} {
+			c, ep, err := XORChain(m, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reachS1, err := c.AbsorptionProb(ep.Start, ep.Phases[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Eq. 6 computed directly.
+			qm := math.Pow(q, float64(m))
+			sum, prod := 1.0, 1.0
+			for k := 1; k <= m-1; k++ {
+				prod *= 1 - math.Pow(q, float64(m-k))
+				sum += prod
+			}
+			want := 1 - qm*sum
+			if math.Abs(reachS1-want) > 1e-12 {
+				t.Errorf("xor m=%d q=%v: G(S0,S1)=%v, want %v", m, q, reachS1, want)
+			}
+		}
+	}
+}
+
+func TestXORChainProductForm(t *testing.T) {
+	// Eq. 5: total success = Π per-phase successes.
+	for _, q := range []float64{0.2, 0.5, 0.75} {
+		h := 7
+		c, ep, err := XORChain(h, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := absorb(t, c, ep)
+		phase, err := PhaseSuccess(c, ep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prod := 1.0
+		for _, g := range phase {
+			prod *= g
+		}
+		if math.Abs(total-prod) > 1e-10 {
+			t.Errorf("q=%v: total %v vs phase product %v", q, total, prod)
+		}
+	}
+}
+
+func TestRingChainMatchesQringFormula(t *testing.T) {
+	// First-phase failure must equal Qring(m) = q^m (1-β^{2^{m-1}})/(1-β).
+	for _, m := range []int{1, 2, 3, 6, 10} {
+		for _, q := range []float64{0.1, 0.5, 0.9} {
+			c, ep, err := RingChain(m, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reachS1, err := c.AbsorptionProb(ep.Start, ep.Phases[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			qm := math.Pow(q, float64(m))
+			beta := q * (1 - math.Pow(q, float64(m-1)))
+			var want float64
+			if beta == 0 {
+				want = 1 - qm
+			} else {
+				k := math.Pow(2, float64(m-1))
+				want = 1 - qm*(1-math.Pow(beta, k))/(1-beta)
+			}
+			if math.Abs(reachS1-want) > 1e-10 {
+				t.Errorf("ring m=%d q=%v: G(S0,S1)=%v, want %v", m, q, reachS1, want)
+			}
+		}
+	}
+}
+
+func TestRingChainStateCap(t *testing.T) {
+	if _, _, err := RingChain(RingChainMaxH+1, 0.5); err == nil {
+		t.Error("oversized ring chain built without error")
+	}
+}
+
+func TestRingBeatsXOR(t *testing.T) {
+	// §5.4: ring's suboptimal transition probabilities dominate XOR's, so
+	// ring success must be >= XOR success at every (h, q).
+	for h := 1; h <= 10; h++ {
+		for _, q := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+			rc, rep, err := RingChain(h, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			xc, xep, err := XORChain(h, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ring := absorb(t, rc, rep)
+			xor := absorb(t, xc, xep)
+			if ring < xor-1e-12 {
+				t.Errorf("h=%d q=%v: ring %v < xor %v", h, q, ring, xor)
+			}
+		}
+	}
+}
+
+func TestSymphonyChainMatchesQsym(t *testing.T) {
+	for _, tc := range []struct {
+		d      int
+		q      float64
+		kn, ks int
+	}{
+		{16, 0.1, 1, 1},
+		{16, 0.5, 1, 1},
+		{16, 0.3, 2, 3},
+		{32, 0.7, 1, 2},
+	} {
+		c, ep, err := SymphonyChain(3, tc.d, tc.q, tc.kn, tc.ks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reachS1, err := c.AbsorptionProb(ep.Start, ep.Phases[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Eq. 7 summed directly.
+		y := math.Pow(tc.q, float64(tc.kn+tc.ks))
+		x := float64(tc.ks) / float64(tc.d)
+		alpha := 1 - x - y
+		bigJ := int(math.Ceil(float64(tc.d) / (1 - tc.q)))
+		sum := 0.0
+		ap := 1.0
+		for j := 0; j <= bigJ; j++ {
+			sum += ap
+			ap *= alpha
+		}
+		want := 1 - y*sum
+		if math.Abs(reachS1-want) > 1e-10 {
+			t.Errorf("%+v: G(S0,S1)=%v, want %v", tc, reachS1, want)
+		}
+	}
+}
+
+func TestSymphonyChainConstantPhases(t *testing.T) {
+	// Qsym is phase-independent: all per-phase successes must be equal.
+	c, ep, err := SymphonyChain(5, 16, 0.4, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phase, err := PhaseSuccess(c, ep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(phase); i++ {
+		if math.Abs(phase[i]-phase[0]) > 1e-10 {
+			t.Errorf("phase %d success %v differs from phase 0 %v", i, phase[i], phase[0])
+		}
+	}
+}
+
+func TestSymphonyChainParamValidation(t *testing.T) {
+	if _, _, err := SymphonyChain(3, 0, 0.5, 1, 1); err == nil {
+		t.Error("d=0 accepted")
+	}
+	if _, _, err := SymphonyChain(3, 16, 0.5, -1, 1); err == nil {
+		t.Error("kn=-1 accepted")
+	}
+	if _, _, err := SymphonyChain(3, 16, 0.5, 1, 0); err == nil {
+		t.Error("ks=0 accepted")
+	}
+	// x + y > 1: d=2, ks=2 gives x=1; q>0 pushes the mass over 1.
+	if _, _, err := SymphonyChain(3, 2, 0.5, 1, 2); err == nil {
+		t.Error("x+y>1 accepted")
+	}
+}
+
+func TestChainInputValidation(t *testing.T) {
+	if _, _, err := TreeChain(0, 0.5); err == nil {
+		t.Error("h=0 accepted")
+	}
+	if _, _, err := TreeChain(3, -0.1); err == nil {
+		t.Error("q<0 accepted")
+	}
+	if _, _, err := HypercubeChain(3, 1.1); err == nil {
+		t.Error("q>1 accepted")
+	}
+	if _, _, err := XORChain(3, math.NaN()); err == nil {
+		t.Error("q=NaN accepted")
+	}
+}
+
+func TestPhaseSuccessTreeUniform(t *testing.T) {
+	c, ep, err := TreeChain(6, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phase, err := PhaseSuccess(c, ep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(phase) != 6 {
+		t.Fatalf("phase count = %d, want 6", len(phase))
+	}
+	for i, g := range phase {
+		if math.Abs(g-0.75) > 1e-12 {
+			t.Errorf("tree phase %d success = %v, want 0.75", i, g)
+		}
+	}
+}
+
+func TestHypercubeChainPhaseOrdering(t *testing.T) {
+	// Early phases (more options) succeed with higher probability than the
+	// last phase (single neighbor): G(S0,S1) = 1-q^h >= ... >= G(Sh-1,Sh) = 1-q.
+	c, ep, err := HypercubeChain(8, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phase, err := PhaseSuccess(c, ep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(phase); i++ {
+		if phase[i] > phase[i-1]+1e-12 {
+			t.Errorf("phase success increased from %v to %v at phase %d", phase[i-1], phase[i], i)
+		}
+	}
+	if math.Abs(phase[len(phase)-1]-(1-0.6)) > 1e-12 {
+		t.Errorf("last phase success = %v, want 0.4", phase[len(phase)-1])
+	}
+}

@@ -1,0 +1,267 @@
+// Package markov implements the absorbing discrete-time Markov chains the
+// paper uses to model DHT routing under failure (Fig. 4(a,b), Fig. 5(b),
+// Fig. 8(a,b)), together with three independent solvers (DAG forward
+// propagation, dense linear solve, and Monte Carlo simulation).
+//
+// The chains built here are the ground truth against which the closed-form
+// phase-failure expressions Q(m) in internal/core are verified: for every
+// geometry, the chain's absorption probability into the success state from
+// S0 must equal p(h,q) = Π_{m=1..h} (1 − Q(m)) (Eq. 5).
+package markov
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// StateID identifies a state within a chain.
+type StateID int
+
+// Edge is an outgoing transition with probability P.
+type Edge struct {
+	To StateID
+	P  float64
+}
+
+// probTol is the tolerance for validating that outgoing probabilities of a
+// non-absorbing state sum to one.
+const probTol = 1e-9
+
+// Builder incrementally constructs a Chain. The zero value is ready to use.
+type Builder struct {
+	names []string
+	edges [][]Edge
+}
+
+// AddState registers a new state and returns its ID.
+func (b *Builder) AddState(name string) StateID {
+	b.names = append(b.names, name)
+	b.edges = append(b.edges, nil)
+	return StateID(len(b.names) - 1)
+}
+
+// AddEdge adds a transition from → to with probability p. Zero-probability
+// edges are dropped; negative probabilities are recorded and rejected at
+// Build time.
+func (b *Builder) AddEdge(from, to StateID, p float64) {
+	if p == 0 {
+		return
+	}
+	b.edges[from] = append(b.edges[from], Edge{To: to, P: p})
+}
+
+// Build validates the transition structure and returns the chain. States
+// with no outgoing edges are absorbing; all others must have outgoing
+// probabilities summing to 1 within tolerance.
+func (b *Builder) Build() (*Chain, error) {
+	n := len(b.names)
+	if n == 0 {
+		return nil, errors.New("markov: chain has no states")
+	}
+	edges := make([][]Edge, n)
+	for s := 0; s < n; s++ {
+		out := b.edges[s]
+		if len(out) == 0 {
+			continue // absorbing
+		}
+		var sum float64
+		for _, e := range out {
+			if e.P < 0 || math.IsNaN(e.P) {
+				return nil, fmt.Errorf("markov: state %q has invalid probability %v", b.names[s], e.P)
+			}
+			if int(e.To) < 0 || int(e.To) >= n {
+				return nil, fmt.Errorf("markov: state %q has edge to unknown state %d", b.names[s], e.To)
+			}
+			sum += e.P
+		}
+		if math.Abs(sum-1) > probTol {
+			return nil, fmt.Errorf("markov: state %q outgoing probability sums to %v, want 1", b.names[s], sum)
+		}
+		edges[s] = append([]Edge(nil), out...)
+	}
+	return &Chain{names: append([]string(nil), b.names...), edges: edges}, nil
+}
+
+// Chain is an immutable absorbing Markov chain.
+type Chain struct {
+	names []string
+	edges [][]Edge
+}
+
+// NumStates returns the number of states.
+func (c *Chain) NumStates() int { return len(c.names) }
+
+// Name returns the state's registered name.
+func (c *Chain) Name(s StateID) string { return c.names[s] }
+
+// Absorbing reports whether s has no outgoing transitions.
+func (c *Chain) Absorbing(s StateID) bool { return len(c.edges[s]) == 0 }
+
+// Edges returns the outgoing edges of s. The returned slice must not be
+// modified.
+func (c *Chain) Edges(s StateID) []Edge { return c.edges[s] }
+
+// topoOrder returns a topological order of the states, or an error if the
+// chain contains a cycle among transient states.
+func (c *Chain) topoOrder() ([]StateID, error) {
+	n := c.NumStates()
+	indeg := make([]int, n)
+	for s := 0; s < n; s++ {
+		for _, e := range c.edges[s] {
+			indeg[e.To]++
+		}
+	}
+	queue := make([]StateID, 0, n)
+	for s := 0; s < n; s++ {
+		if indeg[s] == 0 {
+			queue = append(queue, StateID(s))
+		}
+	}
+	order := make([]StateID, 0, n)
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		order = append(order, s)
+		for _, e := range c.edges[s] {
+			indeg[e.To]--
+			if indeg[e.To] == 0 {
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, errors.New("markov: chain contains a cycle; use AbsorptionProbLinear")
+	}
+	return order, nil
+}
+
+// AbsorptionProb returns the probability that a walk started at start is
+// eventually absorbed at target, using forward propagation over a
+// topological order. All routing chains in the paper are DAGs, so this is
+// exact and O(V+E). Returns an error when the chain has a cycle.
+func (c *Chain) AbsorptionProb(start, target StateID) (float64, error) {
+	order, err := c.topoOrder()
+	if err != nil {
+		return 0, err
+	}
+	mass := make([]float64, c.NumStates())
+	mass[start] = 1
+	for _, s := range order {
+		m := mass[s]
+		if m == 0 || c.Absorbing(s) {
+			continue
+		}
+		for _, e := range c.edges[s] {
+			mass[e.To] += m * e.P
+		}
+	}
+	return mass[target], nil
+}
+
+// AbsorptionProbLinear returns absorption probabilities into target for
+// every state by solving the standard first-step equations
+//
+//	x_s = Σ_e P(s,e) · x_e,  x_target = 1,  x_absorbing≠target = 0
+//
+// with dense Gaussian elimination. It works on cyclic chains and serves as
+// an independent oracle for AbsorptionProb in tests. O(n^3) — use on small
+// chains only.
+func (c *Chain) AbsorptionProbLinear(target StateID) ([]float64, error) {
+	n := c.NumStates()
+	// Build A x = b where A = I - T restricted appropriately.
+	a := make([][]float64, n)
+	bvec := make([]float64, n)
+	for s := 0; s < n; s++ {
+		a[s] = make([]float64, n)
+		if c.Absorbing(StateID(s)) {
+			a[s][s] = 1
+			if StateID(s) == target {
+				bvec[s] = 1
+			}
+			continue
+		}
+		a[s][s] = 1
+		for _, e := range c.edges[s] {
+			a[s][e.To] -= e.P
+		}
+	}
+	x, err := solveDense(a, bvec)
+	if err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// solveDense performs in-place Gaussian elimination with partial pivoting.
+func solveDense(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(a[pivot][col]) < 1e-14 {
+			return nil, errors.New("markov: singular absorption system")
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		// Eliminate below.
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] / a[col][col]
+			if f == 0 {
+				continue
+			}
+			for k := col; k < n; k++ {
+				a[r][k] -= f * a[col][k]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		sum := b[r]
+		for k := r + 1; k < n; k++ {
+			sum -= a[r][k] * x[k]
+		}
+		x[r] = sum / a[r][r]
+	}
+	return x, nil
+}
+
+// rngSource is the minimal randomness dependency for Simulate, satisfied by
+// *overlay.RNG. Declared locally so markov does not import overlay.
+type rngSource interface {
+	Float64() float64
+}
+
+// Simulate runs walks independent random walks from start and returns the
+// fraction absorbed at target. Walks are capped at maxSteps transitions;
+// walks hitting the cap count as not absorbed at target.
+func (c *Chain) Simulate(start, target StateID, walks, maxSteps int, rng rngSource) float64 {
+	hits := 0
+	for w := 0; w < walks; w++ {
+		s := start
+		for step := 0; step < maxSteps && !c.Absorbing(s); step++ {
+			u := rng.Float64()
+			var acc float64
+			out := c.edges[s]
+			next := out[len(out)-1].To // rounding residue falls on the last edge
+			for _, e := range out {
+				acc += e.P
+				if u < acc {
+					next = e.To
+					break
+				}
+			}
+			s = next
+		}
+		if s == target {
+			hits++
+		}
+	}
+	return float64(hits) / float64(walks)
+}

@@ -1,0 +1,270 @@
+package markov
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// testRNG is a tiny deterministic generator for Simulate tests.
+type testRNG struct{ state uint64 }
+
+func (r *testRNG) Float64() float64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return float64((z^(z>>31))>>11) / (1 << 53)
+}
+
+func TestBuilderEmptyChain(t *testing.T) {
+	var b Builder
+	if _, err := b.Build(); err == nil {
+		t.Error("empty chain built without error")
+	}
+}
+
+func TestBuilderBadProbabilitySum(t *testing.T) {
+	var b Builder
+	s0 := b.AddState("S0")
+	s1 := b.AddState("S1")
+	b.AddEdge(s0, s1, 0.5) // sums to 0.5, not 1
+	if _, err := b.Build(); err == nil {
+		t.Error("chain with probability sum 0.5 built without error")
+	} else if !strings.Contains(err.Error(), "sums to") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestBuilderNegativeProbability(t *testing.T) {
+	var b Builder
+	s0 := b.AddState("S0")
+	s1 := b.AddState("S1")
+	b.AddEdge(s0, s1, -0.5)
+	b.AddEdge(s0, s1, 1.5)
+	if _, err := b.Build(); err == nil {
+		t.Error("chain with negative probability built without error")
+	}
+}
+
+func TestBuilderNaNProbability(t *testing.T) {
+	var b Builder
+	s0 := b.AddState("S0")
+	s1 := b.AddState("S1")
+	b.AddEdge(s0, s1, math.NaN())
+	if _, err := b.Build(); err == nil {
+		t.Error("chain with NaN probability built without error")
+	}
+}
+
+func TestBuilderDropsZeroEdges(t *testing.T) {
+	var b Builder
+	s0 := b.AddState("S0")
+	s1 := b.AddState("S1")
+	b.AddEdge(s0, s1, 0)
+	b.AddEdge(s0, s1, 1)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c.Edges(s0)); got != 1 {
+		t.Errorf("zero edge retained: %d edges", got)
+	}
+}
+
+func buildTwoState(t *testing.T, p float64) (*Chain, StateID, StateID, StateID) {
+	t.Helper()
+	var b Builder
+	s0 := b.AddState("S0")
+	win := b.AddState("WIN")
+	lose := b.AddState("LOSE")
+	b.AddEdge(s0, win, p)
+	b.AddEdge(s0, lose, 1-p)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, s0, win, lose
+}
+
+func TestAbsorptionProbTwoState(t *testing.T) {
+	c, s0, win, lose := buildTwoState(t, 0.3)
+	got, err := c.AbsorptionProb(s0, win)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("P(win) = %v, want 0.3", got)
+	}
+	gotL, err := c.AbsorptionProb(s0, lose)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gotL-0.7) > 1e-12 {
+		t.Errorf("P(lose) = %v, want 0.7", gotL)
+	}
+}
+
+func TestAbsorbingDetection(t *testing.T) {
+	c, s0, win, _ := buildTwoState(t, 0.5)
+	if c.Absorbing(s0) {
+		t.Error("S0 reported absorbing")
+	}
+	if !c.Absorbing(win) {
+		t.Error("WIN not reported absorbing")
+	}
+}
+
+func TestAbsorptionProbChainedSteps(t *testing.T) {
+	// S0 -> S1 -> S2 with survival 0.9 each step, else F.
+	var b Builder
+	states := make([]StateID, 3)
+	for i := range states {
+		states[i] = b.AddState("S")
+	}
+	f := b.AddState("F")
+	for i := 0; i < 2; i++ {
+		b.AddEdge(states[i], states[i+1], 0.9)
+		b.AddEdge(states[i], f, 0.1)
+	}
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.AbsorptionProb(states[0], states[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.81) > 1e-12 {
+		t.Errorf("two-step survival = %v, want 0.81", got)
+	}
+}
+
+func TestAbsorptionProbCycleError(t *testing.T) {
+	var b Builder
+	s0 := b.AddState("S0")
+	s1 := b.AddState("S1")
+	end := b.AddState("END")
+	b.AddEdge(s0, s1, 1)
+	b.AddEdge(s1, s0, 0.5)
+	b.AddEdge(s1, end, 0.5)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AbsorptionProb(s0, end); err == nil {
+		t.Error("cyclic chain did not return error from DAG solver")
+	}
+	// The linear solver must handle the cycle: P(end from S0) = 1.
+	x, err := c.AbsorptionProbLinear(end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[s0]-1) > 1e-9 {
+		t.Errorf("linear solve on cycle = %v, want 1", x[s0])
+	}
+}
+
+func TestLinearSolverMatchesForwardOnDAG(t *testing.T) {
+	for _, q := range []float64{0.1, 0.5, 0.8} {
+		c, ep, err := XORChain(6, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fwd, err := c.AbsorptionProb(ep.Start, ep.Success)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lin, err := c.AbsorptionProbLinear(ep.Success)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(fwd-lin[ep.Start]) > 1e-9 {
+			t.Errorf("q=%v: forward %v vs linear %v", q, fwd, lin[ep.Start])
+		}
+	}
+}
+
+func TestProbabilityConservation(t *testing.T) {
+	// Success + failure absorption must sum to 1 for every chain family.
+	builders := map[string]func(h int, q float64) (*Chain, Endpoints, error){
+		"tree":      TreeChain,
+		"hypercube": HypercubeChain,
+		"xor":       XORChain,
+		"ring":      RingChain,
+		"symphony": func(h int, q float64) (*Chain, Endpoints, error) {
+			return SymphonyChain(h, 16, q, 1, 1)
+		},
+	}
+	for name, build := range builders {
+		for _, q := range []float64{0, 0.2, 0.5, 0.8} {
+			c, ep, err := build(5, q)
+			if err != nil {
+				t.Fatalf("%s q=%v: %v", name, q, err)
+			}
+			ps, err := c.AbsorptionProb(ep.Start, ep.Success)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pf, err := c.AbsorptionProb(ep.Start, ep.Failure)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(ps+pf-1) > 1e-9 {
+				t.Errorf("%s q=%v: success %v + failure %v != 1", name, q, ps, pf)
+			}
+		}
+	}
+}
+
+func TestSimulateMatchesExact(t *testing.T) {
+	c, ep, err := HypercubeChain(6, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := c.AbsorptionProb(ep.Start, ep.Success)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := c.Simulate(ep.Start, ep.Success, 200000, 1000, &testRNG{state: 42})
+	if math.Abs(got-exact) > 0.01 {
+		t.Errorf("Monte Carlo %v vs exact %v", got, exact)
+	}
+}
+
+func TestSimulateRespectsStepCap(t *testing.T) {
+	// A long deterministic corridor: with maxSteps=1 the walk cannot reach
+	// the end, so the absorbed fraction must be 0.
+	var b Builder
+	s0 := b.AddState("S0")
+	s1 := b.AddState("S1")
+	end := b.AddState("END")
+	b.AddEdge(s0, s1, 1)
+	b.AddEdge(s1, end, 1)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Simulate(s0, end, 100, 1, &testRNG{}); got != 0 {
+		t.Errorf("step-capped walk absorbed fraction = %v, want 0", got)
+	}
+	if got := c.Simulate(s0, end, 100, 10, &testRNG{}); got != 1 {
+		t.Errorf("uncapped walk absorbed fraction = %v, want 1", got)
+	}
+}
+
+func TestChainNames(t *testing.T) {
+	c, ep, err := TreeChain(3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Name(ep.Start); got != "S0" {
+		t.Errorf("start name = %q", got)
+	}
+	if got := c.Name(ep.Failure); got != "F" {
+		t.Errorf("failure name = %q", got)
+	}
+	if c.NumStates() != 5 { // S0..S3 + F
+		t.Errorf("tree h=3 states = %d, want 5", c.NumStates())
+	}
+}

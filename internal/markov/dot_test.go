@@ -1,0 +1,94 @@
+package markov
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDOTStructure(t *testing.T) {
+	c, ep, err := TreeChain(3, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := c.DOT("tree h=3")
+	if !strings.HasPrefix(dot, "digraph chain {") || !strings.HasSuffix(dot, "}\n") {
+		t.Errorf("malformed DOT:\n%s", dot)
+	}
+	if !strings.Contains(dot, `label="tree h=3"`) {
+		t.Errorf("missing title:\n%s", dot)
+	}
+	// Absorbing states (S3, F) rendered as double circles.
+	if got := strings.Count(dot, "doublecircle"); got != 2 {
+		t.Errorf("doublecircle count = %d, want 2", got)
+	}
+	// Edge count: 3 transient states × 2 edges each.
+	if got := strings.Count(dot, "->"); got != 6 {
+		t.Errorf("edge count = %d, want 6", got)
+	}
+	if !strings.Contains(dot, `"0.75"`) {
+		t.Errorf("missing 1-q edge label:\n%s", dot)
+	}
+	_ = ep
+}
+
+func TestDOTDeterministic(t *testing.T) {
+	c1, _, err := XORChain(5, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, _, err := XORChain(5, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.DOT("x") != c2.DOT("x") {
+		t.Error("DOT output not deterministic")
+	}
+}
+
+func TestDOTNoTitle(t *testing.T) {
+	c, _, err := TreeChain(2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(c.DOT(""), "label=\"\"") {
+		t.Error("empty title rendered")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	c, _, err := TreeChain(3, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := c.Summary()
+	for _, want := range []string{"states=5", "edges=6", "absorbing=[S3,F]", "0:2", "2:3"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary %q missing %q", s, want)
+		}
+	}
+}
+
+func TestSummaryStateCounts(t *testing.T) {
+	// XOR chain at h: Σ_{m=1..h} m + success + failure states.
+	for h := 2; h <= 8; h++ {
+		c, _, err := XORChain(h, 0.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := h*(h+1)/2 + 2
+		if c.NumStates() != want {
+			t.Errorf("h=%d: states=%d, want %d", h, c.NumStates(), want)
+		}
+	}
+	// Ring chain: 2^h − 1 + 2.
+	for h := 2; h <= 8; h++ {
+		c, _, err := RingChain(h, 0.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := (1 << h) - 1 + 2
+		if c.NumStates() != want {
+			t.Errorf("ring h=%d: states=%d, want %d", h, c.NumStates(), want)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package markov
+
+// ExpectedStepsGivenSuccess returns E[number of transitions | walk from
+// start is absorbed at target] for a DAG chain, by forward-propagating the
+// pair (probability mass, probability-weighted step count) over a
+// topological order:
+//
+//	mass'[to]  += P(edge)·mass[s]
+//	steps'[to] += P(edge)·(steps[s] + mass[s])
+//
+// so steps[v] = Σ_{paths start→v} P(path)·len(path), and the conditional
+// expectation is steps[target]/mass[target].
+//
+// This quantifies routing latency under failure: for the tree and hypercube
+// chains the answer is exactly h (no suboptimal states), while XOR, ring
+// and Symphony walks lengthen as q grows — Symphony's expected hops per
+// phase is what makes its total latency O(log² N) (§3.5).
+func (c *Chain) ExpectedStepsGivenSuccess(start, target StateID) (float64, error) {
+	order, err := c.topoOrder()
+	if err != nil {
+		return 0, err
+	}
+	mass := make([]float64, c.NumStates())
+	steps := make([]float64, c.NumStates())
+	mass[start] = 1
+	for _, s := range order {
+		if mass[s] == 0 || c.Absorbing(s) {
+			continue
+		}
+		for _, e := range c.edges[s] {
+			mass[e.To] += e.P * mass[s]
+			steps[e.To] += e.P * (steps[s] + mass[s])
+		}
+	}
+	if mass[target] == 0 {
+		return 0, nil
+	}
+	return steps[target] / mass[target], nil
+}

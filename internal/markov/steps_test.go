@@ -1,0 +1,156 @@
+package markov
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExpectedStepsTreeExact(t *testing.T) {
+	// The tree chain has no suboptimal states: every successful walk takes
+	// exactly h transitions.
+	for h := 1; h <= 10; h++ {
+		c, ep, err := TreeChain(h, 0.4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.ExpectedStepsGivenSuccess(ep.Start, ep.Success)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-float64(h)) > 1e-12 {
+			t.Errorf("tree h=%d: expected steps %v, want %d", h, got, h)
+		}
+	}
+}
+
+func TestExpectedStepsHypercubeExact(t *testing.T) {
+	c, ep, err := HypercubeChain(7, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.ExpectedStepsGivenSuccess(ep.Start, ep.Success)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-7) > 1e-12 {
+		t.Errorf("hypercube: expected steps %v, want 7", got)
+	}
+}
+
+func TestExpectedStepsXORInflatesWithQ(t *testing.T) {
+	// Suboptimal hops lengthen successful XOR walks under failure. (The
+	// inflation is not globally monotone in q — at extreme q the surviving
+	// walks are the lucky all-optimal ones — so compare moderate q to q=0.)
+	steps := func(q float64) float64 {
+		c, ep, err := XORChain(8, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.ExpectedStepsGivenSuccess(ep.Start, ep.Success)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	base := steps(0)
+	if math.Abs(base-8) > 1e-12 {
+		t.Fatalf("q=0 steps = %v, want exactly 8", base)
+	}
+	for _, q := range []float64{0.2, 0.5, 0.8} {
+		if got := steps(q); got < base+0.1 {
+			t.Errorf("q=%v: steps %v show no inflation over %v", q, got, base)
+		}
+	}
+}
+
+func TestExpectedStepsXORAtZeroFailure(t *testing.T) {
+	c, ep, err := XORChain(6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.ExpectedStepsGivenSuccess(ep.Start, ep.Success)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-6) > 1e-12 {
+		t.Errorf("q=0: steps %v, want exactly 6", got)
+	}
+}
+
+func TestExpectedStepsSymphonyManyHopsPerPhase(t *testing.T) {
+	// Symphony advances a phase only via shortcuts (probability ks/d per
+	// hop): expected steps per phase is much larger than 1 — the O(log² N)
+	// latency signature.
+	c, ep, err := SymphonyChain(1, 32, 0.1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.ExpectedStepsGivenSuccess(ep.Start, ep.Success)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 5 {
+		t.Errorf("symphony steps per phase = %v, want >> 1", got)
+	}
+}
+
+func TestExpectedStepsMonteCarloAgreement(t *testing.T) {
+	// Monte Carlo estimate of E[steps|success] must match the exact value.
+	c, ep, err := XORChain(6, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := c.ExpectedStepsGivenSuccess(ep.Start, ep.Success)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := &testRNG{state: 9}
+	const walks = 100000
+	var totalSteps, successes int
+	for w := 0; w < walks; w++ {
+		s := ep.Start
+		steps := 0
+		for !c.Absorbing(s) && steps < 1000 {
+			u := rng.Float64()
+			var acc float64
+			out := c.Edges(s)
+			next := out[len(out)-1].To
+			for _, e := range out {
+				acc += e.P
+				if u < acc {
+					next = e.To
+					break
+				}
+			}
+			s = next
+			steps++
+		}
+		if s == ep.Success {
+			successes++
+			totalSteps += steps
+		}
+	}
+	mc := float64(totalSteps) / float64(successes)
+	if math.Abs(mc-exact) > 0.05 {
+		t.Errorf("Monte Carlo steps %v vs exact %v", mc, exact)
+	}
+}
+
+func TestExpectedStepsUnreachableTarget(t *testing.T) {
+	var b Builder
+	s0 := b.AddState("S0")
+	a := b.AddState("A")
+	island := b.AddState("ISLAND")
+	b.AddEdge(s0, a, 1)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.ExpectedStepsGivenSuccess(s0, island)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("unreachable target steps = %v, want 0", got)
+	}
+}

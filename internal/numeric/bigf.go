@@ -1,0 +1,107 @@
+package numeric
+
+import (
+	"math"
+	"math/big"
+)
+
+// BigEval is an arbitrary-precision evaluator used as an oracle in tests:
+// the float64 log-space pipeline in internal/core must agree with the same
+// computation done in math/big at the configured precision. The zero value
+// is not usable; construct with NewBigEval.
+type BigEval struct {
+	prec uint
+}
+
+// NewBigEval returns an evaluator with the given mantissa precision in bits.
+// Precision below 64 is raised to 64.
+func NewBigEval(prec uint) *BigEval {
+	if prec < 64 {
+		prec = 64
+	}
+	return &BigEval{prec: prec}
+}
+
+// newFloat returns a zero big.Float at the evaluator's precision.
+func (e *BigEval) newFloat() *big.Float {
+	return new(big.Float).SetPrec(e.prec)
+}
+
+// Binomial returns C(n,k) exactly (as a big.Float at the evaluator's
+// precision).
+func (e *BigEval) Binomial(n, k int) *big.Float {
+	z := new(big.Int).Binomial(int64(n), int64(k))
+	return e.newFloat().SetInt(z)
+}
+
+// PowInt returns base^exp for integer exp >= 0.
+func (e *BigEval) PowInt(base *big.Float, exp int) *big.Float {
+	result := e.newFloat().SetInt64(1)
+	b := e.newFloat().Set(base)
+	for exp > 0 {
+		if exp&1 == 1 {
+			result.Mul(result, b)
+		}
+		b.Mul(b, b)
+		exp >>= 1
+	}
+	return result
+}
+
+// QPow returns q^m where q is a float64 probability.
+func (e *BigEval) QPow(q float64, m int) *big.Float {
+	return e.PowInt(e.newFloat().SetFloat64(q), m)
+}
+
+// OneMinus returns 1 - x.
+func (e *BigEval) OneMinus(x *big.Float) *big.Float {
+	one := e.newFloat().SetInt64(1)
+	return one.Sub(one, x)
+}
+
+// Mul returns a*b at the evaluator precision.
+func (e *BigEval) Mul(a, b *big.Float) *big.Float {
+	return e.newFloat().Mul(a, b)
+}
+
+// Add returns a+b at the evaluator precision.
+func (e *BigEval) Add(a, b *big.Float) *big.Float {
+	return e.newFloat().Add(a, b)
+}
+
+// Quo returns a/b at the evaluator precision.
+func (e *BigEval) Quo(a, b *big.Float) *big.Float {
+	return e.newFloat().Quo(a, b)
+}
+
+// Pow2 returns 2^d.
+func (e *BigEval) Pow2(d int) *big.Float {
+	return e.PowInt(e.newFloat().SetInt64(2), d)
+}
+
+// Float64 rounds x to the nearest float64.
+func (e *BigEval) Float64(x *big.Float) float64 {
+	f, _ := x.Float64()
+	return f
+}
+
+// ProductOneMinus returns Π_{m=1..h} (1 - terms(m)) where terms(m) is a
+// float64 probability. This mirrors Eq. 5 of the paper, p(h,q) = Π(1-Q(m)).
+func (e *BigEval) ProductOneMinus(h int, term func(m int) float64) *big.Float {
+	prod := e.newFloat().SetInt64(1)
+	for m := 1; m <= h; m++ {
+		prod.Mul(prod, e.OneMinus(e.newFloat().SetFloat64(term(m))))
+	}
+	return prod
+}
+
+// RelDiff returns |a-b| / max(|a|,|b|, tiny): a symmetric relative
+// difference usable when either value may be zero.
+func RelDiff(a, b float64) float64 {
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1e-300 {
+		return diff
+	}
+	return diff / scale
+}

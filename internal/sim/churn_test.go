@@ -1,0 +1,184 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"rcm/internal/dht"
+)
+
+func churnOpts() ChurnOptions {
+	return ChurnOptions{
+		MeanOnline:      1,
+		MeanOffline:     0.25, // q_eff = 0.2
+		Duration:        8,
+		MeasureEvery:    0.5,
+		PairsPerMeasure: 3000,
+		Seed:            3,
+	}
+}
+
+func TestChurnPointCountAndTimes(t *testing.T) {
+	p := buildProtocol(t, "kademlia", 9)
+	opt := churnOpts()
+	pts, err := SimulateChurn(p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int(opt.Duration / opt.MeasureEvery)
+	if len(pts) != want {
+		t.Fatalf("got %d measurement points, want %d", len(pts), want)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Time <= pts[i-1].Time {
+			t.Errorf("non-increasing measurement times: %v then %v", pts[i-1].Time, pts[i].Time)
+		}
+	}
+}
+
+func TestChurnOfflineFractionTracksQEff(t *testing.T) {
+	p := buildProtocol(t, "chord", 10)
+	opt := churnOpts()
+	pts, err := SimulateChurn(p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, meanOffline := SteadyState(pts, 1)
+	if math.Abs(meanOffline-opt.QEff()) > 0.05 {
+		t.Errorf("steady-state offline fraction %v, want ~%v", meanOffline, opt.QEff())
+	}
+}
+
+func TestChurnSteadyStateMatchesStaticModel(t *testing.T) {
+	// The headline of experiment E11: without repair, the churn steady
+	// state reproduces the static-resilience measurement at q_eff — the
+	// static model of §1 carries over to the dynamic equilibrium.
+	p := buildProtocol(t, "kademlia", 10)
+	opt := churnOpts()
+	pts, err := SimulateChurn(p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	churnSuccess, _ := SteadyState(pts, 1)
+	static := measure(t, p, opt.QEff(), Options{Pairs: 20000, Trials: 3, Seed: 5})
+	if math.Abs(churnSuccess-static.Routability) > 0.06 {
+		t.Errorf("churn steady state %v vs static prediction %v", churnSuccess, static.Routability)
+	}
+}
+
+func TestChurnRepairImprovesLookupSuccess(t *testing.T) {
+	opt := churnOpts()
+	pNo := buildProtocol(t, "kademlia", 10)
+	ptsNo, err := SimulateChurn(pNo, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noRepair, _ := SteadyState(ptsNo, 1)
+
+	pRep := buildProtocol(t, "kademlia", 10)
+	optRep := opt
+	optRep.RepairOnRejoin = true
+	optRep.RepairEvery = 0.5
+	ptsRep, err := SimulateChurn(pRep, optRep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withRepair, _ := SteadyState(ptsRep, 1)
+
+	if withRepair <= noRepair+0.01 {
+		t.Errorf("repair did not help: %v (repair) vs %v (static tables)", withRepair, noRepair)
+	}
+}
+
+func TestChurnDeterministic(t *testing.T) {
+	opt := churnOpts()
+	opt.Duration = 4
+	p1 := buildProtocol(t, "chord", 9)
+	pts1, err := SimulateChurn(p1, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := buildProtocol(t, "chord", 9)
+	pts2, err := SimulateChurn(p2, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts1) != len(pts2) {
+		t.Fatalf("point counts differ: %d vs %d", len(pts1), len(pts2))
+	}
+	for i := range pts1 {
+		if pts1[i] != pts2[i] {
+			t.Errorf("point %d differs: %+v vs %+v", i, pts1[i], pts2[i])
+		}
+	}
+}
+
+func TestChurnOnDeterministicOverlay(t *testing.T) {
+	// The hypercube has no randomized tables; repair options must be
+	// silently inert, not crash.
+	p := buildProtocol(t, "can", 9)
+	opt := churnOpts()
+	opt.Duration = 3
+	opt.RepairOnRejoin = true
+	opt.RepairEvery = 0.5
+	pts, err := SimulateChurn(p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) == 0 {
+		t.Fatal("no measurements")
+	}
+	s, _ := SteadyState(pts, 0)
+	if s <= 0 || s > 1 {
+		t.Errorf("lookup success = %v", s)
+	}
+}
+
+func TestSteadyStateBurnIn(t *testing.T) {
+	pts := []ChurnPoint{
+		{Time: 0.5, LookupSuccess: 0.1, OfflineFraction: 0.9},
+		{Time: 1.5, LookupSuccess: 0.8, OfflineFraction: 0.2},
+		{Time: 2.5, LookupSuccess: 0.9, OfflineFraction: 0.3},
+	}
+	s, off := SteadyState(pts, 1)
+	if math.Abs(s-0.85) > 1e-12 {
+		t.Errorf("burn-in mean success = %v, want 0.85", s)
+	}
+	if math.Abs(off-0.25) > 1e-12 {
+		t.Errorf("burn-in mean offline = %v, want 0.25", off)
+	}
+	if s, off = SteadyState(pts, 10); s != 0 || off != 0 {
+		t.Errorf("all burned in: %v %v, want zeros", s, off)
+	}
+}
+
+func TestExpectedOfflineFraction(t *testing.T) {
+	if got := ExpectedOfflineFraction(1, 0.25); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("ExpectedOfflineFraction(1,0.25) = %v, want 0.2", got)
+	}
+	if got := ExpectedOfflineFraction(0, 1); got != 0 {
+		t.Errorf("degenerate input = %v, want 0", got)
+	}
+	if got := ExpectedOfflineFraction(math.NaN(), 1); got != 0 {
+		t.Errorf("NaN input = %v, want 0", got)
+	}
+}
+
+func TestChurnQEffDefaults(t *testing.T) {
+	var opt ChurnOptions
+	if got := opt.QEff(); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("default QEff = %v, want 0.2 (1.0 online / 0.25 offline)", got)
+	}
+}
+
+func TestChurnTooFewNodes(t *testing.T) {
+	// A 1-bit space has 2 nodes — acceptable; the error path needs < 2,
+	// which only sparse populations can produce. Construct directly.
+	sc, err := dht.NewSparseChord(dht.Config{Bits: 8, Seed: 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SimulateChurn(sc, churnOpts()); err != nil {
+		t.Errorf("2-node churn failed: %v", err)
+	}
+}

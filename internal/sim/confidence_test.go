@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestConfidence95Degenerate(t *testing.T) {
+	if lo, hi := confidence95(0.5, 0, 3); lo != 0.5 || hi != 0.5 {
+		t.Errorf("zero stderr CI = [%v, %v]", lo, hi)
+	}
+	if lo, hi := confidence95(0.5, 0.1, 1); lo != 0.5 || hi != 0.5 {
+		t.Errorf("single sample CI = [%v, %v]", lo, hi)
+	}
+}
+
+func TestConfidence95SmallSampleWidth(t *testing.T) {
+	// n=3 → df=2 → t=4.303.
+	lo, hi := confidence95(0.5, 0.01, 3)
+	if math.Abs((hi-lo)-2*4.303*0.01) > 1e-12 {
+		t.Errorf("CI width = %v, want %v", hi-lo, 2*4.303*0.01)
+	}
+	// Large n falls back to the normal quantile.
+	lo, hi = confidence95(0.5, 0.01, 100)
+	if math.Abs((hi-lo)-2*1.96*0.01) > 1e-12 {
+		t.Errorf("large-n CI width = %v", hi-lo)
+	}
+}
+
+func TestConfidence95Clamped(t *testing.T) {
+	lo, hi := confidence95(0.99, 0.1, 3)
+	if hi > 1 {
+		t.Errorf("CI high %v above 1", hi)
+	}
+	lo, hi = confidence95(0.01, 0.1, 3)
+	if lo < 0 {
+		t.Errorf("CI low %v below 0", lo)
+	}
+	_ = hi
+}
+
+func TestResultCarriesCI(t *testing.T) {
+	p := buildProtocol(t, "can", 10)
+	r := measure(t, p, 0.3, Options{Pairs: 3000, Trials: 5, Seed: 12})
+	if r.CI95Low > r.Routability || r.CI95High < r.Routability {
+		t.Errorf("CI [%v, %v] does not bracket mean %v", r.CI95Low, r.CI95High, r.Routability)
+	}
+	if r.CI95Low == r.CI95High {
+		t.Error("5-trial CI degenerate")
+	}
+	// The analytic value should fall inside (or at worst within a point of)
+	// the measured interval at this well-behaved setting.
+	if r.CI95High-r.CI95Low > 0.1 {
+		t.Errorf("implausibly wide CI: [%v, %v]", r.CI95Low, r.CI95High)
+	}
+}
+
+func TestResultCISingleTrial(t *testing.T) {
+	p := buildProtocol(t, "can", 9)
+	r := measure(t, p, 0.3, Options{Pairs: 1000, Trials: 1, Seed: 12})
+	if r.CI95Low != r.Routability || r.CI95High != r.Routability {
+		t.Errorf("single-trial CI = [%v, %v], want collapsed to %v", r.CI95Low, r.CI95High, r.Routability)
+	}
+}

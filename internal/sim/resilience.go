@@ -1,0 +1,333 @@
+// Package sim contains the experiment harnesses that exercise the protocol
+// simulators: the Gummadi-style static-resilience measurement the paper
+// validates against (Fig. 6), an event-driven churn engine (the dynamic
+// regime §1 leaves open), and helpers shared by both.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"rcm/internal/dht"
+	"rcm/internal/overlay"
+)
+
+// Options configures a static-resilience measurement. The zero value is
+// usable: 10 000 sampled pairs, 3 trials, all CPUs.
+type Options struct {
+	// Pairs is the number of ordered (src, dst) pairs sampled per trial.
+	// Ignored when AllPairs is set.
+	Pairs int
+	// AllPairs routes every ordered pair of surviving nodes instead of
+	// sampling — the exact Definition 1 numerator. Quadratic in the
+	// population; intended for small overlays and estimator-bias tests.
+	AllPairs bool
+	// Trials is the number of independent failure patterns.
+	Trials int
+	// Seed makes the measurement deterministic.
+	Seed uint64
+	// Workers bounds the number of goroutines routing pairs. Note that in
+	// sampled mode each worker draws pairs from its own RNG stream, so the
+	// worker count is part of the sampling plan: fix Workers (not just
+	// Seed) for bit-identical results. AllPairs mode is worker-invariant.
+	Workers int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Pairs <= 0 {
+		o.Pairs = 10000
+	}
+	if o.Trials <= 0 {
+		o.Trials = 3
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// Result summarizes a static-resilience measurement at one failure
+// probability.
+type Result struct {
+	// Protocol is the measured protocol's name.
+	Protocol string
+	// Q is the node-failure probability.
+	Q float64
+	// Routability is the fraction of sampled surviving pairs that routed
+	// successfully, averaged over trials (the paper's Definition 1,
+	// estimated by sampling).
+	Routability float64
+	// FailedPathPct is 100·(1 − Routability), Fig. 6's y-axis.
+	FailedPathPct float64
+	// StdErr is the standard error of Routability across trials (0 when
+	// Trials == 1).
+	StdErr float64
+	// CI95Low and CI95High bound the 95% Student-t confidence interval for
+	// Routability (clamped to [0,1]; equal to Routability when Trials == 1).
+	CI95Low  float64
+	CI95High float64
+	// MeanHops is the mean hop count over successful routes.
+	MeanHops float64
+	// AliveFraction is the measured fraction of surviving nodes.
+	AliveFraction float64
+	// Pairs is the total number of routed pairs across trials.
+	Pairs int
+	// Trials is the number of independent failure patterns measured.
+	Trials int
+}
+
+// population returns the node identifiers participating in the overlay:
+// every identifier for fully-populated overlays, or the overlay's declared
+// population when it implements dht.Populated (sparse variant).
+func population(p dht.Protocol) []overlay.ID {
+	if sp, ok := p.(dht.Populated); ok {
+		return sp.Nodes()
+	}
+	n := p.Space().Size()
+	out := make([]overlay.ID, n)
+	for i := uint64(0); i < n; i++ {
+		out[i] = overlay.ID(i)
+	}
+	return out
+}
+
+// MeasureStaticResilience runs the static-resilience experiment of §1/§2:
+// fail each node independently with probability q, keep routing tables
+// static, and measure the fraction of sampled surviving ordered pairs that
+// remain routable with greedy, non-backtracking forwarding.
+//
+// Pairs are sampled uniformly over distinct surviving nodes. Trials use
+// independent failure patterns; within each trial the sampled pairs are
+// routed in parallel across Workers goroutines.
+func MeasureStaticResilience(p dht.Protocol, q float64, opt Options) (Result, error) {
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return Result{}, fmt.Errorf("sim: q=%v out of [0,1]", q)
+	}
+	opt = opt.withDefaults()
+	nodes := population(p)
+	if len(nodes) < 2 {
+		return Result{}, errors.New("sim: overlay population smaller than 2")
+	}
+	root := overlay.NewRNG(opt.Seed ^ 0x5245534c) // "RESL"
+
+	perTrial := make([]float64, 0, opt.Trials)
+	var totalPairs, totalSuccess, totalHops, aliveSum int
+	for trial := 0; trial < opt.Trials; trial++ {
+		trialRNG := root.Split()
+		alive := overlay.NewBitset(int(p.Space().Size()))
+		aliveNodes := make([]overlay.ID, 0, len(nodes))
+		for _, id := range nodes {
+			if trialRNG.Bernoulli(1 - q) {
+				alive.Set(int(id))
+				aliveNodes = append(aliveNodes, id)
+			}
+		}
+		aliveSum += len(aliveNodes)
+		if len(aliveNodes) < 2 {
+			// Degenerate pattern: no routable pairs exist at all.
+			perTrial = append(perTrial, 0)
+			continue
+		}
+		var success, hops, routed int
+		if opt.AllPairs {
+			success, hops = routeAllPairs(p, alive, aliveNodes, opt.Workers)
+			routed = len(aliveNodes) * (len(aliveNodes) - 1)
+		} else {
+			success, hops = routePairs(p, alive, aliveNodes, opt, trialRNG)
+			routed = opt.Pairs
+		}
+		perTrial = append(perTrial, float64(success)/float64(routed))
+		totalPairs += routed
+		totalSuccess += success
+		totalHops += hops
+	}
+
+	mean, stderr := meanStdErr(perTrial)
+	lo, hi := confidence95(mean, stderr, len(perTrial))
+	res := Result{
+		Protocol:      p.Name(),
+		Q:             q,
+		Routability:   mean,
+		FailedPathPct: 100 * (1 - mean),
+		StdErr:        stderr,
+		CI95Low:       lo,
+		CI95High:      hi,
+		AliveFraction: float64(aliveSum) / float64(len(nodes)*opt.Trials),
+		Pairs:         totalPairs,
+		Trials:        opt.Trials,
+	}
+	if totalSuccess > 0 {
+		res.MeanHops = float64(totalHops) / float64(totalSuccess)
+	}
+	return res, nil
+}
+
+// routePairs samples opt.Pairs ordered pairs of distinct alive nodes and
+// routes them in parallel, returning the success count and the total hops
+// over successful routes.
+func routePairs(p dht.Protocol, alive *overlay.Bitset, aliveNodes []overlay.ID, opt Options, rng *overlay.RNG) (successes, hops int) {
+	workers := opt.Workers
+	if workers > opt.Pairs {
+		workers = opt.Pairs
+	}
+	chunk := (opt.Pairs + workers - 1) / workers
+
+	type partial struct{ ok, hops int }
+	partials := make([]partial, workers)
+	seeds := make([]*overlay.RNG, workers)
+	for w := 0; w < workers; w++ {
+		seeds[w] = rng.Split()
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		start := w * chunk
+		count := chunk
+		if start+count > opt.Pairs {
+			count = opt.Pairs - start
+		}
+		if count <= 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(w, count int) {
+			defer wg.Done()
+			local := seeds[w]
+			var ok, h int
+			for i := 0; i < count; i++ {
+				src := aliveNodes[local.Intn(len(aliveNodes))]
+				dst := aliveNodes[local.Intn(len(aliveNodes))]
+				for dst == src {
+					dst = aliveNodes[local.Intn(len(aliveNodes))]
+				}
+				if hh, routed := p.Route(src, dst, alive); routed {
+					ok++
+					h += hh
+				}
+			}
+			partials[w] = partial{ok: ok, hops: h}
+		}(w, count)
+	}
+	wg.Wait()
+	for _, pt := range partials {
+		successes += pt.ok
+		hops += pt.hops
+	}
+	return successes, hops
+}
+
+// tCritical95 holds two-sided 97.5th-percentile Student-t values by degrees
+// of freedom for small samples; beyond the table the normal 1.96 applies.
+var tCritical95 = map[int]float64{
+	1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
+	6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228,
+}
+
+// confidence95 returns the Student-t 95% confidence interval for a mean
+// with the given standard error and sample size, clamped to [0,1].
+func confidence95(mean, stderr float64, n int) (lo, hi float64) {
+	if n < 2 || stderr == 0 {
+		return mean, mean
+	}
+	t, ok := tCritical95[n-1]
+	if !ok {
+		t = 1.96
+	}
+	lo = mean - t*stderr
+	hi = mean + t*stderr
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// routeAllPairs routes every ordered pair of alive nodes, parallelized over
+// source nodes, and returns the success count and total hops of successful
+// routes.
+func routeAllPairs(p dht.Protocol, alive *overlay.Bitset, aliveNodes []overlay.ID, workers int) (successes, hops int) {
+	if workers > len(aliveNodes) {
+		workers = len(aliveNodes)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	type partial struct{ ok, hops int }
+	partials := make([]partial, workers)
+	chunk := (len(aliveNodes) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		start := w * chunk
+		end := start + chunk
+		if end > len(aliveNodes) {
+			end = len(aliveNodes)
+		}
+		if start >= end {
+			continue
+		}
+		wg.Add(1)
+		go func(w, start, end int) {
+			defer wg.Done()
+			var ok, h int
+			for _, src := range aliveNodes[start:end] {
+				for _, dst := range aliveNodes {
+					if dst == src {
+						continue
+					}
+					if hh, routed := p.Route(src, dst, alive); routed {
+						ok++
+						h += hh
+					}
+				}
+			}
+			partials[w] = partial{ok: ok, hops: h}
+		}(w, start, end)
+	}
+	wg.Wait()
+	for _, pt := range partials {
+		successes += pt.ok
+		hops += pt.hops
+	}
+	return successes, hops
+}
+
+// meanStdErr returns the sample mean and the standard error of the mean.
+func meanStdErr(xs []float64) (mean, stderr float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	var ss float64
+	for _, x := range xs {
+		ss += (x - mean) * (x - mean)
+	}
+	variance := ss / float64(len(xs)-1)
+	return mean, math.Sqrt(variance / float64(len(xs)))
+}
+
+// Sweep measures static resilience across a slice of failure probabilities,
+// reusing the same overlay. Results are returned in input order.
+func Sweep(p dht.Protocol, qs []float64, opt Options) ([]Result, error) {
+	out := make([]Result, 0, len(qs))
+	for i, q := range qs {
+		o := opt
+		o.Seed = opt.Seed + uint64(i)*0x9e37
+		r, err := MeasureStaticResilience(p, q, o)
+		if err != nil {
+			return nil, fmt.Errorf("sim: sweep q=%v: %w", q, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,299 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"rcm/internal/core"
+	"rcm/internal/dht"
+)
+
+func buildProtocol(t *testing.T, name string, bits int) dht.Protocol {
+	t.Helper()
+	p, err := dht.New(name, dht.Config{Bits: bits, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func measure(t *testing.T, p dht.Protocol, q float64, opt Options) Result {
+	t.Helper()
+	r, err := MeasureStaticResilience(p, q, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNoFailurePerfectRoutability(t *testing.T) {
+	for _, name := range dht.ProtocolNames() {
+		p := buildProtocol(t, name, 10)
+		r := measure(t, p, 0, Options{Pairs: 2000, Trials: 2, Seed: 3})
+		if r.Routability != 1 {
+			t.Errorf("%s: routability at q=0 is %v, want 1", name, r.Routability)
+		}
+		if r.FailedPathPct != 0 {
+			t.Errorf("%s: failed paths at q=0 is %v", name, r.FailedPathPct)
+		}
+		if r.AliveFraction != 1 {
+			t.Errorf("%s: alive fraction %v, want 1", name, r.AliveFraction)
+		}
+		if r.MeanHops < 1 {
+			t.Errorf("%s: mean hops %v < 1", name, r.MeanHops)
+		}
+	}
+}
+
+func TestTotalFailureZeroRoutability(t *testing.T) {
+	p := buildProtocol(t, "can", 8)
+	r := measure(t, p, 1, Options{Pairs: 100, Trials: 2, Seed: 3})
+	if r.Routability != 0 {
+		t.Errorf("routability at q=1 is %v, want 0", r.Routability)
+	}
+	if r.FailedPathPct != 100 {
+		t.Errorf("failed paths at q=1 is %v, want 100", r.FailedPathPct)
+	}
+}
+
+func TestInvalidQRejected(t *testing.T) {
+	p := buildProtocol(t, "can", 6)
+	for _, q := range []float64{-0.1, 1.1, math.NaN()} {
+		if _, err := MeasureStaticResilience(p, q, Options{}); err == nil {
+			t.Errorf("q=%v accepted", q)
+		}
+	}
+}
+
+func TestDeterministicMeasurement(t *testing.T) {
+	p := buildProtocol(t, "chord", 10)
+	opt := Options{Pairs: 3000, Trials: 3, Seed: 42}
+	r1 := measure(t, p, 0.3, opt)
+	r2 := measure(t, p, 0.3, opt)
+	if r1 != r2 {
+		t.Errorf("same seed produced different results:\n%+v\n%+v", r1, r2)
+	}
+}
+
+func TestStdErrBehavior(t *testing.T) {
+	p := buildProtocol(t, "kademlia", 10)
+	r1 := measure(t, p, 0.3, Options{Pairs: 2000, Trials: 1, Seed: 9})
+	if r1.StdErr != 0 {
+		t.Errorf("single trial stderr = %v, want 0", r1.StdErr)
+	}
+	r5 := measure(t, p, 0.3, Options{Pairs: 2000, Trials: 5, Seed: 9})
+	if r5.StdErr <= 0 || r5.StdErr > 0.1 {
+		t.Errorf("5-trial stderr = %v, want small positive", r5.StdErr)
+	}
+}
+
+func TestAliveFractionTracksQ(t *testing.T) {
+	p := buildProtocol(t, "can", 12)
+	for _, q := range []float64{0.1, 0.5, 0.9} {
+		r := measure(t, p, q, Options{Pairs: 100, Trials: 3, Seed: 11})
+		if math.Abs(r.AliveFraction-(1-q)) > 0.03 {
+			t.Errorf("q=%v: alive fraction %v, want ~%v", q, r.AliveFraction, 1-q)
+		}
+	}
+}
+
+// The mini-Fig. 6 agreement tests: analysis vs simulation at d=12.
+
+func TestAnalysisMatchesSimulationTree(t *testing.T) {
+	// Fig. 6(a): "the analytical curves show a great fit" — tree is exact
+	// within sampling noise.
+	p := buildProtocol(t, "plaxton", 12)
+	for _, q := range []float64{0.1, 0.3, 0.5, 0.7} {
+		r := measure(t, p, q, Options{Pairs: 20000, Trials: 3, Seed: 21})
+		a, err := core.Routability(core.Tree{}, 12, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(r.Routability-a) > 0.015 {
+			t.Errorf("tree q=%v: sim %v vs analytic %v", q, r.Routability, a)
+		}
+	}
+}
+
+func TestAnalysisMatchesSimulationHypercube(t *testing.T) {
+	p := buildProtocol(t, "can", 12)
+	for _, q := range []float64{0.1, 0.3, 0.5, 0.7} {
+		r := measure(t, p, q, Options{Pairs: 20000, Trials: 3, Seed: 22})
+		a, err := core.Routability(core.Hypercube{}, 12, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(r.Routability-a) > 0.015 {
+			t.Errorf("hypercube q=%v: sim %v vs analytic %v", q, r.Routability, a)
+		}
+	}
+}
+
+func TestAnalysisMatchesSimulationXOR(t *testing.T) {
+	// XOR's chain abstracts away tail re-randomization; agreement is within
+	// a handful of percentage points (calibrated: max |diff| ≈ 0.07).
+	p := buildProtocol(t, "kademlia", 12)
+	for _, q := range []float64{0.1, 0.3, 0.5, 0.7} {
+		r := measure(t, p, q, Options{Pairs: 20000, Trials: 3, Seed: 23})
+		a, err := core.Routability(core.XOR{}, 12, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(r.Routability-a) > 0.09 {
+			t.Errorf("xor q=%v: sim %v vs analytic %v", q, r.Routability, a)
+		}
+	}
+}
+
+func TestRingAnalysisBoundRegimes(t *testing.T) {
+	// Fig. 6(b): the analytic curve is close to simulation below q≈20% and
+	// becomes a conservative bound (sim routability strictly higher) beyond.
+	p := buildProtocol(t, "chord", 12)
+	for _, q := range []float64{0.05, 0.1, 0.2} {
+		r := measure(t, p, q, Options{Pairs: 20000, Trials: 3, Seed: 24})
+		a, err := core.Routability(core.Ring{}, 12, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(r.Routability-a) > 0.04 {
+			t.Errorf("ring q=%v (tight regime): sim %v vs analytic %v", q, r.Routability, a)
+		}
+	}
+	for _, q := range []float64{0.4, 0.5, 0.7} {
+		r := measure(t, p, q, Options{Pairs: 20000, Trials: 3, Seed: 25})
+		a, err := core.Routability(core.Ring{}, 12, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Routability < a-0.02 {
+			t.Errorf("ring q=%v: sim %v fell below analytic lower bound %v", q, r.Routability, a)
+		}
+	}
+}
+
+func TestSymphonyQualitativeAgreement(t *testing.T) {
+	// Symphony's chain is the coarsest model; require qualitative agreement:
+	// both collapse for q >= 0.2 at kn=ks=1 (the unscalability signature).
+	p := buildProtocol(t, "symphony", 12)
+	for _, q := range []float64{0.2, 0.3, 0.5} {
+		r := measure(t, p, q, Options{Pairs: 10000, Trials: 3, Seed: 26})
+		a, err := core.Routability(core.DefaultSymphony(), 12, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Routability > 0.08 {
+			t.Errorf("symphony q=%v: sim routability %v, expected collapse", q, r.Routability)
+		}
+		if a > 0.08 {
+			t.Errorf("symphony q=%v: analytic routability %v, expected collapse", q, a)
+		}
+	}
+}
+
+func TestSimulatedOrderingMatchesFig7a(t *testing.T) {
+	// At q=0.3 the paper's ordering is hypercube > ring > xor > tree > symphony.
+	const q = 0.3
+	vals := make(map[string]float64, 5)
+	for _, name := range dht.ProtocolNames() {
+		p := buildProtocol(t, name, 12)
+		vals[name] = measure(t, p, q, Options{Pairs: 10000, Trials: 3, Seed: 27}).Routability
+	}
+	order := []string{"can", "chord", "kademlia", "plaxton", "symphony"}
+	for i := 1; i < len(order); i++ {
+		if vals[order[i-1]] <= vals[order[i]] {
+			t.Errorf("ordering violated: %s (%v) <= %s (%v)",
+				order[i-1], vals[order[i-1]], order[i], vals[order[i]])
+		}
+	}
+}
+
+func TestSweepMonotoneAndOrdered(t *testing.T) {
+	p := buildProtocol(t, "can", 12)
+	qs := []float64{0, 0.2, 0.4, 0.6, 0.8}
+	results, err := Sweep(p, qs, Options{Pairs: 8000, Trials: 2, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(qs) {
+		t.Fatalf("sweep returned %d results, want %d", len(results), len(qs))
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i].Q != qs[i] {
+			t.Errorf("result %d has q=%v, want %v", i, results[i].Q, qs[i])
+		}
+		if results[i].Routability > results[i-1].Routability+0.02 {
+			t.Errorf("routability rose from %v to %v between q=%v and q=%v",
+				results[i-1].Routability, results[i].Routability, qs[i-1], qs[i])
+		}
+	}
+}
+
+func TestMeanHopsGrowsUnderFailure(t *testing.T) {
+	// Survivor routes detour around dead nodes: mean hops at q=0.5 must
+	// exceed the failure-free mean (hypercube: clean phase interpretation).
+	p := buildProtocol(t, "chord", 12)
+	r0 := measure(t, p, 0, Options{Pairs: 10000, Trials: 2, Seed: 33})
+	r5 := measure(t, p, 0.5, Options{Pairs: 10000, Trials: 2, Seed: 33})
+	if r5.MeanHops <= r0.MeanHops {
+		t.Errorf("mean hops did not grow under failure: %v -> %v", r0.MeanHops, r5.MeanHops)
+	}
+}
+
+func TestSparseOverlaysResilience(t *testing.T) {
+	sc, err := dht.NewSparseChord(dht.Config{Bits: 16, Seed: 1}, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk, err := dht.NewSparseKademlia(dht.Config{Bits: 16, Seed: 1}, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []dht.Protocol{sc, sk} {
+		r0 := measure(t, p, 0, Options{Pairs: 4000, Trials: 2, Seed: 41})
+		if r0.Routability != 1 {
+			t.Errorf("%s: q=0 routability %v, want 1", p.Name(), r0.Routability)
+		}
+		r3 := measure(t, p, 0.3, Options{Pairs: 4000, Trials: 2, Seed: 42})
+		if r3.Routability < 0.5 {
+			t.Errorf("%s: q=0.3 routability %v, suspiciously low", p.Name(), r3.Routability)
+		}
+		if r3.Routability >= r0.Routability {
+			t.Errorf("%s: failure did not reduce routability", p.Name())
+		}
+	}
+}
+
+func TestSparseMatchesDenseAtEffectiveDimension(t *testing.T) {
+	// A sparse Chord with n = 2^12 nodes in a 2^16 space should behave like
+	// a dense d=12 ring: same effective path lengths, similar resilience.
+	sc, err := dht.NewSparseChord(dht.Config{Bits: 16, Seed: 1}, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense := buildProtocol(t, "chord", 12)
+	for _, q := range []float64{0.1, 0.3} {
+		rs := measure(t, sc, q, Options{Pairs: 8000, Trials: 3, Seed: 43})
+		rd := measure(t, dense, q, Options{Pairs: 8000, Trials: 3, Seed: 44})
+		if math.Abs(rs.Routability-rd.Routability) > 0.05 {
+			t.Errorf("q=%v: sparse %v vs dense %v", q, rs.Routability, rd.Routability)
+		}
+	}
+}
+
+func TestMeanStdErrHelper(t *testing.T) {
+	mean, se := meanStdErr([]float64{1, 1, 1})
+	if mean != 1 || se != 0 {
+		t.Errorf("constant sample: mean=%v se=%v", mean, se)
+	}
+	mean, se = meanStdErr([]float64{0, 1})
+	if math.Abs(mean-0.5) > 1e-12 {
+		t.Errorf("mean = %v, want 0.5", mean)
+	}
+	if math.Abs(se-0.5) > 1e-12 {
+		t.Errorf("stderr = %v, want 0.5", se)
+	}
+	mean, se = meanStdErr(nil)
+	if mean != 0 || se != 0 {
+		t.Errorf("empty sample: mean=%v se=%v", mean, se)
+	}
+}

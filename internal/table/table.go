@@ -1,0 +1,142 @@
+// Package table renders small result tables as aligned ASCII or CSV — the
+// output format of the figure/table regeneration harness (cmd/figures and
+// the benchmarks). Only formatting lives here; no experiment logic.
+package table
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Table is an ordered collection of rows under named columns.
+type Table struct {
+	title   string
+	columns []string
+	rows    [][]string
+}
+
+// New returns an empty table with the given title and column names.
+func New(title string, columns ...string) *Table {
+	return &Table{
+		title:   title,
+		columns: append([]string(nil), columns...),
+	}
+}
+
+// Title returns the table title.
+func (t *Table) Title() string { return t.title }
+
+// Columns returns a copy of the column names.
+func (t *Table) Columns() []string {
+	return append([]string(nil), t.columns...)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Row returns a copy of row i.
+func (t *Table) Row(i int) []string {
+	return append([]string(nil), t.rows[i]...)
+}
+
+// AddRow appends a row; missing cells are blank, surplus cells are dropped.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.columns))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// ASCII renders the table with aligned columns.
+func (t *Table) ASCII() string {
+	widths := make([]int, len(t.columns))
+	for i, c := range t.columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.title != "" {
+		fmt.Fprintf(&b, "## %s\n", t.title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.columns)
+	sep := make([]string, len(t.columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as RFC-4180-ish CSV (quoting cells containing
+// commas, quotes, or newlines). The title is not included.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				b.WriteString(strconv.Quote(cell))
+			} else {
+				b.WriteString(cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.columns)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// F formats a float with the given number of decimals, trimming NaN/Inf to
+// readable markers.
+func F(x float64, decimals int) string {
+	s := strconv.FormatFloat(x, 'f', decimals, 64)
+	switch s {
+	case "NaN":
+		return "nan"
+	case "+Inf", "Inf":
+		return "inf"
+	case "-Inf":
+		return "-inf"
+	}
+	return s
+}
+
+// E formats a float in scientific notation with the given precision.
+func E(x float64, decimals int) string {
+	return strconv.FormatFloat(x, 'e', decimals, 64)
+}
+
+// I formats an int.
+func I(x int) string { return strconv.Itoa(x) }
+
+// Pct formats a probability as a percentage with the given decimals.
+func Pct(p float64, decimals int) string {
+	return F(100*p, decimals)
+}

@@ -1,0 +1,111 @@
+package table
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestASCIIAlignment(t *testing.T) {
+	tb := New("demo", "name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRow("b", "22222")
+	out := tb.ASCII()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "## demo") {
+		t.Errorf("missing title line: %q", lines[0])
+	}
+	// All data lines should have equal padded width.
+	if len(lines[1]) != len(lines[2]) {
+		t.Errorf("header and separator widths differ: %q vs %q", lines[1], lines[2])
+	}
+}
+
+func TestAddRowPadsAndTruncates(t *testing.T) {
+	tb := New("", "a", "b", "c")
+	tb.AddRow("1")
+	tb.AddRow("1", "2", "3", "4")
+	if got := tb.Row(0); got[1] != "" || got[2] != "" {
+		t.Errorf("short row not padded: %v", got)
+	}
+	if got := tb.Row(1); len(got) != 3 {
+		t.Errorf("long row not truncated: %v", got)
+	}
+}
+
+func TestCSVQuoting(t *testing.T) {
+	tb := New("t", "x", "y")
+	tb.AddRow("a,b", `say "hi"`)
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"a,b"`) {
+		t.Errorf("comma cell not quoted: %s", csv)
+	}
+	if !strings.Contains(csv, `\"hi\"`) && !strings.Contains(csv, `""hi""`) {
+		t.Errorf("quote cell not escaped: %s", csv)
+	}
+	if strings.Contains(csv, "## t") {
+		t.Error("CSV contains title")
+	}
+}
+
+func TestCSVStructure(t *testing.T) {
+	tb := New("", "q", "r")
+	tb.AddRow("0.1", "0.9")
+	tb.AddRow("0.2", "0.8")
+	lines := strings.Split(strings.TrimRight(tb.CSV(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV lines = %d, want 3", len(lines))
+	}
+	if lines[0] != "q,r" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "0.1,0.9" {
+		t.Errorf("row = %q", lines[1])
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	tb := New("title", "c1", "c2")
+	if tb.Title() != "title" {
+		t.Errorf("Title = %q", tb.Title())
+	}
+	cols := tb.Columns()
+	cols[0] = "mutated"
+	if tb.Columns()[0] != "c1" {
+		t.Error("Columns leaked internal slice")
+	}
+	tb.AddRow("a", "b")
+	if tb.NumRows() != 1 {
+		t.Errorf("NumRows = %d", tb.NumRows())
+	}
+	row := tb.Row(0)
+	row[0] = "mutated"
+	if tb.Row(0)[0] != "a" {
+		t.Error("Row leaked internal slice")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	tests := []struct {
+		got, want string
+	}{
+		{F(1.23456, 2), "1.23"},
+		{F(math.NaN(), 2), "nan"},
+		{F(math.Inf(1), 2), "inf"},
+		{F(math.Inf(-1), 2), "-inf"},
+		{I(42), "42"},
+		{Pct(0.1234, 1), "12.3"},
+		{Pct(1, 0), "100"},
+	}
+	for _, tt := range tests {
+		if tt.got != tt.want {
+			t.Errorf("formatter got %q, want %q", tt.got, tt.want)
+		}
+	}
+	if e := E(12345.678, 2); !strings.Contains(e, "e+04") {
+		t.Errorf("E() = %q", e)
+	}
+}

@@ -1,0 +1,287 @@
+package rcm
+
+import (
+	"fmt"
+
+	"rcm/internal/core"
+	"rcm/internal/dht"
+	"rcm/internal/sim"
+)
+
+// Model is an analytic RCM description of a DHT routing geometry. The zero
+// value is not usable; obtain instances from Tree, Hypercube, XOR, Ring,
+// Symphony or Models.
+type Model struct {
+	g core.Geometry
+}
+
+// Tree returns the Plaxton-style tree geometry (§3.1).
+func Tree() Model { return Model{g: core.Tree{}} }
+
+// Hypercube returns the CAN hypercube geometry (§3.2).
+func Hypercube() Model { return Model{g: core.Hypercube{}} }
+
+// XOR returns the Kademlia XOR geometry (§3.3).
+func XOR() Model { return Model{g: core.XOR{}} }
+
+// Ring returns the Chord ring geometry (§3.4). Its analytic routability is
+// a tight lower bound (§4.3.3).
+func Ring() Model { return Model{g: core.Ring{}} }
+
+// Symphony returns the small-world geometry (§3.5) with kn near neighbors
+// and ks shortcuts. The paper's plots use kn = ks = 1.
+func Symphony(kn, ks int) (Model, error) {
+	g, err := core.NewSymphony(kn, ks)
+	if err != nil {
+		return Model{}, err
+	}
+	return Model{g: g}, nil
+}
+
+// Models returns the five geometries analyzed in the paper, Symphony
+// configured with kn = ks = 1 as in Fig. 7.
+func Models() []Model {
+	out := make([]Model, 0, 5)
+	for _, g := range core.AllGeometries() {
+		out = append(out, Model{g: g})
+	}
+	return out
+}
+
+// Name returns the geometry name used throughout the paper's figures.
+func (m Model) Name() string { return m.g.Name() }
+
+// System returns the DHT system the paper associates with the geometry.
+func (m Model) System() string { return m.g.System() }
+
+// Routability returns r(N,q) for N = 2^d: the expected fraction of
+// surviving node pairs that can still route to each other (Definition 1,
+// computed via Eq. 3).
+func (m Model) Routability(d int, q float64) (float64, error) {
+	return core.Routability(m.g, d, q)
+}
+
+// FailedPathPercent returns 100·(1−r(N,q)) — the y-axis of Fig. 6/7(a).
+func (m Model) FailedPathPercent(d int, q float64) (float64, error) {
+	return core.FailedPathPercent(m.g, d, q)
+}
+
+// SuccessProb returns p(h,q): the probability a route of length h survives
+// (Eq. 5).
+func (m Model) SuccessProb(d, h int, q float64) (float64, error) {
+	return core.SuccessProb(m.g, d, h, q)
+}
+
+// ExpectedReach returns E[S]: the expected number of nodes a surviving root
+// can route to (§4.1 step 4).
+func (m Model) ExpectedReach(d int, q float64) (float64, error) {
+	return core.ExpectedReach(m.g, d, q)
+}
+
+// Verdict classifies a geometry's large-system behavior (Definition 2).
+type Verdict int
+
+// Verdict values.
+const (
+	// Scalable: routability converges to a nonzero value as N → ∞.
+	Scalable Verdict = iota + 1
+	// Unscalable: routability converges to zero for any q > 0.
+	Unscalable
+	// Indeterminate: the numeric probe could not classify the geometry.
+	Indeterminate
+)
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	switch v {
+	case Scalable:
+		return "scalable"
+	case Unscalable:
+		return "unscalable"
+	case Indeterminate:
+		return "indeterminate"
+	default:
+		return "invalid"
+	}
+}
+
+func fromCoreVerdict(v core.Verdict) Verdict {
+	switch v {
+	case core.Scalable:
+		return Scalable
+	case core.Unscalable:
+		return Unscalable
+	default:
+		return Indeterminate
+	}
+}
+
+// Scalability returns the paper's §5 verdict for the geometry together with
+// the one-line justification.
+func (m Model) Scalability() (Verdict, string) {
+	v, reason := core.TheoreticalVerdict(m.g)
+	return fromCoreVerdict(v), reason
+}
+
+// ClassifyNumerically runs the Knopp-test probe (§5, Theorem 1) on Σ Q(m)
+// at failure probability q, independent of the hand-derived verdict.
+func (m Model) ClassifyNumerically(q float64) Verdict {
+	return fromCoreVerdict(core.Classify(m.g, q, core.ClassifyOptions{}))
+}
+
+// SimConfig configures a static-resilience simulation (the Fig. 6
+// experiment) on a concrete overlay.
+type SimConfig struct {
+	// Protocol names the overlay: plaxton/tree, can/hypercube,
+	// kademlia/xor, chord/ring, or symphony.
+	Protocol string
+	// Bits is the identifier length d; the overlay has 2^d nodes.
+	Bits int
+	// Q is the node failure probability.
+	Q float64
+	// Pairs per trial (default 10000) and independent failure Trials
+	// (default 3).
+	Pairs  int
+	Trials int
+	// Seed makes the run deterministic.
+	Seed uint64
+	// Workers bounds routing parallelism (default: all CPUs).
+	Workers int
+	// SymphonyNear/SymphonyShortcuts set kn/ks for Symphony overlays
+	// (default 1 and 1).
+	SymphonyNear      int
+	SymphonyShortcuts int
+}
+
+// SimResult reports a static-resilience measurement.
+type SimResult struct {
+	// Protocol is the canonical protocol name.
+	Protocol string
+	// Q is the failure probability measured.
+	Q float64
+	// Routability is the measured fraction of routable surviving pairs.
+	Routability float64
+	// FailedPathPct is 100·(1−Routability).
+	FailedPathPct float64
+	// StdErr is the standard error of Routability across trials.
+	StdErr float64
+	// MeanHops is the mean hop count over successful routes.
+	MeanHops float64
+	// AliveFraction is the measured fraction of surviving nodes.
+	AliveFraction float64
+}
+
+// Simulate builds the overlay and measures its static resilience at cfg.Q.
+func Simulate(cfg SimConfig) (SimResult, error) {
+	p, err := dht.New(cfg.Protocol, dht.Config{
+		Bits:              cfg.Bits,
+		Seed:              cfg.Seed,
+		SymphonyNear:      cfg.SymphonyNear,
+		SymphonyShortcuts: cfg.SymphonyShortcuts,
+	})
+	if err != nil {
+		return SimResult{}, fmt.Errorf("rcm: %w", err)
+	}
+	res, err := sim.MeasureStaticResilience(p, cfg.Q, sim.Options{
+		Pairs:   cfg.Pairs,
+		Trials:  cfg.Trials,
+		Seed:    cfg.Seed,
+		Workers: cfg.Workers,
+	})
+	if err != nil {
+		return SimResult{}, fmt.Errorf("rcm: %w", err)
+	}
+	return SimResult{
+		Protocol:      res.Protocol,
+		Q:             res.Q,
+		Routability:   res.Routability,
+		FailedPathPct: res.FailedPathPct,
+		StdErr:        res.StdErr,
+		MeanHops:      res.MeanHops,
+		AliveFraction: res.AliveFraction,
+	}, nil
+}
+
+// ChurnConfig configures the churn extension (experiment E11): an
+// event-driven on/off node population with optional table repair.
+type ChurnConfig struct {
+	// Protocol and Bits as in SimConfig.
+	Protocol string
+	Bits     int
+	// MeanOnline and MeanOffline are the exponential session parameters;
+	// the steady-state offline fraction is MeanOffline/(MeanOnline+MeanOffline).
+	MeanOnline  float64
+	MeanOffline float64
+	// Duration is total simulated time; lookups are sampled every
+	// MeasureEvery time units.
+	Duration     float64
+	MeasureEvery float64
+	// PairsPerMeasure lookups are sampled per epoch.
+	PairsPerMeasure int
+	// Repair re-draws a node's table entries toward alive nodes on rejoin
+	// and periodically while online.
+	Repair bool
+	// Seed makes the run deterministic.
+	Seed uint64
+}
+
+// ChurnPoint is one lookup-success measurement during churn.
+type ChurnPoint struct {
+	// Time of the measurement.
+	Time float64
+	// OfflineFraction of nodes at that instant.
+	OfflineFraction float64
+	// LookupSuccess fraction among sampled online pairs.
+	LookupSuccess float64
+}
+
+// Churn runs the churn experiment and returns the measurement series.
+func Churn(cfg ChurnConfig) ([]ChurnPoint, error) {
+	p, err := dht.New(cfg.Protocol, dht.Config{Bits: cfg.Bits, Seed: cfg.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("rcm: %w", err)
+	}
+	opt := sim.ChurnOptions{
+		MeanOnline:      cfg.MeanOnline,
+		MeanOffline:     cfg.MeanOffline,
+		Duration:        cfg.Duration,
+		MeasureEvery:    cfg.MeasureEvery,
+		PairsPerMeasure: cfg.PairsPerMeasure,
+		Seed:            cfg.Seed,
+	}
+	if cfg.Repair {
+		opt.RepairOnRejoin = true
+		opt.RepairEvery = opt.MeasureEvery
+	}
+	pts, err := sim.SimulateChurn(p, opt)
+	if err != nil {
+		return nil, fmt.Errorf("rcm: %w", err)
+	}
+	out := make([]ChurnPoint, len(pts))
+	for i, pt := range pts {
+		out[i] = ChurnPoint{
+			Time:            pt.Time,
+			OfflineFraction: pt.OfflineFraction,
+			LookupSuccess:   pt.LookupSuccess,
+		}
+	}
+	return out, nil
+}
+
+// SteadyState averages churn points after discarding everything before
+// burnIn, returning mean lookup success and mean offline fraction.
+func SteadyState(points []ChurnPoint, burnIn float64) (meanSuccess, meanOffline float64) {
+	n := 0
+	for _, pt := range points {
+		if pt.Time < burnIn {
+			continue
+		}
+		meanSuccess += pt.LookupSuccess
+		meanOffline += pt.OfflineFraction
+		n++
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return meanSuccess / float64(n), meanOffline / float64(n)
+}

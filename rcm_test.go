@@ -1,0 +1,209 @@
+package rcm
+
+import (
+	"math"
+	"testing"
+)
+
+func TestModelsRoster(t *testing.T) {
+	ms := Models()
+	if len(ms) != 5 {
+		t.Fatalf("Models() returned %d entries", len(ms))
+	}
+	wantSystems := map[string]string{
+		"tree":      "Plaxton",
+		"hypercube": "CAN",
+		"xor":       "Kademlia",
+		"ring":      "Chord",
+		"symphony":  "Symphony",
+	}
+	for _, m := range ms {
+		if got := m.System(); got != wantSystems[m.Name()] {
+			t.Errorf("%s: system %q, want %q", m.Name(), got, wantSystems[m.Name()])
+		}
+	}
+}
+
+func TestConstructorsMatchModels(t *testing.T) {
+	sym, err := Symphony(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []Model{Tree(), Hypercube(), XOR(), Ring(), sym} {
+		r, err := m.Routability(16, 0.1)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if r <= 0 || r > 1 {
+			t.Errorf("%s: r = %v", m.Name(), r)
+		}
+	}
+}
+
+func TestSymphonyValidation(t *testing.T) {
+	if _, err := Symphony(1, 0); err == nil {
+		t.Error("ks=0 accepted")
+	}
+	if _, err := Symphony(-1, 1); err == nil {
+		t.Error("kn=-1 accepted")
+	}
+}
+
+func TestRoutabilityHeadline(t *testing.T) {
+	// The paper's headline numbers: at q=0.1 and eDonkey-like scale
+	// (N=2^20), Kademlia keeps routing while Symphony(1,1) collapses.
+	kad, err := XOR().Routability(20, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kad < 0.9 {
+		t.Errorf("kademlia at N=2^20, q=0.1: %v, want > 0.9", kad)
+	}
+	sym, err := Symphony(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	symR, err := sym.Routability(20, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if symR > 0.2 {
+		t.Errorf("symphony at N=2^20, q=0.1: %v, want collapse", symR)
+	}
+}
+
+func TestScalabilityVerdicts(t *testing.T) {
+	want := map[string]Verdict{
+		"tree":      Unscalable,
+		"hypercube": Scalable,
+		"xor":       Scalable,
+		"ring":      Scalable,
+		"symphony":  Unscalable,
+	}
+	for _, m := range Models() {
+		v, reason := m.Scalability()
+		if v != want[m.Name()] {
+			t.Errorf("%s: verdict %v, want %v", m.Name(), v, want[m.Name()])
+		}
+		if reason == "" {
+			t.Errorf("%s: empty reason", m.Name())
+		}
+		if num := m.ClassifyNumerically(0.2); num != v {
+			t.Errorf("%s: numeric verdict %v disagrees with theory %v", m.Name(), num, v)
+		}
+	}
+}
+
+func TestVerdictStrings(t *testing.T) {
+	tests := []struct {
+		v    Verdict
+		want string
+	}{
+		{Scalable, "scalable"},
+		{Unscalable, "unscalable"},
+		{Indeterminate, "indeterminate"},
+		{Verdict(0), "invalid"},
+	}
+	for _, tt := range tests {
+		if got := tt.v.String(); got != tt.want {
+			t.Errorf("Verdict(%d) = %q, want %q", tt.v, got, tt.want)
+		}
+	}
+}
+
+func TestSuccessProbAndReach(t *testing.T) {
+	m := Hypercube()
+	p, err := m.SuccessProb(16, 3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (1 - 0.5) * (1 - 0.25) * (1 - 0.125)
+	if math.Abs(p-want) > 1e-12 {
+		t.Errorf("p(3, 0.5) = %v, want %v", p, want)
+	}
+	es, err := m.ExpectedReach(8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(es-255) > 1e-6 {
+		t.Errorf("E[S] at q=0, d=8 = %v, want 255", es)
+	}
+}
+
+func TestSimulateEndToEnd(t *testing.T) {
+	res, err := Simulate(SimConfig{
+		Protocol: "kademlia",
+		Bits:     10,
+		Q:        0.2,
+		Pairs:    3000,
+		Trials:   2,
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Protocol != "kademlia" {
+		t.Errorf("protocol = %q", res.Protocol)
+	}
+	if res.Routability <= 0.5 || res.Routability >= 1 {
+		t.Errorf("routability = %v, want moderate", res.Routability)
+	}
+	if math.Abs(res.FailedPathPct-100*(1-res.Routability)) > 1e-9 {
+		t.Errorf("failed%% inconsistent: %v vs r=%v", res.FailedPathPct, res.Routability)
+	}
+	// And it should sit near the analytic model.
+	a, err := XOR().Routability(10, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Routability-a) > 0.1 {
+		t.Errorf("sim %v far from analytic %v", res.Routability, a)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	if _, err := Simulate(SimConfig{Protocol: "nope", Bits: 8, Q: 0.1}); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+	if _, err := Simulate(SimConfig{Protocol: "chord", Bits: 0, Q: 0.1}); err == nil {
+		t.Error("bits=0 accepted")
+	}
+	if _, err := Simulate(SimConfig{Protocol: "chord", Bits: 8, Q: 2}); err == nil {
+		t.Error("q=2 accepted")
+	}
+}
+
+func TestChurnEndToEnd(t *testing.T) {
+	pts, err := Churn(ChurnConfig{
+		Protocol:        "chord",
+		Bits:            9,
+		MeanOnline:      1,
+		MeanOffline:     0.25,
+		Duration:        5,
+		MeasureEvery:    0.5,
+		PairsPerMeasure: 1500,
+		Seed:            3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 10 {
+		t.Fatalf("points = %d, want 10", len(pts))
+	}
+	success, offline := SteadyState(pts, 1)
+	if success <= 0.5 || success > 1 {
+		t.Errorf("steady success = %v", success)
+	}
+	if math.Abs(offline-0.2) > 0.06 {
+		t.Errorf("steady offline = %v, want ~0.2", offline)
+	}
+	if s, o := SteadyState(pts, 100); s != 0 || o != 0 {
+		t.Errorf("fully burned-in SteadyState = %v, %v", s, o)
+	}
+}
+
+func TestChurnValidation(t *testing.T) {
+	if _, err := Churn(ChurnConfig{Protocol: "nope", Bits: 8}); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+}
