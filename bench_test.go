@@ -13,6 +13,7 @@ import (
 
 	"rcm/internal/core"
 	"rcm/internal/dht"
+	"rcm/internal/exp"
 	"rcm/internal/figures"
 	"rcm/internal/markov"
 	"rcm/internal/overlay"
@@ -95,6 +96,72 @@ func BenchmarkSparseSpaces(b *testing.B) { benchFigure(b, "sparse") }
 // BenchmarkRadixAblation regenerates E15: identifier radix vs tree
 // resilience at equal N.
 func BenchmarkRadixAblation(b *testing.B) { benchFigure(b, "base") }
+
+// BenchmarkExpSweep times the unified experiment runner (internal/exp) on a
+// fig-6-sized analytic grid — the paper's 19-point q-grid across the
+// Fig. 7(b) system sizes for all five geometries, ~1100 cells. The serial
+// sub-benchmark is the reference path (one worker, no memoization, exactly
+// the per-cell work the pre-runner CLIs did); the parallel sub-benchmark is
+// the production configuration (all CPUs, shared prefix-product cache). The
+// memoization alone makes the parallel runner several times faster even on
+// one core, because the phase products Π(1−Q(m)) are shared across the
+// whole (d, q) grid instead of being recomputed per cell.
+func BenchmarkExpSweep(b *testing.B) {
+	plan := exp.Plan{
+		Name:  "bench-sweep",
+		Specs: exp.AllSpecs(),
+		Bits:  []int{10, 14, 17, 20, 24, 27, 30, 34, 40, 50, 70, 100, 140, 200},
+		Qs:    exp.PaperQGrid(),
+		Mode:  exp.ModeAnalytic,
+	}
+	for _, cfg := range []struct {
+		name   string
+		runner exp.Runner
+	}{
+		{"serial", exp.Runner{Workers: 1, NoCache: true}},
+		{"parallel", exp.Runner{}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r := cfg.runner // fresh caches every iteration
+				rows, err := r.Run(plan)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rows) != len(plan.Specs)*len(plan.Bits)*len(plan.Qs) {
+					b.Fatalf("rows = %d", len(rows))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExpSweepSim times the runner on a simulation grid (the Fig. 6
+// experiment shape at reduced size): overlay construction is shared across
+// each protocol's q-column and cells execute across all CPUs.
+func BenchmarkExpSweepSim(b *testing.B) {
+	plan := exp.Plan{
+		Name:  "bench-sweep-sim",
+		Specs: exp.AllSpecs(),
+		Bits:  []int{10},
+		Qs:    exp.PaperQGrid(),
+		Mode:  exp.ModeSim,
+		Sim:   exp.SimSettings{Pairs: 1000, Trials: 1, Workers: 1},
+		Seed:  1,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := exp.Runner{}
+		rows, err := r.Run(plan)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
 
 // --- substrate micro-benchmarks ---
 

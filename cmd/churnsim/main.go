@@ -2,7 +2,9 @@
 // event-driven population where nodes alternate online/offline with
 // exponential sessions. It prints the lookup-success time series, the
 // steady-state summary, and the static-model predictions at the equivalent
-// failure probability q_eff, with and without table repair.
+// failure probability q_eff, with and without table repair. Both churn
+// variants and the static comparison are one experiment plan executed by
+// the parallel runner in internal/exp.
 //
 // Example:
 //
@@ -15,9 +17,7 @@ import (
 	"io"
 	"os"
 
-	"rcm/internal/core"
-	"rcm/internal/dht"
-	"rcm/internal/sim"
+	"rcm/internal/exp"
 	"rcm/internal/table"
 )
 
@@ -45,94 +45,55 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
-	base := sim.ChurnOptions{
+	spec, err := exp.SpecFor(*protocol, 1, 1)
+	if err != nil {
+		return err
+	}
+	scenario := exp.ChurnSetting{
 		MeanOnline:      *meanOnline,
 		MeanOffline:     *meanOffline,
 		Duration:        *duration,
 		MeasureEvery:    *every,
 		PairsPerMeasure: *pairs,
-		Seed:            *seed,
+		BurnIn:          *burnIn,
 	}
-	qEff := base.QEff()
-
-	runOne := func(repair bool) ([]sim.ChurnPoint, error) {
-		p, err := dht.New(*protocol, dht.Config{Bits: *bits, Seed: *seed})
-		if err != nil {
-			return nil, err
-		}
-		opt := base
-		if repair {
-			opt.RepairOnRejoin = true
-			opt.RepairEvery = *every
-		}
-		return sim.SimulateChurn(p, opt)
-	}
-
-	noRepair, err := runOne(false)
+	repaired := scenario
+	repaired.Repair = true
+	rows, err := (&exp.Runner{}).Run(exp.Plan{
+		Name:  "churnsim",
+		Specs: []exp.Spec{spec},
+		Bits:  []int{*bits},
+		Mode:  exp.ModeAnalytic | exp.ModeSim | exp.ModeChurn,
+		Sim:   exp.SimSettings{Pairs: 4 * *pairs, Trials: 3},
+		Churn: []exp.ChurnSetting{scenario, repaired},
+		Seed:  *seed,
+	})
 	if err != nil {
 		return err
 	}
-	withRepair, err := runOne(true)
-	if err != nil {
-		return err
-	}
+	noRepair, withRepair := rows[0], rows[1]
 
-	series := table.New(fmt.Sprintf("%s churn time series, N=2^%d, q_eff=%.3f", *protocol, *bits, qEff),
+	series := table.New(fmt.Sprintf("%s churn time series, N=2^%d, q_eff=%.3f", spec.Protocol, *bits, noRepair.Q),
 		"time", "offline %", "success % (static tables)", "success % (repair)")
-	for i := range noRepair {
+	for i := range noRepair.Series {
 		series.AddRow(
-			table.F(noRepair[i].Time, 2),
-			table.Pct(noRepair[i].OfflineFraction, 1),
-			table.Pct(noRepair[i].LookupSuccess, 2),
-			table.Pct(withRepair[i].LookupSuccess, 2),
+			table.F(noRepair.Series[i].Time, 2),
+			table.Pct(noRepair.Series[i].OfflineFraction, 1),
+			table.Pct(noRepair.Series[i].LookupSuccess, 2),
+			table.Pct(withRepair.Series[i].LookupSuccess, 2),
 		)
 	}
 	fmt.Fprintln(stdout, series.ASCII())
 
-	sNo, off := sim.SteadyState(noRepair, *burnIn)
-	sRep, _ := sim.SteadyState(withRepair, *burnIn)
-	p, err := dht.New(*protocol, dht.Config{Bits: *bits, Seed: *seed})
-	if err != nil {
-		return err
-	}
-	static, err := sim.MeasureStaticResilience(p, qEff, sim.Options{Pairs: 4 * *pairs, Trials: 3, Seed: *seed + 1})
-	if err != nil {
-		return err
-	}
-	geom, err := geometryFor(*protocol)
-	if err != nil {
-		return err
-	}
-	analytic, err := core.Routability(geom, *bits, qEff)
-	if err != nil {
-		return err
-	}
 	summary := table.New("steady state vs the static model",
 		"churn success %", "churn+repair success %", "static sim %", "static analytic %", "offline %")
 	summary.AddRow(
-		table.Pct(sNo, 2),
-		table.Pct(sRep, 2),
-		table.Pct(static.Routability, 2),
-		table.Pct(analytic, 2),
-		table.Pct(off, 2),
+		table.Pct(noRepair.ChurnSuccess, 2),
+		table.Pct(withRepair.ChurnSuccess, 2),
+		table.Pct(noRepair.SimRoutability, 2),
+		table.Pct(noRepair.AnalyticRoutability, 2),
+		table.Pct(noRepair.ChurnOffline, 2),
 	)
 	fmt.Fprintln(stdout, summary.ASCII())
 	return nil
-}
-
-func geometryFor(protocol string) (core.Geometry, error) {
-	switch protocol {
-	case "plaxton", "tree":
-		return core.Tree{}, nil
-	case "can", "hypercube":
-		return core.Hypercube{}, nil
-	case "kademlia", "xor":
-		return core.XOR{}, nil
-	case "chord", "ring":
-		return core.Ring{}, nil
-	case "symphony":
-		return core.DefaultSymphony(), nil
-	default:
-		return nil, fmt.Errorf("unknown protocol %q", protocol)
-	}
 }

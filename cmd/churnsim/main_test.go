@@ -3,6 +3,8 @@ package main
 import (
 	"strings"
 	"testing"
+
+	"rcm/internal/exp"
 )
 
 func runCapture(t *testing.T, args ...string) string {
@@ -53,13 +55,13 @@ func TestChurnUnknownProtocol(t *testing.T) {
 	}
 }
 
-func TestGeometryForAliases(t *testing.T) {
+func TestProtocolAliases(t *testing.T) {
 	for _, name := range []string{"plaxton", "tree", "can", "hypercube", "kademlia", "xor", "chord", "ring", "symphony"} {
-		if _, err := geometryFor(name); err != nil {
-			t.Errorf("geometryFor(%q): %v", name, err)
+		if _, err := exp.SpecFor(name, 1, 1); err != nil {
+			t.Errorf("SpecFor(%q): %v", name, err)
 		}
 	}
-	if _, err := geometryFor("pastry"); err == nil {
-		t.Error("geometryFor accepted unknown protocol")
+	if _, err := exp.SpecFor("pastry", 1, 1); err == nil {
+		t.Error("SpecFor accepted unknown protocol")
 	}
 }

@@ -2,7 +2,9 @@
 // overlay: build routing tables for 2^bits nodes, fail nodes independently
 // with probability q, route sampled pairs greedily with static tables and
 // no back-tracking, and report the surviving routability. With -compare the
-// matching RCM analytic prediction is printed alongside.
+// matching RCM analytic prediction is printed alongside. The sweep is a
+// declarative experiment plan executed by the parallel runner in
+// internal/exp.
 //
 // Examples:
 //
@@ -17,9 +19,7 @@ import (
 	"io"
 	"os"
 
-	"rcm/internal/core"
-	"rcm/internal/dht"
-	"rcm/internal/sim"
+	"rcm/internal/exp"
 	"rcm/internal/table"
 )
 
@@ -48,29 +48,27 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	p, err := dht.New(*protocol, dht.Config{
-		Bits:              *bits,
-		Seed:              *seed,
-		SymphonyNear:      *kn,
-		SymphonyShortcuts: *ks,
-	})
+	spec, err := exp.SpecFor(*protocol, *kn, *ks)
 	if err != nil {
 		return err
 	}
-	geom, err := matchingGeometry(p, *kn, *ks)
-	if err != nil {
-		return err
-	}
-
 	qs := []float64{*q}
 	if *sweep {
-		qs = qs[:0]
-		for v := 0.0; v <= 0.901; v += 0.05 {
-			qs = append(qs, v)
-		}
+		qs = exp.PaperQGrid()
 	}
-	opt := sim.Options{Pairs: *pairs, Trials: *trials, Seed: *seed}
-	results, err := sim.Sweep(p, qs, opt)
+	mode := exp.ModeSim
+	if *compare {
+		mode |= exp.ModeAnalytic
+	}
+	rows, err := (&exp.Runner{}).Run(exp.Plan{
+		Name:  "dhtsim",
+		Specs: []exp.Spec{spec},
+		Bits:  []int{*bits},
+		Qs:    qs,
+		Mode:  mode,
+		Sim:   exp.SimSettings{Pairs: *pairs, Trials: *trials},
+		Seed:  *seed,
+	})
 	if err != nil {
 		return err
 	}
@@ -80,43 +78,21 @@ func run(args []string, out io.Writer) error {
 		cols = append(cols, "analytic r%", "analytic failed %")
 	}
 	t := table.New(fmt.Sprintf("%s static resilience, N=2^%d, %d pairs × %d trials",
-		p.Name(), *bits, *pairs, *trials), cols...)
-	for _, r := range results {
+		spec.Protocol, *bits, *pairs, *trials), cols...)
+	for _, r := range rows {
 		row := []string{
 			table.Pct(r.Q, 0),
-			table.Pct(r.Routability, 2),
-			table.F(r.FailedPathPct, 2),
-			table.F(100*r.StdErr, 2),
-			table.F(r.MeanHops, 2),
-			table.Pct(r.AliveFraction, 1),
+			table.Pct(r.SimRoutability, 2),
+			table.F(r.SimFailedPct, 2),
+			table.F(100*r.SimStdErr, 2),
+			table.F(r.SimMeanHops, 2),
+			table.Pct(r.SimAlive, 1),
 		}
 		if *compare {
-			a, err := core.Routability(geom, *bits, r.Q)
-			if err != nil {
-				return err
-			}
-			row = append(row, table.Pct(a, 2), table.F(100*(1-a), 2))
+			row = append(row, table.Pct(r.AnalyticRoutability, 2), table.F(r.AnalyticFailedPct, 2))
 		}
 		t.AddRow(row...)
 	}
 	_, err = fmt.Fprintln(out, t.ASCII())
 	return err
-}
-
-// matchingGeometry returns the analytic model for a protocol's geometry.
-func matchingGeometry(p dht.Protocol, kn, ks int) (core.Geometry, error) {
-	switch p.GeometryName() {
-	case "tree":
-		return core.Tree{}, nil
-	case "hypercube":
-		return core.Hypercube{}, nil
-	case "xor":
-		return core.XOR{}, nil
-	case "ring":
-		return core.Ring{}, nil
-	case "symphony":
-		return core.NewSymphony(kn, ks)
-	default:
-		return nil, fmt.Errorf("no analytic model for geometry %q", p.GeometryName())
-	}
 }

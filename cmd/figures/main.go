@@ -1,11 +1,14 @@
 // Command figures regenerates the paper's tables and figures (and the
 // extension experiments) as ASCII tables or CSV files. See DESIGN.md for
-// the experiment index mapping figure names to paper artifacts.
+// the experiment index mapping figure names to paper artifacts. The
+// grid-shaped experiments construct declarative plans executed by the
+// parallel runner in internal/exp.
 //
 // Examples:
 //
 //	figures -fig 6a                  # Fig. 6(a) at the paper's N=2^16
 //	figures -fig 7b -format csv      # Fig. 7(b) as CSV on stdout
+//	figures -fig churngrid           # E16: geometry × churn-repair grid
 //	figures -fig all -bits 12        # everything, at reduced size
 //	figures -fig all -out results/   # write one file per table
 package main

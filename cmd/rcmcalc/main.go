@@ -1,7 +1,8 @@
 // Command rcmcalc evaluates the RCM analytic model: routability, failed-path
 // percentage, expected reachable-component size and scalability verdicts for
 // any of the paper's five geometries at arbitrary system size and failure
-// probability.
+// probability. Sweeps are declarative experiment plans executed by the
+// parallel runner in internal/exp.
 //
 // Examples:
 //
@@ -18,6 +19,7 @@ import (
 	"os"
 
 	"rcm/internal/core"
+	"rcm/internal/exp"
 	"rcm/internal/table"
 )
 
@@ -50,50 +52,50 @@ func run(args []string, out io.Writer) error {
 		return renderTreeBase(out, *base, *bits, *q)
 	}
 
-	geoms, err := selectGeometries(*geometry, *kn, *ks)
+	specs, err := selectSpecs(*geometry, *kn, *ks)
 	if err != nil {
 		return err
 	}
 	switch {
 	case *sweepQ:
-		return renderSweepQ(out, geoms, *bits)
+		return renderSweepQ(out, specs, *bits)
 	case *sweepN:
-		return renderSweepN(out, geoms, *q)
+		return renderSweepN(out, specs, *q)
 	default:
-		return renderPoint(out, geoms, *bits, *q)
+		return renderPoint(out, specs, *bits, *q)
 	}
 }
 
-func selectGeometries(name string, kn, ks int) ([]core.Geometry, error) {
+func selectSpecs(name string, kn, ks int) ([]exp.Spec, error) {
 	if name == "all" {
-		gs := core.AllGeometries()
+		specs := exp.AllSpecs()
 		if kn != 1 || ks != 1 {
-			sym, err := core.NewSymphony(kn, ks)
+			sym, err := exp.SpecFor("symphony", kn, ks)
 			if err != nil {
 				return nil, err
 			}
-			gs[len(gs)-1] = sym
+			specs[len(specs)-1] = sym
 		}
-		return gs, nil
+		return specs, nil
 	}
-	switch name {
-	case "tree":
-		return []core.Geometry{core.Tree{}}, nil
-	case "hypercube":
-		return []core.Geometry{core.Hypercube{}}, nil
-	case "xor":
-		return []core.Geometry{core.XOR{}}, nil
-	case "ring":
-		return []core.Geometry{core.Ring{}}, nil
-	case "symphony":
-		sym, err := core.NewSymphony(kn, ks)
-		if err != nil {
-			return nil, err
-		}
-		return []core.Geometry{sym}, nil
-	default:
-		return nil, fmt.Errorf("unknown geometry %q", name)
+	s, err := exp.SpecFor(name, kn, ks)
+	if err != nil {
+		return nil, err
 	}
+	return []exp.Spec{s}, nil
+}
+
+// analyticRows executes an analytic-only plan over specs × bits × qs and
+// returns its rows in plan order (spec-major, then bits, then q).
+func analyticRows(name string, specs []exp.Spec, bits []int, qs []float64) ([]exp.Row, error) {
+	plan := exp.Plan{
+		Name:  name,
+		Specs: specs,
+		Bits:  bits,
+		Qs:    qs,
+		Mode:  exp.ModeAnalytic,
+	}
+	return (&exp.Runner{}).Run(plan)
 }
 
 // renderTreeBase evaluates the base-b tree (E15): N = base^bits nodes.
@@ -113,63 +115,65 @@ func renderTreeBase(out io.Writer, base, digits int, q float64) error {
 	return err
 }
 
-func renderPoint(out io.Writer, geoms []core.Geometry, bits int, q float64) error {
+func renderPoint(out io.Writer, specs []exp.Spec, bits int, q float64) error {
+	rows, err := analyticRows("rcmcalc-point", specs, []int{bits}, []float64{q})
+	if err != nil {
+		return err
+	}
 	t := table.New(fmt.Sprintf("RCM at N=2^%d, q=%.3f", bits, q),
 		"geometry", "system", "routability %", "failed paths %", "E[S]", "verdict")
-	for _, g := range geoms {
-		r, err := core.Routability(g, bits, q)
-		if err != nil {
-			return err
-		}
-		es, err := core.ExpectedReach(g, bits, q)
-		if err != nil {
-			return err
-		}
-		v, _ := core.TheoreticalVerdict(g)
-		t.AddRow(g.Name(), g.System(), table.Pct(r, 3), table.F(100*(1-r), 3), table.E(es, 4), v.String())
+	for i, row := range rows {
+		v, _ := core.TheoreticalVerdict(specs[i].Geometry)
+		t.AddRow(row.Geometry, row.System,
+			table.Pct(row.AnalyticRoutability, 3),
+			table.F(row.AnalyticFailedPct, 3),
+			table.E(row.AnalyticReach, 4),
+			v.String())
 	}
-	_, err := fmt.Fprintln(out, t.ASCII())
+	_, err = fmt.Fprintln(out, t.ASCII())
 	return err
 }
 
-func renderSweepQ(out io.Writer, geoms []core.Geometry, bits int) error {
+func renderSweepQ(out io.Writer, specs []exp.Spec, bits int) error {
+	qs := exp.PaperQGrid()
+	rows, err := analyticRows("rcmcalc-sweep-q", specs, []int{bits}, qs)
+	if err != nil {
+		return err
+	}
 	cols := []string{"q %"}
-	for _, g := range geoms {
-		cols = append(cols, g.Name()+" r%")
+	for _, s := range specs {
+		cols = append(cols, s.Geometry.Name()+" r%")
 	}
 	t := table.New(fmt.Sprintf("routability %% vs q at N=2^%d", bits), cols...)
-	for q := 0.0; q <= 0.901; q += 0.05 {
+	for qi, q := range qs {
 		row := []string{table.Pct(q, 0)}
-		for _, g := range geoms {
-			r, err := core.Routability(g, bits, q)
-			if err != nil {
-				return err
-			}
-			row = append(row, table.Pct(r, 2))
+		for gi := range specs {
+			row = append(row, table.Pct(rows[gi*len(qs)+qi].AnalyticRoutability, 2))
 		}
 		t.AddRow(row...)
 	}
-	_, err := fmt.Fprintln(out, t.ASCII())
+	_, err = fmt.Fprintln(out, t.ASCII())
 	return err
 }
 
-func renderSweepN(out io.Writer, geoms []core.Geometry, q float64) error {
+func renderSweepN(out io.Writer, specs []exp.Spec, q float64) error {
+	ds := []int{8, 12, 16, 20, 24, 28, 32, 40, 50, 64, 80, 100}
+	rows, err := analyticRows("rcmcalc-sweep-n", specs, ds, []float64{q})
+	if err != nil {
+		return err
+	}
 	cols := []string{"log2 N"}
-	for _, g := range geoms {
-		cols = append(cols, g.Name()+" r%")
+	for _, s := range specs {
+		cols = append(cols, s.Geometry.Name()+" r%")
 	}
 	t := table.New(fmt.Sprintf("routability %% vs system size at q=%.3f", q), cols...)
-	for _, d := range []int{8, 12, 16, 20, 24, 28, 32, 40, 50, 64, 80, 100} {
+	for di, d := range ds {
 		row := []string{table.I(d)}
-		for _, g := range geoms {
-			r, err := core.Routability(g, d, q)
-			if err != nil {
-				return err
-			}
-			row = append(row, table.Pct(r, 2))
+		for gi := range specs {
+			row = append(row, table.Pct(rows[gi*len(ds)+di].AnalyticRoutability, 2))
 		}
 		t.AddRow(row...)
 	}
-	_, err := fmt.Fprintln(out, t.ASCII())
+	_, err = fmt.Fprintln(out, t.ASCII())
 	return err
 }

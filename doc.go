@@ -20,6 +20,14 @@
 //     static model's predictions transfer to dynamic node populations with
 //     and without table repair.
 //
+// Underneath the facade, internal/exp is the unified experiment-runner
+// subsystem: a declarative Plan describes a (geometry × d × q × churn)
+// grid, and a sharded parallel Runner executes its cells across all CPUs,
+// memoizing the analytic phase-product prefixes (internal/core.Evaluator)
+// and emitting deterministically-ordered CSV/JSON rows. All four CLIs —
+// cmd/rcmcalc, cmd/dhtsim, cmd/churnsim and cmd/figures — construct Plans
+// and delegate their sweeps to that runner.
+//
 // The full experiment harness that regenerates every figure and table of
 // the paper lives in cmd/figures; see DESIGN.md for the experiment index
 // and EXPERIMENTS.md for recorded results.

@@ -1,0 +1,3 @@
+module rcm
+
+go 1.22

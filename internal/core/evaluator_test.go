@@ -1,0 +1,144 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestEvaluatorMatchesDirect verifies the memoized evaluator is bit-identical
+// to the package-level functions over a (geometry × d × q) grid, regardless
+// of evaluation order.
+func TestEvaluatorMatchesDirect(t *testing.T) {
+	e := NewEvaluator()
+	ds := []int{4, 8, 16, 32, 64}
+	qs := []float64{0, 0.05, 0.1, 0.3, 0.5, 0.9, 1}
+	for _, g := range AllGeometries() {
+		// Descending d exercises prefix reuse: the series is built at d=64
+		// and every smaller d reads a prefix of it.
+		for i := len(ds) - 1; i >= 0; i-- {
+			d := ds[i]
+			for _, q := range qs {
+				want, err := Routability(g, d, q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := e.Routability(g, d, q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Errorf("%s d=%d q=%v: evaluator %v != direct %v", g.Name(), d, q, got, want)
+				}
+				wantES, err := ExpectedReach(g, d, q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotES, err := e.ExpectedReach(g, d, q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if gotES != wantES && !(math.IsNaN(gotES) && math.IsNaN(wantES)) {
+					t.Errorf("%s d=%d q=%v: E[S] %v != %v", g.Name(), d, q, gotES, wantES)
+				}
+			}
+		}
+	}
+}
+
+// TestEvaluatorSuccessProb checks the memoized p(h,q) against the direct
+// computation, including series extension (h grows across calls).
+func TestEvaluatorSuccessProb(t *testing.T) {
+	e := NewEvaluator()
+	for _, g := range AllGeometries() {
+		for _, h := range []int{1, 3, 7, 16, 12, 2} { // non-monotone on purpose
+			want, err := SuccessProb(g, 16, h, 0.3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := e.SuccessProb(g, 16, h, 0.3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Errorf("%s h=%d: %v != %v", g.Name(), h, got, want)
+			}
+		}
+	}
+}
+
+// TestEvaluatorSymphonyKeying ensures d-dependent geometries (Symphony) do
+// not share cached series across system sizes or configurations.
+func TestEvaluatorSymphonyKeying(t *testing.T) {
+	e := NewEvaluator()
+	s11 := DefaultSymphony()
+	s13 := Symphony{KN: 1, KS: 3}
+	for _, d := range []int{16, 32} {
+		for _, g := range []Geometry{s11, s13} {
+			want, err := Routability(g, d, 0.2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := e.Routability(g, d, 0.2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Errorf("symphony kn=%d ks=%d d=%d: %v != %v", g.(Symphony).KN, g.(Symphony).KS, d, got, want)
+			}
+		}
+	}
+}
+
+// TestEvaluatorConcurrent hammers one shared evaluator from many goroutines
+// and checks every result against the direct path (run with -race).
+func TestEvaluatorConcurrent(t *testing.T) {
+	e := NewEvaluator()
+	geoms := AllGeometries()
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				g := geoms[(w+i)%len(geoms)]
+				d := 8 + (i%4)*8
+				q := 0.1 + 0.1*float64(w%5)
+				got, err := e.Routability(g, d, q)
+				if err != nil {
+					errs <- err.Error()
+					return
+				}
+				want, _ := Routability(g, d, q)
+				if got != want {
+					errs <- g.Name()
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Errorf("concurrent mismatch: %s", msg)
+	}
+}
+
+// TestEvaluatorValidation checks the memoized paths reject the same inputs
+// as the direct ones.
+func TestEvaluatorValidation(t *testing.T) {
+	e := NewEvaluator()
+	if _, err := e.Routability(Tree{}, 0, 0.5); err == nil {
+		t.Error("d=0 accepted")
+	}
+	if _, err := e.Routability(Tree{}, 16, -0.1); err == nil {
+		t.Error("q<0 accepted")
+	}
+	if _, err := e.SuccessProb(Tree{}, 16, 0, 0.5); err == nil {
+		t.Error("h=0 accepted")
+	}
+	if _, err := e.SuccessProb(Tree{}, 16, 17, 0.5); err == nil {
+		t.Error("h>d accepted")
+	}
+}

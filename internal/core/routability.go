@@ -62,6 +62,15 @@ func ExpectedReach(g Geometry, d int, q float64) (float64, error) {
 // routable. By convention r = 1 at q = 0 and r = 0 once the expected number
 // of survivors drops below one (the denominator becomes non-positive).
 func Routability(g Geometry, d int, q float64) (float64, error) {
+	return routabilityFromLogES(d, q, func() (float64, error) {
+		return LogExpectedReach(g, d, q)
+	})
+}
+
+// routabilityFromLogES evaluates Eq. 3 given a source of ln E[S] — the
+// single implementation behind both the direct path and the memoized
+// Evaluator, so their edge-case handling cannot drift apart.
+func routabilityFromLogES(d int, q float64, logReach func() (float64, error)) (float64, error) {
 	if err := validateDQ(d, q); err != nil {
 		return 0, err
 	}
@@ -76,7 +85,7 @@ func Routability(g Geometry, d int, q float64) (float64, error) {
 		return 0, nil
 	}
 	logDen := numeric.LogExpm1(logSurvivors)
-	logES, err := LogExpectedReach(g, d, q)
+	logES, err := logReach()
 	if err != nil {
 		return 0, err
 	}

@@ -1,0 +1,113 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Header returns the CSV column names, in encoding order.
+func Header() []string {
+	return []string{
+		"plan", "kind", "geometry", "system", "protocol", "bits", "q",
+		"analytic_routability", "analytic_failed_pct", "analytic_reach",
+		"sim_routability", "sim_failed_pct", "sim_stderr", "sim_mean_hops",
+		"sim_alive", "sim_pairs", "sim_trials",
+		"churn_repair", "churn_success", "churn_offline",
+	}
+}
+
+// fields returns the row's cells in Header order. NaN and ±Inf become
+// empty cells; floats carry full round-trip precision so golden files are
+// exact.
+func (r Row) fields() []string {
+	return []string{
+		r.Plan, r.Kind, r.Geometry, r.System, r.Protocol,
+		strconv.Itoa(r.Bits), num(r.Q),
+		num(r.AnalyticRoutability), num(r.AnalyticFailedPct), num(r.AnalyticReach),
+		num(r.SimRoutability), num(r.SimFailedPct), num(r.SimStdErr),
+		num(r.SimMeanHops), num(r.SimAlive),
+		count(r.SimPairs), count(r.SimTrials),
+		boolCell(r.Kind, r.ChurnRepair), num(r.ChurnSuccess), num(r.ChurnOffline),
+	}
+}
+
+// num formats a float for the flat encodings: shortest round-trip decimal,
+// empty for non-finite values (NaN marks "not measured").
+func num(v float64) string {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return ""
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// count formats a tally, empty when zero (not measured).
+func count(n int) string {
+	if n == 0 {
+		return ""
+	}
+	return strconv.Itoa(n)
+}
+
+// boolCell renders churn_repair only on churn rows.
+func boolCell(kind string, v bool) string {
+	if kind != "churn" {
+		return ""
+	}
+	return strconv.FormatBool(v)
+}
+
+// WriteCSV streams rows as CSV with a header line. Cells never contain
+// commas or quotes, so no quoting is required.
+func WriteCSV(w io.Writer, rows []Row) error {
+	if _, err := io.WriteString(w, strings.Join(Header(), ",")+"\n"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := io.WriteString(w, strings.Join(r.fields(), ",")+"\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON streams rows as a JSON array of objects with a fixed key
+// order. Unmeasured (NaN/Inf) numbers encode as null; the churn time
+// series is not encoded.
+func WriteJSON(w io.Writer, rows []Row) error {
+	header := Header()
+	var b strings.Builder
+	b.WriteString("[\n")
+	for i, r := range rows {
+		if i > 0 {
+			b.WriteString(",\n")
+		}
+		b.WriteString("  {")
+		for j, cellStr := range r.fields() {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%q: %s", header[j], jsonValue(j, cellStr))
+		}
+		b.WriteString("}")
+	}
+	b.WriteString("\n]\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// jsonValue renders a field by column index: the first five columns are
+// strings, churn_repair is a boolean, everything else numeric (null when
+// empty).
+func jsonValue(col int, cellStr string) string {
+	switch {
+	case col < 5:
+		return strconv.Quote(cellStr)
+	case cellStr == "":
+		return "null"
+	default:
+		return cellStr
+	}
+}

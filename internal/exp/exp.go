@@ -1,0 +1,104 @@
+// Package exp is the unified experiment-runner subsystem: a declarative
+// Plan describes a (geometry × d × q × churn) grid together with an
+// evaluation mode, and a sharded parallel Runner executes the grid's cells
+// across workers, memoizing the analytic hot path and streaming results as
+// flat, deterministically-ordered rows.
+//
+// Before this package each CLI (cmd/rcmcalc, cmd/dhtsim, cmd/churnsim,
+// cmd/figures) hand-rolled its own sweep loops; they now construct Plans
+// and delegate here. A Plan is pure data:
+//
+//	plan := exp.Plan{
+//		Name:  "fig6a-xor",
+//		Specs: []exp.Spec{{Geometry: core.XOR{}, Protocol: "kademlia"}},
+//		Bits:  []int{16},
+//		Qs:    exp.PaperQGrid(),
+//		Mode:  exp.ModeAnalytic | exp.ModeSim,
+//		Sim:   exp.SimSettings{Pairs: 20000, Trials: 3},
+//		Seed:  1,
+//	}
+//	rows, err := (&exp.Runner{}).Run(plan)
+//
+// Each cell yields one Row; absent measurements are NaN. Rows come back in
+// plan order (spec-major, then bits, then q, churn cells last) regardless
+// of how many workers executed them, so golden-file tests of the CSV/JSON
+// encodings are stable and a parallel run is byte-identical to a serial
+// one.
+//
+// The analytic columns share a core.Evaluator across the whole grid: the
+// phase products Π(1−Q(m)) share prefixes across the entire q-grid (for
+// the d-invariant geometries the series at a given q is reused by every
+// system size in the plan), which is what makes wide grids cheap — see
+// BenchmarkExpSweep at the repository root.
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"rcm/internal/core"
+)
+
+// Spec pairs an analytic geometry with the concrete protocol that realizes
+// it. Protocol may be empty for analytic-only plans; Geometry must be set.
+type Spec struct {
+	// Geometry is the RCM analytic model.
+	Geometry core.Geometry
+	// Protocol names the dht overlay ("plaxton", "can", "kademlia",
+	// "chord", "symphony") used for simulation and churn cells. Empty
+	// disables sim/churn cells for this spec.
+	Protocol string
+	// KN and KS configure Symphony overlays (near neighbors / shortcuts);
+	// zero values mean the paper's kn = ks = 1.
+	KN, KS int
+}
+
+// SpecFor resolves a geometry or protocol name (either vocabulary: the
+// paper's geometry terms or the system names) to a Spec. kn and ks apply
+// only to Symphony and are validated by core.NewSymphony; pass 1, 1 for
+// the paper's defaults (or use AllSpecs). They are ignored for the other
+// geometries.
+func SpecFor(name string, kn, ks int) (Spec, error) {
+	switch strings.ToLower(name) {
+	case "tree", "plaxton":
+		return Spec{Geometry: core.Tree{}, Protocol: "plaxton"}, nil
+	case "hypercube", "can":
+		return Spec{Geometry: core.Hypercube{}, Protocol: "can"}, nil
+	case "xor", "kademlia":
+		return Spec{Geometry: core.XOR{}, Protocol: "kademlia"}, nil
+	case "ring", "chord":
+		return Spec{Geometry: core.Ring{}, Protocol: "chord"}, nil
+	case "symphony", "smallworld", "small-world":
+		g, err := core.NewSymphony(kn, ks)
+		if err != nil {
+			return Spec{}, err
+		}
+		return Spec{Geometry: g, Protocol: "symphony", KN: kn, KS: ks}, nil
+	default:
+		return Spec{}, fmt.Errorf("exp: unknown geometry or protocol %q", name)
+	}
+}
+
+// AllSpecs returns the five paper geometries paired with their protocols,
+// in the paper's presentation order, Symphony at kn = ks = 1.
+func AllSpecs() []Spec {
+	specs := make([]Spec, 0, 5)
+	for _, name := range []string{"plaxton", "can", "kademlia", "chord", "symphony"} {
+		s, err := SpecFor(name, 1, 1)
+		if err != nil {
+			panic(err) // static names; unreachable
+		}
+		specs = append(specs, s)
+	}
+	return specs
+}
+
+// PaperQGrid returns the failure-probability grid of Fig. 6/7(a):
+// 0 to 0.90 in steps of 0.05 (19 points).
+func PaperQGrid() []float64 {
+	qs := make([]float64, 0, 19)
+	for q := 0.0; q <= 0.901; q += 0.05 {
+		qs = append(qs, q)
+	}
+	return qs
+}

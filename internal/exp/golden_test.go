@@ -1,0 +1,101 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenPlan must be fully machine-independent: analytic math is pure
+// float64, sim workers are pinned to 1, and the churn engine's worker count
+// is a fixed default — so the encoded bytes are identical everywhere.
+func goldenPlan() Plan {
+	return Plan{
+		Name:  "golden",
+		Specs: AllSpecs(),
+		Bits:  []int{8},
+		Qs:    []float64{0, 0.3, 0.9},
+		Mode:  ModeAnalytic | ModeSim | ModeChurn,
+		Sim:   SimSettings{Pairs: 400, Trials: 2, Workers: 1},
+		Churn: []ChurnSetting{
+			{Duration: 2, MeasureEvery: 0.5, PairsPerMeasure: 200, BurnIn: 0.5},
+			{Duration: 2, MeasureEvery: 0.5, PairsPerMeasure: 200, BurnIn: 0.5, Repair: true},
+		},
+		Seed: 1,
+	}
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run: go test ./internal/exp -run Golden -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+// TestGoldenCSV locks the CSV encoding of a full-mode plan byte-for-byte.
+func TestGoldenCSV(t *testing.T) {
+	rows, err := (&Runner{}).Run(goldenPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	if err := WriteCSV(&b, rows); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "golden.csv", b.Bytes())
+}
+
+// TestGoldenJSON locks the JSON encoding and checks it is valid JSON with
+// the expected shape.
+func TestGoldenJSON(t *testing.T) {
+	rows, err := (&Runner{}).Run(goldenPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	if err := WriteJSON(&b, rows); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []map[string]any
+	if err := json.Unmarshal(b.Bytes(), &decoded); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, b.String())
+	}
+	if len(decoded) != len(rows) {
+		t.Fatalf("decoded %d objects, want %d", len(decoded), len(rows))
+	}
+	first := decoded[0]
+	if first["plan"] != "golden" || first["kind"] != "grid" {
+		t.Errorf("first object identity: %v", first)
+	}
+	if first["q"] != 0.0 || first["analytic_routability"] != 1.0 {
+		t.Errorf("first object values: %v", first)
+	}
+	// Grid rows carry no churn fields.
+	if first["churn_success"] != nil {
+		t.Errorf("grid row churn_success = %v, want null", first["churn_success"])
+	}
+	last := decoded[len(decoded)-1]
+	if last["kind"] != "churn" || last["churn_repair"] != true {
+		t.Errorf("last object should be the repair churn row: %v", last)
+	}
+	checkGolden(t, "golden.json", b.Bytes())
+}

@@ -1,0 +1,191 @@
+package exp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"rcm/internal/sim"
+)
+
+// Mode is a bitmask selecting which measurements each cell performs.
+type Mode uint8
+
+// Mode flags. They compose: ModeAnalytic|ModeSim is the "compare" layout of
+// Fig. 6, ModeAnalytic|ModeSim|ModeChurn additionally scores the static
+// model against churn steady states.
+const (
+	// ModeAnalytic evaluates the RCM closed forms (routability, failed-path
+	// percentage, expected reach) at every grid point.
+	ModeAnalytic Mode = 1 << iota
+	// ModeSim measures static resilience on the concrete overlay.
+	ModeSim
+	// ModeChurn runs the event-driven churn engine for every ChurnSetting
+	// and reports steady-state lookup success at q = q_eff.
+	ModeChurn
+)
+
+// SimSettings tunes the static-resilience measurements of ModeSim cells.
+type SimSettings struct {
+	// Pairs per trial (default 10000).
+	Pairs int
+	// AllPairs routes every ordered surviving pair instead of sampling.
+	AllPairs bool
+	// Trials is the number of independent failure patterns (default 3).
+	Trials int
+	// Workers bounds routing parallelism inside one cell. Zero means all
+	// CPUs; note the worker count is part of the sampling plan, so pin it
+	// (typically to 1) when byte-stable output across machines matters.
+	Workers int
+}
+
+// ChurnSetting describes one churn scenario of a plan. The zero value uses
+// the engine defaults (mean online 1, mean offline 0.25, q_eff = 0.2).
+type ChurnSetting struct {
+	// MeanOnline and MeanOffline are the exponential session parameters.
+	MeanOnline, MeanOffline float64
+	// Duration is total simulated time; measurements every MeasureEvery.
+	Duration, MeasureEvery float64
+	// PairsPerMeasure lookups are sampled per epoch.
+	PairsPerMeasure int
+	// Repair re-draws table entries on rejoin and periodically while
+	// online, modeling a maintained DHT.
+	Repair bool
+	// BurnIn discards measurements before this time from the steady state.
+	BurnIn float64
+}
+
+// options converts the setting to engine options at the given seed.
+func (c ChurnSetting) options(seed uint64) sim.ChurnOptions {
+	opt := sim.ChurnOptions{
+		MeanOnline:      c.MeanOnline,
+		MeanOffline:     c.MeanOffline,
+		Duration:        c.Duration,
+		MeasureEvery:    c.MeasureEvery,
+		PairsPerMeasure: c.PairsPerMeasure,
+		Seed:            seed,
+	}
+	if c.Repair {
+		opt.RepairOnRejoin = true
+		opt.RepairEvery = opt.MeasureEvery
+		if opt.RepairEvery == 0 {
+			opt.RepairEvery = 0.5 // engine default MeasureEvery
+		}
+	}
+	return opt
+}
+
+// QEff returns the steady-state offline fraction implied by the setting —
+// the static model's equivalent failure probability.
+func (c ChurnSetting) QEff() float64 {
+	return c.options(0).QEff()
+}
+
+// Plan declares an experiment grid. The Runner expands it to cells:
+// Specs × Bits × Qs grid cells (when Mode has analytic or sim bits), then
+// Specs × Bits × Churn churn cells (when Mode has ModeChurn).
+type Plan struct {
+	// Name labels the plan; it is carried into every Row.
+	Name string
+	// Specs are the geometry/protocol pairs to sweep.
+	Specs []Spec
+	// Bits are the identifier lengths d (N = 2^d) to sweep.
+	Bits []int
+	// Qs are the node-failure probabilities to sweep.
+	Qs []float64
+	// Mode selects the measurements.
+	Mode Mode
+	// Sim tunes ModeSim measurements.
+	Sim SimSettings
+	// Churn lists the churn scenarios for ModeChurn.
+	Churn []ChurnSetting
+	// Seed drives all randomness. Grid cell i (by q index) measures with
+	// seed Seed + i·0x9e37, matching the historical sim.Sweep schedule;
+	// churn cells use Seed directly and Seed+1 for their static
+	// comparison, matching cmd/churnsim.
+	Seed uint64
+}
+
+// Validate checks the plan is executable.
+func (p Plan) Validate() error {
+	if len(p.Specs) == 0 {
+		return errors.New("exp: plan has no geometry specs")
+	}
+	if p.Mode == 0 {
+		return errors.New("exp: plan has no mode")
+	}
+	if p.Mode&^(ModeAnalytic|ModeSim|ModeChurn) != 0 {
+		return fmt.Errorf("exp: unknown mode bits %#x", p.Mode)
+	}
+	if len(p.Bits) == 0 {
+		return errors.New("exp: plan has no bits (system sizes)")
+	}
+	for _, d := range p.Bits {
+		if d < 1 {
+			return fmt.Errorf("exp: bits=%d out of range", d)
+		}
+	}
+	if p.Mode&(ModeAnalytic|ModeSim) != 0 && len(p.Qs) == 0 && p.Mode&ModeChurn == 0 {
+		return errors.New("exp: plan has no q grid")
+	}
+	for _, q := range p.Qs {
+		if q < 0 || q > 1 || math.IsNaN(q) {
+			return fmt.Errorf("exp: q=%v out of [0,1]", q)
+		}
+	}
+	if p.Mode&ModeChurn != 0 && len(p.Churn) == 0 {
+		return errors.New("exp: churn mode with no churn settings")
+	}
+	if p.Mode&ModeSim != 0 || p.Mode&ModeChurn != 0 {
+		for _, s := range p.Specs {
+			if s.Protocol == "" {
+				return fmt.Errorf("exp: spec %q has no protocol for sim/churn mode", s.Geometry.Name())
+			}
+		}
+	}
+	return nil
+}
+
+// cellKind discriminates grid cells from churn cells.
+type cellKind uint8
+
+const (
+	gridCell cellKind = iota + 1
+	churnCell
+)
+
+// cell is one unit of work for the Runner.
+type cell struct {
+	kind  cellKind
+	spec  Spec
+	bits  int
+	q     float64 // grid: the swept q; churn: q_eff
+	qIdx  int     // index into Plan.Qs (grid cells only)
+	churn ChurnSetting
+}
+
+// cells expands the plan in deterministic order: grid cells spec-major,
+// then bits, then q; churn cells after all grid cells, spec-major, then
+// bits, then setting order.
+func (p Plan) cells() []cell {
+	var out []cell
+	if p.Mode&(ModeAnalytic|ModeSim) != 0 {
+		for _, s := range p.Specs {
+			for _, d := range p.Bits {
+				for qi, q := range p.Qs {
+					out = append(out, cell{kind: gridCell, spec: s, bits: d, q: q, qIdx: qi})
+				}
+			}
+		}
+	}
+	if p.Mode&ModeChurn != 0 {
+		for _, s := range p.Specs {
+			for _, d := range p.Bits {
+				for _, c := range p.Churn {
+					out = append(out, cell{kind: churnCell, spec: s, bits: d, q: c.QEff(), churn: c})
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,159 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"rcm/internal/core"
+)
+
+func TestSpecForAliases(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		geometry string
+		protocol string
+	}{
+		{"tree", "tree", "plaxton"},
+		{"plaxton", "tree", "plaxton"},
+		{"hypercube", "hypercube", "can"},
+		{"can", "hypercube", "can"},
+		{"xor", "xor", "kademlia"},
+		{"kademlia", "xor", "kademlia"},
+		{"ring", "ring", "chord"},
+		{"chord", "ring", "chord"},
+		{"symphony", "symphony", "symphony"},
+		{"Chord", "ring", "chord"}, // case-insensitive
+	} {
+		s, err := SpecFor(tc.name, 1, 1)
+		if err != nil {
+			t.Fatalf("SpecFor(%q): %v", tc.name, err)
+		}
+		if s.Geometry.Name() != tc.geometry || s.Protocol != tc.protocol {
+			t.Errorf("SpecFor(%q) = (%s, %s), want (%s, %s)",
+				tc.name, s.Geometry.Name(), s.Protocol, tc.geometry, tc.protocol)
+		}
+	}
+	if _, err := SpecFor("pastry", 1, 1); err == nil {
+		t.Error("unknown name accepted")
+	}
+	if _, err := SpecFor("symphony", 1, 0); err == nil {
+		t.Error("symphony ks=0 accepted")
+	}
+	if _, err := SpecFor("symphony", -1, 1); err == nil {
+		t.Error("symphony kn=-1 accepted")
+	}
+}
+
+func TestSpecForSymphonyParams(t *testing.T) {
+	s, err := SpecFor("symphony", 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sym, ok := s.Geometry.(core.Symphony)
+	if !ok {
+		t.Fatalf("geometry %T, want core.Symphony", s.Geometry)
+	}
+	if sym.KN != 2 || sym.KS != 3 {
+		t.Errorf("symphony params (%d,%d), want (2,3)", sym.KN, sym.KS)
+	}
+}
+
+func TestAllSpecsOrder(t *testing.T) {
+	specs := AllSpecs()
+	want := []string{"plaxton", "can", "kademlia", "chord", "symphony"}
+	if len(specs) != len(want) {
+		t.Fatalf("AllSpecs len = %d, want %d", len(specs), len(want))
+	}
+	for i, s := range specs {
+		if s.Protocol != want[i] {
+			t.Errorf("spec %d protocol = %q, want %q", i, s.Protocol, want[i])
+		}
+	}
+}
+
+func TestPaperQGrid(t *testing.T) {
+	qs := PaperQGrid()
+	if len(qs) != 19 {
+		t.Fatalf("grid has %d points, want 19", len(qs))
+	}
+	if qs[0] != 0 || qs[len(qs)-1] < 0.89 || qs[len(qs)-1] > 0.91 {
+		t.Errorf("grid endpoints %v..%v", qs[0], qs[len(qs)-1])
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	valid := Plan{
+		Specs: AllSpecs(),
+		Bits:  []int{10},
+		Qs:    []float64{0.1},
+		Mode:  ModeAnalytic,
+	}
+	if err := valid.Validate(); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Plan)
+		want   string
+	}{
+		{"no specs", func(p *Plan) { p.Specs = nil }, "no geometry specs"},
+		{"no mode", func(p *Plan) { p.Mode = 0 }, "no mode"},
+		{"bad mode", func(p *Plan) { p.Mode = 1 << 7 }, "unknown mode"},
+		{"no bits", func(p *Plan) { p.Bits = nil }, "no bits"},
+		{"bad bits", func(p *Plan) { p.Bits = []int{0} }, "out of range"},
+		{"no qs", func(p *Plan) { p.Qs = nil }, "no q grid"},
+		{"bad q", func(p *Plan) { p.Qs = []float64{1.5} }, "out of [0,1]"},
+		{"churn without settings", func(p *Plan) { p.Mode = ModeChurn }, "no churn settings"},
+		{"sim without protocol", func(p *Plan) {
+			p.Mode = ModeSim
+			p.Specs = []Spec{{Geometry: core.Tree{}}}
+		}, "no protocol"},
+	}
+	for _, tc := range cases {
+		p := valid
+		tc.mutate(&p)
+		err := p.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestPlanCellsOrder(t *testing.T) {
+	p := Plan{
+		Specs: AllSpecs()[:2],
+		Bits:  []int{8, 10},
+		Qs:    []float64{0.1, 0.3},
+		Mode:  ModeAnalytic | ModeChurn,
+		Churn: []ChurnSetting{{Repair: false}, {Repair: true}},
+	}
+	cells := p.cells()
+	// 2 specs × 2 bits × 2 qs grid + 2 specs × 2 bits × 2 churn settings.
+	if len(cells) != 16 {
+		t.Fatalf("cells = %d, want 16", len(cells))
+	}
+	// Grid cells first, spec-major.
+	if cells[0].kind != gridCell || cells[0].spec.Protocol != "plaxton" || cells[0].bits != 8 || cells[0].q != 0.1 {
+		t.Errorf("cell 0 = %+v", cells[0])
+	}
+	if cells[7].kind != gridCell || cells[7].spec.Protocol != "can" || cells[7].bits != 10 || cells[7].q != 0.3 {
+		t.Errorf("cell 7 = %+v", cells[7])
+	}
+	if cells[8].kind != churnCell || cells[8].spec.Protocol != "plaxton" || cells[8].churn.Repair {
+		t.Errorf("cell 8 = %+v", cells[8])
+	}
+	if cells[15].kind != churnCell || cells[15].spec.Protocol != "can" || !cells[15].churn.Repair {
+		t.Errorf("cell 15 = %+v", cells[15])
+	}
+}
+
+func TestChurnSettingQEff(t *testing.T) {
+	// Defaults: mean online 1, mean offline 0.25 → q_eff = 0.2.
+	if q := (ChurnSetting{}).QEff(); q < 0.199 || q > 0.201 {
+		t.Errorf("default QEff = %v, want 0.2", q)
+	}
+	c := ChurnSetting{MeanOnline: 3, MeanOffline: 1}
+	if q := c.QEff(); q < 0.249 || q > 0.251 {
+		t.Errorf("QEff = %v, want 0.25", q)
+	}
+}

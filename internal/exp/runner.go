@@ -1,0 +1,371 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"rcm/internal/core"
+	"rcm/internal/dht"
+	"rcm/internal/sim"
+)
+
+// seedStride separates the measurement seeds of adjacent q-grid cells; it
+// is the stride sim.Sweep historically used, kept so cmd/dhtsim output is
+// unchanged by the delegation to this runner.
+const seedStride = 0x9e37
+
+// Row is one result of a plan: a single grid or churn cell. Measurements a
+// cell did not perform are NaN (encoded as empty CSV cells / JSON nulls).
+type Row struct {
+	// Plan is the plan name.
+	Plan string
+	// Kind is "grid" or "churn".
+	Kind string
+	// Geometry, System and Protocol identify the spec.
+	Geometry, System, Protocol string
+	// Bits is the identifier length d (N = 2^d).
+	Bits int
+	// Q is the node-failure probability; for churn rows it is q_eff.
+	Q float64
+
+	// AnalyticRoutability, AnalyticFailedPct and AnalyticReach are the RCM
+	// closed forms r(N,q), 100·(1−r) and E[S].
+	AnalyticRoutability float64
+	AnalyticFailedPct   float64
+	AnalyticReach       float64
+
+	// SimRoutability and friends report the static-resilience measurement.
+	SimRoutability float64
+	SimFailedPct   float64
+	SimStdErr      float64
+	SimMeanHops    float64
+	SimAlive       float64
+	SimPairs       int
+	SimTrials      int
+
+	// ChurnRepair tells whether the churn scenario repaired tables;
+	// ChurnSuccess and ChurnOffline are the steady-state means.
+	ChurnRepair  bool
+	ChurnSuccess float64
+	ChurnOffline float64
+
+	// Series is the churn time series backing ChurnSuccess. It is carried
+	// for renderers (cmd/churnsim) and excluded from CSV/JSON encodings.
+	Series []sim.ChurnPoint
+}
+
+// newRow returns a Row with every measurement field set to NaN.
+func newRow(plan string, c cell) Row {
+	nan := math.NaN()
+	return Row{
+		Plan:     plan,
+		Geometry: c.spec.Geometry.Name(),
+		System:   c.spec.Geometry.System(),
+		Protocol: c.spec.Protocol,
+		Bits:     c.bits,
+		Q:        c.q,
+
+		AnalyticRoutability: nan,
+		AnalyticFailedPct:   nan,
+		AnalyticReach:       nan,
+		SimRoutability:      nan,
+		SimFailedPct:        nan,
+		SimStdErr:           nan,
+		SimMeanHops:         nan,
+		SimAlive:            nan,
+		ChurnSuccess:        nan,
+		ChurnOffline:        nan,
+	}
+}
+
+// overlayKey identifies a constructed overlay shared by read-only cells.
+type overlayKey struct {
+	protocol string
+	bits     int
+	kn, ks   int
+	seed     uint64
+}
+
+// overlayEntry builds its protocol at most once.
+type overlayEntry struct {
+	once sync.Once
+	p    dht.Protocol
+	err  error
+}
+
+// overlayCache shares overlay construction across the cells of one run.
+// Route is read-only and safe for concurrent use; churn cells with repair
+// mutate tables and therefore bypass the cache.
+type overlayCache struct {
+	mu sync.Mutex
+	m  map[overlayKey]*overlayEntry
+}
+
+func (oc *overlayCache) get(key overlayKey) (dht.Protocol, error) {
+	oc.mu.Lock()
+	e, ok := oc.m[key]
+	if !ok {
+		e = &overlayEntry{}
+		oc.m[key] = e
+	}
+	oc.mu.Unlock()
+	e.once.Do(func() {
+		e.p, e.err = build(key)
+	})
+	return e.p, e.err
+}
+
+// staticCache deduplicates the churn cells' static-resilience comparison:
+// the repair on/off variants of one (spec, bits, q_eff) group measure the
+// same unrepaired overlay at the same seed, so they share one result.
+type staticCache struct {
+	mu sync.Mutex
+	m  map[staticKey]*staticEntry
+}
+
+type staticKey struct {
+	key overlayKey
+	q   float64
+}
+
+type staticEntry struct {
+	once sync.Once
+	res  sim.Result
+	err  error
+}
+
+func (sc *staticCache) get(key staticKey) *staticEntry {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	e, ok := sc.m[key]
+	if !ok {
+		e = &staticEntry{}
+		sc.m[key] = e
+	}
+	return e
+}
+
+func build(key overlayKey) (dht.Protocol, error) {
+	return dht.New(key.protocol, dht.Config{
+		Bits:              key.bits,
+		Seed:              key.seed,
+		SymphonyNear:      key.kn,
+		SymphonyShortcuts: key.ks,
+	})
+}
+
+// Runner executes a Plan's cells across parallel workers. The zero value
+// runs on all CPUs with a fresh memoization cache per Run.
+type Runner struct {
+	// Workers is the cell-level parallelism; zero or negative means
+	// runtime.NumCPU(). Row order and content do not depend on it.
+	Workers int
+	// Eval is the shared analytic memoization cache. Nil allocates a fresh
+	// cache per Run; supply one to share prefix products across plans.
+	Eval *core.Evaluator
+	// NoCache disables analytic memoization entirely and evaluates every
+	// cell through the direct package-level path — the serial reference
+	// used by equivalence tests and the BenchmarkExpSweep baseline.
+	NoCache bool
+}
+
+// Run executes the plan and returns one Row per cell, in plan order. The
+// result is deterministic for a fixed plan: cell ordering never depends on
+// worker scheduling, and all randomness derives from Plan.Seed.
+func (r *Runner) Run(plan Plan) ([]Row, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	cells := plan.cells()
+	rows := make([]Row, len(cells))
+	errs := make([]error, len(cells))
+
+	eval := r.Eval
+	if eval == nil && !r.NoCache {
+		eval = core.NewEvaluator()
+	}
+	overlays := &overlayCache{m: make(map[overlayKey]*overlayEntry)}
+	statics := &staticCache{m: make(map[staticKey]*staticEntry)}
+
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				rows[i], errs[i] = r.runCell(plan, cells[i], eval, overlays, statics)
+			}
+		}()
+	}
+	for i := range cells {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	// Report the lowest-indexed failure so the error, like the rows, does
+	// not depend on scheduling.
+	for i, err := range errs {
+		if err != nil {
+			c := cells[i]
+			return nil, fmt.Errorf("exp: %s cell %s d=%d q=%v: %w", rows[i].Kind, c.spec.Geometry.Name(), c.bits, c.q, err)
+		}
+	}
+	return rows, nil
+}
+
+// runCell executes one cell.
+func (r *Runner) runCell(plan Plan, c cell, eval *core.Evaluator, overlays *overlayCache, statics *staticCache) (Row, error) {
+	row := newRow(plan.Name, c)
+	switch c.kind {
+	case gridCell:
+		row.Kind = "grid"
+		return row, r.fillGrid(&row, plan, c, eval, overlays)
+	case churnCell:
+		row.Kind = "churn"
+		return row, r.fillChurn(&row, plan, c, eval, overlays, statics)
+	default:
+		return row, fmt.Errorf("unknown cell kind %d", c.kind)
+	}
+}
+
+// fillAnalytic computes the closed forms at (g, d, q) through the memo
+// cache, or the direct path when caching is disabled.
+func (r *Runner) fillAnalytic(row *Row, g core.Geometry, d int, q float64, eval *core.Evaluator) error {
+	var (
+		rt, reach float64
+		err       error
+	)
+	if eval != nil {
+		rt, err = eval.Routability(g, d, q)
+		if err == nil {
+			reach, err = eval.ExpectedReach(g, d, q)
+		}
+	} else {
+		rt, err = core.Routability(g, d, q)
+		if err == nil {
+			reach, err = core.ExpectedReach(g, d, q)
+		}
+	}
+	if err != nil {
+		return err
+	}
+	row.AnalyticRoutability = rt
+	row.AnalyticFailedPct = 100 * (1 - rt)
+	row.AnalyticReach = reach
+	return nil
+}
+
+func (c cell) overlayKey() overlayKey {
+	return overlayKey{protocol: c.spec.Protocol, bits: c.bits, kn: c.spec.KN, ks: c.spec.KS}
+}
+
+// fillGrid computes a grid cell: analytic closed forms and/or one
+// static-resilience measurement.
+func (r *Runner) fillGrid(row *Row, plan Plan, c cell, eval *core.Evaluator, overlays *overlayCache) error {
+	if plan.Mode&ModeAnalytic != 0 {
+		if err := r.fillAnalytic(row, c.spec.Geometry, c.bits, c.q, eval); err != nil {
+			return err
+		}
+	}
+	if plan.Mode&ModeSim != 0 {
+		key := c.overlayKey()
+		key.seed = plan.Seed
+		p, err := overlays.get(key)
+		if err != nil {
+			return err
+		}
+		res, err := sim.MeasureStaticResilience(p, c.q, sim.Options{
+			Pairs:    plan.Sim.Pairs,
+			AllPairs: plan.Sim.AllPairs,
+			Trials:   plan.Sim.Trials,
+			Workers:  plan.Sim.Workers,
+			Seed:     plan.Seed + uint64(c.qIdx)*seedStride,
+		})
+		if err != nil {
+			return err
+		}
+		fillSim(row, res)
+	}
+	return nil
+}
+
+func fillSim(row *Row, res sim.Result) {
+	row.SimRoutability = res.Routability
+	row.SimFailedPct = res.FailedPathPct
+	row.SimStdErr = res.StdErr
+	row.SimMeanHops = res.MeanHops
+	row.SimAlive = res.AliveFraction
+	row.SimPairs = res.Pairs
+	row.SimTrials = res.Trials
+}
+
+// fillChurn computes a churn cell: the churn steady state at q_eff, plus —
+// depending on the plan mode — the analytic closed forms and a static
+// simulated comparison at the same q_eff.
+func (r *Runner) fillChurn(row *Row, plan Plan, c cell, eval *core.Evaluator, overlays *overlayCache, statics *staticCache) error {
+	row.ChurnRepair = c.churn.Repair
+	opt := c.churn.options(plan.Seed)
+
+	var p dht.Protocol
+	var err error
+	key := c.overlayKey()
+	key.seed = plan.Seed
+	if c.churn.Repair {
+		// Repair mutates routing tables in place; build a private overlay
+		// so concurrent cells sharing the cache never observe the repairs.
+		p, err = build(key)
+	} else {
+		p, err = overlays.get(key)
+	}
+	if err != nil {
+		return err
+	}
+	points, err := sim.SimulateChurn(p, opt)
+	if err != nil {
+		return err
+	}
+	row.Series = points
+	row.ChurnSuccess, row.ChurnOffline = sim.SteadyState(points, c.churn.BurnIn)
+
+	if plan.Mode&ModeAnalytic != 0 {
+		if err := r.fillAnalytic(row, c.spec.Geometry, c.bits, c.q, eval); err != nil {
+			return err
+		}
+	}
+	if plan.Mode&ModeSim != 0 {
+		// The static comparison runs on an unrepaired overlay at q = q_eff,
+		// seeded at Seed+1 as cmd/churnsim always did. It depends only on
+		// (spec, bits, q_eff), so the repair on/off variants of one group
+		// share a single cached measurement.
+		entry := statics.get(staticKey{key: key, q: c.q})
+		entry.once.Do(func() {
+			var static dht.Protocol
+			static, entry.err = overlays.get(key)
+			if entry.err != nil {
+				return
+			}
+			entry.res, entry.err = sim.MeasureStaticResilience(static, c.q, sim.Options{
+				Pairs:   plan.Sim.Pairs,
+				Trials:  plan.Sim.Trials,
+				Workers: plan.Sim.Workers,
+				Seed:    plan.Seed + 1,
+			})
+		})
+		if entry.err != nil {
+			return entry.err
+		}
+		fillSim(row, entry.res)
+	}
+	return nil
+}

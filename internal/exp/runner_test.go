@@ -1,0 +1,254 @@
+package exp
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"rcm/internal/core"
+	"rcm/internal/sim"
+)
+
+// testPlan is a small but full-featured plan: every mode, two system
+// sizes, sim workers pinned so output is machine-independent.
+func testPlan() Plan {
+	return Plan{
+		Name:  "test",
+		Specs: AllSpecs(),
+		Bits:  []int{8, 9},
+		Qs:    []float64{0, 0.2, 0.5},
+		Mode:  ModeAnalytic | ModeSim | ModeChurn,
+		Sim:   SimSettings{Pairs: 500, Trials: 2, Workers: 1},
+		Churn: []ChurnSetting{
+			{Duration: 2, MeasureEvery: 0.5, PairsPerMeasure: 200, BurnIn: 0.5},
+			{Duration: 2, MeasureEvery: 0.5, PairsPerMeasure: 200, BurnIn: 0.5, Repair: true},
+		},
+		Seed: 1,
+	}
+}
+
+// TestParallelMatchesSerial is the determinism contract: a parallel run
+// must produce byte-identical encoded output to a serial (Workers=1) run.
+func TestParallelMatchesSerial(t *testing.T) {
+	plan := testPlan()
+	serial, err := (&Runner{Workers: 1}).Run(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := (&Runner{Workers: 8}).Run(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bs, bp bytes.Buffer
+	if err := WriteCSV(&bs, serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCSV(&bp, parallel); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bs.Bytes(), bp.Bytes()) {
+		t.Errorf("parallel CSV differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", bs.String(), bp.String())
+	}
+}
+
+// TestMemoMatchesDirect checks the memoized analytic path is bit-identical
+// to the direct (NoCache) path over the same plan.
+func TestMemoMatchesDirect(t *testing.T) {
+	plan := testPlan()
+	plan.Mode = ModeAnalytic
+	memo, err := (&Runner{}).Run(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := (&Runner{NoCache: true}).Run(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(memo) != len(direct) {
+		t.Fatalf("row counts differ: %d vs %d", len(memo), len(direct))
+	}
+	for i := range memo {
+		if memo[i].AnalyticRoutability != direct[i].AnalyticRoutability ||
+			memo[i].AnalyticFailedPct != direct[i].AnalyticFailedPct ||
+			memo[i].AnalyticReach != direct[i].AnalyticReach {
+			t.Errorf("row %d: memo %+v != direct %+v", i, memo[i], direct[i])
+		}
+	}
+}
+
+// TestSharedEvaluatorAcrossRuns reuses one cache across plans.
+func TestSharedEvaluatorAcrossRuns(t *testing.T) {
+	eval := core.NewEvaluator()
+	r := &Runner{Eval: eval}
+	plan := testPlan()
+	plan.Mode = ModeAnalytic
+	first, err := r.Run(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := r.Run(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range first {
+		if first[i].AnalyticRoutability != second[i].AnalyticRoutability {
+			t.Errorf("row %d: second run differs", i)
+		}
+	}
+}
+
+// TestGridRows sanity-checks grid row content against direct evaluation.
+func TestGridRows(t *testing.T) {
+	plan := Plan{
+		Name:  "grid",
+		Specs: []Spec{mustSpec(t, "kademlia")},
+		Bits:  []int{10},
+		Qs:    []float64{0, 0.3},
+		Mode:  ModeAnalytic | ModeSim,
+		Sim:   SimSettings{Pairs: 1000, Trials: 2, Workers: 1},
+		Seed:  1,
+	}
+	rows, err := (&Runner{}).Run(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	r0 := rows[0]
+	if r0.Kind != "grid" || r0.Geometry != "xor" || r0.System != "Kademlia" || r0.Protocol != "kademlia" {
+		t.Errorf("row identity: %+v", r0)
+	}
+	if r0.Q != 0 || r0.AnalyticRoutability != 1 || r0.SimRoutability != 1 {
+		t.Errorf("q=0 row should be perfectly routable: %+v", r0)
+	}
+	want, err := core.Routability(core.XOR{}, 10, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[1].AnalyticRoutability != want {
+		t.Errorf("analytic r = %v, want %v", rows[1].AnalyticRoutability, want)
+	}
+	if rows[1].SimRoutability <= 0 || rows[1].SimRoutability >= 1 {
+		t.Errorf("sim r at q=0.3 = %v, want in (0,1)", rows[1].SimRoutability)
+	}
+	if rows[1].SimPairs != 2000 || rows[1].SimTrials != 2 {
+		t.Errorf("sim tallies: pairs=%d trials=%d", rows[1].SimPairs, rows[1].SimTrials)
+	}
+	if !math.IsNaN(rows[1].ChurnSuccess) {
+		t.Errorf("grid row has churn measurement: %v", rows[1].ChurnSuccess)
+	}
+}
+
+// TestGridMatchesSweep checks the runner reproduces sim.Sweep's historical
+// seed schedule exactly, so cmd/dhtsim output is unchanged.
+func TestGridMatchesSweep(t *testing.T) {
+	spec := mustSpec(t, "chord")
+	qs := []float64{0, 0.25, 0.5}
+	plan := Plan{
+		Name:  "sweep-parity",
+		Specs: []Spec{spec},
+		Bits:  []int{9},
+		Qs:    qs,
+		Mode:  ModeSim,
+		Sim:   SimSettings{Pairs: 800, Trials: 2, Workers: 1},
+		Seed:  7,
+	}
+	rows, err := (&Runner{}).Run(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := build(overlayKey{protocol: "chord", bits: 9, seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sim.Sweep(p, qs, sim.Options{Pairs: 800, Trials: 2, Workers: 1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rows {
+		if rows[i].SimRoutability != want[i].Routability {
+			t.Errorf("q=%v: runner %v != sim.Sweep %v", qs[i], rows[i].SimRoutability, want[i].Routability)
+		}
+	}
+}
+
+// TestChurnRows checks churn cells report steady state, repair variants
+// and the static comparison columns.
+func TestChurnRows(t *testing.T) {
+	plan := Plan{
+		Name:  "churn",
+		Specs: []Spec{mustSpec(t, "kademlia")},
+		Bits:  []int{8},
+		Mode:  ModeAnalytic | ModeSim | ModeChurn,
+		Sim:   SimSettings{Pairs: 500, Trials: 2, Workers: 1},
+		Churn: []ChurnSetting{
+			{Duration: 3, MeasureEvery: 0.5, PairsPerMeasure: 300, BurnIn: 1},
+			{Duration: 3, MeasureEvery: 0.5, PairsPerMeasure: 300, BurnIn: 1, Repair: true},
+		},
+		Seed: 1,
+	}
+	rows, err := (&Runner{}).Run(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	for i, r := range rows {
+		if r.Kind != "churn" {
+			t.Fatalf("row %d kind %q", i, r.Kind)
+		}
+		if r.Q < 0.19 || r.Q > 0.21 {
+			t.Errorf("row %d q_eff = %v, want ~0.2", i, r.Q)
+		}
+		if math.IsNaN(r.ChurnSuccess) || r.ChurnSuccess <= 0 || r.ChurnSuccess > 1 {
+			t.Errorf("row %d churn success = %v", i, r.ChurnSuccess)
+		}
+		if math.IsNaN(r.AnalyticRoutability) || math.IsNaN(r.SimRoutability) {
+			t.Errorf("row %d missing static comparison: %+v", i, r)
+		}
+		if len(r.Series) == 0 {
+			t.Errorf("row %d has no time series", i)
+		}
+	}
+	if rows[0].ChurnRepair || !rows[1].ChurnRepair {
+		t.Errorf("repair flags: %v, %v", rows[0].ChurnRepair, rows[1].ChurnRepair)
+	}
+	// Repair should not hurt steady-state success (it heals tables).
+	if rows[1].ChurnSuccess < rows[0].ChurnSuccess-0.05 {
+		t.Errorf("repair success %v well below static-tables %v", rows[1].ChurnSuccess, rows[0].ChurnSuccess)
+	}
+}
+
+// TestRunnerErrors checks invalid plans and failing cells surface errors.
+func TestRunnerErrors(t *testing.T) {
+	if _, err := (&Runner{}).Run(Plan{}); err == nil {
+		t.Error("empty plan accepted")
+	}
+	// Overlay construction fails: bits beyond dht.MaxSimBits.
+	plan := Plan{
+		Specs: []Spec{mustSpec(t, "chord")},
+		Bits:  []int{30},
+		Qs:    []float64{0.1},
+		Mode:  ModeSim,
+		Sim:   SimSettings{Pairs: 10, Trials: 1, Workers: 1},
+	}
+	if _, err := (&Runner{}).Run(plan); err == nil {
+		t.Error("bits=30 sim plan accepted")
+	}
+	// Analytic-only is fine at large d.
+	plan.Mode = ModeAnalytic
+	if _, err := (&Runner{}).Run(plan); err != nil {
+		t.Errorf("analytic d=30: %v", err)
+	}
+}
+
+func mustSpec(t *testing.T, name string) Spec {
+	t.Helper()
+	s, err := SpecFor(name, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}

@@ -1,0 +1,83 @@
+package figures
+
+import (
+	"rcm/internal/exp"
+	"rcm/internal/table"
+)
+
+func init() {
+	register("churngrid", ChurnGrid)
+}
+
+// ChurnGrid is experiment E16: the full geometry × churn-repair
+// cross-product, a scenario only the unified experiment runner makes cheap
+// — one declarative plan expands to every (protocol, repair, churn-rate)
+// cell, executes them in parallel, and scores the paper's static model
+// against each churn steady state at the equivalent failure probability
+// q_eff.
+//
+// Two churn regimes are swept (q_eff = 0.2, the moderate rate of E11, and
+// q_eff = 1/3, an aggressive rate), each with static tables and with
+// repair. The static model should track the static-tables column at both
+// rates (transfer of the paper's §4 predictions to dynamic equilibria);
+// the repair columns quantify how much table maintenance buys back, which
+// grows with the churn rate.
+func ChurnGrid(opt Options) ([]*table.Table, error) {
+	opt = opt.withDefaults()
+	bits := opt.Bits
+	if bits > 12 {
+		bits = 12 // churn is event-driven; 2^12 nodes keep the grid quick
+	}
+	regimes := []struct {
+		label       string
+		meanOffline float64
+	}{
+		{"q_eff=0.20", 0.25}, // mean online 1
+		{"q_eff=0.33", 0.5},
+	}
+	var settings []exp.ChurnSetting
+	for _, reg := range regimes {
+		for _, repair := range []bool{false, true} {
+			settings = append(settings, exp.ChurnSetting{
+				MeanOnline:      1,
+				MeanOffline:     reg.meanOffline,
+				Duration:        8,
+				MeasureEvery:    0.5,
+				PairsPerMeasure: opt.Pairs / 5,
+				Repair:          repair,
+				BurnIn:          1,
+			})
+		}
+	}
+	rows, err := (&exp.Runner{}).Run(exp.Plan{
+		Name:  "churngrid",
+		Specs: exp.AllSpecs(),
+		Bits:  []int{bits},
+		Mode:  exp.ModeAnalytic | exp.ModeSim | exp.ModeChurn,
+		Sim:   exp.SimSettings{Pairs: opt.Pairs, Trials: opt.Trials},
+		Churn: settings,
+		Seed:  opt.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	t := table.New("E16 — geometry × churn-repair cross-product vs the static model (N=2^"+table.I(bits)+")",
+		"protocol", "q_eff %", "repair", "churn success %", "static sim %", "static analytic %", "offline %")
+	for _, r := range rows {
+		repair := "off"
+		if r.ChurnRepair {
+			repair = "on"
+		}
+		t.AddRow(
+			r.Protocol,
+			table.Pct(r.Q, 0),
+			repair,
+			table.Pct(r.ChurnSuccess, 2),
+			table.Pct(r.SimRoutability, 2),
+			table.Pct(r.AnalyticRoutability, 2),
+			table.Pct(r.ChurnOffline, 2),
+		)
+	}
+	return []*table.Table{t}, nil
+}

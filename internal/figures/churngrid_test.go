@@ -1,0 +1,48 @@
+package figures
+
+import (
+	"testing"
+)
+
+func TestChurnGridCrossProduct(t *testing.T) {
+	if testing.Short() {
+		t.Skip("churn grid is slow")
+	}
+	ts, err := Generate("churngrid", Options{Bits: 8, Pairs: 1500, Trials: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 1 {
+		t.Fatalf("tables = %d, want 1", len(ts))
+	}
+	tb := ts[0]
+	// 5 protocols × 2 churn rates × {repair off, on}.
+	if tb.NumRows() != 20 {
+		t.Fatalf("rows = %d, want 20", tb.NumRows())
+	}
+	for r := 0; r < tb.NumRows(); r += 2 {
+		proto := cell(t, tb, r, "protocol")
+		if cell(t, tb, r, "repair") != "off" || cell(t, tb, r+1, "repair") != "on" {
+			t.Fatalf("rows %d/%d: repair columns not off/on", r, r+1)
+		}
+		static := cellF(t, tb, r, "churn success %")
+		repaired := cellF(t, tb, r+1, "churn success %")
+		// Repair heals tables: steady-state success must not collapse below
+		// the static-tables variant (noise head-room of 5 points).
+		if repaired < static-5 {
+			t.Errorf("%s: repair success %v well below static %v", proto, repaired, static)
+		}
+		// The static model's prediction tracks the static-tables churn
+		// steady state (the paper's model transfers to churn equilibria).
+		analytic := cellF(t, tb, r, "static analytic %")
+		if diff := analytic - static; diff > 20 || diff < -20 {
+			t.Errorf("%s: analytic %v vs churn static-tables %v", proto, analytic, static)
+		}
+		// Offline fraction should sit near the regime's q_eff.
+		qeff := cellF(t, tb, r, "q_eff %")
+		off := cellF(t, tb, r, "offline %")
+		if diff := off - qeff; diff > 10 || diff < -10 {
+			t.Errorf("%s: offline %v far from q_eff %v", proto, off, qeff)
+		}
+	}
+}

@@ -1,9 +1,7 @@
 package figures
 
 import (
-	"rcm/internal/core"
-	"rcm/internal/dht"
-	"rcm/internal/sim"
+	"rcm/internal/exp"
 	"rcm/internal/table"
 )
 
@@ -12,34 +10,39 @@ func init() {
 	register("6b", Fig6b)
 }
 
-// fig6Row computes one (protocol, q) point: analytic failed-path percentage
-// from the RCM model and simulated percentage from the static-resilience
-// harness.
-func fig6Series(protocol string, g core.Geometry, opt Options) (*table.Table, error) {
-	p, err := dht.New(protocol, dht.Config{Bits: opt.Bits, Seed: opt.Seed})
+// fig6Series computes one protocol's full q-grid — analytic failed-path
+// percentage from the RCM model against the simulated percentage from the
+// static-resilience harness — as a single experiment plan.
+//
+// Note: delegating to the runner unified the per-q measurement seeds on
+// the sim.Sweep schedule (Seed + i·0x9e37); the pre-runner generator used
+// Seed + i·7919, so simulated columns differ from older recorded output by
+// sampling noise (well inside the trial stderr).
+func fig6Series(protocol string, opt Options) (*table.Table, error) {
+	spec, err := exp.SpecFor(protocol, 1, 1)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := (&exp.Runner{}).Run(exp.Plan{
+		Name:  "fig6-" + protocol,
+		Specs: []exp.Spec{spec},
+		Bits:  []int{opt.Bits},
+		Qs:    exp.PaperQGrid(),
+		Mode:  exp.ModeAnalytic | exp.ModeSim,
+		Sim:   exp.SimSettings{Pairs: opt.Pairs, Trials: opt.Trials},
+		Seed:  opt.Seed,
+	})
 	if err != nil {
 		return nil, err
 	}
 	t := table.New("", "q %", "analytic failed %", "simulated failed %", "stderr %", "mean hops")
-	for i, q := range qGridPaper() {
-		analytic, err := core.FailedPathPercent(g, opt.Bits, q)
-		if err != nil {
-			return nil, err
-		}
-		res, err := sim.MeasureStaticResilience(p, q, sim.Options{
-			Pairs:  opt.Pairs,
-			Trials: opt.Trials,
-			Seed:   opt.Seed + uint64(i)*7919,
-		})
-		if err != nil {
-			return nil, err
-		}
+	for _, r := range rows {
 		t.AddRow(
-			table.Pct(q, 0),
-			table.F(analytic, 2),
-			table.F(res.FailedPathPct, 2),
-			table.F(100*res.StdErr, 2),
-			table.F(res.MeanHops, 2),
+			table.Pct(r.Q, 0),
+			table.F(r.AnalyticFailedPct, 2),
+			table.F(r.SimFailedPct, 2),
+			table.F(100*r.SimStdErr, 2),
+			table.F(r.SimMeanHops, 2),
 		)
 	}
 	return t, nil
@@ -54,16 +57,15 @@ func Fig6a(opt Options) ([]*table.Table, error) {
 	opt = opt.withDefaults()
 	series := []struct {
 		protocol string
-		geom     core.Geometry
 		label    string
 	}{
-		{"plaxton", core.Tree{}, "Tree (Plaxton)"},
-		{"can", core.Hypercube{}, "Hypercube (CAN)"},
-		{"kademlia", core.XOR{}, "XOR (Kademlia)"},
+		{"plaxton", "Tree (Plaxton)"},
+		{"can", "Hypercube (CAN)"},
+		{"kademlia", "XOR (Kademlia)"},
 	}
 	out := make([]*table.Table, 0, len(series))
 	for _, s := range series {
-		t, err := fig6Series(s.protocol, s.geom, opt)
+		t, err := fig6Series(s.protocol, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -81,7 +83,7 @@ func Fig6a(opt Options) ([]*table.Table, error) {
 // column upper-bounds the simulated one, tightly below q ≈ 20%.
 func Fig6b(opt Options) ([]*table.Table, error) {
 	opt = opt.withDefaults()
-	t, err := fig6Series("chord", core.Ring{}, opt)
+	t, err := fig6Series("chord", opt)
 	if err != nil {
 		return nil, err
 	}

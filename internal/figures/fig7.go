@@ -3,7 +3,7 @@ package figures
 import (
 	"math"
 
-	"rcm/internal/core"
+	"rcm/internal/exp"
 	"rcm/internal/table"
 )
 
@@ -18,21 +18,27 @@ func init() {
 // functions; the scalable three stay close to their N = 2^16 curves.
 // Symphony uses kn = ks = 1 per the figure's footnote.
 func Fig7a(opt Options) ([]*table.Table, error) {
-	const d = 100
-	geoms := core.AllGeometries()
+	specs := exp.AllSpecs()
+	qs := exp.PaperQGrid()
+	rows, err := (&exp.Runner{}).Run(exp.Plan{
+		Name:  "fig7a",
+		Specs: specs,
+		Bits:  []int{100},
+		Qs:    qs,
+		Mode:  exp.ModeAnalytic,
+	})
+	if err != nil {
+		return nil, err
+	}
 	cols := []string{"q %"}
-	for _, g := range geoms {
-		cols = append(cols, g.Name()+" failed %")
+	for _, s := range specs {
+		cols = append(cols, s.Geometry.Name()+" failed %")
 	}
 	t := table.New("Fig. 7(a) — failed paths in the asymptotic limit, N=2^100", cols...)
-	for _, q := range qGridPaper() {
+	for qi, q := range qs {
 		row := []string{table.Pct(q, 0)}
-		for _, g := range geoms {
-			f, err := core.FailedPathPercent(g, d, q)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, table.F(f, 3))
+		for gi := range specs {
+			row = append(row, table.F(rows[gi*len(qs)+qi].AnalyticFailedPct, 3))
 		}
 		t.AddRow(row...)
 	}
@@ -45,20 +51,27 @@ func Fig7a(opt Options) ([]*table.Table, error) {
 // unmistakable.
 func Fig7b(opt Options) ([]*table.Table, error) {
 	const q = 0.1
-	geoms := core.AllGeometries()
+	specs := exp.AllSpecs()
+	ds := []int{10, 14, 17, 20, 24, 27, 30, 34, 40, 50, 70, 100}
+	rows, err := (&exp.Runner{}).Run(exp.Plan{
+		Name:  "fig7b",
+		Specs: specs,
+		Bits:  ds,
+		Qs:    []float64{q},
+		Mode:  exp.ModeAnalytic,
+	})
+	if err != nil {
+		return nil, err
+	}
 	cols := []string{"N", "log2 N"}
-	for _, g := range geoms {
-		cols = append(cols, g.Name()+" r%")
+	for _, s := range specs {
+		cols = append(cols, s.Geometry.Name()+" r%")
 	}
 	t := table.New("Fig. 7(b) — routability vs system size at q=0.1", cols...)
-	for _, d := range []int{10, 14, 17, 20, 24, 27, 30, 34, 40, 50, 70, 100} {
+	for di, d := range ds {
 		row := []string{table.E(math.Pow(2, float64(d)), 1), table.I(d)}
-		for _, g := range geoms {
-			r, err := core.Routability(g, d, q)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, table.Pct(r, 2))
+		for gi := range specs {
+			row = append(row, table.Pct(rows[gi*len(ds)+di].AnalyticRoutability, 2))
 		}
 		t.AddRow(row...)
 	}

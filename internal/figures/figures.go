@@ -17,6 +17,11 @@
 //	E9  §1/§4.3.4  Symphony kn/ks design ablation
 //	E10 §1         percolation: connectivity vs routability
 //	E11 §1/§6      churn vs the static model
+//	E16 §1/§6      geometry × churn-repair cross-product (internal/exp grid)
+//
+// The grid-shaped experiments (E3–E6, E11, E16) construct declarative
+// experiment plans and delegate execution to the parallel runner in
+// internal/exp.
 package figures
 
 import (
@@ -105,13 +110,4 @@ func Generate(name string, opt Options) ([]*table.Table, error) {
 		return nil, fmt.Errorf("figures: %s: %w", name, err)
 	}
 	return ts, nil
-}
-
-// qGridPaper is the failure-probability sweep of Fig. 6/7(a): 0–90%.
-func qGridPaper() []float64 {
-	qs := make([]float64, 0, 19)
-	for q := 0.0; q <= 0.901; q += 0.05 {
-		qs = append(qs, q)
-	}
-	return qs
 }
