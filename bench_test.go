@@ -9,16 +9,17 @@ package rcm
 //	go test -bench=. -benchmem
 
 import (
+	"context"
 	"testing"
 
+	"rcm/exp"
 	"rcm/internal/core"
 	"rcm/internal/dht"
-	"rcm/internal/exp"
 	"rcm/internal/figures"
 	"rcm/internal/markov"
-	"rcm/internal/overlay"
 	"rcm/internal/percolation"
 	"rcm/internal/sim"
+	"rcm/overlay"
 )
 
 // benchOpts keeps per-iteration cost reasonable while exercising the full
@@ -97,7 +98,7 @@ func BenchmarkSparseSpaces(b *testing.B) { benchFigure(b, "sparse") }
 // resilience at equal N.
 func BenchmarkRadixAblation(b *testing.B) { benchFigure(b, "base") }
 
-// BenchmarkExpSweep times the unified experiment runner (internal/exp) on a
+// BenchmarkExpSweep times the unified experiment runner (rcm/exp) on a
 // fig-6-sized analytic grid — the paper's 19-point q-grid across the
 // Fig. 7(b) system sizes for all five geometries, ~1100 cells. The serial
 // sub-benchmark is the reference path (one worker, no memoization, exactly
@@ -112,20 +113,19 @@ func BenchmarkExpSweep(b *testing.B) {
 		Specs: exp.AllSpecs(),
 		Bits:  []int{10, 14, 17, 20, 24, 27, 30, 34, 40, 50, 70, 100, 140, 200},
 		Qs:    exp.PaperQGrid(),
-		Mode:  exp.ModeAnalytic,
 	}
 	for _, cfg := range []struct {
-		name   string
-		runner exp.Runner
+		name string
+		opts []exp.Option
 	}{
-		{"serial", exp.Runner{Workers: 1, NoCache: true}},
-		{"parallel", exp.Runner{}},
+		{"serial", []exp.Option{exp.WithWorkers(1), exp.WithoutMemo()}},
+		{"parallel", nil},
 	} {
 		b.Run(cfg.name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				r := cfg.runner // fresh caches every iteration
-				rows, err := r.Run(plan)
+				// fresh caches every iteration
+				rows, err := exp.Run(context.Background(), plan, cfg.opts...)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -146,14 +146,13 @@ func BenchmarkExpSweepSim(b *testing.B) {
 		Specs: exp.AllSpecs(),
 		Bits:  []int{10},
 		Qs:    exp.PaperQGrid(),
-		Mode:  exp.ModeSim,
-		Sim:   exp.SimSettings{Pairs: 1000, Trials: 1, Workers: 1},
-		Seed:  1,
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		r := exp.Runner{}
-		rows, err := r.Run(plan)
+		rows, err := exp.Run(context.Background(), plan,
+			exp.WithModes(exp.ModeSim),
+			exp.WithPairs(1000), exp.WithTrials(1), exp.WithSimWorkers(1),
+			exp.WithSeed(1))
 		if err != nil {
 			b.Fatal(err)
 		}

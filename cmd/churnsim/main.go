@@ -4,7 +4,7 @@
 // steady-state summary, and the static-model predictions at the equivalent
 // failure probability q_eff, with and without table repair. Both churn
 // variants and the static comparison are one experiment plan executed by
-// the parallel runner in internal/exp.
+// the parallel runner in rcm/exp.
 //
 // Example:
 //
@@ -12,12 +12,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
-	"rcm/internal/exp"
+	"rcm/exp"
 	"rcm/internal/table"
 )
 
@@ -45,7 +46,7 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
-	spec, err := exp.SpecFor(*protocol, 1, 1)
+	spec, err := exp.SpecFor(*protocol, exp.Config{})
 	if err != nil {
 		return err
 	}
@@ -59,15 +60,16 @@ func run(args []string, stdout io.Writer) error {
 	}
 	repaired := scenario
 	repaired.Repair = true
-	rows, err := (&exp.Runner{}).Run(exp.Plan{
+	rows, err := exp.Run(context.Background(), exp.Plan{
 		Name:  "churnsim",
 		Specs: []exp.Spec{spec},
 		Bits:  []int{*bits},
-		Mode:  exp.ModeAnalytic | exp.ModeSim | exp.ModeChurn,
-		Sim:   exp.SimSettings{Pairs: 4 * *pairs, Trials: 3},
 		Churn: []exp.ChurnSetting{scenario, repaired},
-		Seed:  *seed,
-	})
+	},
+		exp.WithModes(exp.ModeAnalytic, exp.ModeSim, exp.ModeChurn),
+		exp.WithPairs(4**pairs), exp.WithTrials(3),
+		exp.WithSeed(*seed),
+	)
 	if err != nil {
 		return err
 	}

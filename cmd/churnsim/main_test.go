@@ -4,7 +4,7 @@ import (
 	"strings"
 	"testing"
 
-	"rcm/internal/exp"
+	"rcm/exp"
 )
 
 func runCapture(t *testing.T, args ...string) string {
@@ -57,11 +57,11 @@ func TestChurnUnknownProtocol(t *testing.T) {
 
 func TestProtocolAliases(t *testing.T) {
 	for _, name := range []string{"plaxton", "tree", "can", "hypercube", "kademlia", "xor", "chord", "ring", "symphony"} {
-		if _, err := exp.SpecFor(name, 1, 1); err != nil {
+		if _, err := exp.SpecFor(name, exp.Config{}); err != nil {
 			t.Errorf("SpecFor(%q): %v", name, err)
 		}
 	}
-	if _, err := exp.SpecFor("pastry", 1, 1); err == nil {
+	if _, err := exp.SpecFor("pastry", exp.Config{}); err == nil {
 		t.Error("SpecFor accepted unknown protocol")
 	}
 }

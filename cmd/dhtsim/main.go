@@ -4,7 +4,7 @@
 // no back-tracking, and report the surviving routability. With -compare the
 // matching RCM analytic prediction is printed alongside. The sweep is a
 // declarative experiment plan executed by the parallel runner in
-// internal/exp.
+// rcm/exp.
 //
 // Examples:
 //
@@ -14,12 +14,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
-	"rcm/internal/exp"
+	"rcm/exp"
 	"rcm/internal/table"
 )
 
@@ -48,7 +49,15 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	spec, err := exp.SpecFor(*protocol, *kn, *ks)
+	// The flags default to 1; explicit zero or negative values would be
+	// silently replaced by the registry factory's defaults, so reject them.
+	if *kn < 1 {
+		return fmt.Errorf("-kn %d must be >= 1", *kn)
+	}
+	if *ks < 1 {
+		return fmt.Errorf("-ks %d must be >= 1", *ks)
+	}
+	spec, err := exp.SpecFor(*protocol, exp.Config{SymphonyNear: *kn, SymphonyShortcuts: *ks})
 	if err != nil {
 		return err
 	}
@@ -60,15 +69,16 @@ func run(args []string, out io.Writer) error {
 	if *compare {
 		mode |= exp.ModeAnalytic
 	}
-	rows, err := (&exp.Runner{}).Run(exp.Plan{
+	rows, err := exp.Run(context.Background(), exp.Plan{
 		Name:  "dhtsim",
 		Specs: []exp.Spec{spec},
 		Bits:  []int{*bits},
 		Qs:    qs,
-		Mode:  mode,
-		Sim:   exp.SimSettings{Pairs: *pairs, Trials: *trials},
-		Seed:  *seed,
-	})
+	},
+		exp.WithModes(mode),
+		exp.WithPairs(*pairs), exp.WithTrials(*trials),
+		exp.WithSeed(*seed),
+	)
 	if err != nil {
 		return err
 	}

@@ -2,7 +2,7 @@
 // extension experiments) as ASCII tables or CSV files. See DESIGN.md for
 // the experiment index mapping figure names to paper artifacts. The
 // grid-shaped experiments construct declarative plans executed by the
-// parallel runner in internal/exp.
+// parallel runner in rcm/exp.
 //
 // Examples:
 //

@@ -2,7 +2,7 @@
 // percentage, expected reachable-component size and scalability verdicts for
 // any of the paper's five geometries at arbitrary system size and failure
 // probability. Sweeps are declarative experiment plans executed by the
-// parallel runner in internal/exp.
+// parallel runner in rcm/exp.
 //
 // Examples:
 //
@@ -13,13 +13,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
+	"rcm/exp"
 	"rcm/internal/core"
-	"rcm/internal/exp"
 	"rcm/internal/table"
 )
 
@@ -67,10 +68,20 @@ func run(args []string, out io.Writer) error {
 }
 
 func selectSpecs(name string, kn, ks int) ([]exp.Spec, error) {
+	// The flags default to 1, so zero or negative values are explicit user
+	// errors — the registry factory would otherwise read 0 as "default".
+	// (A kn=0 analytic model is still expressible via rcm.Symphony.)
+	if kn < 1 {
+		return nil, fmt.Errorf("-kn %d must be >= 1", kn)
+	}
+	if ks < 1 {
+		return nil, fmt.Errorf("-ks %d must be >= 1", ks)
+	}
+	cfg := exp.Config{SymphonyNear: kn, SymphonyShortcuts: ks}
 	if name == "all" {
 		specs := exp.AllSpecs()
 		if kn != 1 || ks != 1 {
-			sym, err := exp.SpecFor("symphony", kn, ks)
+			sym, err := exp.SpecFor("symphony", cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -78,7 +89,7 @@ func selectSpecs(name string, kn, ks int) ([]exp.Spec, error) {
 		}
 		return specs, nil
 	}
-	s, err := exp.SpecFor(name, kn, ks)
+	s, err := exp.SpecFor(name, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -93,9 +104,8 @@ func analyticRows(name string, specs []exp.Spec, bits []int, qs []float64) ([]ex
 		Specs: specs,
 		Bits:  bits,
 		Qs:    qs,
-		Mode:  exp.ModeAnalytic,
 	}
-	return (&exp.Runner{}).Run(plan)
+	return exp.Run(context.Background(), plan, exp.WithModes(exp.ModeAnalytic))
 }
 
 // renderTreeBase evaluates the base-b tree (E15): N = base^bits nodes.

@@ -5,28 +5,49 @@
 // keeps routing when every node fails independently with probability q, and
 // whether that ability survives as the system grows without bound.
 //
-// The package exposes three layers:
+// The framework is open at both ends. Two public interfaces are the
+// extension points:
 //
-//   - Analytic models (Tree, Hypercube, XOR, Ring, Symphony): closed-form
-//     routability r(N,q), per-route success p(h,q), and the paper's
-//     scalable/unscalable classification, evaluated stably up to N = 2^100
-//     and beyond.
+//   - Geometry — the analytic side (§4.1): the routing-distance
+//     distribution n(h) and the per-phase failure probability Q(m). Every
+//     closed form (routability, per-route success, expected reach) and the
+//     §5 Knopp-test scalability probe derive mechanically from these two
+//     ingredients, for built-in and user geometries alike.
 //
-//   - Protocol simulation (Simulate): concrete Plaxton, CAN, Kademlia,
-//     Chord and Symphony overlays under the static-resilience failure
-//     model, reproducing the experimental side of the paper's validation.
+//   - Protocol — the simulation side: a concrete overlay with static
+//     routing tables built on package rcm/overlay, routed greedily under
+//     the static-resilience failure model.
 //
-//   - Churn simulation (Churn): an event-driven extension measuring how the
-//     static model's predictions transfer to dynamic node populations with
-//     and without table repair.
+// RegisterGeometry and RegisterProtocol add implementations to a shared
+// name-keyed registry; the paper's five geometries (Tree, Hypercube, XOR,
+// Ring, Symphony) are ordinary registrants of the same tables. Everything
+// downstream — ModelFor, Simulate, Churn, the rcm/exp experiment runner,
+// and the four CLIs (cmd/rcmcalc, cmd/dhtsim, cmd/churnsim, cmd/figures) —
+// resolves names through that registry, so a registered geometry flows
+// end-to-end into analytics, simulation, churn and figure generation. See
+// examples/randchord for a complete walkthrough.
 //
-// Underneath the facade, internal/exp is the unified experiment-runner
-// subsystem: a declarative Plan describes a (geometry × d × q × churn)
-// grid, and a sharded parallel Runner executes its cells across all CPUs,
-// memoizing the analytic phase-product prefixes (internal/core.Evaluator)
-// and emitting deterministically-ordered CSV/JSON rows. All four CLIs —
-// cmd/rcmcalc, cmd/dhtsim, cmd/churnsim and cmd/figures — construct Plans
-// and delegate their sweeps to that runner.
+// The package exposes three evaluation layers:
+//
+//   - Analytic models (Tree, Hypercube, XOR, Ring, Symphony, ModelFor,
+//     NewModel): closed-form routability r(N,q), per-route success p(h,q),
+//     and the scalable/unscalable classification, evaluated stably up to
+//     N = 2^100 and beyond.
+//
+//   - Protocol simulation (Simulate): concrete overlays under the
+//     static-resilience failure model, reproducing the experimental side
+//     of the paper's validation.
+//
+//   - Churn simulation (Churn): an event-driven extension measuring how
+//     the static model's predictions transfer to dynamic node populations
+//     with and without table repair.
+//
+// Grid-shaped studies — geometry × size × failure-probability × churn
+// sweeps — belong to the public experiment runner in rcm/exp: declarative
+// Plans, functional options, context cancellation, and results streamed
+// row by row in constant memory. All overlay construction shares one
+// canonical Config type across Simulate, Churn, dht construction and the
+// runner.
 //
 // The full experiment harness that regenerates every figure and table of
 // the paper lives in cmd/figures; see DESIGN.md for the experiment index

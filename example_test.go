@@ -3,6 +3,7 @@ package rcm_test
 import (
 	"fmt"
 	"log"
+	"math"
 
 	"rcm"
 )
@@ -64,15 +65,27 @@ func ExampleSymphony() {
 	// ks=3: 1.00
 }
 
-// Simulation of a concrete overlay under the static-resilience model.
+// Any registered name — geometry term, system name, or a user
+// registration — resolves to a Model through the shared registry.
+func ExampleModelFor() {
+	m, err := rcm.ModelFor("chord", rcm.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s routes on the %s geometry\n", m.System(), m.Name())
+	// Output: Chord routes on the ring geometry
+}
+
+// Simulation of a concrete overlay under the static-resilience model. The
+// overlay is constructed from the canonical Config shared with dht and
+// rcm/exp.
 func ExampleSimulate() {
 	res, err := rcm.Simulate(rcm.SimConfig{
 		Protocol: "chord",
-		Bits:     12,
+		Config:   rcm.Config{Bits: 12, Seed: 1},
 		Q:        0.3,
 		Pairs:    20000,
 		Trials:   3,
-		Seed:     1,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -84,4 +97,30 @@ func ExampleSimulate() {
 	}
 	fmt.Printf("within 5 points of analysis: %v\n", res.Routability > analytic-0.05)
 	// Output: within 5 points of analysis: true
+}
+
+// flatGeometry is a deliberately unscalable toy geometry: a constant
+// per-phase failure probability, so Σ Q(m) diverges (Theorem 1). Defining
+// a geometry takes five methods over built-in types; registering it makes
+// it available to every layer by name (see examples/randchord for the
+// full walkthrough including a concrete overlay).
+type flatGeometry struct{}
+
+func (flatGeometry) Name() string          { return "flat" }
+func (flatGeometry) System() string        { return "Example" }
+func (flatGeometry) MaxDistance(d int) int { return d }
+func (flatGeometry) LogNodesAt(d, h int) float64 {
+	if h < 1 || h > d {
+		return math.Inf(-1)
+	}
+	return float64(h-1) * math.Ln2 // ring-like: n(h) = 2^(h-1)
+}
+func (flatGeometry) PhaseFailure(d, m int, q float64) float64 { return q / 2 }
+
+// A user-defined geometry gets the full analytic surface through NewModel,
+// including the Knopp-test scalability probe.
+func ExampleNewModel() {
+	m := rcm.NewModel(flatGeometry{})
+	fmt.Printf("%s is %s\n", m.Name(), m.ClassifyNumerically(0.3))
+	// Output: flat is unscalable
 }

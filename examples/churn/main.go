@@ -21,19 +21,18 @@ func main() {
 	)
 	base := rcm.ChurnConfig{
 		Protocol:        "chord",
-		Bits:            bits,
+		Config:          rcm.Config{Bits: bits, Seed: 7},
 		MeanOnline:      meanOnline,
 		MeanOffline:     meanOffline,
 		Duration:        10,
 		MeasureEvery:    0.5,
 		PairsPerMeasure: 4000,
-		Seed:            7,
 	}
 	qEff := meanOffline / (meanOnline + meanOffline)
 
 	static, err := rcm.Simulate(rcm.SimConfig{
-		Protocol: "chord", Bits: bits, Q: qEff,
-		Pairs: 20000, Trials: 3, Seed: 11,
+		Protocol: "chord", Config: rcm.Config{Bits: bits, Seed: 11}, Q: qEff,
+		Pairs: 20000, Trials: 3,
 	})
 	if err != nil {
 		log.Fatal(err)

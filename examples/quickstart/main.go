@@ -33,11 +33,10 @@ func main() {
 	//    route sampled pairs greedily with static tables.
 	res, err := rcm.Simulate(rcm.SimConfig{
 		Protocol: "kademlia",
-		Bits:     14,
+		Config:   rcm.Config{Bits: 14, Seed: 1},
 		Q:        q,
 		Pairs:    20000,
 		Trials:   3,
-		Seed:     1,
 	})
 	if err != nil {
 		log.Fatal(err)

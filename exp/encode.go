@@ -3,6 +3,7 @@ package exp
 import (
 	"fmt"
 	"io"
+	"iter"
 	"math"
 	"strconv"
 	"strings"
@@ -59,13 +60,30 @@ func boolCell(kind string, v bool) string {
 	return strconv.FormatBool(v)
 }
 
-// WriteCSV streams rows as CSV with a header line. Cells never contain
-// commas or quotes, so no quoting is required.
+// WriteCSV writes buffered rows as CSV with a header line. Cells never
+// contain commas or quotes, so no quoting is required.
 func WriteCSV(w io.Writer, rows []Row) error {
+	return StreamCSV(w, func(yield func(Row, error) bool) {
+		for _, r := range rows {
+			if !yield(r, nil) {
+				return
+			}
+		}
+	})
+}
+
+// StreamCSV encodes a row sequence — typically Stream's result — as CSV
+// with a header line, row by row, without buffering the grid. It stops at
+// (and returns) the sequence's first error, so a canceled or failed run
+// surfaces through the encoder.
+func StreamCSV(w io.Writer, rows iter.Seq2[Row, error]) error {
 	if _, err := io.WriteString(w, strings.Join(Header(), ",")+"\n"); err != nil {
 		return err
 	}
-	for _, r := range rows {
+	for r, err := range rows {
+		if err != nil {
+			return err
+		}
 		if _, err := io.WriteString(w, strings.Join(r.fields(), ",")+"\n"); err != nil {
 			return err
 		}

@@ -1,0 +1,123 @@
+package exp
+
+import (
+	"runtime"
+
+	"rcm/internal/core"
+)
+
+// settings is the resolved run configuration assembled from Options; the
+// struct never appears in the public API.
+type settings struct {
+	mode       Mode
+	seed       uint64
+	workers    int
+	pairs      int
+	trials     int
+	allPairs   bool
+	simWorkers int
+	progress   func(done, total int)
+	eval       *core.Evaluator
+	noMemo     bool
+}
+
+// Option configures one run of a Plan (Stream or Run).
+type Option func(*settings)
+
+func resolve(opts []Option) settings {
+	st := settings{mode: ModeAnalytic, seed: 1}
+	for _, o := range opts {
+		o(&st)
+	}
+	if st.workers <= 0 {
+		st.workers = runtime.NumCPU()
+	}
+	if st.eval == nil && !st.noMemo {
+		st.eval = core.NewEvaluator()
+	}
+	return st
+}
+
+// WithModes selects the measurements each cell performs; the flags
+// compose. The default is ModeAnalytic.
+func WithModes(modes ...Mode) Option {
+	return func(st *settings) {
+		var m Mode
+		for _, f := range modes {
+			m |= f
+		}
+		st.mode = m
+	}
+}
+
+// WithSeed sets the seed all randomness derives from (default 1). Grid
+// cell i (by q index) measures with seed seed + i·0x9e37, matching the
+// historical sim.Sweep schedule; churn cells use the seed directly and
+// seed+1 for their static comparison, matching cmd/churnsim.
+func WithSeed(seed uint64) Option {
+	return func(st *settings) { st.seed = seed }
+}
+
+// WithWorkers bounds cell-level parallelism; zero or negative means all
+// CPUs (the default). Row order and content do not depend on it.
+func WithWorkers(n int) Option {
+	return func(st *settings) { st.workers = n }
+}
+
+// WithPairs sets the sampled pairs per static-resilience trial of ModeSim
+// cells (default 10000).
+func WithPairs(n int) Option {
+	return func(st *settings) { st.pairs = n }
+}
+
+// WithTrials sets the independent failure patterns per ModeSim cell
+// (default 3).
+func WithTrials(n int) Option {
+	return func(st *settings) { st.trials = n }
+}
+
+// WithAllPairs routes every ordered surviving pair instead of sampling.
+func WithAllPairs() Option {
+	return func(st *settings) { st.allPairs = true }
+}
+
+// WithSimWorkers bounds routing parallelism inside one cell. Zero means
+// all CPUs; note the worker count is part of the sampling plan, so pin it
+// (typically to 1) when byte-stable output across machines matters.
+func WithSimWorkers(n int) Option {
+	return func(st *settings) { st.simWorkers = n }
+}
+
+// WithProgress installs a callback invoked after each row is yielded, in
+// row order, with the number of completed cells and the plan total.
+func WithProgress(fn func(done, total int)) Option {
+	return func(st *settings) { st.progress = fn }
+}
+
+// Cache is a shared analytic memoization cache: the phase-product prefixes
+// and distance distributions reused across every cell of a run. Supply one
+// Cache to several runs (it is safe for concurrent use) to share the memo
+// across plans; by default each run allocates a fresh one.
+type Cache struct {
+	eval *core.Evaluator
+}
+
+// NewCache returns an empty shared cache.
+func NewCache() *Cache {
+	return &Cache{eval: core.NewEvaluator()}
+}
+
+// WithCache makes the run memoize analytic evaluations in c.
+func WithCache(c *Cache) Option {
+	return func(st *settings) { st.eval = c.eval }
+}
+
+// WithoutMemo disables analytic memoization entirely and evaluates every
+// cell through the direct package-level path — the serial reference used
+// by equivalence tests and the BenchmarkExpSweep baseline.
+func WithoutMemo() Option {
+	return func(st *settings) {
+		st.noMemo = true
+		st.eval = nil
+	}
+}

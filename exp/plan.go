@@ -1,0 +1,243 @@
+package exp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"rcm/internal/sim"
+)
+
+// Mode is a bitmask selecting which measurements each cell performs.
+type Mode uint8
+
+// Mode flags. They compose: ModeAnalytic|ModeSim is the "compare" layout of
+// Fig. 6, ModeAnalytic|ModeSim|ModeChurn additionally scores the static
+// model against churn steady states.
+const (
+	// ModeAnalytic evaluates the RCM closed forms (routability, failed-path
+	// percentage, expected reach) at every grid point.
+	ModeAnalytic Mode = 1 << iota
+	// ModeSim measures static resilience on the concrete overlay.
+	ModeSim
+	// ModeChurn runs the event-driven churn engine for every ChurnSetting
+	// and reports steady-state lookup success at q = q_eff.
+	ModeChurn
+
+	modeAll = ModeAnalytic | ModeSim | ModeChurn
+)
+
+// String renders the mode as a "+"-joined flag list (e.g. "analytic+sim"),
+// for logs and errors.
+func (m Mode) String() string {
+	if m == 0 {
+		return "none"
+	}
+	var parts []string
+	for _, f := range []struct {
+		bit  Mode
+		name string
+	}{
+		{ModeAnalytic, "analytic"},
+		{ModeSim, "sim"},
+		{ModeChurn, "churn"},
+	} {
+		if m&f.bit != 0 {
+			parts = append(parts, f.name)
+		}
+	}
+	if rest := m &^ modeAll; rest != 0 {
+		parts = append(parts, fmt.Sprintf("invalid(%#x)", uint8(rest)))
+	}
+	return strings.Join(parts, "+")
+}
+
+// ChurnSetting describes one churn scenario of a plan. The zero value uses
+// the engine defaults (mean online 1, mean offline 0.25, q_eff = 0.2);
+// negative or non-finite fields are rejected by Plan.Validate.
+type ChurnSetting struct {
+	// MeanOnline and MeanOffline are the exponential session parameters.
+	MeanOnline, MeanOffline float64
+	// Duration is total simulated time; measurements every MeasureEvery.
+	Duration, MeasureEvery float64
+	// PairsPerMeasure lookups are sampled per epoch.
+	PairsPerMeasure int
+	// Repair re-draws table entries on rejoin and periodically while
+	// online, modeling a maintained DHT.
+	Repair bool
+	// BurnIn discards measurements before this time from the steady state.
+	BurnIn float64
+}
+
+// options converts the setting to engine options at the given seed.
+func (c ChurnSetting) options(seed uint64) sim.ChurnOptions {
+	opt := sim.ChurnOptions{
+		MeanOnline:      c.MeanOnline,
+		MeanOffline:     c.MeanOffline,
+		Duration:        c.Duration,
+		MeasureEvery:    c.MeasureEvery,
+		PairsPerMeasure: c.PairsPerMeasure,
+		Seed:            seed,
+	}
+	if c.Repair {
+		opt.RepairOnRejoin = true
+		opt.RepairEvery = opt.MeasureEvery
+		if opt.RepairEvery == 0 {
+			opt.RepairEvery = 0.5 // engine default MeasureEvery
+		}
+	}
+	return opt
+}
+
+// Validate rejects settings the churn engine would silently clamp into a
+// degenerate run: negative or non-finite session, duration or measurement
+// parameters. Zero fields are allowed and take the engine defaults.
+func (c ChurnSetting) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"MeanOnline", c.MeanOnline},
+		{"MeanOffline", c.MeanOffline},
+		{"Duration", c.Duration},
+		{"MeasureEvery", c.MeasureEvery},
+		{"BurnIn", c.BurnIn},
+	} {
+		if f.v < 0 || math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("exp: churn setting %s = %v must be a finite value >= 0 (zero selects the engine default)", f.name, f.v)
+		}
+	}
+	if c.PairsPerMeasure < 0 {
+		return fmt.Errorf("exp: churn setting PairsPerMeasure = %d must be >= 0", c.PairsPerMeasure)
+	}
+	return nil
+}
+
+// QEff returns the steady-state offline fraction implied by the setting —
+// the static model's equivalent failure probability.
+func (c ChurnSetting) QEff() float64 {
+	return c.options(0).QEff()
+}
+
+// Plan declares an experiment grid: Specs × Bits × Qs grid cells (when the
+// run mode has analytic or sim bits), then Specs × Bits × Churn churn
+// cells (when the mode has ModeChurn). Everything about how the grid is
+// executed — mode, seed, parallelism, sampling sizes — is a run option
+// (WithModes, WithSeed, …), so one Plan value can be re-run under
+// different regimes.
+type Plan struct {
+	// Name labels the plan; it is carried into every Row.
+	Name string
+	// Specs are the geometry/protocol pairs to sweep.
+	Specs []Spec
+	// Bits are the identifier lengths d (N = 2^d) to sweep.
+	Bits []int
+	// Qs are the node-failure probabilities to sweep.
+	Qs []float64
+	// Churn lists the churn scenarios executed under ModeChurn.
+	Churn []ChurnSetting
+}
+
+// Validate checks the plan is executable under the given mode.
+func (p Plan) Validate(mode Mode) error {
+	if len(p.Specs) == 0 {
+		return errors.New("exp: plan has no geometry specs")
+	}
+	for _, s := range p.Specs {
+		if s.Geometry == nil {
+			return errors.New("exp: spec has nil geometry")
+		}
+	}
+	if mode == 0 {
+		return errors.New("exp: run has no mode")
+	}
+	if mode&^modeAll != 0 {
+		return fmt.Errorf("exp: unknown mode bits %#x", uint8(mode))
+	}
+	if len(p.Bits) == 0 {
+		return errors.New("exp: plan has no bits (system sizes)")
+	}
+	for _, d := range p.Bits {
+		if d < 1 {
+			return fmt.Errorf("exp: bits=%d out of range", d)
+		}
+	}
+	if mode&(ModeAnalytic|ModeSim) != 0 && len(p.Qs) == 0 && mode&ModeChurn == 0 {
+		return errors.New("exp: plan has no q grid")
+	}
+	for _, q := range p.Qs {
+		if q < 0 || q > 1 || math.IsNaN(q) {
+			return fmt.Errorf("exp: q=%v out of [0,1]", q)
+		}
+	}
+	if mode&ModeChurn != 0 && len(p.Churn) == 0 {
+		return errors.New("exp: churn mode with no churn settings")
+	}
+	for _, c := range p.Churn {
+		if err := c.Validate(); err != nil {
+			return err
+		}
+	}
+	if mode&ModeSim != 0 || mode&ModeChurn != 0 {
+		for _, s := range p.Specs {
+			if s.Protocol == "" {
+				return fmt.Errorf("exp: spec %q has no protocol for sim/churn mode", s.Geometry.Name())
+			}
+		}
+	}
+	return nil
+}
+
+// cellKind discriminates grid cells from churn cells.
+type cellKind uint8
+
+const (
+	gridCell cellKind = iota + 1
+	churnCell
+)
+
+// cell is one unit of work for the runner.
+type cell struct {
+	kind  cellKind
+	spec  Spec
+	bits  int
+	q     float64 // grid: the swept q; churn: q_eff
+	qIdx  int     // index into Plan.Qs (grid cells only)
+	churn ChurnSetting
+}
+
+// cellCount returns the total number of cells the plan expands to under
+// the given mode, without materializing them.
+func (p Plan) cellCount(mode Mode) int {
+	n := 0
+	if mode&(ModeAnalytic|ModeSim) != 0 {
+		n += len(p.Specs) * len(p.Bits) * len(p.Qs)
+	}
+	if mode&ModeChurn != 0 {
+		n += len(p.Specs) * len(p.Bits) * len(p.Churn)
+	}
+	return n
+}
+
+// cellAt returns cell i of the plan's deterministic expansion order — grid
+// cells spec-major, then bits, then q; churn cells after all grid cells,
+// spec-major, then bits, then setting order. Cells are derived
+// arithmetically so a streaming run never materializes the grid.
+func (p Plan) cellAt(mode Mode, i int) cell {
+	if mode&(ModeAnalytic|ModeSim) != 0 {
+		grid := len(p.Specs) * len(p.Bits) * len(p.Qs)
+		if i < grid {
+			qi := i % len(p.Qs)
+			bi := (i / len(p.Qs)) % len(p.Bits)
+			si := i / (len(p.Qs) * len(p.Bits))
+			return cell{kind: gridCell, spec: p.Specs[si], bits: p.Bits[bi], q: p.Qs[qi], qIdx: qi}
+		}
+		i -= grid
+	}
+	ci := i % len(p.Churn)
+	bi := (i / len(p.Churn)) % len(p.Bits)
+	si := i / (len(p.Churn) * len(p.Bits))
+	c := p.Churn[ci]
+	return cell{kind: churnCell, spec: p.Specs[si], bits: p.Bits[bi], q: c.QEff(), churn: c}
+}

@@ -24,7 +24,7 @@ func TestSpecForAliases(t *testing.T) {
 		{"symphony", "symphony", "symphony"},
 		{"Chord", "ring", "chord"}, // case-insensitive
 	} {
-		s, err := SpecFor(tc.name, 1, 1)
+		s, err := SpecFor(tc.name, Config{})
 		if err != nil {
 			t.Fatalf("SpecFor(%q): %v", tc.name, err)
 		}
@@ -33,19 +33,19 @@ func TestSpecForAliases(t *testing.T) {
 				tc.name, s.Geometry.Name(), s.Protocol, tc.geometry, tc.protocol)
 		}
 	}
-	if _, err := SpecFor("pastry", 1, 1); err == nil {
+	if _, err := SpecFor("pastry", Config{}); err == nil {
 		t.Error("unknown name accepted")
 	}
-	if _, err := SpecFor("symphony", 1, 0); err == nil {
-		t.Error("symphony ks=0 accepted")
+	if _, err := SpecFor("symphony", Config{SymphonyShortcuts: -1}); err == nil {
+		t.Error("symphony ks=-1 accepted")
 	}
-	if _, err := SpecFor("symphony", -1, 1); err == nil {
+	if _, err := SpecFor("symphony", Config{SymphonyNear: -1}); err == nil {
 		t.Error("symphony kn=-1 accepted")
 	}
 }
 
 func TestSpecForSymphonyParams(t *testing.T) {
-	s, err := SpecFor("symphony", 2, 3)
+	s, err := SpecFor("symphony", Config{SymphonyNear: 2, SymphonyShortcuts: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,6 +55,9 @@ func TestSpecForSymphonyParams(t *testing.T) {
 	}
 	if sym.KN != 2 || sym.KS != 3 {
 		t.Errorf("symphony params (%d,%d), want (2,3)", sym.KN, sym.KS)
+	}
+	if s.Overlay.SymphonyNear != 2 || s.Overlay.SymphonyShortcuts != 3 {
+		t.Errorf("spec overlay config %+v does not carry kn/ks", s.Overlay)
 	}
 }
 
@@ -86,51 +89,60 @@ func TestPlanValidate(t *testing.T) {
 		Specs: AllSpecs(),
 		Bits:  []int{10},
 		Qs:    []float64{0.1},
-		Mode:  ModeAnalytic,
 	}
-	if err := valid.Validate(); err != nil {
+	if err := valid.Validate(ModeAnalytic); err != nil {
 		t.Fatalf("valid plan rejected: %v", err)
 	}
 	cases := []struct {
 		name   string
+		mode   Mode
 		mutate func(*Plan)
 		want   string
 	}{
-		{"no specs", func(p *Plan) { p.Specs = nil }, "no geometry specs"},
-		{"no mode", func(p *Plan) { p.Mode = 0 }, "no mode"},
-		{"bad mode", func(p *Plan) { p.Mode = 1 << 7 }, "unknown mode"},
-		{"no bits", func(p *Plan) { p.Bits = nil }, "no bits"},
-		{"bad bits", func(p *Plan) { p.Bits = []int{0} }, "out of range"},
-		{"no qs", func(p *Plan) { p.Qs = nil }, "no q grid"},
-		{"bad q", func(p *Plan) { p.Qs = []float64{1.5} }, "out of [0,1]"},
-		{"churn without settings", func(p *Plan) { p.Mode = ModeChurn }, "no churn settings"},
-		{"sim without protocol", func(p *Plan) {
-			p.Mode = ModeSim
+		{"no specs", ModeAnalytic, func(p *Plan) { p.Specs = nil }, "no geometry specs"},
+		{"nil geometry", ModeAnalytic, func(p *Plan) { p.Specs = []Spec{{Protocol: "chord"}} }, "nil geometry"},
+		{"no mode", 0, func(p *Plan) {}, "no mode"},
+		{"bad mode", 1 << 7, func(p *Plan) {}, "unknown mode"},
+		{"no bits", ModeAnalytic, func(p *Plan) { p.Bits = nil }, "no bits"},
+		{"bad bits", ModeAnalytic, func(p *Plan) { p.Bits = []int{0} }, "out of range"},
+		{"no qs", ModeAnalytic, func(p *Plan) { p.Qs = nil }, "no q grid"},
+		{"bad q", ModeAnalytic, func(p *Plan) { p.Qs = []float64{1.5} }, "out of [0,1]"},
+		{"churn without settings", ModeChurn, func(p *Plan) {}, "no churn settings"},
+		{"negative churn duration", ModeChurn, func(p *Plan) {
+			p.Churn = []ChurnSetting{{Duration: -1}}
+		}, "Duration"},
+		{"negative churn session", ModeChurn, func(p *Plan) {
+			p.Churn = []ChurnSetting{{MeanOnline: -0.5}}
+		}, "MeanOnline"},
+		{"sim without protocol", ModeSim, func(p *Plan) {
 			p.Specs = []Spec{{Geometry: core.Tree{}}}
 		}, "no protocol"},
 	}
 	for _, tc := range cases {
 		p := valid
 		tc.mutate(&p)
-		err := p.Validate()
+		err := p.Validate(tc.mode)
 		if err == nil || !strings.Contains(err.Error(), tc.want) {
 			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.want)
 		}
 	}
 }
 
-func TestPlanCellsOrder(t *testing.T) {
+func TestPlanCellOrder(t *testing.T) {
 	p := Plan{
 		Specs: AllSpecs()[:2],
 		Bits:  []int{8, 10},
 		Qs:    []float64{0.1, 0.3},
-		Mode:  ModeAnalytic | ModeChurn,
 		Churn: []ChurnSetting{{Repair: false}, {Repair: true}},
 	}
-	cells := p.cells()
+	mode := ModeAnalytic | ModeChurn
 	// 2 specs × 2 bits × 2 qs grid + 2 specs × 2 bits × 2 churn settings.
-	if len(cells) != 16 {
-		t.Fatalf("cells = %d, want 16", len(cells))
+	if n := p.cellCount(mode); n != 16 {
+		t.Fatalf("cellCount = %d, want 16", n)
+	}
+	cells := make([]cell, 0, 16)
+	for i := 0; i < 16; i++ {
+		cells = append(cells, p.cellAt(mode, i))
 	}
 	// Grid cells first, spec-major.
 	if cells[0].kind != gridCell || cells[0].spec.Protocol != "plaxton" || cells[0].bits != 8 || cells[0].q != 0.1 {
@@ -155,5 +167,24 @@ func TestChurnSettingQEff(t *testing.T) {
 	c := ChurnSetting{MeanOnline: 3, MeanOffline: 1}
 	if q := c.QEff(); q < 0.249 || q > 0.251 {
 		t.Errorf("QEff = %v, want 0.25", q)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	for _, tc := range []struct {
+		mode Mode
+		want string
+	}{
+		{0, "none"},
+		{ModeAnalytic, "analytic"},
+		{ModeSim, "sim"},
+		{ModeChurn, "churn"},
+		{ModeAnalytic | ModeSim, "analytic+sim"},
+		{ModeAnalytic | ModeSim | ModeChurn, "analytic+sim+churn"},
+		{ModeChurn | 1<<6, "churn+invalid(0x40)"},
+	} {
+		if got := tc.mode.String(); got != tc.want {
+			t.Errorf("Mode(%#x).String() = %q, want %q", uint8(tc.mode), got, tc.want)
+		}
 	}
 }

@@ -1,0 +1,447 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"iter"
+	"math"
+	"sync"
+
+	"rcm/internal/core"
+	"rcm/internal/dht"
+	"rcm/internal/sim"
+)
+
+// seedStride separates the measurement seeds of adjacent q-grid cells; it
+// is the stride sim.Sweep historically used, kept so cmd/dhtsim output is
+// unchanged by the delegation to this runner.
+const seedStride = 0x9e37
+
+// Row is one result of a plan: a single grid or churn cell. Measurements a
+// cell did not perform are NaN (encoded as empty CSV cells / JSON nulls).
+type Row struct {
+	// Plan is the plan name.
+	Plan string
+	// Kind is "grid" or "churn".
+	Kind string
+	// Geometry, System and Protocol identify the spec.
+	Geometry, System, Protocol string
+	// Bits is the identifier length d (N = 2^d).
+	Bits int
+	// Q is the node-failure probability; for churn rows it is q_eff.
+	Q float64
+
+	// AnalyticRoutability, AnalyticFailedPct and AnalyticReach are the RCM
+	// closed forms r(N,q), 100·(1−r) and E[S].
+	AnalyticRoutability float64
+	AnalyticFailedPct   float64
+	AnalyticReach       float64
+
+	// SimRoutability and friends report the static-resilience measurement.
+	SimRoutability float64
+	SimFailedPct   float64
+	SimStdErr      float64
+	SimMeanHops    float64
+	SimAlive       float64
+	SimPairs       int
+	SimTrials      int
+
+	// ChurnRepair tells whether the churn scenario repaired tables;
+	// ChurnSuccess and ChurnOffline are the steady-state means.
+	ChurnRepair  bool
+	ChurnSuccess float64
+	ChurnOffline float64
+
+	// Series is the churn time series backing ChurnSuccess. It is carried
+	// for renderers (cmd/churnsim) and excluded from CSV/JSON encodings.
+	Series []ChurnPoint
+}
+
+// newRow returns a Row with every measurement field set to NaN.
+func newRow(plan string, c cell) Row {
+	nan := math.NaN()
+	return Row{
+		Plan:     plan,
+		Geometry: c.spec.Geometry.Name(),
+		System:   c.spec.Geometry.System(),
+		Protocol: c.spec.Protocol,
+		Bits:     c.bits,
+		Q:        c.q,
+
+		AnalyticRoutability: nan,
+		AnalyticFailedPct:   nan,
+		AnalyticReach:       nan,
+		SimRoutability:      nan,
+		SimFailedPct:        nan,
+		SimStdErr:           nan,
+		SimMeanHops:         nan,
+		SimAlive:            nan,
+		ChurnSuccess:        nan,
+		ChurnOffline:        nan,
+	}
+}
+
+// overlayKey identifies a constructed overlay shared by read-only cells:
+// the protocol name plus the full canonical construction configuration.
+type overlayKey struct {
+	protocol string
+	cfg      Config
+}
+
+// overlayEntry builds its protocol at most once.
+type overlayEntry struct {
+	once sync.Once
+	p    dht.Protocol
+	err  error
+}
+
+// overlayCache shares overlay construction across the cells of one run.
+// Route is read-only and safe for concurrent use; churn cells with repair
+// mutate tables and therefore bypass the cache.
+type overlayCache struct {
+	mu sync.Mutex
+	m  map[overlayKey]*overlayEntry
+}
+
+func (oc *overlayCache) get(key overlayKey) (dht.Protocol, error) {
+	oc.mu.Lock()
+	e, ok := oc.m[key]
+	if !ok {
+		e = &overlayEntry{}
+		oc.m[key] = e
+	}
+	oc.mu.Unlock()
+	e.once.Do(func() {
+		e.p, e.err = build(key)
+	})
+	return e.p, e.err
+}
+
+// staticCache deduplicates the churn cells' static-resilience comparison:
+// the repair on/off variants of one (spec, bits, q_eff) group measure the
+// same unrepaired overlay at the same seed, so they share one result.
+type staticCache struct {
+	mu sync.Mutex
+	m  map[staticKey]*staticEntry
+}
+
+type staticKey struct {
+	key overlayKey
+	q   float64
+}
+
+type staticEntry struct {
+	once sync.Once
+	res  sim.Result
+	err  error
+}
+
+func (sc *staticCache) get(key staticKey) *staticEntry {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	e, ok := sc.m[key]
+	if !ok {
+		e = &staticEntry{}
+		sc.m[key] = e
+	}
+	return e
+}
+
+func build(key overlayKey) (dht.Protocol, error) {
+	return dht.New(key.protocol, key.cfg)
+}
+
+// run carries the per-run execution state shared by the workers.
+type run struct {
+	plan     Plan
+	st       settings
+	overlays *overlayCache
+	statics  *staticCache
+}
+
+// result is one computed cell, delivered through its promise channel.
+type result struct {
+	row Row
+	err error
+}
+
+// Stream executes the plan and yields one Row per cell, in plan order, as
+// a single-use iterator. The sequence is deterministic for a fixed plan
+// and options: cell ordering never depends on worker scheduling, and all
+// randomness derives from the run seed.
+//
+// Cells execute on a worker pool; only a bounded window (proportional to
+// the worker count) is buffered for reordering, so arbitrarily large grids
+// stream in constant memory. The context is checked between cells: when it
+// is canceled the iterator stops promptly and yields ctx.Err(). The first
+// cell error (in plan order) likewise ends the sequence.
+func Stream(ctx context.Context, plan Plan, opts ...Option) iter.Seq2[Row, error] {
+	return func(yield func(Row, error) bool) {
+		st := resolve(opts)
+		if err := plan.Validate(st.mode); err != nil {
+			yield(Row{}, err)
+			return
+		}
+		total := plan.cellCount(st.mode)
+		if total == 0 {
+			return
+		}
+		workers := st.workers
+		if workers > total {
+			workers = total
+		}
+
+		r := &run{
+			plan:     plan,
+			st:       st,
+			overlays: &overlayCache{m: make(map[overlayKey]*overlayEntry)},
+			statics:  &staticCache{m: make(map[staticKey]*staticEntry)},
+		}
+
+		type job struct {
+			idx     int
+			promise chan result
+		}
+		jobs := make(chan job)
+		// order carries each cell's promise in submission (= plan) order;
+		// its capacity is the reorder window and bounds the cells in
+		// flight, which is what keeps memory constant on huge grids.
+		order := make(chan chan result, workers)
+
+		// Unwind order matters: cancel releases the producer (and through
+		// it the workers) before wg.Wait collects them.
+		var wg sync.WaitGroup
+		defer wg.Wait()
+		runCtx, cancel := context.WithCancel(ctx)
+		defer cancel()
+
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := range jobs {
+					if err := runCtx.Err(); err != nil {
+						j.promise <- result{err: err}
+						continue
+					}
+					row, err := r.runCell(plan.cellAt(st.mode, j.idx))
+					j.promise <- result{row: row, err: err}
+				}
+			}()
+		}
+		go func() {
+			defer close(jobs)
+			defer close(order)
+			for i := 0; i < total; i++ {
+				promise := make(chan result, 1)
+				select {
+				case order <- promise:
+				case <-runCtx.Done():
+					return
+				}
+				select {
+				case jobs <- job{idx: i, promise: promise}:
+				case <-runCtx.Done():
+					// The promise was queued but will never be fulfilled;
+					// fulfill it here so the consumer observes the
+					// cancellation instead of deadlocking.
+					promise <- result{err: runCtx.Err()}
+					return
+				}
+			}
+		}()
+
+		done := 0
+		for promise := range order {
+			res := <-promise
+			if res.err != nil {
+				cancel()
+				yield(Row{}, res.err)
+				return
+			}
+			if !yield(res.row, nil) {
+				cancel()
+				return
+			}
+			done++
+			if st.progress != nil {
+				st.progress(done, total)
+			}
+		}
+		// The producer shut the window down because the context was
+		// canceled (rather than the grid finishing): surface the
+		// cancellation even when every in-flight cell completed as a row.
+		if err := ctx.Err(); err != nil && done < total {
+			yield(Row{}, err)
+		}
+	}
+}
+
+// Run executes the plan and collects one Row per cell, in plan order. It
+// is Stream buffered into a slice: use Stream directly when the grid is
+// large enough that holding every row in memory matters.
+func Run(ctx context.Context, plan Plan, opts ...Option) ([]Row, error) {
+	st := resolve(opts)
+	rows := make([]Row, 0, plan.cellCount(st.mode))
+	for row, err := range Stream(ctx, plan, opts...) {
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// runCell executes one cell.
+func (r *run) runCell(c cell) (Row, error) {
+	row := newRow(r.plan.Name, c)
+	var err error
+	switch c.kind {
+	case gridCell:
+		row.Kind = "grid"
+		err = r.fillGrid(&row, c)
+	case churnCell:
+		row.Kind = "churn"
+		err = r.fillChurn(&row, c)
+	default:
+		err = fmt.Errorf("unknown cell kind %d", c.kind)
+	}
+	if err != nil {
+		err = fmt.Errorf("exp: %s cell %s d=%d q=%v: %w", row.Kind, c.spec.Geometry.Name(), c.bits, c.q, err)
+	}
+	return row, err
+}
+
+// fillAnalytic computes the closed forms at (g, d, q) through the memo
+// cache, or the direct path when memoization is disabled.
+func (r *run) fillAnalytic(row *Row, g Geometry, d int, q float64) error {
+	var (
+		rt, reach float64
+		err       error
+	)
+	if eval := r.st.eval; eval != nil {
+		rt, err = eval.Routability(g, d, q)
+		if err == nil {
+			reach, err = eval.ExpectedReach(g, d, q)
+		}
+	} else {
+		rt, err = core.Routability(g, d, q)
+		if err == nil {
+			reach, err = core.ExpectedReach(g, d, q)
+		}
+	}
+	if err != nil {
+		return err
+	}
+	row.AnalyticRoutability = rt
+	row.AnalyticFailedPct = 100 * (1 - rt)
+	row.AnalyticReach = reach
+	return nil
+}
+
+// overlayKey returns the cache key for the cell's overlay: the spec's
+// canonical configuration with Bits and Seed pinned by the runner.
+func (r *run) overlayKey(c cell) overlayKey {
+	cfg := c.spec.Overlay
+	cfg.Bits = c.bits
+	cfg.Seed = r.st.seed
+	return overlayKey{protocol: c.spec.Protocol, cfg: cfg}
+}
+
+// fillGrid computes a grid cell: analytic closed forms and/or one
+// static-resilience measurement.
+func (r *run) fillGrid(row *Row, c cell) error {
+	if r.st.mode&ModeAnalytic != 0 {
+		if err := r.fillAnalytic(row, c.spec.Geometry, c.bits, c.q); err != nil {
+			return err
+		}
+	}
+	if r.st.mode&ModeSim != 0 {
+		p, err := r.overlays.get(r.overlayKey(c))
+		if err != nil {
+			return err
+		}
+		res, err := sim.MeasureStaticResilience(p, c.q, sim.Options{
+			Pairs:    r.st.pairs,
+			AllPairs: r.st.allPairs,
+			Trials:   r.st.trials,
+			Workers:  r.st.simWorkers,
+			Seed:     r.st.seed + uint64(c.qIdx)*seedStride,
+		})
+		if err != nil {
+			return err
+		}
+		fillSim(row, res)
+	}
+	return nil
+}
+
+func fillSim(row *Row, res sim.Result) {
+	row.SimRoutability = res.Routability
+	row.SimFailedPct = res.FailedPathPct
+	row.SimStdErr = res.StdErr
+	row.SimMeanHops = res.MeanHops
+	row.SimAlive = res.AliveFraction
+	row.SimPairs = res.Pairs
+	row.SimTrials = res.Trials
+}
+
+// fillChurn computes a churn cell: the churn steady state at q_eff, plus —
+// depending on the run mode — the analytic closed forms and a static
+// simulated comparison at the same q_eff.
+func (r *run) fillChurn(row *Row, c cell) error {
+	row.ChurnRepair = c.churn.Repair
+	opt := c.churn.options(r.st.seed)
+
+	var p dht.Protocol
+	var err error
+	key := r.overlayKey(c)
+	if c.churn.Repair {
+		// Repair mutates routing tables in place; build a private overlay
+		// so concurrent cells sharing the cache never observe the repairs.
+		p, err = build(key)
+	} else {
+		p, err = r.overlays.get(key)
+	}
+	if err != nil {
+		return err
+	}
+	points, err := sim.SimulateChurn(p, opt)
+	if err != nil {
+		return err
+	}
+	row.Series = points
+	row.ChurnSuccess, row.ChurnOffline = sim.SteadyState(points, c.churn.BurnIn)
+
+	if r.st.mode&ModeAnalytic != 0 {
+		if err := r.fillAnalytic(row, c.spec.Geometry, c.bits, c.q); err != nil {
+			return err
+		}
+	}
+	if r.st.mode&ModeSim != 0 {
+		// The static comparison runs on an unrepaired overlay at q = q_eff,
+		// seeded at seed+1 as cmd/churnsim always did. It depends only on
+		// (spec, bits, q_eff), so the repair on/off variants of one group
+		// share a single cached measurement.
+		entry := r.statics.get(staticKey{key: key, q: c.q})
+		entry.once.Do(func() {
+			var static dht.Protocol
+			static, entry.err = r.overlays.get(key)
+			if entry.err != nil {
+				return
+			}
+			entry.res, entry.err = sim.MeasureStaticResilience(static, c.q, sim.Options{
+				Pairs:    r.st.pairs,
+				AllPairs: r.st.allPairs,
+				Trials:   r.st.trials,
+				Workers:  r.st.simWorkers,
+				Seed:     r.st.seed + 1,
+			})
+		})
+		if entry.err != nil {
+			return entry.err
+		}
+		fillSim(row, entry.res)
+	}
+	return nil
+}

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"testing"
 
@@ -10,32 +11,39 @@ import (
 )
 
 // testPlan is a small but full-featured plan: every mode, two system
-// sizes, sim workers pinned so output is machine-independent.
+// sizes; testOpts pins sim workers so output is machine-independent.
 func testPlan() Plan {
 	return Plan{
 		Name:  "test",
 		Specs: AllSpecs(),
 		Bits:  []int{8, 9},
 		Qs:    []float64{0, 0.2, 0.5},
-		Mode:  ModeAnalytic | ModeSim | ModeChurn,
-		Sim:   SimSettings{Pairs: 500, Trials: 2, Workers: 1},
 		Churn: []ChurnSetting{
 			{Duration: 2, MeasureEvery: 0.5, PairsPerMeasure: 200, BurnIn: 0.5},
 			{Duration: 2, MeasureEvery: 0.5, PairsPerMeasure: 200, BurnIn: 0.5, Repair: true},
 		},
-		Seed: 1,
 	}
 }
 
+func testOpts(extra ...Option) []Option {
+	base := []Option{
+		WithModes(ModeAnalytic, ModeSim, ModeChurn),
+		WithPairs(500), WithTrials(2), WithSimWorkers(1),
+		WithSeed(1),
+	}
+	return append(base, extra...)
+}
+
 // TestParallelMatchesSerial is the determinism contract: a parallel run
-// must produce byte-identical encoded output to a serial (Workers=1) run.
+// must produce byte-identical encoded output to a serial (one-worker) run.
 func TestParallelMatchesSerial(t *testing.T) {
+	ctx := context.Background()
 	plan := testPlan()
-	serial, err := (&Runner{Workers: 1}).Run(plan)
+	serial, err := Run(ctx, plan, testOpts(WithWorkers(1))...)
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := (&Runner{Workers: 8}).Run(plan)
+	parallel, err := Run(ctx, plan, testOpts(WithWorkers(8))...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,15 +60,15 @@ func TestParallelMatchesSerial(t *testing.T) {
 }
 
 // TestMemoMatchesDirect checks the memoized analytic path is bit-identical
-// to the direct (NoCache) path over the same plan.
+// to the direct (WithoutMemo) path over the same plan.
 func TestMemoMatchesDirect(t *testing.T) {
+	ctx := context.Background()
 	plan := testPlan()
-	plan.Mode = ModeAnalytic
-	memo, err := (&Runner{}).Run(plan)
+	memo, err := Run(ctx, plan, WithModes(ModeAnalytic))
 	if err != nil {
 		t.Fatal(err)
 	}
-	direct, err := (&Runner{NoCache: true}).Run(plan)
+	direct, err := Run(ctx, plan, WithModes(ModeAnalytic), WithoutMemo())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,17 +84,16 @@ func TestMemoMatchesDirect(t *testing.T) {
 	}
 }
 
-// TestSharedEvaluatorAcrossRuns reuses one cache across plans.
-func TestSharedEvaluatorAcrossRuns(t *testing.T) {
-	eval := core.NewEvaluator()
-	r := &Runner{Eval: eval}
+// TestSharedCacheAcrossRuns reuses one memoization cache across runs.
+func TestSharedCacheAcrossRuns(t *testing.T) {
+	ctx := context.Background()
+	cache := NewCache()
 	plan := testPlan()
-	plan.Mode = ModeAnalytic
-	first, err := r.Run(plan)
+	first, err := Run(ctx, plan, WithModes(ModeAnalytic), WithCache(cache))
 	if err != nil {
 		t.Fatal(err)
 	}
-	second, err := r.Run(plan)
+	second, err := Run(ctx, plan, WithModes(ModeAnalytic), WithCache(cache))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,16 +106,16 @@ func TestSharedEvaluatorAcrossRuns(t *testing.T) {
 
 // TestGridRows sanity-checks grid row content against direct evaluation.
 func TestGridRows(t *testing.T) {
+	ctx := context.Background()
 	plan := Plan{
 		Name:  "grid",
-		Specs: []Spec{mustSpec(t, "kademlia")},
+		Specs: []Spec{MustSpec("kademlia")},
 		Bits:  []int{10},
 		Qs:    []float64{0, 0.3},
-		Mode:  ModeAnalytic | ModeSim,
-		Sim:   SimSettings{Pairs: 1000, Trials: 2, Workers: 1},
-		Seed:  1,
 	}
-	rows, err := (&Runner{}).Run(plan)
+	rows, err := Run(ctx, plan,
+		WithModes(ModeAnalytic, ModeSim),
+		WithPairs(1000), WithTrials(2), WithSimWorkers(1), WithSeed(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,22 +150,20 @@ func TestGridRows(t *testing.T) {
 // TestGridMatchesSweep checks the runner reproduces sim.Sweep's historical
 // seed schedule exactly, so cmd/dhtsim output is unchanged.
 func TestGridMatchesSweep(t *testing.T) {
-	spec := mustSpec(t, "chord")
+	ctx := context.Background()
 	qs := []float64{0, 0.25, 0.5}
 	plan := Plan{
 		Name:  "sweep-parity",
-		Specs: []Spec{spec},
+		Specs: []Spec{MustSpec("chord")},
 		Bits:  []int{9},
 		Qs:    qs,
-		Mode:  ModeSim,
-		Sim:   SimSettings{Pairs: 800, Trials: 2, Workers: 1},
-		Seed:  7,
 	}
-	rows, err := (&Runner{}).Run(plan)
+	rows, err := Run(ctx, plan,
+		WithModes(ModeSim), WithPairs(800), WithTrials(2), WithSimWorkers(1), WithSeed(7))
 	if err != nil {
 		t.Fatal(err)
 	}
-	p, err := build(overlayKey{protocol: "chord", bits: 9, seed: 7})
+	p, err := build(overlayKey{protocol: "chord", cfg: Config{Bits: 9, Seed: 7}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,19 +181,17 @@ func TestGridMatchesSweep(t *testing.T) {
 // TestChurnRows checks churn cells report steady state, repair variants
 // and the static comparison columns.
 func TestChurnRows(t *testing.T) {
+	ctx := context.Background()
 	plan := Plan{
 		Name:  "churn",
-		Specs: []Spec{mustSpec(t, "kademlia")},
+		Specs: []Spec{MustSpec("kademlia")},
 		Bits:  []int{8},
-		Mode:  ModeAnalytic | ModeSim | ModeChurn,
-		Sim:   SimSettings{Pairs: 500, Trials: 2, Workers: 1},
 		Churn: []ChurnSetting{
 			{Duration: 3, MeasureEvery: 0.5, PairsPerMeasure: 300, BurnIn: 1},
 			{Duration: 3, MeasureEvery: 0.5, PairsPerMeasure: 300, BurnIn: 1, Repair: true},
 		},
-		Seed: 1,
 	}
-	rows, err := (&Runner{}).Run(plan)
+	rows, err := Run(ctx, plan, testOpts()...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,32 +226,21 @@ func TestChurnRows(t *testing.T) {
 
 // TestRunnerErrors checks invalid plans and failing cells surface errors.
 func TestRunnerErrors(t *testing.T) {
-	if _, err := (&Runner{}).Run(Plan{}); err == nil {
+	ctx := context.Background()
+	if _, err := Run(ctx, Plan{}); err == nil {
 		t.Error("empty plan accepted")
 	}
 	// Overlay construction fails: bits beyond dht.MaxSimBits.
 	plan := Plan{
-		Specs: []Spec{mustSpec(t, "chord")},
+		Specs: []Spec{MustSpec("chord")},
 		Bits:  []int{30},
 		Qs:    []float64{0.1},
-		Mode:  ModeSim,
-		Sim:   SimSettings{Pairs: 10, Trials: 1, Workers: 1},
 	}
-	if _, err := (&Runner{}).Run(plan); err == nil {
+	if _, err := Run(ctx, plan, WithModes(ModeSim), WithPairs(10), WithTrials(1), WithSimWorkers(1)); err == nil {
 		t.Error("bits=30 sim plan accepted")
 	}
 	// Analytic-only is fine at large d.
-	plan.Mode = ModeAnalytic
-	if _, err := (&Runner{}).Run(plan); err != nil {
+	if _, err := Run(ctx, plan, WithModes(ModeAnalytic)); err != nil {
 		t.Errorf("analytic d=30: %v", err)
 	}
-}
-
-func mustSpec(t *testing.T, name string) Spec {
-	t.Helper()
-	s, err := SpecFor(name, 1, 1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return s
 }

@@ -54,8 +54,8 @@ func TestAnalyticAndSimulationAgreeEndToEnd(t *testing.T) {
 		}
 		for _, q := range qsFor(proto) {
 			res, err := rcm.Simulate(rcm.SimConfig{
-				Protocol: proto, Bits: bits, Q: q,
-				Pairs: 8000, Trials: 3, Seed: 5,
+				Protocol: proto, Config: rcm.Config{Bits: bits, Seed: 5}, Q: q,
+				Pairs: 8000, Trials: 3,
 			})
 			if err != nil {
 				t.Fatal(err)
@@ -75,7 +75,7 @@ func TestAnalyticAndSimulationAgreeEndToEnd(t *testing.T) {
 	ring := rcm.Ring()
 	for _, q := range []float64{0.05, 0.1, 0.15} {
 		res, err := rcm.Simulate(rcm.SimConfig{
-			Protocol: "chord", Bits: bits, Q: q, Pairs: 8000, Trials: 3, Seed: 5,
+			Protocol: "chord", Config: rcm.Config{Bits: bits, Seed: 5}, Q: q, Pairs: 8000, Trials: 3,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -90,7 +90,7 @@ func TestAnalyticAndSimulationAgreeEndToEnd(t *testing.T) {
 	}
 	for _, q := range []float64{0.3, 0.5, 0.7} {
 		res, err := rcm.Simulate(rcm.SimConfig{
-			Protocol: "chord", Bits: bits, Q: q, Pairs: 8000, Trials: 3, Seed: 5,
+			Protocol: "chord", Config: rcm.Config{Bits: bits, Seed: 5}, Q: q, Pairs: 8000, Trials: 3,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -140,13 +140,12 @@ func TestChurnStaticConsistencyViaFacade(t *testing.T) {
 	// at q_eff for a protocol with static tables.
 	cfg := rcm.ChurnConfig{
 		Protocol:        "can",
-		Bits:            10,
+		Config:          rcm.Config{Bits: 10, Seed: 11},
 		MeanOnline:      1,
 		MeanOffline:     0.25,
 		Duration:        6,
 		MeasureEvery:    0.5,
 		PairsPerMeasure: 2500,
-		Seed:            11,
 	}
 	pts, err := rcm.Churn(cfg)
 	if err != nil {
@@ -154,7 +153,7 @@ func TestChurnStaticConsistencyViaFacade(t *testing.T) {
 	}
 	churnSuccess, _ := rcm.SteadyState(pts, 1)
 	static, err := rcm.Simulate(rcm.SimConfig{
-		Protocol: "can", Bits: 10, Q: 0.2, Pairs: 15000, Trials: 3, Seed: 13,
+		Protocol: "can", Config: rcm.Config{Bits: 10, Seed: 13}, Q: 0.2, Pairs: 15000, Trials: 3,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -170,13 +169,12 @@ func TestRepairRecoversTowardAnalyticOptimum(t *testing.T) {
 	// assumption).
 	base := rcm.ChurnConfig{
 		Protocol:        "kademlia",
-		Bits:            10,
+		Config:          rcm.Config{Bits: 10, Seed: 17},
 		MeanOnline:      1,
 		MeanOffline:     0.25,
 		Duration:        8,
 		MeasureEvery:    0.5,
 		PairsPerMeasure: 3000,
-		Seed:            17,
 	}
 	base.Repair = true
 	pts, err := rcm.Churn(base)
@@ -206,7 +204,7 @@ func TestHeadlineOrderingAcrossLayers(t *testing.T) {
 			t.Fatal(err)
 		}
 		res, err := rcm.Simulate(rcm.SimConfig{
-			Protocol: proto, Bits: bits, Q: 0.3, Pairs: 8000, Trials: 3, Seed: 19,
+			Protocol: proto, Config: rcm.Config{Bits: bits, Seed: 19}, Q: 0.3, Pairs: 8000, Trials: 3,
 		})
 		if err != nil {
 			t.Fatal(err)

@@ -6,7 +6,7 @@ import (
 
 	"rcm/internal/core"
 	"rcm/internal/dht"
-	"rcm/internal/overlay"
+	"rcm/overlay"
 )
 
 // TestHypercubeExactByEnumerationD4 enumerates ALL 2^15 failure patterns of

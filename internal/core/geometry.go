@@ -21,31 +21,16 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"rcm/internal/registry"
 )
 
-// Geometry is the RCM description of a DHT routing geometry. Implementations
-// must be immutable value types safe for concurrent use.
-type Geometry interface {
-	// Name returns the geometry's name as used in the paper's figures
-	// (e.g. "tree", "hypercube", "xor", "ring", "symphony").
-	Name() string
-	// System returns the DHT system the paper associates with the geometry
-	// (e.g. Plaxton, CAN, Kademlia, Chord, Symphony).
-	System() string
-	// MaxDistance returns the maximum routing distance (in hops or phases)
-	// to any node in a fully-populated d-bit identifier space. For all five
-	// geometries in the paper this is d.
-	MaxDistance(d int) int
-	// LogNodesAt returns ln n(h): the natural log of the number of nodes at
-	// routing distance h from a root node in a fully-populated d-bit space.
-	// It returns -Inf when h is outside [1, MaxDistance(d)].
-	LogNodesAt(d, h int) float64
-	// PhaseFailure returns Q(m): the probability that the routing process is
-	// absorbed into the failure state during a phase with m phases
-	// remaining, under node-failure probability q. d is the identifier
-	// length (only Symphony's Q depends on it).
-	PhaseFailure(d, m int, q float64) float64
-}
+// Geometry is the RCM description of a DHT routing geometry: the canonical
+// interface defined in internal/registry and re-exported publicly as
+// rcm.Geometry. Implementations must be immutable value types safe for
+// concurrent use. For all five geometries in the paper MaxDistance(d) is d,
+// and only Symphony's PhaseFailure depends on d.
+type Geometry = registry.Geometry
 
 // Errors returned by the evaluation entry points.
 var (

@@ -1,7 +1,7 @@
 package dht
 
 import (
-	"rcm/internal/overlay"
+	"rcm/overlay"
 )
 
 // Chord is the ring routing geometry (§3.4), randomized-finger variant:
@@ -20,7 +20,7 @@ var _ Protocol = (*Chord)(nil)
 
 // NewChord builds the overlay with randomized fingers.
 func NewChord(cfg Config) (*Chord, error) {
-	s, err := cfg.space()
+	s, err := space(cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -3,7 +3,7 @@ package dht
 import (
 	"fmt"
 
-	"rcm/internal/overlay"
+	"rcm/overlay"
 )
 
 // ChordWithSuccessors is Chord extended with a successor list — the
@@ -26,7 +26,7 @@ var _ Protocol = (*ChordWithSuccessors)(nil)
 // NewChordWithSuccessors builds the overlay with s >= 1 sequential
 // neighbors per node.
 func NewChordWithSuccessors(cfg Config, s int) (*ChordWithSuccessors, error) {
-	sp, err := cfg.space()
+	sp, err := space(cfg)
 	if err != nil {
 		return nil, err
 	}

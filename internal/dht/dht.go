@@ -15,30 +15,15 @@ import (
 	"fmt"
 	"strings"
 
-	"rcm/internal/overlay"
+	"rcm/internal/registry"
+	"rcm/overlay"
 )
 
-// Protocol is a DHT overlay with static routing tables. Implementations are
-// safe for concurrent Route calls once constructed (tables are read-only).
-type Protocol interface {
-	// Name returns the protocol name (e.g. "chord").
-	Name() string
-	// GeometryName returns the paper's geometry term for the protocol
-	// (e.g. "ring" for Chord), linking simulators to analytic models.
-	GeometryName() string
-	// Space returns the identifier space the overlay populates.
-	Space() overlay.Space
-	// Degree returns the number of routing-table entries per node.
-	Degree() int
-	// Route attempts to deliver a message from src to dst using only alive
-	// nodes. src and dst are assumed alive (the static-resilience harness
-	// conditions on surviving pairs). It reports the number of hops taken
-	// and whether the destination was reached.
-	Route(src, dst overlay.ID, alive *overlay.Bitset) (hops int, ok bool)
-	// Neighbors returns a copy of node x's routing-table entries, used by
-	// the percolation analysis to build the overlay graph.
-	Neighbors(x overlay.ID) []overlay.ID
-}
+// Protocol is a DHT overlay with static routing tables: the canonical
+// interface defined in internal/registry and re-exported publicly as
+// rcm.Protocol. Implementations are safe for concurrent Route calls once
+// constructed (tables are read-only).
+type Protocol = registry.Protocol
 
 // Populated is implemented by overlays that occupy only part of their
 // identifier space (the paper's §6 "non-fully-populated" future-work
@@ -80,53 +65,75 @@ func drawAlive(alive *overlay.Bitset, draw func() overlay.ID) overlay.ID {
 	return id
 }
 
-// Config carries common construction parameters.
-type Config struct {
-	// Bits is the identifier length d; the overlay has 2^d nodes.
-	Bits int
-	// Seed seeds the deterministic RNG used for randomized table entries.
-	Seed uint64
-	// SymphonyNear and SymphonyShortcuts set kn and ks for Symphony
-	// overlays; both default to 1 (the paper's Fig. 7 setting) when zero.
-	SymphonyNear      int
-	SymphonyShortcuts int
-}
+// Config is the canonical overlay-construction configuration shared across
+// the module (defined in internal/registry, re-exported publicly as
+// rcm.Config).
+type Config = registry.Config
 
 // MaxSimBits caps overlay sizes: routing tables are O(N·d), so d=22 is
 // roughly 350 MB of table and already far past the paper's N = 2^16.
 const MaxSimBits = 22
 
-func (c Config) space() (overlay.Space, error) {
+func space(c Config) (overlay.Space, error) {
 	if c.Bits < 1 || c.Bits > MaxSimBits {
 		return overlay.Space{}, fmt.Errorf("dht: bits=%d out of range [1,%d]", c.Bits, MaxSimBits)
 	}
 	return overlay.NewSpace(c.Bits)
 }
 
-// New constructs a protocol by name. Accepted names (case-insensitive)
-// include both the system names and the paper's geometry terms:
-// plaxton/tree, can/hypercube, kademlia/xor, chord/ring, symphony.
-func New(name string, cfg Config) (Protocol, error) {
-	switch strings.ToLower(name) {
-	case "plaxton", "tree":
-		return NewPlaxton(cfg)
-	case "can", "hypercube":
-		return NewHypercubeCAN(cfg)
-	case "kademlia", "xor":
-		return NewKademlia(cfg)
-	case "chord", "ring":
-		return NewChord(cfg)
-	case "symphony", "smallworld", "small-world":
-		return NewSymphony(cfg)
-	default:
-		return nil, fmt.Errorf("dht: unknown protocol %q", name)
+// The five paper protocols are ordinary registrants of the shared
+// name-keyed registry, under the system names with the paper's geometry
+// terms as aliases — mirroring the geometry registrations in internal/core.
+func init() {
+	wrap := func(f func(Config) (Protocol, error)) registry.ProtocolFactory {
+		return registry.ProtocolFactory(f)
+	}
+	for _, reg := range []struct {
+		name    string
+		factory registry.ProtocolFactory
+		aliases []string
+	}{
+		{"plaxton", wrap(asProtocol(NewPlaxton)), []string{"tree"}},
+		{"can", wrap(asProtocol(NewHypercubeCAN)), []string{"hypercube"}},
+		{"kademlia", wrap(asProtocol(NewKademlia)), []string{"xor"}},
+		{"chord", wrap(asProtocol(NewChord)), []string{"ring"}},
+		{"symphony", wrap(asProtocol(NewSymphony)), []string{"smallworld", "small-world"}},
+	} {
+		if err := registry.RegisterProtocol(reg.name, reg.factory, reg.aliases...); err != nil {
+			panic(err) // static names; unreachable
+		}
 	}
 }
 
-// ProtocolNames lists the canonical protocol names accepted by New, in the
-// paper's presentation order.
+// asProtocol adapts a concrete constructor to the registry factory
+// signature without letting a typed nil pointer escape into the interface.
+func asProtocol[P Protocol](f func(Config) (P, error)) func(Config) (Protocol, error) {
+	return func(cfg Config) (Protocol, error) {
+		p, err := f(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return p, nil
+	}
+}
+
+// New constructs a protocol by name through the shared registry. Accepted
+// names (case-insensitive) include both the system names and the paper's
+// geometry terms — plaxton/tree, can/hypercube, kademlia/xor, chord/ring,
+// symphony — plus anything registered through rcm.RegisterProtocol.
+func New(name string, cfg Config) (Protocol, error) {
+	e, ok := registry.LookupProtocol(name)
+	if !ok {
+		return nil, fmt.Errorf("dht: unknown protocol %q (have %s)", name, strings.Join(registry.ProtocolKeys(), ", "))
+	}
+	return e.New(cfg)
+}
+
+// ProtocolNames lists the canonical protocol names accepted by New in
+// registration order: the paper's five in presentation order, then any
+// user registrations.
 func ProtocolNames() []string {
-	return []string{"plaxton", "can", "kademlia", "chord", "symphony"}
+	return registry.ProtocolNames()
 }
 
 // hopCap bounds route lengths defensively. Every protocol here makes strict

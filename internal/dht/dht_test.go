@@ -4,7 +4,7 @@ import (
 	"strings"
 	"testing"
 
-	"rcm/internal/overlay"
+	"rcm/overlay"
 )
 
 // allAlive returns a bitset with every node alive.

@@ -3,7 +3,7 @@ package dht
 import (
 	"testing"
 
-	"rcm/internal/overlay"
+	"rcm/overlay"
 )
 
 // Targeted failure-injection tests: kill specific structural neighbors and

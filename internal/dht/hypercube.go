@@ -1,7 +1,7 @@
 package dht
 
 import (
-	"rcm/internal/overlay"
+	"rcm/overlay"
 )
 
 // HypercubeCAN is the hypercube routing geometry the paper uses to model CAN
@@ -22,7 +22,7 @@ var _ Protocol = (*HypercubeCAN)(nil)
 
 // NewHypercubeCAN builds the overlay.
 func NewHypercubeCAN(cfg Config) (*HypercubeCAN, error) {
-	s, err := cfg.space()
+	s, err := space(cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -1,7 +1,7 @@
 package dht
 
 import (
-	"rcm/internal/overlay"
+	"rcm/overlay"
 )
 
 // Kademlia is the XOR routing geometry (§3.3): node x keeps one contact per
@@ -21,7 +21,7 @@ var _ Protocol = (*Kademlia)(nil)
 
 // NewKademlia builds the overlay with one random contact per bucket.
 func NewKademlia(cfg Config) (*Kademlia, error) {
-	s, err := cfg.space()
+	s, err := space(cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -1,7 +1,7 @@
 package dht
 
 import (
-	"rcm/internal/overlay"
+	"rcm/overlay"
 )
 
 // Plaxton is the tree routing geometry (§3.1): node x keeps one neighbor
@@ -20,7 +20,7 @@ var _ Protocol = (*Plaxton)(nil)
 
 // NewPlaxton builds the overlay with randomized per-level neighbors.
 func NewPlaxton(cfg Config) (*Plaxton, error) {
-	s, err := cfg.space()
+	s, err := space(cfg)
 	if err != nil {
 		return nil, err
 	}

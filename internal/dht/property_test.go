@@ -4,7 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
-	"rcm/internal/overlay"
+	"rcm/overlay"
 )
 
 // Property-based tests (testing/quick) over random failure patterns and

@@ -3,7 +3,7 @@ package dht
 import (
 	"testing"
 
-	"rcm/internal/overlay"
+	"rcm/overlay"
 )
 
 // Protocol-specific structural invariants.

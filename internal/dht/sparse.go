@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"sort"
 
-	"rcm/internal/overlay"
+	"rcm/overlay"
 )
 
 // This file implements non-fully-populated overlays — the regime the paper
@@ -70,7 +70,7 @@ var (
 
 // NewSparseChord builds a Chord overlay with n nodes in a 2^cfg.Bits space.
 func NewSparseChord(cfg Config, n int) (*SparseChord, error) {
-	s, err := cfg.space()
+	s, err := space(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -178,7 +178,7 @@ var (
 // NewSparseKademlia builds a Kademlia overlay with n nodes in a 2^cfg.Bits
 // space.
 func NewSparseKademlia(cfg Config, n int) (*SparseKademlia, error) {
-	s, err := cfg.space()
+	s, err := space(cfg)
 	if err != nil {
 		return nil, err
 	}

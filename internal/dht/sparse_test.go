@@ -4,7 +4,7 @@ import (
 	"sort"
 	"testing"
 
-	"rcm/internal/overlay"
+	"rcm/overlay"
 )
 
 func TestSparsePopulationProperties(t *testing.T) {

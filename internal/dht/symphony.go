@@ -1,7 +1,7 @@
 package dht
 
 import (
-	"rcm/internal/overlay"
+	"rcm/overlay"
 )
 
 // Symphony is the small-world ring geometry (§3.5): each node keeps kn
@@ -23,7 +23,7 @@ var _ Protocol = (*Symphony)(nil)
 // NewSymphony builds the overlay. kn and ks default to 1 (the paper's
 // Fig. 7 configuration) when left zero in cfg.
 func NewSymphony(cfg Config) (*Symphony, error) {
-	s, err := cfg.space()
+	s, err := space(cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -1,7 +1,8 @@
 package figures
 
 import (
-	"rcm/internal/exp"
+	"context"
+	"rcm/exp"
 	"rcm/internal/table"
 )
 
@@ -49,15 +50,16 @@ func ChurnGrid(opt Options) ([]*table.Table, error) {
 			})
 		}
 	}
-	rows, err := (&exp.Runner{}).Run(exp.Plan{
+	rows, err := exp.Run(context.Background(), exp.Plan{
 		Name:  "churngrid",
 		Specs: exp.AllSpecs(),
 		Bits:  []int{bits},
-		Mode:  exp.ModeAnalytic | exp.ModeSim | exp.ModeChurn,
-		Sim:   exp.SimSettings{Pairs: opt.Pairs, Trials: opt.Trials},
 		Churn: settings,
-		Seed:  opt.Seed,
-	})
+	},
+		exp.WithModes(exp.ModeAnalytic, exp.ModeSim, exp.ModeChurn),
+		exp.WithPairs(opt.Pairs), exp.WithTrials(opt.Trials),
+		exp.WithSeed(opt.Seed),
+	)
 	if err != nil {
 		return nil, err
 	}

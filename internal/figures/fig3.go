@@ -5,8 +5,8 @@ import (
 
 	"rcm/internal/core"
 	"rcm/internal/dht"
-	"rcm/internal/overlay"
 	"rcm/internal/table"
+	"rcm/overlay"
 )
 
 func init() {

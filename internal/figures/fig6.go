@@ -1,7 +1,8 @@
 package figures
 
 import (
-	"rcm/internal/exp"
+	"context"
+	"rcm/exp"
 	"rcm/internal/table"
 )
 
@@ -19,19 +20,20 @@ func init() {
 // Seed + i·7919, so simulated columns differ from older recorded output by
 // sampling noise (well inside the trial stderr).
 func fig6Series(protocol string, opt Options) (*table.Table, error) {
-	spec, err := exp.SpecFor(protocol, 1, 1)
+	spec, err := exp.SpecFor(protocol, exp.Config{})
 	if err != nil {
 		return nil, err
 	}
-	rows, err := (&exp.Runner{}).Run(exp.Plan{
+	rows, err := exp.Run(context.Background(), exp.Plan{
 		Name:  "fig6-" + protocol,
 		Specs: []exp.Spec{spec},
 		Bits:  []int{opt.Bits},
 		Qs:    exp.PaperQGrid(),
-		Mode:  exp.ModeAnalytic | exp.ModeSim,
-		Sim:   exp.SimSettings{Pairs: opt.Pairs, Trials: opt.Trials},
-		Seed:  opt.Seed,
-	})
+	},
+		exp.WithModes(exp.ModeAnalytic, exp.ModeSim),
+		exp.WithPairs(opt.Pairs), exp.WithTrials(opt.Trials),
+		exp.WithSeed(opt.Seed),
+	)
 	if err != nil {
 		return nil, err
 	}

@@ -1,9 +1,10 @@
 package figures
 
 import (
+	"context"
 	"math"
 
-	"rcm/internal/exp"
+	"rcm/exp"
 	"rcm/internal/table"
 )
 
@@ -20,12 +21,11 @@ func init() {
 func Fig7a(opt Options) ([]*table.Table, error) {
 	specs := exp.AllSpecs()
 	qs := exp.PaperQGrid()
-	rows, err := (&exp.Runner{}).Run(exp.Plan{
+	rows, err := exp.Run(context.Background(), exp.Plan{
 		Name:  "fig7a",
 		Specs: specs,
 		Bits:  []int{100},
 		Qs:    qs,
-		Mode:  exp.ModeAnalytic,
 	})
 	if err != nil {
 		return nil, err
@@ -53,12 +53,11 @@ func Fig7b(opt Options) ([]*table.Table, error) {
 	const q = 0.1
 	specs := exp.AllSpecs()
 	ds := []int{10, 14, 17, 20, 24, 27, 30, 34, 40, 50, 70, 100}
-	rows, err := (&exp.Runner{}).Run(exp.Plan{
+	rows, err := exp.Run(context.Background(), exp.Plan{
 		Name:  "fig7b",
 		Specs: specs,
 		Bits:  ds,
 		Qs:    []float64{q},
-		Mode:  exp.ModeAnalytic,
 	})
 	if err != nil {
 		return nil, err

@@ -17,11 +17,11 @@
 //	E9  §1/§4.3.4  Symphony kn/ks design ablation
 //	E10 §1         percolation: connectivity vs routability
 //	E11 §1/§6      churn vs the static model
-//	E16 §1/§6      geometry × churn-repair cross-product (internal/exp grid)
+//	E16 §1/§6      geometry × churn-repair cross-product (rcm/exp grid)
 //
 // The grid-shaped experiments (E3–E6, E11, E16) construct declarative
-// experiment plans and delegate execution to the parallel runner in
-// internal/exp.
+// experiment plans and delegate execution to the public streaming runner
+// in rcm/exp.
 package figures
 
 import (

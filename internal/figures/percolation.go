@@ -3,10 +3,10 @@ package figures
 import (
 	"rcm/internal/core"
 	"rcm/internal/dht"
-	"rcm/internal/overlay"
 	"rcm/internal/percolation"
 	"rcm/internal/sim"
 	"rcm/internal/table"
+	"rcm/overlay"
 )
 
 func init() {

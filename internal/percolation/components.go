@@ -3,7 +3,7 @@ package percolation
 import (
 	"sort"
 
-	"rcm/internal/overlay"
+	"rcm/overlay"
 )
 
 // Overlay is the structural view of a DHT this package needs; it is

@@ -4,7 +4,7 @@ import (
 	"testing"
 
 	"rcm/internal/dht"
-	"rcm/internal/overlay"
+	"rcm/overlay"
 )
 
 func TestUnionFindBasics(t *testing.T) {

@@ -1,0 +1,228 @@
+// Package registry is the canonical home of the framework's two extension
+// points — the analytic Geometry interface (§3/§4 of the paper) and the
+// concrete Protocol overlay interface — together with the name-keyed
+// registries that resolve either vocabulary (the paper's geometry terms or
+// the DHT system names) to implementations.
+//
+// The package sits below every consumer: internal/core aliases Geometry,
+// internal/dht aliases Protocol and Config and resolves dht.New through
+// LookupProtocol, and the public surfaces (package rcm and rcm/exp)
+// re-export the types and the Register functions. The five built-in
+// geometries and protocols are ordinary registrants (internal/core and
+// internal/dht register them in their init functions), so a user-registered
+// geometry is indistinguishable from a built-in: it flows through the
+// analytic evaluators, the simulator factory, the experiment runner, the
+// CLIs and the figure generators by name.
+package registry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"rcm/overlay"
+)
+
+// Geometry is the RCM description of a DHT routing geometry (§4.1, steps
+// 2–3): the routing-distance distribution n(h) and the per-phase failure
+// probability Q(m). Implementations must be immutable value types safe for
+// concurrent use; every analytic quantity — p(h,q), E[S], r(N,q) and the
+// §5 scalability classification — derives mechanically from these two
+// ingredients.
+type Geometry interface {
+	// Name returns the geometry's name as used in the paper's figures
+	// (e.g. "tree", "hypercube", "xor", "ring", "symphony").
+	Name() string
+	// System returns the DHT system associated with the geometry
+	// (e.g. Plaxton, CAN, Kademlia, Chord, Symphony).
+	System() string
+	// MaxDistance returns the maximum routing distance (in hops or phases)
+	// to any node in a fully-populated d-bit identifier space.
+	MaxDistance(d int) int
+	// LogNodesAt returns ln n(h): the natural log of the number of nodes at
+	// routing distance h from a root node in a fully-populated d-bit space.
+	// It returns -Inf when h is outside [1, MaxDistance(d)].
+	LogNodesAt(d, h int) float64
+	// PhaseFailure returns Q(m): the probability that the routing process is
+	// absorbed into the failure state during a phase with m phases
+	// remaining, under node-failure probability q. d is the identifier
+	// length (only d-dependent geometries like Symphony use it).
+	PhaseFailure(d, m int, q float64) float64
+}
+
+// Protocol is a concrete DHT overlay with static routing tables — the
+// simulation counterpart of a Geometry. Implementations are safe for
+// concurrent Route calls once constructed (tables are read-only).
+type Protocol interface {
+	// Name returns the protocol name (e.g. "chord").
+	Name() string
+	// GeometryName returns the paper's geometry term for the protocol
+	// (e.g. "ring" for Chord), linking simulators to analytic models.
+	GeometryName() string
+	// Space returns the identifier space the overlay populates.
+	Space() overlay.Space
+	// Degree returns the number of routing-table entries per node.
+	Degree() int
+	// Route attempts to deliver a message from src to dst using only alive
+	// nodes. src and dst are assumed alive (the static-resilience harness
+	// conditions on surviving pairs). It reports the number of hops taken
+	// and whether the destination was reached.
+	Route(src, dst overlay.ID, alive *overlay.Bitset) (hops int, ok bool)
+	// Neighbors returns a copy of node x's routing-table entries, used by
+	// the percolation analysis to build the overlay graph.
+	Neighbors(x overlay.ID) []overlay.ID
+}
+
+// Config is the one canonical overlay-construction configuration, shared by
+// the simulator factory (dht.New), the experiment runner (rcm/exp) and the
+// public facade (package rcm) — there is exactly one copy of these fields
+// in the module.
+type Config struct {
+	// Bits is the identifier length d; the overlay has 2^d nodes.
+	Bits int
+	// Seed seeds the deterministic RNG used for randomized table entries.
+	Seed uint64
+	// SymphonyNear and SymphonyShortcuts set kn and ks for Symphony
+	// overlays; both default to 1 (the paper's Fig. 7 setting) when zero.
+	// Other registrants are free to ignore or reinterpret them.
+	SymphonyNear      int
+	SymphonyShortcuts int
+}
+
+// GeometryFactory builds an analytic geometry from a configuration. Most
+// geometries ignore the configuration entirely; Symphony reads kn/ks.
+type GeometryFactory func(Config) (Geometry, error)
+
+// ProtocolFactory builds a concrete overlay from a configuration.
+type ProtocolFactory func(Config) (Protocol, error)
+
+// GeometryEntry is a resolved geometry registration.
+type GeometryEntry struct {
+	// Name is the canonical registered name.
+	Name string
+	// New builds the geometry.
+	New GeometryFactory
+}
+
+// ProtocolEntry is a resolved protocol registration.
+type ProtocolEntry struct {
+	// Name is the canonical registered name.
+	Name string
+	// New builds the overlay.
+	New ProtocolFactory
+}
+
+// registryT is one name-keyed table: canonical names in registration order
+// plus a case-insensitive index over names and aliases.
+type registryT[E any] struct {
+	mu    sync.RWMutex
+	order []string
+	index map[string]E
+}
+
+func (r *registryT[E]) register(kind, name string, entry E, aliases []string) error {
+	keys := make([]string, 0, 1+len(aliases))
+	for _, n := range append([]string{name}, aliases...) {
+		k := strings.ToLower(strings.TrimSpace(n))
+		if k == "" {
+			return fmt.Errorf("registry: empty %s name", kind)
+		}
+		keys = append(keys, k)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.index == nil {
+		r.index = make(map[string]E)
+	}
+	for i, k := range keys {
+		if _, taken := r.index[k]; taken {
+			what := "name"
+			if i > 0 {
+				what = "alias"
+			}
+			return fmt.Errorf("registry: %s %s %q already registered", kind, what, k)
+		}
+		for _, prev := range keys[:i] {
+			if prev == k {
+				return fmt.Errorf("registry: %s %q aliases itself", kind, k)
+			}
+		}
+	}
+	for _, k := range keys {
+		r.index[k] = entry
+	}
+	r.order = append(r.order, keys[0])
+	return nil
+}
+
+func (r *registryT[E]) lookup(name string) (E, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.index[strings.ToLower(strings.TrimSpace(name))]
+	return e, ok
+}
+
+func (r *registryT[E]) names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, len(r.order))
+	copy(out, r.order)
+	return out
+}
+
+func (r *registryT[E]) keys() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.index))
+	for k := range r.index {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+var (
+	geometries registryT[GeometryEntry]
+	protocols  registryT[ProtocolEntry]
+)
+
+// RegisterGeometry adds an analytic geometry under a canonical name plus
+// optional aliases. Names are case-insensitive; registering a name or alias
+// that is already taken (by either a canonical name or an alias) is an
+// error, as is an empty name.
+func RegisterGeometry(name string, f GeometryFactory, aliases ...string) error {
+	if f == nil {
+		return fmt.Errorf("registry: geometry %q has nil factory", name)
+	}
+	return geometries.register("geometry", name, GeometryEntry{Name: strings.ToLower(strings.TrimSpace(name)), New: f}, aliases)
+}
+
+// RegisterProtocol adds a concrete overlay factory under a canonical name
+// plus optional aliases, with the same collision rules as RegisterGeometry.
+func RegisterProtocol(name string, f ProtocolFactory, aliases ...string) error {
+	if f == nil {
+		return fmt.Errorf("registry: protocol %q has nil factory", name)
+	}
+	return protocols.register("protocol", name, ProtocolEntry{Name: strings.ToLower(strings.TrimSpace(name)), New: f}, aliases)
+}
+
+// LookupGeometry resolves a geometry by canonical name or alias.
+func LookupGeometry(name string) (GeometryEntry, bool) { return geometries.lookup(name) }
+
+// LookupProtocol resolves a protocol by canonical name or alias.
+func LookupProtocol(name string) (ProtocolEntry, bool) { return protocols.lookup(name) }
+
+// GeometryNames returns the canonical geometry names in registration order
+// (the five paper geometries first, user registrations after).
+func GeometryNames() []string { return geometries.names() }
+
+// ProtocolNames returns the canonical protocol names in registration order.
+func ProtocolNames() []string { return protocols.names() }
+
+// GeometryKeys returns every accepted geometry name and alias, sorted; it
+// backs "unknown name" error messages.
+func GeometryKeys() []string { return geometries.keys() }
+
+// ProtocolKeys returns every accepted protocol name and alias, sorted.
+func ProtocolKeys() []string { return protocols.keys() }

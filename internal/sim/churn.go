@@ -7,7 +7,7 @@ import (
 	"sync"
 
 	"rcm/internal/dht"
-	"rcm/internal/overlay"
+	"rcm/overlay"
 )
 
 // The paper analyzes a *static* failure model and explicitly leaves its
@@ -49,6 +49,31 @@ type ChurnOptions struct {
 	Seed uint64
 	// Workers bounds measurement parallelism (default GOMAXPROCS).
 	Workers int
+}
+
+// Validate rejects options that would otherwise be clamped into a silently
+// degenerate run: negative or non-finite session, duration or measurement
+// parameters. Zero values are allowed — they select the documented
+// defaults.
+func (o ChurnOptions) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"MeanOnline", o.MeanOnline},
+		{"MeanOffline", o.MeanOffline},
+		{"Duration", o.Duration},
+		{"MeasureEvery", o.MeasureEvery},
+		{"RepairEvery", o.RepairEvery},
+	} {
+		if f.v < 0 || math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("sim: churn %s = %v must be a finite value >= 0 (zero selects the default)", f.name, f.v)
+		}
+	}
+	if o.PairsPerMeasure < 0 {
+		return fmt.Errorf("sim: churn PairsPerMeasure = %d must be >= 0", o.PairsPerMeasure)
+	}
+	return nil
 }
 
 func (o ChurnOptions) withDefaults() ChurnOptions {
@@ -129,6 +154,9 @@ func (h *eventHeap) Pop() interface{} {
 // ChurnPoint per measurement epoch. The node population is initialized at
 // the steady-state online fraction, so measurements start in equilibrium.
 func SimulateChurn(p dht.Protocol, opt ChurnOptions) ([]ChurnPoint, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
 	opt = opt.withDefaults()
 	nodes := population(p)
 	if len(nodes) < 2 {

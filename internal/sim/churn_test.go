@@ -182,3 +182,33 @@ func TestChurnTooFewNodes(t *testing.T) {
 		t.Errorf("2-node churn failed: %v", err)
 	}
 }
+
+// TestChurnOptionsValidate: negative or non-finite parameters must be
+// rejected with descriptive errors instead of being clamped to defaults.
+func TestChurnOptionsValidate(t *testing.T) {
+	p, err := dht.New("chord", dht.Config{Bits: 6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		opt  ChurnOptions
+	}{
+		{"negative duration", ChurnOptions{Duration: -1}},
+		{"negative measure interval", ChurnOptions{MeasureEvery: -0.5}},
+		{"negative mean online", ChurnOptions{MeanOnline: -2}},
+		{"negative mean offline", ChurnOptions{MeanOffline: -0.1}},
+		{"negative repair interval", ChurnOptions{RepairEvery: -1}},
+		{"negative pairs", ChurnOptions{PairsPerMeasure: -10}},
+		{"NaN duration", ChurnOptions{Duration: math.NaN()}},
+		{"inf mean online", ChurnOptions{MeanOnline: math.Inf(1)}},
+	} {
+		if _, err := SimulateChurn(p, tc.opt); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	// The zero value still selects the documented defaults.
+	if err := (ChurnOptions{}).Validate(); err != nil {
+		t.Errorf("zero options rejected: %v", err)
+	}
+}

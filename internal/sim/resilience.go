@@ -12,7 +12,7 @@ import (
 	"sync"
 
 	"rcm/internal/dht"
-	"rcm/internal/overlay"
+	"rcm/overlay"
 )
 
 // Options configures a static-resilience measurement. The zero value is

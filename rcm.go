@@ -5,14 +5,90 @@ import (
 
 	"rcm/internal/core"
 	"rcm/internal/dht"
+	"rcm/internal/registry"
 	"rcm/internal/sim"
 )
 
+// Geometry is the analytic extension point of the framework: the RCM
+// description of a DHT routing geometry (§4.1) — the routing-distance
+// distribution n(h) and the per-phase failure probability Q(m). Implement
+// it (the methods use only built-in types) and register it with
+// RegisterGeometry to evaluate, classify, sweep and plot a new geometry
+// exactly like the paper's five; see examples/randchord for a complete
+// walkthrough.
+type Geometry = registry.Geometry
+
+// Protocol is the simulation extension point: a concrete DHT overlay with
+// static routing tables, routed greedily under the static-resilience
+// failure model. Implementations build on package rcm/overlay (identifier
+// spaces, bitsets, deterministic RNG) and register with RegisterProtocol.
+type Protocol = registry.Protocol
+
+// Config is the canonical overlay-construction configuration, shared by
+// the simulator factory, the experiment runner (rcm/exp) and this
+// package's SimConfig/ChurnConfig.
+type Config = registry.Config
+
+// GeometryFactory builds a Geometry from a Config (most geometries ignore
+// it; Symphony reads kn/ks).
+type GeometryFactory = registry.GeometryFactory
+
+// ProtocolFactory builds a Protocol overlay from a Config.
+type ProtocolFactory = registry.ProtocolFactory
+
+// RegisterGeometry adds an analytic geometry to the shared name-keyed
+// registry under a canonical name plus optional aliases. Names are
+// case-insensitive; a name or alias that is already taken is an error.
+// Registered geometries resolve everywhere built-ins do: ModelFor,
+// exp.SpecFor, and the rcmcalc/dhtsim/churnsim/figures name flags.
+func RegisterGeometry(name string, f GeometryFactory, aliases ...string) error {
+	return registry.RegisterGeometry(name, f, aliases...)
+}
+
+// RegisterProtocol adds a concrete overlay factory to the shared registry,
+// with the same naming rules as RegisterGeometry. Registered protocols
+// construct through Simulate and Churn exactly like the five built-ins;
+// to sweep one through the rcm/exp runner, also register the matching
+// analytic geometry under the same name (an exp.Spec always carries a
+// Geometry — see examples/randchord, which registers both halves).
+func RegisterProtocol(name string, f ProtocolFactory, aliases ...string) error {
+	return registry.RegisterProtocol(name, f, aliases...)
+}
+
+// Geometries returns the canonical registered geometry names in
+// registration order: the paper's five first, user registrations after.
+func Geometries() []string { return registry.GeometryNames() }
+
+// Protocols returns the canonical registered protocol names in
+// registration order.
+func Protocols() []string { return registry.ProtocolNames() }
+
 // Model is an analytic RCM description of a DHT routing geometry. The zero
 // value is not usable; obtain instances from Tree, Hypercube, XOR, Ring,
-// Symphony or Models.
+// Symphony, Models, ModelFor or NewModel.
 type Model struct {
 	g core.Geometry
+}
+
+// NewModel wraps any Geometry — registered or not — as a Model, giving a
+// user-defined geometry the full analytic surface: Routability,
+// SuccessProb, ExpectedReach and the numeric scalability probe.
+func NewModel(g Geometry) Model { return Model{g: g} }
+
+// ModelFor resolves a geometry name (either vocabulary: the paper's
+// geometry terms, the system names, or any registered name or alias)
+// through the shared registry and wraps it as a Model. The configuration
+// is passed to the geometry's factory; pass Config{} for defaults.
+func ModelFor(name string, cfg Config) (Model, error) {
+	e, ok := registry.LookupGeometry(name)
+	if !ok {
+		return Model{}, fmt.Errorf("rcm: unknown geometry %q", name)
+	}
+	g, err := e.New(cfg)
+	if err != nil {
+		return Model{}, fmt.Errorf("rcm: geometry %q: %w", e.Name, err)
+	}
+	return Model{g: g}, nil
 }
 
 // Tree returns the Plaxton-style tree geometry (§3.1).
@@ -53,6 +129,9 @@ func (m Model) Name() string { return m.g.Name() }
 
 // System returns the DHT system the paper associates with the geometry.
 func (m Model) System() string { return m.g.System() }
+
+// Geometry returns the underlying geometry, e.g. for use in exp.Spec.
+func (m Model) Geometry() Geometry { return m.g }
 
 // Routability returns r(N,q) for N = 2^d: the expected fraction of
 // surviving node pairs that can still route to each other (Definition 1,
@@ -117,14 +196,17 @@ func fromCoreVerdict(v core.Verdict) Verdict {
 }
 
 // Scalability returns the paper's §5 verdict for the geometry together with
-// the one-line justification.
+// the one-line justification. Geometries without a hand-derived analysis
+// (including user-registered ones) return Indeterminate — use
+// ClassifyNumerically for them.
 func (m Model) Scalability() (Verdict, string) {
 	v, reason := core.TheoreticalVerdict(m.g)
 	return fromCoreVerdict(v), reason
 }
 
 // ClassifyNumerically runs the Knopp-test probe (§5, Theorem 1) on Σ Q(m)
-// at failure probability q, independent of the hand-derived verdict.
+// at failure probability q, independent of the hand-derived verdict. It
+// works for any Geometry, including user-defined ones.
 func (m Model) ClassifyNumerically(q float64) Verdict {
 	return fromCoreVerdict(core.Classify(m.g, q, core.ClassifyOptions{}))
 }
@@ -132,25 +214,20 @@ func (m Model) ClassifyNumerically(q float64) Verdict {
 // SimConfig configures a static-resilience simulation (the Fig. 6
 // experiment) on a concrete overlay.
 type SimConfig struct {
-	// Protocol names the overlay: plaxton/tree, can/hypercube,
-	// kademlia/xor, chord/ring, or symphony.
+	// Protocol names the overlay in either registry vocabulary
+	// (e.g. "chord" or "ring"), including user-registered protocols.
 	Protocol string
-	// Bits is the identifier length d; the overlay has 2^d nodes.
-	Bits int
+	// Config is the overlay construction configuration (Bits, Seed, and
+	// protocol-specific parameters). Seed also drives the measurement.
+	Config
 	// Q is the node failure probability.
 	Q float64
 	// Pairs per trial (default 10000) and independent failure Trials
 	// (default 3).
 	Pairs  int
 	Trials int
-	// Seed makes the run deterministic.
-	Seed uint64
 	// Workers bounds routing parallelism (default: all CPUs).
 	Workers int
-	// SymphonyNear/SymphonyShortcuts set kn/ks for Symphony overlays
-	// (default 1 and 1).
-	SymphonyNear      int
-	SymphonyShortcuts int
 }
 
 // SimResult reports a static-resilience measurement.
@@ -173,12 +250,7 @@ type SimResult struct {
 
 // Simulate builds the overlay and measures its static resilience at cfg.Q.
 func Simulate(cfg SimConfig) (SimResult, error) {
-	p, err := dht.New(cfg.Protocol, dht.Config{
-		Bits:              cfg.Bits,
-		Seed:              cfg.Seed,
-		SymphonyNear:      cfg.SymphonyNear,
-		SymphonyShortcuts: cfg.SymphonyShortcuts,
-	})
+	p, err := dht.New(cfg.Protocol, cfg.Config)
 	if err != nil {
 		return SimResult{}, fmt.Errorf("rcm: %w", err)
 	}
@@ -205,39 +277,58 @@ func Simulate(cfg SimConfig) (SimResult, error) {
 // ChurnConfig configures the churn extension (experiment E11): an
 // event-driven on/off node population with optional table repair.
 type ChurnConfig struct {
-	// Protocol and Bits as in SimConfig.
+	// Protocol names the overlay, as in SimConfig.
 	Protocol string
-	Bits     int
+	// Config is the overlay construction configuration; Seed also drives
+	// the churn process.
+	Config
 	// MeanOnline and MeanOffline are the exponential session parameters;
 	// the steady-state offline fraction is MeanOffline/(MeanOnline+MeanOffline).
+	// Both must be positive.
 	MeanOnline  float64
 	MeanOffline float64
 	// Duration is total simulated time; lookups are sampled every
-	// MeasureEvery time units.
+	// MeasureEvery time units. Both must be positive.
 	Duration     float64
 	MeasureEvery float64
-	// PairsPerMeasure lookups are sampled per epoch.
+	// PairsPerMeasure lookups are sampled per epoch (default 2000).
 	PairsPerMeasure int
 	// Repair re-draws a node's table entries toward alive nodes on rejoin
 	// and periodically while online.
 	Repair bool
-	// Seed makes the run deterministic.
-	Seed uint64
 }
 
-// ChurnPoint is one lookup-success measurement during churn.
-type ChurnPoint struct {
-	// Time of the measurement.
-	Time float64
-	// OfflineFraction of nodes at that instant.
-	OfflineFraction float64
-	// LookupSuccess fraction among sampled online pairs.
-	LookupSuccess float64
+// validate rejects configurations the engine would otherwise clamp into a
+// silently degenerate run.
+func (cfg ChurnConfig) validate() error {
+	switch {
+	case cfg.MeanOnline <= 0:
+		return fmt.Errorf("rcm: churn MeanOnline = %v must be > 0", cfg.MeanOnline)
+	case cfg.MeanOffline <= 0:
+		return fmt.Errorf("rcm: churn MeanOffline = %v must be > 0", cfg.MeanOffline)
+	case cfg.Duration <= 0:
+		return fmt.Errorf("rcm: churn Duration = %v must be > 0", cfg.Duration)
+	case cfg.MeasureEvery <= 0:
+		return fmt.Errorf("rcm: churn MeasureEvery = %v must be > 0", cfg.MeasureEvery)
+	case cfg.MeasureEvery > cfg.Duration:
+		return fmt.Errorf("rcm: churn MeasureEvery = %v exceeds Duration = %v (no measurements would be taken)", cfg.MeasureEvery, cfg.Duration)
+	case cfg.PairsPerMeasure < 0:
+		return fmt.Errorf("rcm: churn PairsPerMeasure = %d must be >= 0", cfg.PairsPerMeasure)
+	}
+	return nil
 }
+
+// ChurnPoint is one lookup-success measurement during churn: the time of
+// the measurement, the offline fraction at that instant, and the lookup
+// success among sampled online pairs.
+type ChurnPoint = sim.ChurnPoint
 
 // Churn runs the churn experiment and returns the measurement series.
 func Churn(cfg ChurnConfig) ([]ChurnPoint, error) {
-	p, err := dht.New(cfg.Protocol, dht.Config{Bits: cfg.Bits, Seed: cfg.Seed})
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	p, err := dht.New(cfg.Protocol, cfg.Config)
 	if err != nil {
 		return nil, fmt.Errorf("rcm: %w", err)
 	}
@@ -257,31 +348,11 @@ func Churn(cfg ChurnConfig) ([]ChurnPoint, error) {
 	if err != nil {
 		return nil, fmt.Errorf("rcm: %w", err)
 	}
-	out := make([]ChurnPoint, len(pts))
-	for i, pt := range pts {
-		out[i] = ChurnPoint{
-			Time:            pt.Time,
-			OfflineFraction: pt.OfflineFraction,
-			LookupSuccess:   pt.LookupSuccess,
-		}
-	}
-	return out, nil
+	return pts, nil
 }
 
 // SteadyState averages churn points after discarding everything before
 // burnIn, returning mean lookup success and mean offline fraction.
 func SteadyState(points []ChurnPoint, burnIn float64) (meanSuccess, meanOffline float64) {
-	n := 0
-	for _, pt := range points {
-		if pt.Time < burnIn {
-			continue
-		}
-		meanSuccess += pt.LookupSuccess
-		meanOffline += pt.OfflineFraction
-		n++
-	}
-	if n == 0 {
-		return 0, 0
-	}
-	return meanSuccess / float64(n), meanOffline / float64(n)
+	return sim.SteadyState(points, burnIn)
 }

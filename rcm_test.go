@@ -2,6 +2,7 @@ package rcm
 
 import (
 	"math"
+	"strings"
 	"testing"
 )
 
@@ -133,11 +134,10 @@ func TestSuccessProbAndReach(t *testing.T) {
 func TestSimulateEndToEnd(t *testing.T) {
 	res, err := Simulate(SimConfig{
 		Protocol: "kademlia",
-		Bits:     10,
+		Config:   Config{Bits: 10, Seed: 7},
 		Q:        0.2,
 		Pairs:    3000,
 		Trials:   2,
-		Seed:     7,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -162,13 +162,13 @@ func TestSimulateEndToEnd(t *testing.T) {
 }
 
 func TestSimulateValidation(t *testing.T) {
-	if _, err := Simulate(SimConfig{Protocol: "nope", Bits: 8, Q: 0.1}); err == nil {
+	if _, err := Simulate(SimConfig{Protocol: "nope", Config: Config{Bits: 8}, Q: 0.1}); err == nil {
 		t.Error("unknown protocol accepted")
 	}
-	if _, err := Simulate(SimConfig{Protocol: "chord", Bits: 0, Q: 0.1}); err == nil {
+	if _, err := Simulate(SimConfig{Protocol: "chord", Config: Config{Bits: 0}, Q: 0.1}); err == nil {
 		t.Error("bits=0 accepted")
 	}
-	if _, err := Simulate(SimConfig{Protocol: "chord", Bits: 8, Q: 2}); err == nil {
+	if _, err := Simulate(SimConfig{Protocol: "chord", Config: Config{Bits: 8}, Q: 2}); err == nil {
 		t.Error("q=2 accepted")
 	}
 }
@@ -176,13 +176,12 @@ func TestSimulateValidation(t *testing.T) {
 func TestChurnEndToEnd(t *testing.T) {
 	pts, err := Churn(ChurnConfig{
 		Protocol:        "chord",
-		Bits:            9,
+		Config:          Config{Bits: 9, Seed: 3},
 		MeanOnline:      1,
 		MeanOffline:     0.25,
 		Duration:        5,
 		MeasureEvery:    0.5,
 		PairsPerMeasure: 1500,
-		Seed:            3,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -203,7 +202,40 @@ func TestChurnEndToEnd(t *testing.T) {
 }
 
 func TestChurnValidation(t *testing.T) {
-	if _, err := Churn(ChurnConfig{Protocol: "nope", Bits: 8}); err == nil {
+	valid := ChurnConfig{
+		Protocol: "chord", Config: Config{Bits: 8},
+		MeanOnline: 1, MeanOffline: 0.25,
+		Duration: 5, MeasureEvery: 0.5,
+	}
+	bad := valid
+	bad.Protocol = "nope"
+	if _, err := Churn(bad); err == nil {
 		t.Error("unknown protocol accepted")
+	}
+	// The facade is strict: zero or negative session/measurement
+	// parameters are configuration bugs, not default requests.
+	for _, tc := range []struct {
+		name   string
+		mutate func(*ChurnConfig)
+		want   string
+	}{
+		{"zero duration", func(c *ChurnConfig) { c.Duration = 0 }, "Duration"},
+		{"negative duration", func(c *ChurnConfig) { c.Duration = -3 }, "Duration"},
+		{"zero measure interval", func(c *ChurnConfig) { c.MeasureEvery = 0 }, "MeasureEvery"},
+		{"zero mean online", func(c *ChurnConfig) { c.MeanOnline = 0 }, "MeanOnline"},
+		{"negative mean online", func(c *ChurnConfig) { c.MeanOnline = -1 }, "MeanOnline"},
+		{"zero mean offline", func(c *ChurnConfig) { c.MeanOffline = 0 }, "MeanOffline"},
+		{"interval past duration", func(c *ChurnConfig) { c.MeasureEvery = 10 }, "exceeds Duration"},
+		{"negative pairs", func(c *ChurnConfig) { c.PairsPerMeasure = -1 }, "PairsPerMeasure"},
+	} {
+		cfg := valid
+		tc.mutate(&cfg)
+		_, err := Churn(cfg)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+	if _, err := Churn(valid); err != nil {
+		t.Errorf("valid config rejected: %v", err)
 	}
 }

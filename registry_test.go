@@ -1,0 +1,169 @@
+package rcm_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"rcm"
+	"rcm/overlay"
+)
+
+// toyGeometry is a minimal valid registrant for registry tests.
+type toyGeometry struct{ name string }
+
+func (g toyGeometry) Name() string        { return g.name }
+func (toyGeometry) System() string        { return "Toy" }
+func (toyGeometry) MaxDistance(d int) int { return d }
+func (toyGeometry) LogNodesAt(d, h int) float64 {
+	if h < 1 || h > d {
+		return math.Inf(-1)
+	}
+	return 0
+}
+func (toyGeometry) PhaseFailure(d, m int, q float64) float64 { return q }
+
+func toyFactory(name string) rcm.GeometryFactory {
+	return func(rcm.Config) (rcm.Geometry, error) { return toyGeometry{name: name}, nil }
+}
+
+func TestRegisterGeometryDuplicate(t *testing.T) {
+	if err := rcm.RegisterGeometry("dup-geo-test", toyFactory("dup-geo-test")); err != nil {
+		t.Fatalf("first registration: %v", err)
+	}
+	err := rcm.RegisterGeometry("dup-geo-test", toyFactory("dup-geo-test"))
+	if err == nil || !strings.Contains(err.Error(), "already registered") {
+		t.Errorf("duplicate registration err = %v", err)
+	}
+	// Case-insensitive: a different casing is still a duplicate.
+	if err := rcm.RegisterGeometry("DUP-GEO-TEST", toyFactory("x")); err == nil {
+		t.Error("case-variant duplicate accepted")
+	}
+}
+
+func TestRegisterGeometryBuiltinCollisions(t *testing.T) {
+	// Canonical built-in names and their aliases are all reserved, in both
+	// vocabularies: "chord" is an alias of the ring geometry and the
+	// canonical name of the chord protocol.
+	for _, name := range []string{"tree", "plaxton", "ring", "chord", "symphony"} {
+		if err := rcm.RegisterGeometry(name, toyFactory(name)); err == nil {
+			t.Errorf("geometry name %q re-registered over a built-in", name)
+		}
+	}
+	// An alias colliding with a built-in name is rejected even when the
+	// canonical name is fresh — and the failed registration must not claim
+	// the fresh name either.
+	err := rcm.RegisterGeometry("alias-collision-test", toyFactory("a"), "ring")
+	if err == nil {
+		t.Fatal("alias collision with built-in \"ring\" accepted")
+	}
+	if _, lookupErr := rcm.ModelFor("alias-collision-test", rcm.Config{}); lookupErr == nil {
+		t.Error("failed registration still resolvable by canonical name")
+	}
+}
+
+func TestRegisterGeometryRejectsJunk(t *testing.T) {
+	if err := rcm.RegisterGeometry("", toyFactory("")); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := rcm.RegisterGeometry("   ", toyFactory(" ")); err == nil {
+		t.Error("blank name accepted")
+	}
+	if err := rcm.RegisterGeometry("nil-factory-test", nil); err == nil {
+		t.Error("nil factory accepted")
+	}
+	if err := rcm.RegisterGeometry("self-alias-test", toyFactory("s"), "Self-Alias-Test"); err == nil {
+		t.Error("name aliasing itself accepted")
+	}
+}
+
+func TestLookupUnknownName(t *testing.T) {
+	if _, err := rcm.ModelFor("pastry", rcm.Config{}); err == nil {
+		t.Error("unknown geometry resolved")
+	}
+	if _, err := rcm.Simulate(rcm.SimConfig{Protocol: "pastry", Config: rcm.Config{Bits: 8}, Q: 0.1}); err == nil {
+		t.Error("unknown protocol simulated")
+	}
+}
+
+func TestRegisteredGeometryFlowsThroughModel(t *testing.T) {
+	if err := rcm.RegisterGeometry("flow-test", toyFactory("flow-test"), "flow-alias-test"); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"flow-test", "Flow-Test", "flow-alias-test"} {
+		m, err := rcm.ModelFor(name, rcm.Config{})
+		if err != nil {
+			t.Fatalf("ModelFor(%q): %v", name, err)
+		}
+		if m.Name() != "flow-test" {
+			t.Errorf("ModelFor(%q).Name() = %q", name, m.Name())
+		}
+		// The analytic surface works end to end on the registrant.
+		if _, err := m.Routability(8, 0.3); err != nil {
+			t.Errorf("Routability on registered geometry: %v", err)
+		}
+	}
+	found := false
+	for _, name := range rcm.Geometries() {
+		if name == "flow-test" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Geometries() = %v does not list the registrant", rcm.Geometries())
+	}
+}
+
+// toyProtocol is a minimal overlay: every node links to its ring successor,
+// so any route over fully-alive nodes succeeds in at most N-1 hops.
+type toyProtocol struct{ space overlay.Space }
+
+func (p *toyProtocol) Name() string         { return "toyproto" }
+func (p *toyProtocol) GeometryName() string { return "toy" }
+func (p *toyProtocol) Space() overlay.Space { return p.space }
+func (p *toyProtocol) Degree() int          { return 1 }
+func (p *toyProtocol) Route(src, dst overlay.ID, alive *overlay.Bitset) (int, bool) {
+	cur := src
+	hops := 0
+	for cur != dst {
+		next := overlay.ID((uint64(cur) + 1) % p.space.Size())
+		if !alive.Get(int(next)) && next != dst {
+			return hops, false
+		}
+		cur = next
+		hops++
+	}
+	return hops, true
+}
+func (p *toyProtocol) Neighbors(x overlay.ID) []overlay.ID {
+	return []overlay.ID{overlay.ID((uint64(x) + 1) % p.space.Size())}
+}
+
+func TestRegisteredProtocolFlowsThroughSimulate(t *testing.T) {
+	err := rcm.RegisterProtocol("toyproto-test", func(cfg rcm.Config) (rcm.Protocol, error) {
+		s, err := overlay.NewSpace(cfg.Bits)
+		if err != nil {
+			return nil, err
+		}
+		return &toyProtocol{space: s}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rcm.RegisterProtocol("toyproto-test", nil); err == nil {
+		t.Error("duplicate protocol with nil factory accepted")
+	}
+	res, err := rcm.Simulate(rcm.SimConfig{
+		Protocol: "toyproto-test",
+		Config:   rcm.Config{Bits: 6, Seed: 1},
+		Q:        0, // no failures: the successor chain always delivers
+		Pairs:    200,
+		Trials:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Routability != 1 {
+		t.Errorf("toy protocol routability at q=0 = %v, want 1", res.Routability)
+	}
+}
