@@ -1,0 +1,24 @@
+# Developer entry points; CI calls the same targets so local runs and the
+# pipeline cannot drift.
+
+.PHONY: build test race bench fmt vet
+
+build:
+	go build ./... && go build ./examples/...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+# bench produces BENCH_exp.json (runner ns/op, allocs/op) and
+# BENCH_eventsim.json (engine events/s, allocs/event) in one command.
+bench:
+	scripts/bench.sh
+
+fmt:
+	gofmt -l .
+
+vet:
+	go vet ./... && go vet ./examples/...

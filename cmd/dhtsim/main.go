@@ -43,7 +43,8 @@ func run(args []string, out io.Writer) error {
 		kn       = fs.Int("kn", 1, "symphony near neighbors")
 		ks       = fs.Int("ks", 1, "symphony shortcuts")
 		sweep    = fs.Bool("sweep", false, "sweep q over 0..0.9 instead of a single point")
-		compare  = fs.Bool("compare", false, "print the analytic RCM prediction alongside")
+		compare  = fs.Bool("compare", false, "print the analytic RCM prediction alongside (shorthand for -mode sim+analytic)")
+		modeFlag = fs.String("mode", "sim", `measurements to run, "+"-joined: sim|analytic+sim`)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -65,10 +66,22 @@ func run(args []string, out io.Writer) error {
 	if *sweep {
 		qs = exp.PaperQGrid()
 	}
-	mode := exp.ModeSim
+	mode, err := exp.ParseMode(*modeFlag)
+	if err != nil {
+		return err
+	}
 	if *compare {
 		mode |= exp.ModeAnalytic
 	}
+	// dhtsim builds no churn or event settings and its table is shaped
+	// around the static measurement; point users at the dedicated CLIs.
+	if mode&^(exp.ModeAnalytic|exp.ModeSim) != 0 {
+		return fmt.Errorf("-mode %q: dhtsim runs sim and analytic measurements only (use churnsim or eventsim for the others)", *modeFlag)
+	}
+	if mode&exp.ModeSim == 0 {
+		return fmt.Errorf("-mode %q must include sim (use rcmcalc for analytic-only evaluation)", *modeFlag)
+	}
+	compareCols := mode&exp.ModeAnalytic != 0
 	rows, err := exp.Run(context.Background(), exp.Plan{
 		Name:  "dhtsim",
 		Specs: []exp.Spec{spec},
@@ -84,7 +97,7 @@ func run(args []string, out io.Writer) error {
 	}
 
 	cols := []string{"q %", "routability %", "failed %", "stderr %", "mean hops", "alive %"}
-	if *compare {
+	if compareCols {
 		cols = append(cols, "analytic r%", "analytic failed %")
 	}
 	t := table.New(fmt.Sprintf("%s static resilience, N=2^%d, %d pairs × %d trials",
@@ -98,7 +111,7 @@ func run(args []string, out io.Writer) error {
 			table.F(r.SimMeanHops, 2),
 			table.Pct(r.SimAlive, 1),
 		}
-		if *compare {
+		if compareCols {
 			row = append(row, table.Pct(r.AnalyticRoutability, 2), table.F(r.AnalyticFailedPct, 2))
 		}
 		t.AddRow(row...)

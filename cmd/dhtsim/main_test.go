@@ -77,3 +77,33 @@ func TestMatchingGeometryCoversAll(t *testing.T) {
 		}
 	}
 }
+
+// TestModeFlag: -mode is parsed by exp.ParseMode, so "analytic+sim" is
+// equivalent to -compare and bad spellings are rejected.
+func TestModeFlag(t *testing.T) {
+	withMode := runCapture(t, "-protocol", "chord", "-bits", "8", "-q", "0.1",
+		"-pairs", "500", "-trials", "1", "-mode", "analytic+sim")
+	if !strings.Contains(withMode, "analytic") {
+		t.Errorf("-mode analytic+sim output missing analytic column:\n%s", withMode)
+	}
+	withCompare := runCapture(t, "-protocol", "chord", "-bits", "8", "-q", "0.1",
+		"-pairs", "500", "-trials", "1", "-compare")
+	if withMode != withCompare {
+		t.Errorf("-mode analytic+sim differs from -compare:\n%s\nvs\n%s", withMode, withCompare)
+	}
+	var sb strings.Builder
+	if err := run([]string{"-mode", "warp"}, &sb); err == nil {
+		t.Error("bad -mode accepted")
+	}
+}
+
+// TestModeFlagRejectsOtherEngines: dhtsim has no churn/event settings, so
+// those modes must be rejected at the flag with a pointer to the right CLI.
+func TestModeFlagRejectsOtherEngines(t *testing.T) {
+	for _, mode := range []string{"churn", "event", "sim+churn", "analytic"} {
+		var sb strings.Builder
+		if err := run([]string{"-mode", mode}, &sb); err == nil {
+			t.Errorf("-mode %s accepted", mode)
+		}
+	}
+}

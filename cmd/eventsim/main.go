@@ -1,0 +1,187 @@
+// Command eventsim runs the message-level discrete-event simulator on a
+// concrete DHT overlay: a scenario from the pluggable library (massfail,
+// churn, flashcrowd, correlated, zipf, or anything registered through
+// rcm/eventsim) drives node lifecycles and a lookup workload over a
+// configurable transport, and the time-bucketed metrics stream through
+// the experiment runner in rcm/exp. With analytic/sim mode flags the
+// static-model predictions at the scenario's equivalent failure
+// probability q_eff are printed alongside, scoring the paper's static
+// framework against real protocol dynamics.
+//
+// Examples:
+//
+//	eventsim -protocol chord -bits 12 -scenario massfail -fail 0.3
+//	eventsim -protocol kademlia -bits 10 -scenario churn -maintain
+//	eventsim -protocol chord -scenario flashcrowd -transport lossy:0.05:empirical
+//	eventsim -protocol symphony -scenario zipf -zipf 1.2 -format csv
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"rcm/eventsim"
+	"rcm/exp"
+	"rcm/internal/table"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "eventsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("eventsim", flag.ContinueOnError)
+	var (
+		protocol = fs.String("protocol", "chord", "protocol: plaxton|can|kademlia|chord|symphony")
+		bits     = fs.Int("bits", 12, "identifier length d (N = 2^d)")
+		scenario = fs.String("scenario", "massfail", "scenario: "+strings.Join(eventsim.ScenarioNames(), "|"))
+		duration = fs.Float64("duration", 10, "total simulated time")
+		buckets  = fs.Int("buckets", 10, "metric windows per run")
+		rate     = fs.Float64("rate", 500, "aggregate lookup arrivals per time unit")
+
+		failFrac = fs.Float64("fail", 0.3, "massfail/correlated: fraction of nodes that fail")
+		failTime = fs.Float64("fail-time", 0, "when the failure hits (0: 30% of duration)")
+		regions  = fs.Int("regions", 0, "correlated: contiguous regions to kill (0: default 4)")
+
+		meanOnline  = fs.Float64("mean-online", 0, "churn: mean online session (0: default 1)")
+		meanOffline = fs.Float64("mean-offline", 0, "churn: mean offline duration (0: default 0.25)")
+
+		zipfS      = fs.Float64("zipf", 0, "zipf: target skew s (0: scenario default)")
+		hot        = fs.Float64("hot", 0, "flashcrowd: fraction of crowd lookups on the hot key (0: default 0.8)")
+		crowdStart = fs.Float64("crowd-start", 0, "flashcrowd: crowd onset (0: 30% of duration)")
+		crowdDur   = fs.Float64("crowd-duration", 0, "flashcrowd: crowd length (0: 20% of duration)")
+		crowdMul   = fs.Float64("crowd-factor", 0, "flashcrowd: rate multiplier (0: default 10)")
+
+		transport = fs.String("transport", "constant", "transport: constant[:lat] | empirical[:median] | lossy[:rate[:inner]]")
+		maintain  = fs.Bool("maintain", false, "enable join/stabilize maintenance")
+		stabilize = fs.Float64("stabilize-every", 0, "per-node stabilization period (0: default 1)")
+		shards    = fs.Int("shards", 0, "event wheels to shard the population across (0: default 4)")
+		seed      = fs.Uint64("seed", 1, "deterministic seed")
+		kn        = fs.Int("kn", 1, "symphony near neighbors")
+		ks        = fs.Int("ks", 1, "symphony shortcuts")
+		modeFlag  = fs.String("mode", "event+analytic", `measurements, "+"-joined: event|event+analytic|event+analytic+sim`)
+		format    = fs.String("format", "ascii", "output format: ascii|csv")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *format != "ascii" && *format != "csv" {
+		return fmt.Errorf("unknown format %q", *format)
+	}
+	mode, err := exp.ParseMode(*modeFlag)
+	if err != nil {
+		return err
+	}
+	if mode&exp.ModeEvent == 0 {
+		return fmt.Errorf("-mode %q does not include event (this is the event simulator)", *modeFlag)
+	}
+	if *kn < 1 {
+		return fmt.Errorf("-kn %d must be >= 1", *kn)
+	}
+	if *ks < 1 {
+		return fmt.Errorf("-ks %d must be >= 1", *ks)
+	}
+
+	spec, err := exp.SpecFor(*protocol, exp.Config{SymphonyNear: *kn, SymphonyShortcuts: *ks})
+	if err != nil {
+		return err
+	}
+	setting := exp.EventSetting{
+		Scenario: *scenario,
+		Params: exp.EventParams{
+			Rate:          *rate,
+			ZipfS:         *zipfS,
+			FailFraction:  *failFrac,
+			FailTime:      *failTime,
+			Regions:       *regions,
+			MeanOnline:    *meanOnline,
+			MeanOffline:   *meanOffline,
+			CrowdStart:    *crowdStart,
+			CrowdDuration: *crowdDur,
+			CrowdFactor:   *crowdMul,
+			Hot:           *hot,
+		},
+		Transport:      *transport,
+		Duration:       *duration,
+		Buckets:        *buckets,
+		Maintain:       *maintain,
+		StabilizeEvery: *stabilize,
+		Shards:         *shards,
+	}
+	plan := exp.Plan{
+		Name:   "eventsim",
+		Specs:  []exp.Spec{spec},
+		Bits:   []int{*bits},
+		Events: []exp.EventSetting{setting},
+	}
+
+	if *format == "csv" {
+		return exp.StreamCSV(out, exp.Stream(context.Background(), plan,
+			exp.WithModes(mode), exp.WithSeed(*seed), exp.WithSimWorkers(1)))
+	}
+
+	rows, err := exp.Run(context.Background(), plan,
+		exp.WithModes(mode), exp.WithSeed(*seed), exp.WithSimWorkers(1))
+	if err != nil {
+		return err
+	}
+	return renderASCII(out, setting, mode, rows)
+}
+
+// renderASCII prints the bucket series as a table, plus a summary of the
+// static-model comparison when analytic/sim columns were computed.
+func renderASCII(out io.Writer, setting exp.EventSetting, mode exp.Mode, rows []exp.Row) error {
+	if len(rows) == 0 {
+		return fmt.Errorf("no rows produced")
+	}
+	first := rows[0]
+	t := table.New(fmt.Sprintf("%s · %s scenario, N=2^%d, transport %s, q_eff=%.3g",
+		first.Protocol, first.Scenario, first.Bits, displayTransport(setting.Transport), first.Q),
+		"t", "started", "success %", "mean hops", "latency", "msgs/node/s", "maint/node/s", "online %")
+	for _, r := range rows {
+		t.AddRow(
+			table.F(r.Time, 1),
+			fmt.Sprintf("%d", r.EventStarted),
+			table.Pct(r.EventSuccess, 2),
+			table.F(r.EventMeanHops, 2),
+			table.F(r.EventMeanLatency, 3),
+			table.F(r.EventMsgsNodeS, 3),
+			table.F(r.EventMaintNodeS, 3),
+			table.Pct(r.EventOnline, 1),
+		)
+	}
+	if _, err := fmt.Fprintln(out, t.ASCII()); err != nil {
+		return err
+	}
+	if mode&(exp.ModeAnalytic|exp.ModeSim) != 0 {
+		s := table.New(fmt.Sprintf("static model at q_eff=%.3g", first.Q), "source", "routability %")
+		if mode&exp.ModeAnalytic != 0 {
+			s.AddRow("analytic (RCM)", table.Pct(first.AnalyticRoutability, 2))
+		}
+		if mode&exp.ModeSim != 0 {
+			s.AddRow("static simulation", table.Pct(first.SimRoutability, 2))
+		}
+		last := rows[len(rows)-1]
+		s.AddRow("event steady state", table.Pct(last.EventSuccess, 2))
+		if _, err := fmt.Fprintln(out, s.ASCII()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// displayTransport echoes the transport spelling, defaulting the empty
+// string for display.
+func displayTransport(s string) string {
+	if s == "" {
+		return "constant"
+	}
+	return s
+}

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func runCapture(t *testing.T, args ...string) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := run(args, &sb); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return sb.String()
+}
+
+var quick = []string{"-bits", "8", "-duration", "3", "-buckets", "3", "-rate", "400"}
+
+func TestMassfailASCII(t *testing.T) {
+	out := runCapture(t, append([]string{"-protocol", "chord", "-scenario", "massfail", "-fail", "0.3", "-mode", "event+analytic+sim"}, quick...)...)
+	for _, want := range []string{
+		"chord · massfail scenario, N=2^8",
+		"q_eff=0.3",
+		"success %",
+		"static model at q_eff=0.3",
+		"analytic (RCM)",
+		"static simulation",
+		"event steady state",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+}
+
+func TestChurnWithMaintenance(t *testing.T) {
+	out := runCapture(t, append([]string{"-protocol", "kademlia", "-scenario", "churn", "-maintain", "-mode", "event"}, quick...)...)
+	if !strings.Contains(out, "kademlia · churn scenario") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	// The maintenance column must show nonzero traffic somewhere.
+	if !strings.Contains(out, "maint/node/s") {
+		t.Errorf("missing maintenance column:\n%s", out)
+	}
+}
+
+func TestCSVFormat(t *testing.T) {
+	out := runCapture(t, append([]string{"-scenario", "zipf", "-zipf", "1.1", "-format", "csv", "-mode", "event"}, quick...)...)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header + 3 buckets
+		t.Fatalf("got %d CSV lines, want 4:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "plan,kind,") || !strings.Contains(lines[0], "scenario") {
+		t.Errorf("bad CSV header: %s", lines[0])
+	}
+	if !strings.Contains(lines[1], ",event,") || !strings.Contains(lines[1], "zipf") {
+		t.Errorf("bad CSV row: %s", lines[1])
+	}
+}
+
+func TestDeterministicOutput(t *testing.T) {
+	args := append([]string{"-scenario", "flashcrowd", "-seed", "9", "-mode", "event"}, quick...)
+	if a, b := runCapture(t, args...), runCapture(t, args...); a != b {
+		t.Errorf("two identical invocations differ:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestLossyEmpiricalTransport(t *testing.T) {
+	out := runCapture(t, append([]string{"-transport", "lossy:0.05:empirical:0.08", "-mode", "event"}, quick...)...)
+	if !strings.Contains(out, "transport lossy:0.05:empirical:0.08") {
+		t.Errorf("missing transport in title:\n%s", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	for name, args := range map[string][]string{
+		"unknown scenario":   {"-scenario", "nope"},
+		"unknown protocol":   {"-protocol", "nope"},
+		"unknown transport":  {"-transport", "warp"},
+		"unknown format":     {"-format", "pdf"},
+		"mode without event": {"-mode", "analytic+sim"},
+		"unparseable mode":   {"-mode", "warp"},
+		"zero kn":            {"-kn", "0"},
+		"fail out of range":  {"-fail", "1.5"},
+	} {
+		var sb strings.Builder
+		if err := run(append(args, quick...), &sb); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

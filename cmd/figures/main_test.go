@@ -1,10 +1,13 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"rcm/internal/figures"
 )
 
 func runCapture(t *testing.T, args ...string) string {
@@ -127,5 +130,53 @@ func TestDotChainExport(t *testing.T) {
 	}
 	if !strings.Contains(string(body), "digraph chain") {
 		t.Errorf("not a dot file:\n%s", body)
+	}
+}
+
+// TestAllFiguresSmoke renders every registered figure to a temp dir at
+// reduced size, twice, and checks each produced non-empty, byte-identical
+// output — the determinism contract the figure generators advertise
+// ("pure given options and seed"), enforced figure by figure.
+func TestAllFiguresSmoke(t *testing.T) {
+	render := func(fig string) map[string][]byte {
+		t.Helper()
+		dir := t.TempDir()
+		runCapture(t, "-fig", fig, "-bits", "8", "-pairs", "200", "-trials", "1", "-out", dir)
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := map[string][]byte{}
+		for _, e := range entries {
+			body, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[e.Name()] = body
+		}
+		return out
+	}
+	for _, fig := range figures.Names() {
+		fig := fig
+		t.Run(fig, func(t *testing.T) {
+			first := render(fig)
+			if len(first) == 0 {
+				t.Fatalf("%s produced no files", fig)
+			}
+			for name, body := range first {
+				if len(body) == 0 {
+					t.Errorf("%s: empty figure file %s", fig, name)
+				}
+			}
+			second := render(fig)
+			if len(second) != len(first) {
+				t.Fatalf("%s: %d files on rerun, want %d", fig, len(second), len(first))
+			}
+			for name, body := range first {
+				if !bytes.Equal(second[name], body) {
+					t.Errorf("%s: %s not deterministic across reruns", fig, name)
+				}
+			}
+		})
 	}
 }

@@ -22,10 +22,11 @@
 // name-keyed registry; the paper's five geometries (Tree, Hypercube, XOR,
 // Ring, Symphony) are ordinary registrants of the same tables. Everything
 // downstream — ModelFor, Simulate, Churn, the rcm/exp experiment runner,
-// and the four CLIs (cmd/rcmcalc, cmd/dhtsim, cmd/churnsim, cmd/figures) —
-// resolves names through that registry, so a registered geometry flows
-// end-to-end into analytics, simulation, churn and figure generation. See
-// examples/randchord for a complete walkthrough.
+// the rcm/eventsim event simulator, and the five CLIs (cmd/rcmcalc,
+// cmd/dhtsim, cmd/churnsim, cmd/eventsim, cmd/figures) — resolves names
+// through that registry, so a registered geometry flows end-to-end into
+// analytics, simulation, churn, event simulation and figure generation.
+// See examples/randchord for a complete walkthrough.
 //
 // The package exposes three evaluation layers:
 //
@@ -41,6 +42,14 @@
 //   - Churn simulation (Churn): an event-driven extension measuring how
 //     the static model's predictions transfer to dynamic node populations
 //     with and without table repair.
+//
+// A fourth layer lives in rcm/eventsim: message-level discrete-event
+// simulation, where registry protocols run real lookup dynamics —
+// hop-by-hop forwarding, timeouts, retries, joins and stabilization —
+// over pluggable transports, driven by a name-registered scenario
+// library and cross-validated against the static layers. Protocols opt
+// in through two optional capabilities (eventsim.Forwarder,
+// eventsim.Maintainer); all five built-ins implement Forwarder.
 //
 // Grid-shaped studies — geometry × size × failure-probability × churn
 // sweeps — belong to the public experiment runner in rcm/exp: declarative

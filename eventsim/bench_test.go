@@ -1,0 +1,80 @@
+package eventsim
+
+import (
+	"runtime"
+	"testing"
+)
+
+// benchConfig is a representative mid-size run: 4096 nodes, a massive
+// failure mid-run, a dense lookup workload and maintenance on — every
+// event kind on the hot path.
+func benchConfig(shards int) Config {
+	return Config{
+		Protocol: "chord",
+		Overlay:  OverlayConfig{Bits: 12},
+		Scenario: "massfail",
+		Params:   Params{FailFraction: 0.3, FailTime: 1, Rate: 20000},
+		Duration: 2,
+		Shards:   shards,
+		Maintain: true,
+		Seed:     1,
+	}
+}
+
+// BenchmarkEventSim measures end-to-end engine throughput. Beyond the
+// standard ns/op it reports the two numbers the BENCH_eventsim.json
+// artifact tracks: events/s (simulation event throughput) and
+// allocs/event (steady-state allocation discipline; the heaps, candidate
+// buffers and accumulators are all reused, so this should stay well below
+// one).
+func BenchmarkEventSim(b *testing.B) {
+	cfg := benchConfig(4)
+	// Warm up once so one-time construction cost is excluded from the
+	// allocation accounting.
+	if _, err := Run(cfg); err != nil {
+		b.Fatal(err)
+	}
+
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	var events uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += res.Events
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&after)
+
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(events)/s, "events/s")
+	}
+	if events > 0 {
+		b.ReportMetric(float64(after.Mallocs-before.Mallocs)/float64(events), "allocs/event")
+	}
+	b.ReportAllocs()
+}
+
+// BenchmarkEventSimShards contrasts the inline single-wheel path with the
+// sharded parallel path on the same workload.
+func BenchmarkEventSimShards(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		b.Run(map[int]string{1: "1", 4: "4"}[shards], func(b *testing.B) {
+			cfg := benchConfig(shards)
+			var events uint64
+			for i := 0; i < b.N; i++ {
+				res, err := Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				events += res.Events
+			}
+			if s := b.Elapsed().Seconds(); s > 0 {
+				b.ReportMetric(float64(events)/s, "events/s")
+			}
+		})
+	}
+}

@@ -1,0 +1,51 @@
+package eventsim
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestMillionNodeMassfail is the scale acceptance check: a 2^20-node
+// (1,048,576 ≥ 1M) chord overlay runs a massfail scenario to completion —
+// including under the race detector, which CI runs — in bounded memory.
+// The workload is kept modest (the point is population scale, not lookup
+// volume); the memory ceiling mainly guards against the engine
+// materializing anything per-node-per-event.
+func TestMillionNodeMassfail(t *testing.T) {
+	const bits = 20 // 2^20 = 1,048,576 nodes
+	res, err := Run(Config{
+		Protocol: "chord",
+		Overlay:  OverlayConfig{Bits: bits},
+		Scenario: "massfail",
+		Params:   Params{FailFraction: 0.3, FailTime: 0.5, Rate: 500},
+		Duration: 2,
+		Buckets:  4,
+		Shards:   4,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Nodes < 1_000_000 {
+		t.Fatalf("population %d below 1M", res.Nodes)
+	}
+	total := res.Totals()
+	if total.Started == 0 {
+		t.Fatal("no lookups started")
+	}
+	if s := res.WindowSuccess(1, 2); !(s > 0.5) {
+		t.Errorf("post-fail success %.4f implausibly low for chord at q=0.3", s)
+	}
+	if res.Events == 0 {
+		t.Error("engine reports zero processed events")
+	}
+
+	// Bounded memory: the dominant allocation must be the overlay's own
+	// O(N·d) routing table (~160 MB at d=20), not engine state.
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	const ceiling = 1 << 31 // 2 GiB
+	if ms.HeapAlloc > ceiling {
+		t.Errorf("heap in use %d bytes exceeds the %d ceiling", ms.HeapAlloc, uint64(ceiling))
+	}
+}

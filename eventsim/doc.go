@@ -1,0 +1,103 @@
+// Package eventsim is the framework's fourth modeling layer: a
+// discrete-event, message-level simulator in which registry protocols run
+// real lookup dynamics — hop-by-hop request forwarding, acknowledgements,
+// retransmission timeouts, joins and periodic stabilization — over a
+// pluggable network transport, driven by a name-registered scenario
+// library.
+//
+// Where the analytic layer (package rcm) evaluates closed forms and the
+// graph layer (internal/sim) routes on a static failure pattern with
+// global knowledge, eventsim gives every node only what a real node has:
+// its own routing table and the evidence of timeouts. A forwarding node
+// picks its best candidate (registry.Forwarder order), waits for an
+// acknowledgement, and falls through to the next candidate when the
+// timeout fires. With churn disabled and a lossless transport, the set of
+// pairs that complete is exactly the set the static greedy model routes —
+// the cross-validation test in crossvalidate_test.go enforces agreement —
+// so everything the event layer adds (latency, loss, churn races,
+// maintenance traffic) is measured against a validated baseline.
+//
+// # Engine design
+//
+// The engine is goroutine-free at the simulation level: no goroutine per
+// node or per message. The population is interleaved across a small
+// number of shards (node % Shards), each owning a slice-backed binary-heap
+// event queue, a deterministic splitmix64 RNG stream, its nodes' online
+// flags and routing-table rows, and per-bucket metric accumulators.
+// Virtual time advances in epochs of one "lookahead" — the transport's
+// minimum latency. Within an epoch each shard drains its local queue
+// single-threaded (shards run concurrently); at the epoch barrier,
+// cross-shard messages (which always carry at least one lookahead of
+// latency, so they can never arrive inside the epoch that sent them) are
+// merged into their destination heaps sorted by arrival time with ties in
+// source-shard order, and node lifecycle changes are folded into a global
+// alive-snapshot bitset. The snapshot is frozen during an epoch, which
+// makes the one view remote nodes have of the population (used by lookup
+// conditioning and maintenance) both deterministic and realistically
+// stale. Results are bit-identical for a fixed (Seed, Shards) pair
+// regardless of how the host schedules the shard goroutines.
+//
+// Acknowledgements are modeled reliable (loss applies to requests), and
+// the retransmission timeout must exceed the worst-case round trip, so a
+// timeout never fires for a hop that actually succeeded: a lookup is
+// never duplicated in flight, and lookup state can pass from shard to
+// shard with the message, race-free by construction.
+//
+// # Defining a custom Scenario
+//
+// A Scenario programs the run before the clock starts: it sets initial
+// node states, schedules failures, joins and churn processes, and lays
+// out the lookup workload. Implement the two-method interface and
+// register a factory; the name then resolves everywhere the built-ins do
+// (eventsim.Run, rcm/exp event plans, the cmd/eventsim -scenario flag).
+//
+// A minimal "blackout" scenario — a full-region outage that heals after a
+// while, under a steady uniform workload:
+//
+//	type blackout struct{ p eventsim.Params }
+//
+//	func (b blackout) Name() string { return "blackout" }
+//
+//	func (b blackout) Program(env *eventsim.Env) error {
+//		p := env.Params()
+//		n := env.Nodes()
+//		// Fail one contiguous quarter of the identifier space at
+//		// FailTime, and bring it back halfway to the horizon.
+//		start := env.RNG().Intn(n)
+//		heal := (p.FailTime + env.Duration()) / 2
+//		for i := 0; i < n/4; i++ {
+//			env.FailAt(p.FailTime, (start+i)%n)
+//			env.JoinAt(heal, (start+i)%n)
+//		}
+//		// Steady uniform workload for the whole run.
+//		env.PoissonLookups(0, env.Duration(), p.Rate, nil)
+//		return nil
+//	}
+//
+//	func init() {
+//		eventsim.RegisterScenario("blackout",
+//			func(p eventsim.Params) (eventsim.Scenario, error) {
+//				return blackout{p}, nil
+//			})
+//	}
+//
+// Three rules keep a scenario sound: draw every random choice from
+// env.RNG() (that is what makes runs reproducible), schedule only inside
+// [0, env.Duration()], and do all scheduling inside Program — the Env is
+// dead once the run starts. Run it like any built-in:
+//
+//	res, err := eventsim.Run(eventsim.Config{
+//		Protocol: "chord",
+//		Overlay:  eventsim.OverlayConfig{Bits: 12},
+//		Scenario: "blackout",
+//		Maintain: true,
+//	})
+//	for _, bkt := range res.Buckets {
+//		fmt.Printf("t<%.1f success=%.3f online=%.2f\n",
+//			bkt.End, bkt.Success(), bkt.OnlineFraction)
+//	}
+//
+// The joins at heal time trigger Maintainer.Join when Maintain is set, so
+// the healed region rebuilds its tables toward the population the
+// snapshot shows — watch MaintMessages spike in that bucket.
+package eventsim

@@ -1,0 +1,472 @@
+package eventsim
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"rcm/internal/registry"
+	"rcm/overlay"
+)
+
+// Event kinds, in deterministic tie-break-irrelevant order (ordering
+// between same-time events is fixed by push sequence, not kind).
+const (
+	evStart   uint8 = iota + 1 // a scheduled lookup begins at node
+	evReq                      // a lookup request arrives at node
+	evAck                      // an acknowledgement arrives back at the sender
+	evTimeout                  // a pending forward attempt timed out at node
+	evDown                     // scenario: node goes offline
+	evUp                       // scenario: node comes online
+	evStab                     // periodic stabilization timer at node
+)
+
+// ev is the uniform event record, used both in per-shard heaps and in
+// cross-shard delivery buffers. Field meaning by kind:
+//
+//	evStart:   node=src, lk=lookup
+//	evReq:     node=receiver, lk=lookup, a=attempt id, b=sender
+//	evAck:     node=sender, a=attempt id
+//	evTimeout: node=sender, lk=lookup, a=attempt id
+//	evDown/evUp/evStab: node
+type ev struct {
+	t    float64
+	seq  uint64
+	kind uint8
+	node uint32
+	lk   uint32
+	a, b uint32
+}
+
+// Lookup lifecycle states.
+const (
+	lkScheduled uint8 = iota
+	lkPending
+	lkCompleted
+	lkFailed
+	lkSkipped
+)
+
+// lookup is the state of one scheduled lookup. Ownership passes with the
+// message: only the shard of the node currently holding the lookup touches
+// it, and ownership transfers ride the epoch barrier, so cross-shard
+// access is sequential.
+type lookup struct {
+	src, dst    uint32
+	startBucket int32
+	state       uint8
+	hops        uint16
+	start       float64
+}
+
+// pendingHop is a forward attempt awaiting acknowledgement at the sender.
+type pendingHop struct {
+	lk   uint32
+	node uint32 // forwarding node
+	cand uint16 // candidate index being tried
+	try  uint8  // retransmission count for this candidate
+}
+
+// bucketAcc is a shard-local metrics accumulator for one time bucket.
+type bucketAcc struct {
+	started, completed, failed, skipped int
+	timeouts, msgs, maint               int
+	sumHops, sumLatency                 float64
+}
+
+// shard owns an interleaved slice of the population (node % shards): its
+// nodes' online flags, routing-table rows, event heap, RNG and metric
+// accumulators. Within an epoch a shard runs single-threaded and
+// goroutine-free; shards only exchange messages at epoch barriers.
+type shard struct {
+	id  int
+	eng *engine
+
+	heap []ev
+	seq  uint64
+	rng  *overlay.RNG
+
+	pending     map[uint32]pendingHop
+	nextAttempt uint32
+
+	outbox  [][]ev  // cross-shard sends this epoch, indexed by dest shard
+	toggles []int32 // node lifecycle deltas this epoch: +node+1 up, -(node+1) down
+
+	acc     []bucketAcc
+	candBuf []overlay.ID
+	events  uint64
+}
+
+// engine is one run's state. See doc.go for the synchronization design.
+type engine struct {
+	cfg Config
+	fwd registry.Forwarder
+	mnt registry.Maintainer // nil when maintenance is off or unsupported
+
+	n      int
+	shards []*shard
+
+	// online is the authoritative per-node flag, read and written only by
+	// the node's owner shard. snapshot is the epoch-stale global view
+	// (frozen during an epoch, advanced at barriers) that maintenance and
+	// lookup-start conditioning read.
+	online      []bool
+	snapshot    *overlay.Bitset
+	onlineCount int
+
+	lookups []lookup
+
+	width      float64 // bucket width
+	delta      float64 // epoch length = transport lookahead
+	rto        float64
+	maxHops    int
+	onlineFrac []float64
+	nextBucket int
+}
+
+func (e *engine) shardOf(node uint32) int { return int(node) % len(e.shards) }
+
+func (e *engine) bucketOf(t float64) int32 {
+	b := int32(t / e.width)
+	if b < 0 {
+		b = 0
+	}
+	if b >= int32(e.cfg.Buckets) {
+		b = int32(e.cfg.Buckets) - 1
+	}
+	return b
+}
+
+// heap operations: a classic binary min-heap over (t, seq), slice-backed
+// and allocation-free after warm-up. container/heap is avoided on this hot
+// path — its interface calls box every event.
+
+func evLess(a, b ev) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	return a.seq < b.seq
+}
+
+func (sh *shard) push(e ev) {
+	e.seq = sh.seq
+	sh.seq++
+	sh.heap = append(sh.heap, e)
+	i := len(sh.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !evLess(sh.heap[i], sh.heap[parent]) {
+			break
+		}
+		sh.heap[i], sh.heap[parent] = sh.heap[parent], sh.heap[i]
+		i = parent
+	}
+}
+
+func (sh *shard) pop() ev {
+	h := sh.heap
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	sh.heap = h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < last && evLess(h[l], h[smallest]) {
+			smallest = l
+		}
+		if r < last && evLess(h[r], h[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
+	return top
+}
+
+// send schedules an event at another (or the same) node, through the
+// outbox when the destination lives on a different shard. Cross-shard
+// events must carry t at least one lookahead ahead — guaranteed because
+// every cross-shard event is a message with transport latency >= delta.
+func (sh *shard) send(e ev) {
+	ds := sh.eng.shardOf(e.node)
+	if ds == sh.id {
+		sh.push(e)
+		return
+	}
+	sh.outbox[ds] = append(sh.outbox[ds], e)
+}
+
+// sampleLatency draws a latency ignoring the delivery verdict — the path
+// acknowledgements take (modeled reliable; see doc.go).
+func (e *engine) sampleLatency(rng *overlay.RNG) float64 {
+	lat, _ := e.cfg.Transport.Sample(rng)
+	if lat < e.delta {
+		lat = e.delta
+	}
+	return lat
+}
+
+// runEpoch processes every local event with t < end.
+func (sh *shard) runEpoch(end float64) {
+	for len(sh.heap) > 0 && sh.heap[0].t < end {
+		e := sh.pop()
+		sh.events++
+		switch e.kind {
+		case evStart:
+			sh.handleStart(e)
+		case evReq:
+			sh.handleReq(e)
+		case evAck:
+			delete(sh.pending, e.a)
+		case evTimeout:
+			sh.handleTimeout(e)
+		case evDown:
+			sh.handleToggle(e.t, e.node, false)
+		case evUp:
+			sh.handleToggle(e.t, e.node, true)
+		case evStab:
+			sh.handleStab(e)
+		}
+	}
+}
+
+func (sh *shard) handleStart(e ev) {
+	eng := sh.eng
+	l := &eng.lookups[e.lk]
+	if l.state != lkScheduled {
+		return // defensive: a lookup starts at most once
+	}
+	// Condition on surviving endpoints, as the static model does: the
+	// source authoritatively (it is local), the destination through the
+	// epoch snapshot (the freshest view any node could have of a remote).
+	if !eng.online[l.src] || !eng.snapshot.Get(int(l.dst)) {
+		l.state = lkSkipped
+		sh.acc[l.startBucket].skipped++
+		return
+	}
+	l.state = lkPending
+	sh.acc[l.startBucket].started++
+	sh.forward(e.t, e.lk, l.src)
+}
+
+// forward advances the lookup held at cur: complete it, or try the first
+// next-hop candidate.
+func (sh *shard) forward(t float64, lk uint32, cur uint32) {
+	l := &sh.eng.lookups[lk]
+	if cur == l.dst {
+		l.state = lkCompleted
+		acc := &sh.acc[l.startBucket]
+		acc.completed++
+		acc.sumHops += float64(l.hops)
+		acc.sumLatency += t - l.start
+		return
+	}
+	sh.attempt(t, lk, cur, 0, 0)
+}
+
+// attempt tries candidate ci (retransmission try) of cur's next-hop
+// preference list: send the request, charge the message, and arm the
+// retransmission timeout. An exhausted candidate list fails the lookup —
+// greedy forwarding with per-hop retries but no backtracking, matching the
+// paper's assumption 3.
+func (sh *shard) attempt(t float64, lk uint32, cur uint32, ci, try int) {
+	eng := sh.eng
+	l := &eng.lookups[lk]
+	cands := eng.fwd.AppendCandidateHops(sh.candBuf[:0], overlay.ID(cur), overlay.ID(l.dst))
+	sh.candBuf = cands[:0]
+	if ci >= len(cands) {
+		l.state = lkFailed
+		sh.acc[l.startBucket].failed++
+		return
+	}
+	next := uint32(cands[ci])
+	sh.acc[eng.bucketOf(t)].msgs++
+	lat, delivered := eng.cfg.Transport.Sample(sh.rng)
+	if lat < eng.delta {
+		lat = eng.delta
+	}
+	attempt := sh.nextAttempt
+	sh.nextAttempt++
+	sh.pending[attempt] = pendingHop{lk: lk, node: cur, cand: uint16(ci), try: uint8(try)}
+	if delivered {
+		sh.send(ev{t: t + lat, kind: evReq, node: next, lk: lk, a: attempt, b: cur})
+	}
+	sh.push(ev{t: t + eng.rto, kind: evTimeout, node: cur, lk: lk, a: attempt})
+}
+
+func (sh *shard) handleReq(e ev) {
+	eng := sh.eng
+	y := e.node
+	if !eng.online[y] {
+		return // dead receiver: the sender's timeout will fire
+	}
+	// Acknowledge (reliable, latency-only) so the sender retires the
+	// attempt, then keep forwarding — ownership of the lookup state has
+	// just transferred to this shard.
+	sh.acc[eng.bucketOf(e.t)].msgs++
+	sh.send(ev{t: e.t + eng.sampleLatency(sh.rng), kind: evAck, node: e.b, a: e.a})
+	l := &eng.lookups[e.lk]
+	l.hops++
+	if int(l.hops) > eng.maxHops {
+		l.state = lkFailed
+		sh.acc[l.startBucket].failed++
+		return
+	}
+	sh.forward(e.t, e.lk, y)
+}
+
+func (sh *shard) handleTimeout(e ev) {
+	pd, ok := sh.pending[e.a]
+	if !ok {
+		return // acknowledged in the meantime
+	}
+	delete(sh.pending, e.a)
+	eng := sh.eng
+	sh.acc[eng.bucketOf(e.t)].timeouts++
+	// A pending timeout means the downstream hop did not accept (requests
+	// that were acknowledged retire their attempt before the RTO). If the
+	// holder itself died while waiting, the lookup dies with it — a dead
+	// node must not keep retransmitting or routing.
+	if !eng.online[pd.node] {
+		l := &eng.lookups[pd.lk]
+		l.state = lkFailed
+		sh.acc[l.startBucket].failed++
+		return
+	}
+	// Retransmit to the same candidate first (a lost request must not skip
+	// the best next hop); fail over to the next candidate once exhausted.
+	if int(pd.try) < eng.cfg.Retransmits {
+		sh.attempt(e.t, pd.lk, pd.node, int(pd.cand), int(pd.try)+1)
+		return
+	}
+	sh.attempt(e.t, pd.lk, pd.node, int(pd.cand)+1, 0)
+}
+
+func (sh *shard) handleToggle(t float64, node uint32, up bool) {
+	eng := sh.eng
+	if eng.online[node] == up {
+		return // idempotent: overlapping scenario schedules are legal
+	}
+	eng.online[node] = up
+	delta := int32(node) + 1
+	if !up {
+		delta = -delta
+	}
+	sh.toggles = append(sh.toggles, delta)
+	if up && eng.mnt != nil {
+		cost := eng.mnt.Join(overlay.ID(node), eng.snapshot, sh.rng)
+		sh.acc[eng.bucketOf(t)].maint += cost
+	}
+}
+
+func (sh *shard) handleStab(e ev) {
+	eng := sh.eng
+	if eng.online[e.node] && eng.mnt != nil {
+		cost := eng.mnt.Stabilize(overlay.ID(e.node), eng.snapshot, sh.rng)
+		sh.acc[eng.bucketOf(e.t)].maint += cost
+	}
+	next := e.t + eng.cfg.StabilizeEvery
+	if next <= eng.cfg.Duration {
+		sh.push(ev{t: next, kind: evStab, node: e.node})
+	}
+}
+
+// run executes the engine to completion: epochs of one lookahead each,
+// with a barrier between epochs that merges cross-shard messages (sorted
+// by arrival time, ties by source-shard order), applies lifecycle deltas
+// to the alive snapshot, and samples per-bucket online fractions. Shards
+// run concurrently within an epoch; with one shard everything is inline.
+func (e *engine) run() {
+	e.onlineFrac[0] = float64(e.onlineCount) / float64(e.n)
+	e.nextBucket = 1
+
+	var scratch []ev
+	end := e.delta
+	for {
+		pendingWork := false
+		for _, sh := range e.shards {
+			if len(sh.heap) > 0 {
+				pendingWork = true
+				break
+			}
+		}
+		if !pendingWork {
+			break
+		}
+
+		if len(e.shards) == 1 {
+			e.shards[0].runEpoch(end)
+		} else {
+			var wg sync.WaitGroup
+			for _, sh := range e.shards {
+				wg.Add(1)
+				go func(sh *shard) {
+					defer wg.Done()
+					sh.runEpoch(end)
+				}(sh)
+			}
+			wg.Wait()
+		}
+
+		// Barrier: lifecycle deltas first (so merged messages and the next
+		// epoch observe the post-toggle snapshot), then message merge.
+		for _, sh := range e.shards {
+			for _, d := range sh.toggles {
+				if d > 0 {
+					e.snapshot.Set(int(d - 1))
+					e.onlineCount++
+				} else {
+					e.snapshot.Clear(int(-d - 1))
+					e.onlineCount--
+				}
+			}
+			sh.toggles = sh.toggles[:0]
+		}
+		for di, dst := range e.shards {
+			scratch = scratch[:0]
+			for _, src := range e.shards {
+				scratch = append(scratch, src.outbox[di]...)
+				src.outbox[di] = src.outbox[di][:0]
+			}
+			// Stable sort by arrival time: ties keep source-shard order,
+			// which is what makes merges deterministic. (Stable, not an
+			// insertion sort: the buffer is a concatenation of per-source
+			// runs and can be large under heavy cross-shard traffic.)
+			sort.SliceStable(scratch, func(i, j int) bool { return scratch[i].t < scratch[j].t })
+			for _, m := range scratch {
+				dst.push(m)
+			}
+		}
+
+		// Sample online fractions for every bucket boundary this epoch
+		// crossed (the boundary value is the first barrier at/after it).
+		for e.nextBucket < e.cfg.Buckets && end >= float64(e.nextBucket)*e.width {
+			e.onlineFrac[e.nextBucket] = float64(e.onlineCount) / float64(e.n)
+			e.nextBucket++
+		}
+
+		// Advance; skip idle stretches (all heap tops far in the future)
+		// in one hop while staying on lookahead-aligned boundaries.
+		minTop := math.Inf(1)
+		for _, sh := range e.shards {
+			if len(sh.heap) > 0 && sh.heap[0].t < minTop {
+				minTop = sh.heap[0].t
+			}
+		}
+		next := end + e.delta
+		if jump := e.delta * math.Floor(minTop/e.delta); jump > next {
+			next = jump
+		}
+		end = next
+	}
+	// Buckets the run never reached keep the last sampled online fraction.
+	for e.nextBucket < e.cfg.Buckets {
+		e.onlineFrac[e.nextBucket] = float64(e.onlineCount) / float64(e.n)
+		e.nextBucket++
+	}
+}

@@ -1,0 +1,413 @@
+package eventsim
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"rcm/internal/dht"
+	"rcm/internal/registry"
+	"rcm/overlay"
+)
+
+// OverlayConfig is the canonical overlay-construction configuration — the
+// same type as rcm.Config — re-exported for building Config.Overlay.
+type OverlayConfig = registry.Config
+
+// Forwarder is the per-hop candidate-enumeration capability a protocol
+// must implement to run under eventsim (the same type as the canonical
+// definition shared with rcm.Protocol registrants). All five built-in
+// protocols implement it.
+type Forwarder = registry.Forwarder
+
+// Maintainer is the optional join/stabilize maintenance capability; see
+// Config.Maintain. The four table-based built-ins implement it.
+type Maintainer = registry.Maintainer
+
+// Config configures one event-simulation run. Protocol, Overlay.Bits and
+// Scenario are required; every other field has a documented default.
+type Config struct {
+	// Protocol names the overlay in either registry vocabulary (system
+	// names or the paper's geometry terms), including user registrations.
+	// The protocol must implement the Forwarder capability.
+	Protocol string
+	// Overlay is the overlay-construction configuration. Bits is required;
+	// a zero Seed is replaced by the run Seed.
+	Overlay registry.Config
+	// Scenario names the scenario in the scenario registry.
+	Scenario string
+	// Params tunes the scenario; see Params for the defaults.
+	Params Params
+	// Transport models the network (default Constant{} — 50 ms, lossless).
+	Transport Transport
+	// Seed drives every random stream of the run (default 1).
+	Seed uint64
+	// Shards is the number of event wheels the population is interleaved
+	// across (node % Shards). The default is 4. Results are deterministic
+	// for a fixed (Seed, Shards) pair; like sim.Options.Workers, the shard
+	// count is part of the sampling plan, not a free performance knob.
+	Shards int
+	// Duration is the total simulated time (default 10; in-flight lookups
+	// are drained to completion past it).
+	Duration float64
+	// Buckets is the number of equal time buckets metrics aggregate into
+	// (default 10).
+	Buckets int
+	// Maintain enables message-level maintenance: Maintainer join on every
+	// scenario join event, plus periodic per-node stabilization. It is
+	// ignored (with no error) for protocols without the Maintainer
+	// capability, e.g. the structural hypercube.
+	Maintain bool
+	// StabilizeEvery is the per-node stabilization period (default 1).
+	StabilizeEvery float64
+	// RTO is the retransmission timeout a forwarding node waits before
+	// trying its next candidate. It must exceed the worst-case round trip
+	// (2×Transport.MaxLatency()) so an acknowledged hop is never
+	// duplicated; zero selects 2×max + min, the tightest safe value.
+	RTO float64
+	// MaxHops defensively bounds route length (default 4·Bits + 16).
+	MaxHops int
+	// Retransmits is how many times a forwarding node re-sends to the
+	// *same* candidate after a timeout before failing over to the next
+	// one (default 2; negative disables retransmission). Without it a
+	// single lost request would permanently skip the best next hop.
+	Retransmits int
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.Transport == nil {
+		cfg.Transport = Constant{}
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Overlay.Seed == 0 {
+		cfg.Overlay.Seed = cfg.Seed
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 4
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 10
+	}
+	if cfg.Buckets <= 0 {
+		cfg.Buckets = 10
+	}
+	if cfg.StabilizeEvery <= 0 {
+		cfg.StabilizeEvery = 1
+	}
+	if cfg.RTO <= 0 {
+		cfg.RTO = 2*cfg.Transport.MaxLatency() + cfg.Transport.MinLatency()
+	}
+	if cfg.MaxHops <= 0 {
+		cfg.MaxHops = 4*cfg.Overlay.Bits + 16
+	}
+	switch {
+	case cfg.Retransmits == 0:
+		cfg.Retransmits = 2
+	case cfg.Retransmits < 0:
+		cfg.Retransmits = 0
+	}
+	cfg.Params = cfg.Params.withDefaults(cfg.Duration)
+	return cfg
+}
+
+// Validate rejects configurations the engine cannot run soundly. It is
+// called by Run; exported so plans can be checked before execution.
+func (cfg Config) Validate() error {
+	cfg = cfg.withDefaults()
+	if _, ok := LookupScenario(cfg.Scenario); !ok {
+		return fmt.Errorf("eventsim: unknown scenario %q (have %s)", cfg.Scenario, strings.Join(scenarioKeys(), ", "))
+	}
+	if err := validateTransport(cfg.Transport); err != nil {
+		return err
+	}
+	if err := cfg.Params.Validate(); err != nil {
+		return err
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{{"Duration", cfg.Duration}, {"StabilizeEvery", cfg.StabilizeEvery}, {"RTO", cfg.RTO}} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) || f.v <= 0 {
+			return fmt.Errorf("eventsim: %s = %v must be positive and finite", f.name, f.v)
+		}
+	}
+	if min := 2 * cfg.Transport.MaxLatency(); cfg.RTO <= min {
+		return fmt.Errorf("eventsim: RTO = %v must exceed the worst-case round trip %v — a shorter timeout would duplicate acknowledged hops", cfg.RTO, min)
+	}
+	if cfg.Shards > 256 {
+		return fmt.Errorf("eventsim: Shards = %d out of [1,256]", cfg.Shards)
+	}
+	return nil
+}
+
+// Bucket aggregates one time window of a run. Lookup outcomes (Started,
+// Completed, Failed, Skipped, SumHops, SumLatency) are attributed to the
+// bucket the lookup *started* in, so Success is exact per cohort; message
+// and timeout tallies are attributed to the bucket they occurred in.
+type Bucket struct {
+	// Start and End bound the window in simulated time.
+	Start, End float64
+	// Started counts lookups that began with both endpoints online;
+	// Skipped counts scheduled lookups that did not (the static model's
+	// conditioning on surviving pairs).
+	Started, Skipped int
+	// Completed and Failed partition the started cohort's outcomes.
+	Completed, Failed int
+	// Timeouts counts retransmission-timer expiries.
+	Timeouts int
+	// LookupMessages counts lookup requests plus acknowledgements;
+	// MaintMessages counts join/stabilization traffic. The final bucket
+	// also absorbs the drain-phase traffic of lookups still in flight at
+	// the horizon.
+	LookupMessages, MaintMessages int
+	// SumHops and SumLatency accumulate over the completed cohort.
+	SumHops, SumLatency float64
+	// OnlineFraction is the alive fraction at the bucket's start.
+	OnlineFraction float64
+}
+
+// Success returns Completed/Started, or NaN for an empty cohort.
+func (b Bucket) Success() float64 {
+	if b.Started == 0 {
+		return math.NaN()
+	}
+	return float64(b.Completed) / float64(b.Started)
+}
+
+// MeanHops returns the mean hop count over completed lookups (NaN when
+// none completed).
+func (b Bucket) MeanHops() float64 {
+	if b.Completed == 0 {
+		return math.NaN()
+	}
+	return b.SumHops / float64(b.Completed)
+}
+
+// MeanLatency returns the mean completion latency (NaN when none
+// completed).
+func (b Bucket) MeanLatency() float64 {
+	if b.Completed == 0 {
+		return math.NaN()
+	}
+	return b.SumLatency / float64(b.Completed)
+}
+
+// add accumulates counters (not the window bounds or online fraction).
+func (b *Bucket) add(o Bucket) {
+	b.Started += o.Started
+	b.Skipped += o.Skipped
+	b.Completed += o.Completed
+	b.Failed += o.Failed
+	b.Timeouts += o.Timeouts
+	b.LookupMessages += o.LookupMessages
+	b.MaintMessages += o.MaintMessages
+	b.SumHops += o.SumHops
+	b.SumLatency += o.SumLatency
+}
+
+// Result is one run's metric series plus run identity.
+type Result struct {
+	// Protocol, Scenario and Transport identify the run.
+	Protocol, Scenario, Transport string
+	// Bits, Nodes and Shards describe the population and its sharding.
+	Bits, Nodes, Shards int
+	// Duration is the configured simulated time.
+	Duration float64
+	// Buckets is the time-bucketed metric series.
+	Buckets []Bucket
+	// Lookups is the number of scheduled lookups; Events the total event
+	// count the engine processed.
+	Lookups int
+	Events  uint64
+}
+
+// Totals returns the whole-run aggregate: counters summed, the window
+// spanning the run, and the final bucket's online fraction.
+func (r *Result) Totals() Bucket {
+	var t Bucket
+	for _, b := range r.Buckets {
+		t.add(b)
+	}
+	if n := len(r.Buckets); n > 0 {
+		t.Start, t.End = r.Buckets[0].Start, r.Buckets[n-1].End
+		t.OnlineFraction = r.Buckets[n-1].OnlineFraction
+	}
+	return t
+}
+
+// WindowSuccess aggregates lookup success over the buckets fully inside
+// [from, to] — the cross-validation window helper. NaN when the window
+// started no lookups.
+func (r *Result) WindowSuccess(from, to float64) float64 {
+	started, completed := 0, 0
+	for _, b := range r.Buckets {
+		if b.Start >= from && b.End <= to {
+			started += b.Started
+			completed += b.Completed
+		}
+	}
+	if started == 0 {
+		return math.NaN()
+	}
+	return float64(completed) / float64(started)
+}
+
+// Run builds the named overlay through the shared registry and simulates
+// the configured scenario on it, returning the bucketed metric series.
+func Run(cfg Config) (*Result, error) {
+	full := cfg.withDefaults()
+	p, err := dht.New(full.Protocol, full.Overlay)
+	if err != nil {
+		return nil, fmt.Errorf("eventsim: %w", err)
+	}
+	return RunOverlay(p, cfg)
+}
+
+// RunOverlay is Run on a caller-constructed overlay — the hook for sharing
+// an already-built (read-only) overlay across runs. The overlay must
+// implement Forwarder and must not be shared with concurrent users when
+// cfg.Maintain is set: maintenance mutates routing tables in place.
+func RunOverlay(p registry.Protocol, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	fwd, ok := p.(registry.Forwarder)
+	if !ok {
+		return nil, fmt.Errorf("eventsim: protocol %q does not implement the Forwarder capability required for message-level simulation", p.Name())
+	}
+	if _, sparse := p.(dht.Populated); sparse {
+		return nil, fmt.Errorf("eventsim: protocol %q declares a sparse population; eventsim currently simulates fully-populated overlays only", p.Name())
+	}
+	n := int(p.Space().Size())
+	if n < 2 {
+		return nil, fmt.Errorf("eventsim: population %d too small", n)
+	}
+	shards := cfg.Shards
+	if shards > n {
+		shards = n
+	}
+
+	factory, ok := LookupScenario(cfg.Scenario)
+	if !ok {
+		return nil, fmt.Errorf("eventsim: unknown scenario %q", cfg.Scenario)
+	}
+	scen, err := factory(cfg.Params)
+	if err != nil {
+		return nil, fmt.Errorf("eventsim: scenario %q: %w", cfg.Scenario, err)
+	}
+
+	root := overlay.NewRNG(cfg.Seed ^ 0x4556454e54) // "EVENT"
+	env := &Env{
+		nodes:          n,
+		duration:       cfg.Duration,
+		params:         cfg.Params,
+		rng:            root.Split(),
+		initialOffline: make([]bool, n),
+	}
+	if err := scen.Program(env); err != nil {
+		return nil, fmt.Errorf("eventsim: scenario %q: %w", cfg.Scenario, err)
+	}
+	if env.err != nil {
+		return nil, fmt.Errorf("eventsim: scenario %q: %w", cfg.Scenario, env.err)
+	}
+
+	e := &engine{
+		cfg:        cfg,
+		fwd:        fwd,
+		n:          n,
+		online:     make([]bool, n),
+		snapshot:   overlay.NewBitset(n),
+		lookups:    make([]lookup, len(env.lookups)),
+		width:      cfg.Duration / float64(cfg.Buckets),
+		delta:      cfg.Transport.MinLatency(),
+		rto:        cfg.RTO,
+		maxHops:    cfg.MaxHops,
+		onlineFrac: make([]float64, cfg.Buckets),
+	}
+	if cfg.Maintain {
+		if mnt, ok := p.(registry.Maintainer); ok {
+			e.mnt = mnt
+		}
+	}
+	e.shards = make([]*shard, shards)
+	for i := range e.shards {
+		e.shards[i] = &shard{
+			id:      i,
+			eng:     e,
+			rng:     root.Split(),
+			pending: make(map[uint32]pendingHop),
+			outbox:  make([][]ev, shards),
+			acc:     make([]bucketAcc, cfg.Buckets),
+		}
+	}
+
+	// Initial population state.
+	for i := 0; i < n; i++ {
+		if !env.initialOffline[i] {
+			e.online[i] = true
+			e.snapshot.Set(i)
+			e.onlineCount++
+		}
+	}
+
+	// Pre-schedule the scenario's program, in deterministic order: the
+	// workload, then lifecycle toggles, then stabilization timers.
+	for li, sl := range env.lookups {
+		lk := uint32(li)
+		e.lookups[li] = lookup{src: sl.src, dst: sl.dst, start: sl.t, startBucket: e.bucketOf(sl.t)}
+		sh := e.shards[e.shardOf(sl.src)]
+		sh.push(ev{t: sl.t, kind: evStart, node: sl.src, lk: lk})
+	}
+	for _, tg := range env.toggles {
+		kind := evDown
+		if tg.up {
+			kind = evUp
+		}
+		sh := e.shards[e.shardOf(tg.node)]
+		sh.push(ev{t: tg.t, kind: kind, node: tg.node})
+	}
+	if e.mnt != nil {
+		for i := 0; i < n; i++ {
+			sh := e.shards[e.shardOf(uint32(i))]
+			// Jittered phase so stabilization load spreads evenly.
+			sh.push(ev{t: sh.rng.Float64() * cfg.StabilizeEvery, kind: evStab, node: uint32(i)})
+		}
+	}
+
+	e.run()
+
+	res := &Result{
+		Protocol:  p.Name(),
+		Scenario:  scen.Name(),
+		Transport: cfg.Transport.Name(),
+		Bits:      p.Space().Bits(),
+		Nodes:     n,
+		Shards:    shards,
+		Duration:  cfg.Duration,
+		Buckets:   make([]Bucket, cfg.Buckets),
+		Lookups:   len(env.lookups),
+	}
+	for bi := range res.Buckets {
+		b := &res.Buckets[bi]
+		b.Start = float64(bi) * e.width
+		b.End = float64(bi+1) * e.width
+		b.OnlineFraction = e.onlineFrac[bi]
+		for _, sh := range e.shards {
+			acc := sh.acc[bi]
+			b.add(Bucket{
+				Started: acc.started, Skipped: acc.skipped,
+				Completed: acc.completed, Failed: acc.failed,
+				Timeouts:       acc.timeouts,
+				LookupMessages: acc.msgs, MaintMessages: acc.maint,
+				SumHops: acc.sumHops, SumLatency: acc.sumLatency,
+			})
+		}
+	}
+	for _, sh := range e.shards {
+		res.Events += sh.events
+	}
+	return res, nil
+}

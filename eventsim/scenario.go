@@ -1,0 +1,409 @@
+package eventsim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"rcm/overlay"
+)
+
+// Params is the flat knob set shared by the scenario library. Every field
+// has a usable default (selected by zero); a scenario reads the fields it
+// cares about and ignores the rest, so one Params value configures any
+// registered scenario. User scenarios are free to reinterpret fields.
+type Params struct {
+	// Rate is the aggregate lookup arrival rate: lookups per time unit
+	// across the whole overlay (default 500).
+	Rate float64
+	// ZipfS skews lookup targets: 0 (default) is uniform; s > 0 draws
+	// targets from a Zipf(s) rank distribution over a random permutation
+	// of the identifier space.
+	ZipfS float64
+
+	// FailFraction is the fraction of nodes that fail (massfail,
+	// correlated). Unlike the other knobs it has no non-zero default:
+	// zero fails nothing, making q = 0 runs directly expressible.
+	FailFraction float64
+	// FailTime is when the failure hits (default 30% of the duration).
+	FailTime float64
+	// Regions is the number of contiguous identifier regions the
+	// correlated scenario kills (default 4).
+	Regions int
+
+	// MeanOnline and MeanOffline are the churn scenario's exponential
+	// session parameters (defaults 1 and 0.25, the churn engine's).
+	MeanOnline, MeanOffline float64
+
+	// CrowdStart, CrowdDuration and CrowdFactor shape the flashcrowd: at
+	// CrowdStart (default 30% of duration) the arrival rate multiplies by
+	// CrowdFactor (default 10) for CrowdDuration (default 20% of the
+	// duration), with a fraction Hot (default 0.8) of crowd lookups aimed
+	// at one hot key.
+	CrowdStart, CrowdDuration, CrowdFactor float64
+	// Hot is the fraction of crowd-window lookups addressed to the hot key.
+	Hot float64
+}
+
+func (p Params) withDefaults(duration float64) Params {
+	if p.Rate <= 0 {
+		p.Rate = 500
+	}
+	if p.FailTime <= 0 {
+		p.FailTime = 0.3 * duration
+	}
+	if p.Regions <= 0 {
+		p.Regions = 4
+	}
+	if p.MeanOnline <= 0 {
+		p.MeanOnline = 1
+	}
+	if p.MeanOffline <= 0 {
+		p.MeanOffline = 0.25
+	}
+	if p.CrowdStart <= 0 {
+		p.CrowdStart = 0.3 * duration
+	}
+	if p.CrowdDuration <= 0 {
+		p.CrowdDuration = 0.2 * duration
+	}
+	if p.CrowdFactor <= 0 {
+		p.CrowdFactor = 10
+	}
+	if p.Hot <= 0 {
+		p.Hot = 0.8
+	}
+	return p
+}
+
+// Validate rejects parameter values outside their documented domains.
+// Zero values are always allowed — they select the defaults.
+func (p Params) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"Rate", p.Rate}, {"ZipfS", p.ZipfS}, {"FailTime", p.FailTime},
+		{"MeanOnline", p.MeanOnline}, {"MeanOffline", p.MeanOffline},
+		{"CrowdStart", p.CrowdStart}, {"CrowdDuration", p.CrowdDuration},
+		{"CrowdFactor", p.CrowdFactor},
+	} {
+		if f.v < 0 || math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("eventsim: %s = %v must be a finite value >= 0 (zero selects the default)", f.name, f.v)
+		}
+	}
+	if p.FailFraction < 0 || p.FailFraction > 1 || math.IsNaN(p.FailFraction) {
+		return fmt.Errorf("eventsim: FailFraction = %v out of [0,1]", p.FailFraction)
+	}
+	if p.Hot < 0 || p.Hot > 1 || math.IsNaN(p.Hot) {
+		return fmt.Errorf("eventsim: Hot = %v out of [0,1]", p.Hot)
+	}
+	if p.Regions < 0 {
+		return fmt.Errorf("eventsim: Regions = %d must be >= 0", p.Regions)
+	}
+	return nil
+}
+
+// EffectiveOffline returns the steady-state offline fraction the named
+// scenario converges to after its disturbance — the static model's
+// equivalent failure probability q_eff, used by rcm/exp to place analytic
+// and static-simulation comparison columns next to event measurements.
+// Scenarios without failures (flashcrowd, zipf, unknown names) return 0.
+func (p Params) EffectiveOffline(scenario string, duration float64) float64 {
+	p = p.withDefaults(duration)
+	switch strings.ToLower(strings.TrimSpace(scenario)) {
+	case "massfail", "correlated":
+		if p.FailTime > duration {
+			return 0
+		}
+		return p.FailFraction
+	case "churn":
+		return p.MeanOffline / (p.MeanOnline + p.MeanOffline)
+	default:
+		return 0
+	}
+}
+
+// Env is the scheduling surface a Scenario programs against: node
+// lifecycle (initial state, failures, joins, churn processes) and workload
+// (lookups). All methods must be called from Program, before the run
+// starts; events scheduled outside [0, Duration] are rejected with an
+// error from Run. The RNG is the scenario's own deterministic stream.
+type Env struct {
+	nodes    int
+	duration float64
+	params   Params
+	rng      *overlay.RNG
+
+	initialOffline []bool
+	toggles        []scheduledToggle
+	lookups        []scheduledLookup
+	err            error
+}
+
+type scheduledToggle struct {
+	t    float64
+	node uint32
+	up   bool
+}
+
+type scheduledLookup struct {
+	t        float64
+	src, dst uint32
+}
+
+// Nodes returns the overlay population N = 2^bits.
+func (env *Env) Nodes() int { return env.nodes }
+
+// Duration returns the total simulated time.
+func (env *Env) Duration() float64 { return env.duration }
+
+// Params returns the run's scenario parameters with defaults applied.
+func (env *Env) Params() Params { return env.params }
+
+// RNG returns the scenario's deterministic random stream.
+func (env *Env) RNG() *overlay.RNG { return env.rng }
+
+func (env *Env) checkNode(node int) bool {
+	if node < 0 || node >= env.nodes {
+		env.fail(fmt.Errorf("node %d out of [0,%d)", node, env.nodes))
+		return false
+	}
+	return true
+}
+
+func (env *Env) checkTime(t float64) bool {
+	if t < 0 || t > env.duration || math.IsNaN(t) {
+		env.fail(fmt.Errorf("event time %v out of [0,%v]", t, env.duration))
+		return false
+	}
+	return true
+}
+
+func (env *Env) fail(err error) {
+	if env.err == nil {
+		env.err = err
+	}
+}
+
+// SetOffline makes node start the run offline (all nodes start online by
+// default).
+func (env *Env) SetOffline(node int) {
+	if env.checkNode(node) {
+		env.initialOffline[node] = true
+	}
+}
+
+// FailAt schedules node to go offline at time t.
+func (env *Env) FailAt(t float64, node int) {
+	if env.checkTime(t) && env.checkNode(node) {
+		env.toggles = append(env.toggles, scheduledToggle{t: t, node: uint32(node), up: false})
+	}
+}
+
+// JoinAt schedules node to come online at time t (triggering Maintainer
+// join maintenance when the run has maintenance enabled).
+func (env *Env) JoinAt(t float64, node int) {
+	if env.checkTime(t) && env.checkNode(node) {
+		env.toggles = append(env.toggles, scheduledToggle{t: t, node: uint32(node), up: true})
+	}
+}
+
+// ChurnNode gives node an exponential on/off lifecycle over the whole run:
+// the initial state is drawn from the steady-state online fraction, and
+// alternating sessions are pre-scheduled until the duration is covered.
+func (env *Env) ChurnNode(node int, meanOnline, meanOffline float64) {
+	if !env.checkNode(node) {
+		return
+	}
+	if meanOnline <= 0 || meanOffline <= 0 {
+		env.fail(fmt.Errorf("churn means (%v, %v) must be positive", meanOnline, meanOffline))
+		return
+	}
+	online := env.rng.Bernoulli(meanOnline / (meanOnline + meanOffline))
+	if !online {
+		env.SetOffline(node)
+	}
+	t := 0.0
+	for t <= env.duration {
+		if online {
+			t += env.rng.Exp(meanOnline)
+			if t > env.duration {
+				break
+			}
+			env.FailAt(t, node)
+		} else {
+			t += env.rng.Exp(meanOffline)
+			if t > env.duration {
+				break
+			}
+			env.JoinAt(t, node)
+		}
+		online = !online
+	}
+}
+
+// LookupAt schedules a lookup from src for the key owned by dst, starting
+// at time t. Lookups whose source or destination is offline at start time
+// are recorded as skipped, mirroring the static model's conditioning on
+// surviving pairs.
+func (env *Env) LookupAt(t float64, src, dst int) {
+	if env.checkTime(t) && env.checkNode(src) && env.checkNode(dst) {
+		if src == dst {
+			env.fail(fmt.Errorf("lookup src == dst == %d", src))
+			return
+		}
+		env.lookups = append(env.lookups, scheduledLookup{t: t, src: uint32(src), dst: uint32(dst)})
+	}
+}
+
+// PoissonLookups schedules lookups with exponential inter-arrival gaps of
+// aggregate rate over [from, to), drawing sources uniformly and targets
+// from targetOf (nil means uniform). It is the workload helper the
+// built-in scenarios share.
+func (env *Env) PoissonLookups(from, to, rate float64, targetOf func(rng *overlay.RNG) int) {
+	if rate <= 0 || to <= from {
+		return
+	}
+	for t := from + env.rng.Exp(1/rate); t < to; t += env.rng.Exp(1 / rate) {
+		src := env.rng.Intn(env.nodes)
+		var dst int
+		if targetOf != nil {
+			dst = targetOf(env.rng)
+		} else {
+			dst = env.rng.Intn(env.nodes)
+		}
+		for dst == src {
+			dst = env.rng.Intn(env.nodes)
+		}
+		env.LookupAt(t, src, dst)
+	}
+}
+
+// ZipfTargets returns a target sampler with rank distribution Zipf(s) over
+// a random permutation of the identifier space (s = 0 degenerates to
+// uniform). The permutation decouples popularity rank from identifier
+// structure, so hot keys land anywhere on the ring.
+func (env *Env) ZipfTargets(s float64) func(rng *overlay.RNG) int {
+	if s <= 0 {
+		return nil
+	}
+	perm := make([]int32, env.nodes)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	for i := env.nodes - 1; i > 0; i-- {
+		j := env.rng.Intn(i + 1)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	// Cumulative rank weights 1/(r+1)^s, normalized.
+	cdf := make([]float64, env.nodes)
+	sum := 0.0
+	for r := 0; r < env.nodes; r++ {
+		sum += math.Pow(float64(r+1), -s)
+		cdf[r] = sum
+	}
+	for r := range cdf {
+		cdf[r] /= sum
+	}
+	return func(rng *overlay.RNG) int {
+		u := rng.Float64()
+		r := sort.SearchFloat64s(cdf, u)
+		if r >= env.nodes {
+			r = env.nodes - 1
+		}
+		return int(perm[r])
+	}
+}
+
+// Scenario drives one event-simulation run: Program schedules the node
+// lifecycle and the lookup workload against the Env before the clock
+// starts. Implementations must derive all randomness from env.RNG() so
+// runs stay deterministic, and must not retain env.
+type Scenario interface {
+	// Name returns the scenario's registered name.
+	Name() string
+	// Program schedules the scenario's events.
+	Program(env *Env) error
+}
+
+// ScenarioFactory builds a scenario from run parameters (already
+// defaulted). Factories run once per eventsim.Run.
+type ScenarioFactory func(p Params) (Scenario, error)
+
+// The scenario registry mirrors the geometry/protocol registries: a
+// case-insensitive name-keyed table with registration-order listing.
+var scenarios = struct {
+	mu    sync.RWMutex
+	order []string
+	index map[string]ScenarioFactory
+}{index: map[string]ScenarioFactory{}}
+
+// RegisterScenario adds a scenario factory under a canonical name plus
+// optional aliases. Names are case-insensitive; a taken or empty name is
+// an error.
+func RegisterScenario(name string, f ScenarioFactory, aliases ...string) error {
+	if f == nil {
+		return fmt.Errorf("eventsim: scenario %q has nil factory", name)
+	}
+	keys := make([]string, 0, 1+len(aliases))
+	for _, n := range append([]string{name}, aliases...) {
+		k := strings.ToLower(strings.TrimSpace(n))
+		if k == "" {
+			return fmt.Errorf("eventsim: empty scenario name")
+		}
+		keys = append(keys, k)
+	}
+	scenarios.mu.Lock()
+	defer scenarios.mu.Unlock()
+	for i, k := range keys {
+		if _, taken := scenarios.index[k]; taken {
+			what := "name"
+			if i > 0 {
+				what = "alias"
+			}
+			return fmt.Errorf("eventsim: scenario %s %q already registered", what, k)
+		}
+		for _, prev := range keys[:i] {
+			if prev == k {
+				return fmt.Errorf("eventsim: scenario %q aliases itself", k)
+			}
+		}
+	}
+	for _, k := range keys {
+		scenarios.index[k] = f
+	}
+	scenarios.order = append(scenarios.order, keys[0])
+	return nil
+}
+
+// LookupScenario resolves a scenario factory by name or alias.
+func LookupScenario(name string) (ScenarioFactory, bool) {
+	scenarios.mu.RLock()
+	defer scenarios.mu.RUnlock()
+	f, ok := scenarios.index[strings.ToLower(strings.TrimSpace(name))]
+	return f, ok
+}
+
+// ScenarioNames returns the canonical scenario names in registration order
+// (the built-in five first, user registrations after).
+func ScenarioNames() []string {
+	scenarios.mu.RLock()
+	defer scenarios.mu.RUnlock()
+	out := make([]string, len(scenarios.order))
+	copy(out, scenarios.order)
+	return out
+}
+
+func scenarioKeys() []string {
+	scenarios.mu.RLock()
+	defer scenarios.mu.RUnlock()
+	out := make([]string, 0, len(scenarios.index))
+	for k := range scenarios.index {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,137 @@
+package eventsim
+
+import "rcm/overlay"
+
+// The built-in scenario library. Each scenario is an ordinary registrant
+// of the scenario registry — a user-defined Scenario registered through
+// RegisterScenario resolves everywhere these do (eventsim.Run, rcm/exp
+// event cells, the cmd/eventsim -scenario flag).
+func init() {
+	for _, reg := range []struct {
+		name    string
+		factory ScenarioFactory
+		aliases []string
+	}{
+		{"massfail", func(p Params) (Scenario, error) { return massfail{p}, nil }, []string{"fail"}},
+		{"churn", func(p Params) (Scenario, error) { return churn{p}, nil }, nil},
+		{"flashcrowd", func(p Params) (Scenario, error) { return flashcrowd{p}, nil }, []string{"crowd"}},
+		{"correlated", func(p Params) (Scenario, error) { return correlated{p}, nil }, []string{"regions"}},
+		{"zipf", func(p Params) (Scenario, error) { return zipf{p}, nil }, []string{"skewed"}},
+	} {
+		if err := RegisterScenario(reg.name, reg.factory, reg.aliases...); err != nil {
+			panic(err) // static names; unreachable
+		}
+	}
+}
+
+// massfail reproduces the paper's static failure model as a dynamic event:
+// at FailTime, a uniformly-chosen fraction FailFraction of the population
+// fails simultaneously and stays down; uniform lookups flow for the whole
+// run. After the failure the overlay is exactly the static-resilience
+// regime, which is what the cross-validation test exploits.
+type massfail struct{ p Params }
+
+func (s massfail) Name() string { return "massfail" }
+
+func (s massfail) Program(env *Env) error {
+	p := env.Params()
+	if p.FailTime <= env.Duration() {
+		rng := env.RNG()
+		for node := 0; node < env.Nodes(); node++ {
+			if rng.Bernoulli(p.FailFraction) {
+				env.FailAt(p.FailTime, node)
+			}
+		}
+	}
+	env.PoissonLookups(0, env.Duration(), p.Rate, nil)
+	return nil
+}
+
+// churn gives every node an exponential on/off lifecycle (the dynamic
+// regime §1 leaves open), with uniform lookups throughout — the
+// message-level counterpart of internal/sim's churn engine.
+type churn struct{ p Params }
+
+func (s churn) Name() string { return "churn" }
+
+func (s churn) Program(env *Env) error {
+	p := env.Params()
+	for node := 0; node < env.Nodes(); node++ {
+		env.ChurnNode(node, p.MeanOnline, p.MeanOffline)
+	}
+	env.PoissonLookups(0, env.Duration(), p.Rate, nil)
+	return nil
+}
+
+// flashcrowd models a demand spike: baseline uniform lookups, then during
+// [CrowdStart, CrowdStart+CrowdDuration) the arrival rate multiplies by
+// CrowdFactor with a fraction Hot of lookups addressed to one hot key.
+// No nodes fail; the stress is purely load concentration.
+type flashcrowd struct{ p Params }
+
+func (s flashcrowd) Name() string { return "flashcrowd" }
+
+func (s flashcrowd) Program(env *Env) error {
+	p := env.Params()
+	crowdEnd := p.CrowdStart + p.CrowdDuration
+	if crowdEnd > env.Duration() {
+		crowdEnd = env.Duration()
+	}
+	hot := env.RNG().Intn(env.Nodes())
+	hotTargets := func(rng *overlay.RNG) int {
+		if rng.Bernoulli(p.Hot) {
+			return hot
+		}
+		return rng.Intn(env.Nodes())
+	}
+	env.PoissonLookups(0, p.CrowdStart, p.Rate, nil)
+	env.PoissonLookups(p.CrowdStart, crowdEnd, p.Rate*p.CrowdFactor, hotTargets)
+	env.PoissonLookups(crowdEnd, env.Duration(), p.Rate, nil)
+	return nil
+}
+
+// correlated kills Regions contiguous identifier ranges at FailTime —
+// totalling FailFraction of the space — modeling rack, AS or data-center
+// failures where identifier-adjacent nodes share fate. Structured
+// geometries (ring successor chains, tree subtrees) lose whole routing
+// neighborhoods at once, which independent sampling never produces.
+type correlated struct{ p Params }
+
+func (s correlated) Name() string { return "correlated" }
+
+func (s correlated) Program(env *Env) error {
+	p := env.Params()
+	if p.FailTime <= env.Duration() && p.Regions > 0 && p.FailFraction > 0 {
+		rng := env.RNG()
+		n := env.Nodes()
+		span := int(p.FailFraction * float64(n) / float64(p.Regions))
+		if span < 1 {
+			span = 1
+		}
+		for r := 0; r < p.Regions; r++ {
+			start := rng.Intn(n)
+			for i := 0; i < span; i++ {
+				env.FailAt(p.FailTime, (start+i)%n)
+			}
+		}
+	}
+	env.PoissonLookups(0, env.Duration(), p.Rate, nil)
+	return nil
+}
+
+// zipf keeps every node online and skews the lookup workload: targets are
+// drawn from a Zipf(ZipfS) rank distribution over a random permutation of
+// the identifier space (ZipfS = 0 is uniform — the lossless baseline).
+type zipf struct{ p Params }
+
+func (s zipf) Name() string { return "zipf" }
+
+func (s zipf) Program(env *Env) error {
+	p := env.Params()
+	s_ := p.ZipfS
+	if s_ <= 0 {
+		s_ = 1
+	}
+	env.PoissonLookups(0, env.Duration(), p.Rate, env.ZipfTargets(s_))
+	return nil
+}

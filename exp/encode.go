@@ -17,6 +17,9 @@ func Header() []string {
 		"sim_routability", "sim_failed_pct", "sim_stderr", "sim_mean_hops",
 		"sim_alive", "sim_pairs", "sim_trials",
 		"churn_repair", "churn_success", "churn_offline",
+		"scenario", "time", "event_started", "event_success",
+		"event_mean_hops", "event_mean_latency",
+		"event_msgs_node_s", "event_maint_node_s", "event_online",
 	}
 }
 
@@ -32,6 +35,9 @@ func (r Row) fields() []string {
 		num(r.SimMeanHops), num(r.SimAlive),
 		count(r.SimPairs), count(r.SimTrials),
 		boolCell(r.Kind, r.ChurnRepair), num(r.ChurnSuccess), num(r.ChurnOffline),
+		r.Scenario, num(r.Time), eventCount(r.Kind, r.EventStarted), num(r.EventSuccess),
+		num(r.EventMeanHops), num(r.EventMeanLatency),
+		num(r.EventMsgsNodeS), num(r.EventMaintNodeS), num(r.EventOnline),
 	}
 }
 
@@ -58,6 +64,15 @@ func boolCell(kind string, v bool) string {
 		return ""
 	}
 	return strconv.FormatBool(v)
+}
+
+// eventCount renders event_started only on event rows, where a zero is a
+// real measurement (an idle window), not "not measured".
+func eventCount(kind string, n int) string {
+	if kind != "event" {
+		return ""
+	}
+	return strconv.Itoa(n)
 }
 
 // WriteCSV writes buffered rows as CSV with a header line. Cells never
@@ -107,7 +122,7 @@ func WriteJSON(w io.Writer, rows []Row) error {
 			if j > 0 {
 				b.WriteString(", ")
 			}
-			fmt.Fprintf(&b, "%q: %s", header[j], jsonValue(j, cellStr))
+			fmt.Fprintf(&b, "%q: %s", header[j], jsonValue(header[j], cellStr))
 		}
 		b.WriteString("}")
 	}
@@ -116,16 +131,16 @@ func WriteJSON(w io.Writer, rows []Row) error {
 	return err
 }
 
-// jsonValue renders a field by column index: the first five columns are
-// strings, churn_repair is a boolean, everything else numeric (null when
-// empty).
-func jsonValue(col int, cellStr string) string {
-	switch {
-	case col < 5:
+// jsonValue renders a field by column name: identity columns are strings,
+// churn_repair is a boolean, everything else numeric (null when empty).
+func jsonValue(name, cellStr string) string {
+	switch name {
+	case "plan", "kind", "geometry", "system", "protocol", "scenario":
 		return strconv.Quote(cellStr)
-	case cellStr == "":
-		return "null"
 	default:
+		if cellStr == "" {
+			return "null"
+		}
 		return cellStr
 	}
 }

@@ -1,0 +1,93 @@
+package exp
+
+import (
+	"fmt"
+
+	"rcm/eventsim"
+)
+
+// EventParams re-exports the eventsim scenario parameter block for
+// constructing EventSettings without importing rcm/eventsim.
+type EventParams = eventsim.Params
+
+// EventSetting describes one message-level simulation scenario of a plan:
+// which scenario to run, its parameters, the transport, and the
+// engine knobs. Each (spec, bits, setting) cell yields Buckets rows — one
+// per time window — so event sweeps stream through the same runner,
+// encoders and CLIs as every other mode.
+type EventSetting struct {
+	// Scenario names a scenario in the eventsim registry (massfail,
+	// churn, flashcrowd, correlated, zipf, or a user registration).
+	Scenario string
+	// Params tunes the scenario; zero fields select eventsim defaults.
+	Params EventParams
+	// Transport is the transport spelling parsed by
+	// eventsim.ParseTransport, e.g. "constant:0.05" or
+	// "lossy:0.05:empirical". Empty selects the default constant model.
+	Transport string
+	// Duration is total simulated time (default 10); Buckets the metric
+	// windows per run (default 10).
+	Duration float64
+	Buckets  int
+	// Maintain enables join/stabilize maintenance with the given period
+	// (StabilizeEvery zero selects the engine default).
+	Maintain       bool
+	StabilizeEvery float64
+	// Shards, Retransmits and MaxHops pass through to eventsim.Config;
+	// zero selects the engine defaults.
+	Shards      int
+	Retransmits int
+	MaxHops     int
+}
+
+// config assembles the eventsim configuration for one cell. The transport
+// spelling was validated by Validate; protocol, bits and seed are pinned
+// by the runner.
+func (e EventSetting) config(protocol string, overlay Config, seed uint64) (eventsim.Config, error) {
+	tr, err := eventsim.ParseTransport(e.Transport)
+	if err != nil {
+		return eventsim.Config{}, err
+	}
+	return eventsim.Config{
+		Protocol:       protocol,
+		Overlay:        overlay,
+		Scenario:       e.Scenario,
+		Params:         e.Params,
+		Transport:      tr,
+		Seed:           seed,
+		Shards:         e.Shards,
+		Duration:       e.Duration,
+		Buckets:        e.Buckets,
+		Maintain:       e.Maintain,
+		StabilizeEvery: e.StabilizeEvery,
+		Retransmits:    e.Retransmits,
+		MaxHops:        e.MaxHops,
+	}, nil
+}
+
+// Validate rejects settings eventsim would refuse, without running
+// anything: unknown scenario, malformed transport, out-of-domain
+// parameters.
+func (e EventSetting) Validate() error {
+	if _, ok := eventsim.LookupScenario(e.Scenario); !ok {
+		return fmt.Errorf("exp: event setting has unknown scenario %q", e.Scenario)
+	}
+	if _, err := eventsim.ParseTransport(e.Transport); err != nil {
+		return err
+	}
+	if err := e.Params.Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// QEff returns the steady-state offline fraction the scenario converges
+// to — the static model's equivalent failure probability, used to place
+// analytic and static-simulation comparison columns on event rows.
+func (e EventSetting) QEff() float64 {
+	d := e.Duration
+	if d <= 0 {
+		d = 10
+	}
+	return e.Params.EffectiveOffline(e.Scenario, d)
+}

@@ -20,9 +20,10 @@
 //		// one Row per cell, in plan order
 //	}
 //
-// Stream yields one Row per cell as an iter.Seq2[Row, error]; absent
-// measurements are NaN. Rows arrive in plan order (spec-major, then bits,
-// then q, churn cells last) regardless of how many workers executed them,
+// Stream yields one Row per cell as an iter.Seq2[Row, error] (event cells
+// yield one Row per time bucket); absent measurements are NaN. Rows
+// arrive in plan order (spec-major, then bits, then q; churn cells after
+// the grid, event cells last) regardless of how many workers executed them,
 // so golden-file tests of the CSV/JSON encodings are stable and a parallel
 // run is byte-identical to a serial one. Only a bounded window of cells
 // (proportional to the worker count) is in flight at any moment, so a
@@ -33,8 +34,11 @@
 //
 // Geometries and protocols resolve through the shared name-keyed registry
 // (rcm.RegisterGeometry / rcm.RegisterProtocol), so a user-registered
-// geometry sweeps through analytic, simulation and churn cells exactly
-// like the paper's five built-ins — see examples/randchord.
+// geometry sweeps through analytic, simulation, churn and event cells
+// exactly like the paper's five built-ins — see examples/randchord. Event
+// cells run the message-level simulator in rcm/eventsim (Plan.Events,
+// ModeEvent); event scenarios resolve through that package's scenario
+// registry.
 //
 // The analytic columns share one memoization cache per run (or across runs
 // via WithCache): the phase products Π(1−Q(m)) share prefixes across the

@@ -24,8 +24,13 @@ const (
 	// ModeChurn runs the event-driven churn engine for every ChurnSetting
 	// and reports steady-state lookup success at q = q_eff.
 	ModeChurn
+	// ModeEvent runs the message-level discrete-event simulator
+	// (rcm/eventsim) for every EventSetting, yielding one Row per time
+	// bucket. Combined with ModeAnalytic/ModeSim, each event row also
+	// carries the static predictions at the scenario's q_eff.
+	ModeEvent
 
-	modeAll = ModeAnalytic | ModeSim | ModeChurn
+	modeAll = ModeAnalytic | ModeSim | ModeChurn | ModeEvent
 )
 
 // String renders the mode as a "+"-joined flag list (e.g. "analytic+sim"),
@@ -42,6 +47,7 @@ func (m Mode) String() string {
 		{ModeAnalytic, "analytic"},
 		{ModeSim, "sim"},
 		{ModeChurn, "churn"},
+		{ModeEvent, "event"},
 	} {
 		if m&f.bit != 0 {
 			parts = append(parts, f.name)
@@ -51,6 +57,34 @@ func (m Mode) String() string {
 		parts = append(parts, fmt.Sprintf("invalid(%#x)", uint8(rest)))
 	}
 	return strings.Join(parts, "+")
+}
+
+// ParseMode is the inverse of Mode.String: it parses a "+"-joined,
+// case-insensitive flag list — "sim", "analytic+sim", "event+analytic" —
+// into a Mode. "none" (String's rendering of the zero Mode) parses to 0,
+// which Plan.Validate subsequently rejects. It backs the CLIs' -mode
+// flags, so one spelling works everywhere.
+func ParseMode(s string) (Mode, error) {
+	s = strings.TrimSpace(s)
+	if strings.EqualFold(s, "none") {
+		return 0, nil
+	}
+	var m Mode
+	for _, part := range strings.Split(s, "+") {
+		switch strings.ToLower(strings.TrimSpace(part)) {
+		case "analytic":
+			m |= ModeAnalytic
+		case "sim":
+			m |= ModeSim
+		case "churn":
+			m |= ModeChurn
+		case "event":
+			m |= ModeEvent
+		default:
+			return 0, fmt.Errorf("exp: unknown mode flag %q in %q (have analytic, sim, churn, event)", part, s)
+		}
+	}
+	return m, nil
 }
 
 // ChurnSetting describes one churn scenario of a plan. The zero value uses
@@ -137,6 +171,9 @@ type Plan struct {
 	Qs []float64
 	// Churn lists the churn scenarios executed under ModeChurn.
 	Churn []ChurnSetting
+	// Events lists the message-level scenarios executed under ModeEvent;
+	// each yields Buckets rows per (spec, bits) cell.
+	Events []EventSetting
 }
 
 // Validate checks the plan is executable under the given mode.
@@ -163,7 +200,7 @@ func (p Plan) Validate(mode Mode) error {
 			return fmt.Errorf("exp: bits=%d out of range", d)
 		}
 	}
-	if mode&(ModeAnalytic|ModeSim) != 0 && len(p.Qs) == 0 && mode&ModeChurn == 0 {
+	if mode&(ModeAnalytic|ModeSim) != 0 && len(p.Qs) == 0 && mode&(ModeChurn|ModeEvent) == 0 {
 		return errors.New("exp: plan has no q grid")
 	}
 	for _, q := range p.Qs {
@@ -179,10 +216,18 @@ func (p Plan) Validate(mode Mode) error {
 			return err
 		}
 	}
-	if mode&ModeSim != 0 || mode&ModeChurn != 0 {
+	if mode&ModeEvent != 0 && len(p.Events) == 0 {
+		return errors.New("exp: event mode with no event settings")
+	}
+	for _, e := range p.Events {
+		if err := e.Validate(); err != nil {
+			return err
+		}
+	}
+	if mode&(ModeSim|ModeChurn|ModeEvent) != 0 {
 		for _, s := range p.Specs {
 			if s.Protocol == "" {
-				return fmt.Errorf("exp: spec %q has no protocol for sim/churn mode", s.Geometry.Name())
+				return fmt.Errorf("exp: spec %q has no protocol for sim/churn/event mode", s.Geometry.Name())
 			}
 		}
 	}
@@ -195,6 +240,7 @@ type cellKind uint8
 const (
 	gridCell cellKind = iota + 1
 	churnCell
+	eventCell
 )
 
 // cell is one unit of work for the runner.
@@ -202,13 +248,15 @@ type cell struct {
 	kind  cellKind
 	spec  Spec
 	bits  int
-	q     float64 // grid: the swept q; churn: q_eff
+	q     float64 // grid: the swept q; churn/event: q_eff
 	qIdx  int     // index into Plan.Qs (grid cells only)
 	churn ChurnSetting
+	event EventSetting
 }
 
 // cellCount returns the total number of cells the plan expands to under
-// the given mode, without materializing them.
+// the given mode, without materializing them. Grid and churn cells yield
+// one row each; an event cell yields one row per time bucket.
 func (p Plan) cellCount(mode Mode) int {
 	n := 0
 	if mode&(ModeAnalytic|ModeSim) != 0 {
@@ -217,13 +265,17 @@ func (p Plan) cellCount(mode Mode) int {
 	if mode&ModeChurn != 0 {
 		n += len(p.Specs) * len(p.Bits) * len(p.Churn)
 	}
+	if mode&ModeEvent != 0 {
+		n += len(p.Specs) * len(p.Bits) * len(p.Events)
+	}
 	return n
 }
 
 // cellAt returns cell i of the plan's deterministic expansion order — grid
 // cells spec-major, then bits, then q; churn cells after all grid cells,
-// spec-major, then bits, then setting order. Cells are derived
-// arithmetically so a streaming run never materializes the grid.
+// then event cells, each spec-major, then bits, then setting order. Cells
+// are derived arithmetically so a streaming run never materializes the
+// grid.
 func (p Plan) cellAt(mode Mode, i int) cell {
 	if mode&(ModeAnalytic|ModeSim) != 0 {
 		grid := len(p.Specs) * len(p.Bits) * len(p.Qs)
@@ -235,9 +287,20 @@ func (p Plan) cellAt(mode Mode, i int) cell {
 		}
 		i -= grid
 	}
-	ci := i % len(p.Churn)
-	bi := (i / len(p.Churn)) % len(p.Bits)
-	si := i / (len(p.Churn) * len(p.Bits))
-	c := p.Churn[ci]
-	return cell{kind: churnCell, spec: p.Specs[si], bits: p.Bits[bi], q: c.QEff(), churn: c}
+	if mode&ModeChurn != 0 {
+		churn := len(p.Specs) * len(p.Bits) * len(p.Churn)
+		if i < churn {
+			ci := i % len(p.Churn)
+			bi := (i / len(p.Churn)) % len(p.Bits)
+			si := i / (len(p.Churn) * len(p.Bits))
+			c := p.Churn[ci]
+			return cell{kind: churnCell, spec: p.Specs[si], bits: p.Bits[bi], q: c.QEff(), churn: c}
+		}
+		i -= churn
+	}
+	ei := i % len(p.Events)
+	bi := (i / len(p.Events)) % len(p.Bits)
+	si := i / (len(p.Events) * len(p.Bits))
+	e := p.Events[ei]
+	return cell{kind: eventCell, spec: p.Specs[si], bits: p.Bits[bi], q: e.QEff(), event: e}
 }

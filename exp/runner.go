@@ -7,6 +7,7 @@ import (
 	"math"
 	"sync"
 
+	"rcm/eventsim"
 	"rcm/internal/core"
 	"rcm/internal/dht"
 	"rcm/internal/sim"
@@ -52,6 +53,25 @@ type Row struct {
 	ChurnSuccess float64
 	ChurnOffline float64
 
+	// Scenario names the event scenario; Time is the end of the row's
+	// metric window. Event rows only (an event cell yields one row per
+	// time bucket, in time order; Q carries the scenario's q_eff).
+	Scenario string
+	Time     float64
+	// EventStarted counts lookups begun in the window (both endpoints
+	// online); EventSuccess, EventMeanHops and EventMeanLatency summarize
+	// that cohort's outcomes.
+	EventStarted     int
+	EventSuccess     float64
+	EventMeanHops    float64
+	EventMeanLatency float64
+	// EventMsgsNodeS and EventMaintNodeS are lookup and maintenance
+	// message rates, per node per time unit; EventOnline is the alive
+	// fraction at the window start.
+	EventMsgsNodeS  float64
+	EventMaintNodeS float64
+	EventOnline     float64
+
 	// Series is the churn time series backing ChurnSuccess. It is carried
 	// for renderers (cmd/churnsim) and excluded from CSV/JSON encodings.
 	Series []ChurnPoint
@@ -78,6 +98,13 @@ func newRow(plan string, c cell) Row {
 		SimAlive:            nan,
 		ChurnSuccess:        nan,
 		ChurnOffline:        nan,
+		Time:                nan,
+		EventSuccess:        nan,
+		EventMeanHops:       nan,
+		EventMeanLatency:    nan,
+		EventMsgsNodeS:      nan,
+		EventMaintNodeS:     nan,
+		EventOnline:         nan,
 	}
 }
 
@@ -159,10 +186,11 @@ type run struct {
 	statics  *staticCache
 }
 
-// result is one computed cell, delivered through its promise channel.
+// result is one computed cell, delivered through its promise channel. A
+// grid or churn cell carries one row; an event cell one row per bucket.
 type result struct {
-	row Row
-	err error
+	rows []Row
+	err  error
 }
 
 // Stream executes the plan and yields one Row per cell, in plan order, as
@@ -224,8 +252,8 @@ func Stream(ctx context.Context, plan Plan, opts ...Option) iter.Seq2[Row, error
 						j.promise <- result{err: err}
 						continue
 					}
-					row, err := r.runCell(plan.cellAt(st.mode, j.idx))
-					j.promise <- result{row: row, err: err}
+					rows, err := r.runCell(plan.cellAt(st.mode, j.idx))
+					j.promise <- result{rows: rows, err: err}
 				}
 			}()
 		}
@@ -259,9 +287,11 @@ func Stream(ctx context.Context, plan Plan, opts ...Option) iter.Seq2[Row, error
 				yield(Row{}, res.err)
 				return
 			}
-			if !yield(res.row, nil) {
-				cancel()
-				return
+			for _, row := range res.rows {
+				if !yield(row, nil) {
+					cancel()
+					return
+				}
 			}
 			done++
 			if st.progress != nil {
@@ -292,8 +322,15 @@ func Run(ctx context.Context, plan Plan, opts ...Option) ([]Row, error) {
 	return rows, nil
 }
 
-// runCell executes one cell.
-func (r *run) runCell(c cell) (Row, error) {
+// runCell executes one cell, returning its rows in plan order.
+func (r *run) runCell(c cell) ([]Row, error) {
+	if c.kind == eventCell {
+		rows, err := r.fillEvent(c)
+		if err != nil {
+			err = fmt.Errorf("exp: event cell %s d=%d %s: %w", c.spec.Geometry.Name(), c.bits, c.event.Scenario, err)
+		}
+		return rows, err
+	}
 	row := newRow(r.plan.Name, c)
 	var err error
 	switch c.kind {
@@ -309,7 +346,7 @@ func (r *run) runCell(c cell) (Row, error) {
 	if err != nil {
 		err = fmt.Errorf("exp: %s cell %s d=%d q=%v: %w", row.Kind, c.spec.Geometry.Name(), c.bits, c.q, err)
 	}
-	return row, err
+	return []Row{row}, err
 }
 
 // fillAnalytic computes the closed forms at (g, d, q) through the memo
@@ -444,4 +481,90 @@ func (r *run) fillChurn(row *Row, c cell) error {
 		fillSim(row, entry.res)
 	}
 	return nil
+}
+
+// fillEvent computes an event cell: one message-level simulation whose
+// time buckets become one Row each, plus — depending on the run mode —
+// the analytic closed forms and a static simulated comparison at the
+// scenario's q_eff, repeated on every row so each time window can be read
+// against the static predictions directly.
+func (r *run) fillEvent(c cell) ([]Row, error) {
+	key := r.overlayKey(c)
+	cfg, err := c.event.config(key.protocol, key.cfg, r.st.seed)
+	if err != nil {
+		return nil, err
+	}
+	var res *eventsim.Result
+	if c.event.Maintain {
+		// Maintenance mutates routing tables in place; build a private
+		// overlay so cells sharing the cache never observe the repairs.
+		p, err := build(key)
+		if err != nil {
+			return nil, err
+		}
+		res, err = eventsim.RunOverlay(p, cfg)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		p, err := r.overlays.get(key)
+		if err != nil {
+			return nil, err
+		}
+		res, err = eventsim.RunOverlay(p, cfg)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	proto := newRow(r.plan.Name, c)
+	proto.Kind = "event"
+	proto.Scenario = res.Scenario
+	if r.st.mode&ModeAnalytic != 0 {
+		if err := r.fillAnalytic(&proto, c.spec.Geometry, c.bits, c.q); err != nil {
+			return nil, err
+		}
+	}
+	if r.st.mode&ModeSim != 0 {
+		// The static comparison at q = q_eff on an unmutated overlay,
+		// seeded like the churn cells' comparison and shared across the
+		// settings of one (spec, bits, q_eff) group.
+		entry := r.statics.get(staticKey{key: key, q: c.q})
+		entry.once.Do(func() {
+			var static dht.Protocol
+			static, entry.err = r.overlays.get(key)
+			if entry.err != nil {
+				return
+			}
+			entry.res, entry.err = sim.MeasureStaticResilience(static, c.q, sim.Options{
+				Pairs:    r.st.pairs,
+				AllPairs: r.st.allPairs,
+				Trials:   r.st.trials,
+				Workers:  r.st.simWorkers,
+				Seed:     r.st.seed + 1,
+			})
+		})
+		if entry.err != nil {
+			return nil, entry.err
+		}
+		fillSim(&proto, entry.res)
+	}
+
+	rows := make([]Row, 0, len(res.Buckets))
+	nodes := float64(res.Nodes)
+	for _, b := range res.Buckets {
+		row := proto
+		row.Time = b.End
+		row.EventStarted = b.Started
+		row.EventSuccess = b.Success()
+		row.EventMeanHops = b.MeanHops()
+		row.EventMeanLatency = b.MeanLatency()
+		if width := b.End - b.Start; width > 0 {
+			row.EventMsgsNodeS = float64(b.LookupMessages) / (nodes * width)
+			row.EventMaintNodeS = float64(b.MaintMessages) / (nodes * width)
+		}
+		row.EventOnline = b.OnlineFraction
+		rows = append(rows, row)
+	}
+	return rows, nil
 }

@@ -16,7 +16,11 @@ type Chord struct {
 	table []overlay.ID
 }
 
-var _ Protocol = (*Chord)(nil)
+var (
+	_ Protocol   = (*Chord)(nil)
+	_ Forwarder  = (*Chord)(nil)
+	_ Maintainer = (*Chord)(nil)
+)
 
 // NewChord builds the overlay with randomized fingers.
 func NewChord(cfg Config) (*Chord, error) {
@@ -89,6 +93,73 @@ func (c *Chord) Route(src, dst overlay.ID, alive *overlay.Bitset) (int, bool) {
 		hops++
 	}
 	return hops, false
+}
+
+// AppendCandidateHops implements Forwarder: the non-overshooting fingers of
+// x, deduplicated, ordered by resulting clockwise distance to dst (ties keep
+// finger order) — so the first alive candidate is exactly Route's greedy
+// choice.
+func (c *Chord) AppendCandidateHops(buf []overlay.ID, x, dst overlay.ID) []overlay.ID {
+	remaining := c.space.RingDist(x, dst)
+	if remaining == 0 {
+		return buf
+	}
+	d := c.space.Bits()
+	start := len(buf)
+	base := int(x) * d
+outer:
+	for i := 0; i < d; i++ {
+		f := c.table[base+i]
+		if f == x || c.space.RingDist(x, f) > remaining {
+			continue // self or overshooting: no eligible progress
+		}
+		for _, prev := range buf[start:] {
+			if prev == f {
+				continue outer
+			}
+		}
+		// Stable insertion by resulting distance (ascending).
+		nr := c.space.RingDist(f, dst)
+		buf = append(buf, f)
+		j := len(buf) - 1
+		for j > start && c.space.RingDist(buf[j-1], dst) > nr {
+			buf[j] = buf[j-1]
+			j--
+		}
+		buf[j] = f
+	}
+	return buf
+}
+
+// Join implements Maintainer: a (re)joining node rebuilds all d fingers
+// toward alive nodes, returning the modeled message cost.
+func (c *Chord) Join(x overlay.ID, alive *overlay.Bitset, rng *overlay.RNG) int {
+	d := c.space.Bits()
+	n := c.space.Size()
+	cost := 0
+	for i := 1; i <= d; i++ {
+		lo := uint64(1) << uint(i-1)
+		id, attempts := drawAliveCost(alive, func() overlay.ID {
+			return overlay.ID((uint64(x) + lo + rng.Uint64n(lo)) & (n - 1))
+		})
+		c.table[int(x)*d+i-1] = id
+		cost += probeCost(attempts)
+	}
+	return cost
+}
+
+// Stabilize implements Maintainer: one periodic round refreshes a single
+// uniformly-chosen finger (Chord's fix_fingers).
+func (c *Chord) Stabilize(x overlay.ID, alive *overlay.Bitset, rng *overlay.RNG) int {
+	d := c.space.Bits()
+	n := c.space.Size()
+	i := 1 + rng.Intn(d)
+	lo := uint64(1) << uint(i-1)
+	id, attempts := drawAliveCost(alive, func() overlay.ID {
+		return overlay.ID((uint64(x) + lo + rng.Uint64n(lo)) & (n - 1))
+	})
+	c.table[int(x)*d+i-1] = id
+	return probeCost(attempts)
 }
 
 // ResampleNode implements Resampler: re-draws every finger of x within its

@@ -35,6 +35,18 @@ type Populated interface {
 	Nodes() []overlay.ID
 }
 
+// Forwarder is the per-hop candidate-enumeration capability used by the
+// message-level event simulator (canonical definition in internal/registry,
+// re-exported publicly as rcm/eventsim.Forwarder). All five built-in
+// protocols implement it.
+type Forwarder = registry.Forwarder
+
+// Maintainer is the join/stabilize maintenance capability used by the
+// event simulator (canonical definition in internal/registry). The four
+// table-based protocols implement it; the hypercube's neighbor set is
+// structural, so it has nothing to maintain.
+type Maintainer = registry.Maintainer
+
 // Resampler is implemented by overlays whose randomized table entries can
 // be re-drawn in place — the repair step of the churn experiment (E11).
 // Repair mimics a live node re-establishing connections: each entry is
@@ -55,14 +67,51 @@ const resampleAttempts = 16
 // drawAlive retries draw() until it returns an alive identifier, up to
 // resampleAttempts times, returning the final draw regardless.
 func drawAlive(alive *overlay.Bitset, draw func() overlay.ID) overlay.ID {
+	id, _ := drawAliveCost(alive, draw)
+	return id
+}
+
+// drawAliveCost is drawAlive, additionally reporting the number of draws
+// performed — the probe count that Maintainer implementations charge as
+// messages (each draw models one probe/response exchange, 2 messages).
+func drawAliveCost(alive *overlay.Bitset, draw func() overlay.ID) (overlay.ID, int) {
 	var id overlay.ID
-	for attempt := 0; attempt < resampleAttempts; attempt++ {
+	attempts := 0
+	for attempts < resampleAttempts {
 		id = draw()
+		attempts++
 		if alive == nil || alive.Get(int(id)) {
 			break
 		}
 	}
-	return id
+	return id, attempts
+}
+
+// probeCost converts maintenance draw attempts to modeled messages: one
+// probe and one response per attempted candidate.
+func probeCost(attempts int) int { return 2 * attempts }
+
+// prefixRefresh re-draws table entry i of node x in a prefix-corrected
+// table (entry i flips bit i of x with a uniform random tail), preferring
+// alive candidates, and returns the modeled message cost. Kademlia and
+// Plaxton tables share this structure, so both protocols' Maintainer
+// methods delegate here.
+func prefixRefresh(s overlay.Space, tbl []overlay.ID, x overlay.ID, i int, alive *overlay.Bitset, rng *overlay.RNG) int {
+	id, attempts := drawAliveCost(alive, func() overlay.ID {
+		return s.RandomTail(s.FlipBit(x, i), i, rng)
+	})
+	tbl[int(x)*s.Bits()+i-1] = id
+	return probeCost(attempts)
+}
+
+// prefixJoin is the full-table prefixRefresh: the Maintainer.Join body
+// shared by Kademlia and Plaxton.
+func prefixJoin(s overlay.Space, tbl []overlay.ID, x overlay.ID, alive *overlay.Bitset, rng *overlay.RNG) int {
+	cost := 0
+	for i := 1; i <= s.Bits(); i++ {
+		cost += prefixRefresh(s, tbl, x, i, alive, rng)
+	}
+	return cost
 }
 
 // Config is the canonical overlay-construction configuration shared across

@@ -18,7 +18,10 @@ type HypercubeCAN struct {
 	space overlay.Space
 }
 
-var _ Protocol = (*HypercubeCAN)(nil)
+var (
+	_ Protocol  = (*HypercubeCAN)(nil)
+	_ Forwarder = (*HypercubeCAN)(nil)
+)
 
 // NewHypercubeCAN builds the overlay.
 func NewHypercubeCAN(cfg Config) (*HypercubeCAN, error) {
@@ -69,6 +72,20 @@ func (h *HypercubeCAN) Route(src, dst overlay.ID, alive *overlay.Bitset) (int, b
 		}
 	}
 	return hops, false
+}
+
+// AppendCandidateHops implements Forwarder: the flip-neighbors of every
+// differing bit, leftmost first — each reduces the Hamming distance by one,
+// and the first alive candidate is Route's choice. The hypercube's neighbor
+// set is structural (no tables), so there is no Maintainer to implement.
+func (h *HypercubeCAN) AppendCandidateHops(buf []overlay.ID, x, dst overlay.ID) []overlay.ID {
+	d := h.space.Bits()
+	for i := 1; i <= d; i++ {
+		if h.space.Bit(x, i) != h.space.Bit(dst, i) {
+			buf = append(buf, h.space.FlipBit(x, i))
+		}
+	}
+	return buf
 }
 
 // Neighbors implements Protocol: the d Hamming-1 identifiers.

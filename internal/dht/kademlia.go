@@ -17,7 +17,11 @@ type Kademlia struct {
 	table []overlay.ID
 }
 
-var _ Protocol = (*Kademlia)(nil)
+var (
+	_ Protocol   = (*Kademlia)(nil)
+	_ Forwarder  = (*Kademlia)(nil)
+	_ Maintainer = (*Kademlia)(nil)
+)
 
 // NewKademlia builds the overlay with one random contact per bucket.
 func NewKademlia(cfg Config) (*Kademlia, error) {
@@ -81,6 +85,52 @@ func (k *Kademlia) Route(src, dst overlay.ID, alive *overlay.Bitset) (int, bool)
 		hops++
 	}
 	return hops, false
+}
+
+// AppendCandidateHops implements Forwarder: the contacts strictly closer to
+// dst in XOR distance, deduplicated, ordered by resulting distance (ties
+// keep bucket order) — the first alive candidate is Route's greedy choice.
+func (k *Kademlia) AppendCandidateHops(buf []overlay.ID, x, dst overlay.ID) []overlay.ID {
+	curDist := k.space.XORDist(x, dst)
+	if curDist == 0 {
+		return buf
+	}
+	d := k.space.Bits()
+	start := len(buf)
+	base := int(x) * d
+outer:
+	for i := 0; i < d; i++ {
+		nb := k.table[base+i]
+		nd := k.space.XORDist(nb, dst)
+		if nd >= curDist {
+			continue // no strict progress
+		}
+		for _, prev := range buf[start:] {
+			if prev == nb {
+				continue outer
+			}
+		}
+		buf = append(buf, nb)
+		j := len(buf) - 1
+		for j > start && k.space.XORDist(buf[j-1], dst) > nd {
+			buf[j] = buf[j-1]
+			j--
+		}
+		buf[j] = nb
+	}
+	return buf
+}
+
+// Join implements Maintainer: a (re)joining node refreshes every bucket
+// contact toward alive nodes, returning the modeled message cost.
+func (k *Kademlia) Join(x overlay.ID, alive *overlay.Bitset, rng *overlay.RNG) int {
+	return prefixJoin(k.space, k.table, x, alive, rng)
+}
+
+// Stabilize implements Maintainer: one periodic round refreshes a single
+// uniformly-chosen bucket (Kademlia's bucket refresh).
+func (k *Kademlia) Stabilize(x overlay.ID, alive *overlay.Bitset, rng *overlay.RNG) int {
+	return prefixRefresh(k.space, k.table, x, 1+rng.Intn(k.space.Bits()), alive, rng)
 }
 
 // ResampleNode implements Resampler: re-draws every bucket contact of x,

@@ -16,7 +16,11 @@ type Plaxton struct {
 	table []overlay.ID
 }
 
-var _ Protocol = (*Plaxton)(nil)
+var (
+	_ Protocol   = (*Plaxton)(nil)
+	_ Forwarder  = (*Plaxton)(nil)
+	_ Maintainer = (*Plaxton)(nil)
+)
 
 // NewPlaxton builds the overlay with randomized per-level neighbors.
 func NewPlaxton(cfg Config) (*Plaxton, error) {
@@ -70,6 +74,29 @@ func (p *Plaxton) Route(src, dst overlay.ID, alive *overlay.Bitset) (int, bool) 
 		hops++
 	}
 	return hops, false
+}
+
+// AppendCandidateHops implements Forwarder: tree routing has exactly one
+// legal next hop — the neighbor correcting the leftmost differing bit
+// (Fig. 4(a)'s no-fallback property).
+func (p *Plaxton) AppendCandidateHops(buf []overlay.ID, x, dst overlay.ID) []overlay.ID {
+	i := p.space.FirstDifferingBit(x, dst)
+	if i == 0 {
+		return buf
+	}
+	return append(buf, p.table[int(x)*p.space.Bits()+i-1])
+}
+
+// Join implements Maintainer: a (re)joining node rebuilds every per-level
+// neighbor toward alive nodes, returning the modeled message cost.
+func (p *Plaxton) Join(x overlay.ID, alive *overlay.Bitset, rng *overlay.RNG) int {
+	return prefixJoin(p.space, p.table, x, alive, rng)
+}
+
+// Stabilize implements Maintainer: one periodic round refreshes a single
+// uniformly-chosen prefix level.
+func (p *Plaxton) Stabilize(x overlay.ID, alive *overlay.Bitset, rng *overlay.RNG) int {
+	return prefixRefresh(p.space, p.table, x, 1+rng.Intn(p.space.Bits()), alive, rng)
 }
 
 // ResampleNode implements Resampler: re-draws every per-level neighbor of

@@ -18,7 +18,11 @@ type Symphony struct {
 	table []overlay.ID
 }
 
-var _ Protocol = (*Symphony)(nil)
+var (
+	_ Protocol   = (*Symphony)(nil)
+	_ Forwarder  = (*Symphony)(nil)
+	_ Maintainer = (*Symphony)(nil)
+)
 
 // NewSymphony builds the overlay. kn and ks default to 1 (the paper's
 // Fig. 7 configuration) when left zero in cfg.
@@ -105,6 +109,69 @@ func (sy *Symphony) Route(src, dst overlay.ID, alive *overlay.Bitset) (int, bool
 		hops++
 	}
 	return hops, false
+}
+
+// AppendCandidateHops implements Forwarder: the non-overshooting links of
+// x, deduplicated, ordered by resulting clockwise distance to dst (ties
+// keep link order) — the first alive candidate is Route's greedy choice.
+func (sy *Symphony) AppendCandidateHops(buf []overlay.ID, x, dst overlay.ID) []overlay.ID {
+	remaining := sy.space.RingDist(x, dst)
+	if remaining == 0 {
+		return buf
+	}
+	deg := sy.Degree()
+	start := len(buf)
+	base := int(x) * deg
+outer:
+	for i := 0; i < deg; i++ {
+		l := sy.table[base+i]
+		if l == x || sy.space.RingDist(x, l) > remaining {
+			continue
+		}
+		for _, prev := range buf[start:] {
+			if prev == l {
+				continue outer
+			}
+		}
+		nr := sy.space.RingDist(l, dst)
+		buf = append(buf, l)
+		j := len(buf) - 1
+		for j > start && sy.space.RingDist(buf[j-1], dst) > nr {
+			buf[j] = buf[j-1]
+			j--
+		}
+		buf[j] = l
+	}
+	return buf
+}
+
+// Join implements Maintainer: a (re)joining node re-draws its ks shortcuts
+// toward alive nodes (near links are structural), returning the modeled
+// message cost.
+func (sy *Symphony) Join(x overlay.ID, alive *overlay.Bitset, rng *overlay.RNG) int {
+	n := sy.space.Size()
+	base := int(x) * sy.Degree()
+	cost := 0
+	for j := 0; j < sy.ks; j++ {
+		id, attempts := drawAliveCost(alive, func() overlay.ID {
+			return overlay.ID((uint64(x) + rng.Harmonic(n-1)) & (n - 1))
+		})
+		sy.table[base+sy.kn+j] = id
+		cost += probeCost(attempts)
+	}
+	return cost
+}
+
+// Stabilize implements Maintainer: one periodic round re-draws a single
+// uniformly-chosen shortcut from the harmonic distribution.
+func (sy *Symphony) Stabilize(x overlay.ID, alive *overlay.Bitset, rng *overlay.RNG) int {
+	n := sy.space.Size()
+	j := rng.Intn(sy.ks)
+	id, attempts := drawAliveCost(alive, func() overlay.ID {
+		return overlay.ID((uint64(x) + rng.Harmonic(n-1)) & (n - 1))
+	})
+	sy.table[int(x)*sy.Degree()+sy.kn+j] = id
+	return probeCost(attempts)
 }
 
 // ResampleNode implements Resampler: re-draws x's shortcuts from the

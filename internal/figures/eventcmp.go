@@ -1,0 +1,112 @@
+package figures
+
+import (
+	"context"
+	"fmt"
+
+	"rcm/exp"
+	"rcm/internal/table"
+)
+
+func init() {
+	register("eventcmp", EventCompare)
+}
+
+// EventCompare is experiment E17: the paper's static framework scored
+// against message-level protocol dynamics. For chord, kademlia and the
+// hypercube, a massfail scenario kills a fraction q of the population
+// mid-run and the steady-state lookup success of the event simulator
+// (hop-by-hop forwarding, acknowledgements, retransmission timeouts — no
+// global knowledge) is tabulated next to the analytic routability r(N,q)
+// and the static graph simulation at the same q.
+//
+// The event column should track the static simulation closely (the
+// event engine's per-hop retry discipline realizes the same greedy walk,
+// cross-validated in rcm/eventsim's tests), with the analytic column a
+// lower bound for ring geometries — transferring the paper's Fig. 6
+// agreement to an actual message-passing protocol.
+func EventCompare(opt Options) ([]*table.Table, error) {
+	opt = opt.withDefaults()
+	bits := opt.Bits
+	if bits > 10 {
+		bits = 10 // event cells run full message dynamics; 2^10 keeps E17 quick
+	}
+	const (
+		duration = 6.0
+		failTime = 1.5
+	)
+	qs := []float64{0, 0.15, 0.3, 0.45}
+	settings := make([]exp.EventSetting, 0, len(qs))
+	for _, q := range qs {
+		settings = append(settings, exp.EventSetting{
+			Scenario: "massfail",
+			Params: exp.EventParams{
+				FailFraction: q,
+				FailTime:     failTime,
+				Rate:         float64(opt.Pairs),
+			},
+			Duration: duration,
+			Buckets:  6,
+		})
+	}
+	specs := []exp.Spec{exp.MustSpec("chord"), exp.MustSpec("kademlia"), exp.MustSpec("can")}
+	plan := exp.Plan{Name: "eventcmp", Specs: specs, Bits: []int{bits}, Events: settings}
+
+	rows, err := exp.Run(context.Background(), plan,
+		exp.WithModes(exp.ModeEvent, exp.ModeAnalytic, exp.ModeSim),
+		exp.WithPairs(opt.Pairs), exp.WithTrials(opt.Trials),
+		exp.WithSeed(opt.Seed), exp.WithSimWorkers(1),
+	)
+	if err != nil {
+		return nil, err
+	}
+
+	// Aggregate each (geometry, q_eff) group's post-fail steady state:
+	// buckets starting after the failure has settled, weighted by cohort
+	// size.
+	type key struct {
+		geometry string
+		q        float64
+	}
+	type agg struct {
+		started, completed int
+		analytic, static   float64
+	}
+	groups := map[key]*agg{}
+	for _, r := range rows {
+		k := key{r.Geometry, r.Q}
+		g, ok := groups[k]
+		if !ok {
+			g = &agg{analytic: r.AnalyticRoutability, static: r.SimRoutability}
+			groups[k] = g
+		}
+		// Bucket start at/after the failure; EventSuccess is NaN for an
+		// empty cohort, so only tally buckets that started lookups.
+		if r.Time-duration/6 >= failTime && r.EventStarted > 0 {
+			g.started += r.EventStarted
+			g.completed += int(r.EventSuccess*float64(r.EventStarted) + 0.5)
+		}
+	}
+
+	t := table.New(fmt.Sprintf("E17: static model vs message-level event simulation, massfail, N=2^%d", bits),
+		"geometry", "q", "analytic r%", "static sim r%", "event r%", "event-static")
+	for _, s := range specs {
+		name := s.Geometry.Name()
+		for _, q := range qs {
+			g, ok := groups[key{name, q}]
+			if !ok || g.started == 0 {
+				return nil, fmt.Errorf("figures: eventcmp missing group %s q=%v", name, q)
+			}
+			event := float64(g.completed) / float64(g.started)
+			t.AddRow(
+				name,
+				table.F(q, 2),
+				table.Pct(g.analytic, 2),
+				table.Pct(g.static, 2),
+				table.Pct(event, 2),
+				table.F(100*(event-g.static), 2),
+			)
+		}
+	}
+	return []*table.Table{t}, nil
+}

@@ -92,3 +92,57 @@ func TestSummaryStateCounts(t *testing.T) {
 		}
 	}
 }
+
+// TestDOTEscaping: titles and state names containing quotes, backslashes
+// and newlines must render through Go's %q escaping into valid DOT string
+// literals, never raw.
+func TestDOTEscaping(t *testing.T) {
+	var b Builder
+	s0 := b.AddState(`state "zero"`)
+	s1 := b.AddState("line\nbreak")
+	s2 := b.AddState(`back\slash`)
+	b.AddEdge(s0, s1, 0.5)
+	b.AddEdge(s0, s2, 0.5)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := c.DOT(`a "quoted" title`)
+
+	if !strings.Contains(dot, `label="a \"quoted\" title";`) {
+		t.Errorf("title quotes not escaped:\n%s", dot)
+	}
+	if !strings.Contains(dot, `label="state \"zero\""`) {
+		t.Errorf("state-name quotes not escaped:\n%s", dot)
+	}
+	if !strings.Contains(dot, `label="line\nbreak"`) {
+		t.Errorf("newline not escaped:\n%s", dot)
+	}
+	if !strings.Contains(dot, `label="back\\slash"`) {
+		t.Errorf("backslash not escaped:\n%s", dot)
+	}
+	// No raw (unescaped) newline may survive inside any label attribute:
+	// every line of the output must be a complete statement.
+	for _, line := range strings.Split(strings.TrimSuffix(dot, "\n"), "\n") {
+		if strings.Count(line, `"`)%2 != 0 {
+			t.Errorf("line with unbalanced quotes (raw newline leaked into a label): %q", line)
+		}
+	}
+}
+
+// TestDOTEmptyTitle: an empty title omits the label line entirely.
+func TestDOTEmptyTitle(t *testing.T) {
+	var b Builder
+	b.AddState("only")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := c.DOT("")
+	if strings.Contains(dot, "label=") && strings.Contains(strings.SplitN(dot, "\n", 2)[1], "  label=") {
+		t.Errorf("empty title still rendered a graph label:\n%s", dot)
+	}
+	if !strings.Contains(dot, `n0 [label="only", shape=doublecircle];`) {
+		t.Errorf("missing absorbing singleton node:\n%s", dot)
+	}
+}

@@ -90,6 +90,44 @@ type Config struct {
 	SymphonyShortcuts int
 }
 
+// Forwarder is an optional Protocol capability used by the message-level
+// event simulator (rcm/eventsim): per-hop candidate enumeration, the
+// decision a real node can make locally. AppendCandidateHops appends to buf
+// the next-hop candidates node x would try for a message addressed to dst,
+// in preference order, and returns the extended slice (callers reuse buf
+// across hops to stay allocation-free).
+//
+// The contract that makes event-level routing agree with Route's
+// global-knowledge greedy walk: every candidate must make strict progress
+// toward dst under the protocol's distance metric (so retry chains
+// terminate), and the first *alive* candidate in the returned order must be
+// exactly the hop Route would take against the same alive set. dst itself
+// is a legal candidate; x and non-progressing entries are not.
+type Forwarder interface {
+	AppendCandidateHops(buf []overlay.ID, x, dst overlay.ID) []overlay.ID
+}
+
+// Maintainer is an optional Protocol capability: a protocol that can
+// (re)build one node's routing state from a known-alive population,
+// enabling join and periodic-stabilization dynamics in rcm/eventsim. Both
+// methods return the number of protocol messages the operation models
+// (probes plus responses), which the event engine charges to the node's
+// maintenance budget. A nil alive set disables the aliveness filter.
+//
+// Implementations must confine their writes to node x's own table rows:
+// the event engine calls Maintainer methods for x only from the shard that
+// owns x, concurrently with other shards maintaining and reading *their*
+// nodes' rows.
+type Maintainer interface {
+	// Join (re)initializes every routing-table entry of x toward alive
+	// nodes — the table build-out a node performs when it (re)enters the
+	// overlay.
+	Join(x overlay.ID, alive *overlay.Bitset, rng *overlay.RNG) int
+	// Stabilize performs one periodic maintenance round for x, refreshing
+	// a single routing-table entry toward the alive population.
+	Stabilize(x overlay.ID, alive *overlay.Bitset, rng *overlay.RNG) int
+}
+
 // GeometryFactory builds an analytic geometry from a configuration. Most
 // geometries ignore the configuration entirely; Symphony reads kn/ks.
 type GeometryFactory func(Config) (Geometry, error)

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# bench.sh produces both benchmark artifacts in one command:
+#
+#   BENCH_exp.json       — experiment-runner benchmarks (ns/op, allocs/op)
+#   BENCH_eventsim.json  — event-engine benchmarks (events/s, allocs/event,
+#                          plus ns/op and allocs/op)
+#
+# Usage: scripts/bench.sh [exp-benchtime] [eventsim-benchtime]
+# Defaults: 100x for the (cheap) runner benchmarks, 5x for the (whole-run)
+# event-engine benchmarks; CI uses the defaults. Also exposed as
+# `make bench`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+benchtime="${1:-100x}"
+eventtime="${2:-5x}"
+
+# extract_json turns `go test -bench` output into a JSON array of
+# {name, ns_per_op, allocs_per_op, events_per_s, allocs_per_event}
+# objects, null where a benchmark does not report the metric.
+extract_json() {
+  awk 'BEGIN { print "[" ; first=1 }
+       /^Benchmark/ {
+         name=$1; ns=""; allocs=""; evps=""; apev=""
+         for (i=2; i<=NF; i++) {
+           if ($(i+1) == "ns/op") ns=$i
+           if ($(i+1) == "allocs/op") allocs=$i
+           if ($(i+1) == "events/s") evps=$i
+           if ($(i+1) == "allocs/event") apev=$i
+         }
+         if (!first) printf ",\n"
+         first=0
+         printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s, \"events_per_s\": %s, \"allocs_per_event\": %s}", \
+           name, (ns==""?"null":ns), (allocs==""?"null":allocs), (evps==""?"null":evps), (apev==""?"null":apev)
+       }
+       END { print "\n]" }'
+}
+
+echo "== experiment runner (BENCH_exp.json) =="
+go test -bench 'BenchmarkStreamSweep|BenchmarkExpSweep' -benchmem -benchtime "$benchtime" -run '^$' . ./exp | tee bench_exp.txt
+extract_json < bench_exp.txt > BENCH_exp.json
+cat BENCH_exp.json
+
+echo "== event engine (BENCH_eventsim.json) =="
+go test -bench 'BenchmarkEventSim' -benchmem -benchtime "$eventtime" -run '^$' ./eventsim | tee bench_eventsim.txt
+extract_json < bench_eventsim.txt > BENCH_eventsim.json
+cat BENCH_eventsim.json
