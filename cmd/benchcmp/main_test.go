@@ -1,0 +1,139 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeArtifact(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const sample = `[
+  {"name": "BenchmarkEventSimScheduler/wheel-8", "ns_per_op": 200, "allocs_per_op": 10, "events_per_s": 3000000, "allocs_per_event": null},
+  {"name": "BenchmarkEventSimScheduler/heap-8", "ns_per_op": 240, "allocs_per_op": 10, "events_per_s": 2500000, "allocs_per_event": null}
+]`
+
+func TestGatePasses(t *testing.T) {
+	file := writeArtifact(t, sample)
+	var sb strings.Builder
+	err := run([]string{
+		"-file", file,
+		"-base", "BenchmarkEventSimScheduler/heap",
+		"-new", "BenchmarkEventSimScheduler/wheel",
+		"-metric", "events_per_s", "-tolerance", "0.1",
+	}, &sb)
+	if err != nil {
+		t.Fatalf("gate failed: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "goodness ratio = 1.200") {
+		t.Errorf("missing ratio line:\n%s", sb.String())
+	}
+}
+
+func TestGateFailsOnRegression(t *testing.T) {
+	file := writeArtifact(t, sample)
+	var sb strings.Builder
+	// Reverse roles: "wheel as base, heap as new" is a 17% shortfall.
+	err := run([]string{
+		"-file", file,
+		"-base", "BenchmarkEventSimScheduler/wheel",
+		"-new", "BenchmarkEventSimScheduler/heap",
+		"-tolerance", "0.1",
+	}, &sb)
+	if err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("err = %v, want regression failure", err)
+	}
+}
+
+// TestCostMetricDirection: for lower-is-better metrics the gate must
+// fail slowdowns and pass speedups — the inverse of the throughput rule.
+func TestCostMetricDirection(t *testing.T) {
+	file := writeArtifact(t, sample)
+	var sb strings.Builder
+	// wheel ns_per_op 200 vs heap 240: taking heap as base, wheel is
+	// faster (goodness 1.2) — must pass.
+	if err := run([]string{
+		"-file", file,
+		"-base", "BenchmarkEventSimScheduler/heap", "-new", "BenchmarkEventSimScheduler/wheel",
+		"-metric", "ns_per_op", "-tolerance", "0.1",
+	}, &sb); err != nil {
+		t.Fatalf("faster candidate failed the cost gate: %v", err)
+	}
+	// Reversed, wheel as base: heap is 20% slower — must fail.
+	if err := run([]string{
+		"-file", file,
+		"-base", "BenchmarkEventSimScheduler/wheel", "-new", "BenchmarkEventSimScheduler/heap",
+		"-metric", "ns_per_op", "-tolerance", "0.1",
+	}, &sb); err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("slower candidate passed the cost gate: %v", err)
+	}
+}
+
+func TestBaselineDiffInformational(t *testing.T) {
+	file := writeArtifact(t, sample)
+	baseline := writeArtifact(t, `[
+  {"name": "BenchmarkEventSimScheduler/wheel-8", "ns_per_op": 100, "allocs_per_op": 10, "events_per_s": 6000000, "allocs_per_event": null},
+  {"name": "BenchmarkGone-8", "ns_per_op": 1, "allocs_per_op": 0, "events_per_s": null, "allocs_per_event": null}
+]`)
+	var sb strings.Builder
+	// A 2× baseline shortfall must NOT fail the command — cross-machine
+	// numbers are informational.
+	if err := run([]string{"-file", file, "-baseline", baseline}, &sb); err != nil {
+		t.Fatalf("informational diff failed: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{"vs committed baseline", "-50.0%", "only in baseline"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	file := writeArtifact(t, sample)
+	for name, args := range map[string][]string{
+		"no file":          {},
+		"missing file":     {"-file", "/no/such.json"},
+		"base without new": {"-file", file, "-base", "x"},
+		"unknown base":     {"-file", file, "-base", "Nope", "-new", "BenchmarkEventSimScheduler/wheel"},
+		"unknown new":      {"-file", file, "-base", "BenchmarkEventSimScheduler/heap", "-new", "Nope"},
+		"missing metric": {"-file", file, "-base", "BenchmarkEventSimScheduler/heap",
+			"-new", "BenchmarkEventSimScheduler/wheel", "-metric", "allocs_per_event"},
+		"bad json": {"-file", writeArtifact(t, "{not json]")},
+	} {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestFindIsNotOrderDependent: a benchmark whose name extends another's
+// prefix must never shadow it, whatever the artifact order.
+func TestFindIsNotOrderDependent(t *testing.T) {
+	file := writeArtifact(t, `[
+  {"name": "BenchmarkEventSimShards/1-8", "ns_per_op": 1, "allocs_per_op": 0, "events_per_s": 111, "allocs_per_event": null},
+  {"name": "BenchmarkEventSim-8", "ns_per_op": 2, "allocs_per_op": 0, "events_per_s": 222, "allocs_per_event": null}
+]`)
+	var sb strings.Builder
+	err := run([]string{
+		"-file", file,
+		"-base", "BenchmarkEventSim", "-new", "BenchmarkEventSimShards/1",
+		"-tolerance", "0.99",
+	}, &sb)
+	if err != nil {
+		t.Fatalf("gate failed: %v", err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "base BenchmarkEventSim-8") || !strings.Contains(out, "222") {
+		t.Errorf("bare prefix resolved to the wrong benchmark:\n%s", out)
+	}
+}

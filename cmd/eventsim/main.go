@@ -12,6 +12,8 @@
 //
 //	eventsim -protocol chord -bits 12 -scenario massfail -fail 0.3
 //	eventsim -protocol kademlia -bits 10 -scenario churn -maintain
+//	eventsim -protocol chord -scenario heavytail -lifetime pareto:1.5
+//	eventsim -protocol chord -scenario tracechurn -lifetime trace:sessions.txt
 //	eventsim -protocol chord -scenario flashcrowd -transport lossy:0.05:empirical
 //	eventsim -protocol symphony -scenario zipf -zipf 1.2 -format csv
 package main
@@ -53,6 +55,11 @@ func run(args []string, out io.Writer) error {
 		meanOnline  = fs.Float64("mean-online", 0, "churn: mean online session (0: default 1)")
 		meanOffline = fs.Float64("mean-offline", 0, "churn: mean offline duration (0: default 0.25)")
 
+		lifetime   = fs.String("lifetime", "", "heavytail/diurnal/tracechurn: session distribution: exp | pareto[:alpha] | weibull[:shape] | lognormal[:sigma] | trace:<file>")
+		downtime   = fs.String("downtime", "", "heavytail/diurnal/tracechurn: offline distribution (same spellings as -lifetime)")
+		diurnalPer = fs.Float64("diurnal-period", 0, "diurnal: day length (0: half the duration)")
+		diurnalAmp = fs.Float64("diurnal-amplitude", 0, "diurnal: session-mean modulation amplitude in [0,1) (0: default 0.6)")
+
 		zipfS      = fs.Float64("zipf", 0, "zipf: target skew s (0: scenario default)")
 		hot        = fs.Float64("hot", 0, "flashcrowd: fraction of crowd lookups on the hot key (0: default 0.8)")
 		crowdStart = fs.Float64("crowd-start", 0, "flashcrowd: crowd onset (0: 30% of duration)")
@@ -63,6 +70,7 @@ func run(args []string, out io.Writer) error {
 		maintain  = fs.Bool("maintain", false, "enable join/stabilize maintenance")
 		stabilize = fs.Float64("stabilize-every", 0, "per-node stabilization period (0: default 1)")
 		shards    = fs.Int("shards", 0, "event wheels to shard the population across (0: default 4)")
+		scheduler = fs.String("scheduler", "", "event queue: wheel (timing wheels, default) | heap (reference)")
 		seed      = fs.Uint64("seed", 1, "deterministic seed")
 		kn        = fs.Int("kn", 1, "symphony near neighbors")
 		ks        = fs.Int("ks", 1, "symphony shortcuts")
@@ -96,17 +104,21 @@ func run(args []string, out io.Writer) error {
 	setting := exp.EventSetting{
 		Scenario: *scenario,
 		Params: exp.EventParams{
-			Rate:          *rate,
-			ZipfS:         *zipfS,
-			FailFraction:  *failFrac,
-			FailTime:      *failTime,
-			Regions:       *regions,
-			MeanOnline:    *meanOnline,
-			MeanOffline:   *meanOffline,
-			CrowdStart:    *crowdStart,
-			CrowdDuration: *crowdDur,
-			CrowdFactor:   *crowdMul,
-			Hot:           *hot,
+			Rate:             *rate,
+			ZipfS:            *zipfS,
+			FailFraction:     *failFrac,
+			FailTime:         *failTime,
+			Regions:          *regions,
+			MeanOnline:       *meanOnline,
+			MeanOffline:      *meanOffline,
+			CrowdStart:       *crowdStart,
+			CrowdDuration:    *crowdDur,
+			CrowdFactor:      *crowdMul,
+			Hot:              *hot,
+			Lifetime:         *lifetime,
+			Downtime:         *downtime,
+			DiurnalPeriod:    *diurnalPer,
+			DiurnalAmplitude: *diurnalAmp,
 		},
 		Transport:      *transport,
 		Duration:       *duration,
@@ -114,6 +126,7 @@ func run(args []string, out io.Writer) error {
 		Maintain:       *maintain,
 		StabilizeEvery: *stabilize,
 		Shards:         *shards,
+		Scheduler:      *scheduler,
 	}
 	plan := exp.Plan{
 		Name:   "eventsim",

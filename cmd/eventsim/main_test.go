@@ -74,18 +74,61 @@ func TestLossyEmpiricalTransport(t *testing.T) {
 
 func TestErrors(t *testing.T) {
 	for name, args := range map[string][]string{
-		"unknown scenario":   {"-scenario", "nope"},
-		"unknown protocol":   {"-protocol", "nope"},
-		"unknown transport":  {"-transport", "warp"},
-		"unknown format":     {"-format", "pdf"},
-		"mode without event": {"-mode", "analytic+sim"},
-		"unparseable mode":   {"-mode", "warp"},
-		"zero kn":            {"-kn", "0"},
-		"fail out of range":  {"-fail", "1.5"},
+		"unknown scenario":    {"-scenario", "nope"},
+		"unknown protocol":    {"-protocol", "nope"},
+		"unknown transport":   {"-transport", "warp"},
+		"unknown format":      {"-format", "pdf"},
+		"mode without event":  {"-mode", "analytic+sim"},
+		"unparseable mode":    {"-mode", "warp"},
+		"zero kn":             {"-kn", "0"},
+		"fail out of range":   {"-fail", "1.5"},
+		"unknown lifetime":    {"-scenario", "heavytail", "-lifetime", "cauchy"},
+		"infinite-mean alpha": {"-scenario", "heavytail", "-lifetime", "pareto:0.9"},
+		"trace without file":  {"-scenario", "tracechurn"},
+		"amplitude too big":   {"-scenario", "diurnal", "-diurnal-amplitude", "1.5"},
+		"unknown scheduler":   {"-scheduler", "fifo"},
 	} {
 		var sb strings.Builder
 		if err := run(append(args, quick...), &sb); err == nil {
 			t.Errorf("%s: accepted", name)
 		}
+	}
+}
+
+// TestHeavytailScenario drives the lifetime-model path end to end through
+// the CLI: a Pareto session distribution at churn's q_eff, with the
+// static-model comparison columns alongside.
+func TestHeavytailScenario(t *testing.T) {
+	out := runCapture(t, append([]string{
+		"-protocol", "chord", "-scenario", "heavytail",
+		"-lifetime", "pareto:1.5", "-mean-online", "2", "-mean-offline", "0.5",
+		"-mode", "event+analytic",
+	}, quick...)...)
+	for _, want := range []string{"chord · heavytail scenario", "q_eff=0.2", "static model at q_eff=0.2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+}
+
+// TestDiurnalScenario checks the diurnal flags reach the engine.
+func TestDiurnalScenario(t *testing.T) {
+	out := runCapture(t, append([]string{
+		"-scenario", "diurnal", "-diurnal-period", "1.5", "-diurnal-amplitude", "0.8",
+		"-mode", "event",
+	}, quick...)...)
+	if !strings.Contains(out, "diurnal scenario") {
+		t.Errorf("missing title:\n%s", out)
+	}
+}
+
+// TestSchedulerFlagBitIdentical: the -scheduler flag selects the queue
+// implementation without changing a byte of output.
+func TestSchedulerFlagBitIdentical(t *testing.T) {
+	base := append([]string{"-scenario", "churn", "-maintain", "-seed", "7", "-mode", "event"}, quick...)
+	wheel := runCapture(t, append(base, "-scheduler", "wheel")...)
+	heap := runCapture(t, append(base, "-scheduler", "heap")...)
+	if wheel != heap {
+		t.Errorf("scheduler changed output:\nwheel:\n%s\nheap:\n%s", wheel, heap)
 	}
 }

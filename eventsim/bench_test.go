@@ -78,3 +78,52 @@ func BenchmarkEventSimShards(b *testing.B) {
 		})
 	}
 }
+
+// churnBenchConfig is the timer-dominated workload the timing-wheel
+// rewrite targets: every node cycles through exponential sessions, with
+// periodic stabilization and join maintenance — the pending set is large
+// (the whole pre-scheduled lifecycle plus per-node timers) and almost
+// every event arms another timer.
+func churnBenchConfig(scheduler string) Config {
+	return Config{
+		Protocol:       "chord",
+		Overlay:        OverlayConfig{Bits: 12},
+		Scenario:       "churn",
+		Params:         Params{MeanOnline: 1, MeanOffline: 0.25, Rate: 20000},
+		Duration:       2,
+		Shards:         4,
+		Maintain:       true,
+		StabilizeEvery: 0.25,
+		Seed:           1,
+		Scheduler:      scheduler,
+	}
+}
+
+// BenchmarkEventSimScheduler contrasts the two eventQueue implementations
+// on the churn-heavy scenario. The two sub-benchmarks process the *same*
+// event sequence (results are bit-identical across schedulers), so their
+// events/s compare apples to apples; CI's benchcmp step asserts the wheel
+// is no slower than the heap baseline from the same run's artifact.
+func BenchmarkEventSimScheduler(b *testing.B) {
+	for _, scheduler := range []string{SchedulerWheel, SchedulerHeap} {
+		b.Run(scheduler, func(b *testing.B) {
+			cfg := churnBenchConfig(scheduler)
+			if _, err := Run(cfg); err != nil {
+				b.Fatal(err)
+			}
+			var events uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				events += res.Events
+			}
+			if s := b.Elapsed().Seconds(); s > 0 {
+				b.ReportMetric(float64(events)/s, "events/s")
+			}
+			b.ReportAllocs()
+		})
+	}
+}

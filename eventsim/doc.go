@@ -100,4 +100,76 @@
 // The joins at heal time trigger Maintainer.Join when Maintain is set, so
 // the healed region rebuilds its tables toward the population the
 // snapshot shows — watch MaintMessages spike in that bucket.
+//
+// # Defining a custom Lifetime
+//
+// The churn-family scenarios (churn, heavytail, diurnal, tracechurn)
+// draw node session and downtime durations from the pluggable
+// distribution library in rcm/eventsim/lifetime. A family is a *shape*
+// with the mean left free — the scenario pins it to Params.MeanOnline /
+// MeanOffline, which is what keeps every family on the same equivalent
+// failure probability q_eff = E[off]/(E[on]+E[off]) and makes lifetime
+// shapes comparable at equal mean online time.
+//
+// A custom family implements the two-method pair and registers a parse
+// factory; the name then resolves everywhere the built-ins do
+// (Params.Lifetime/Downtime, exp event plans, the cmd/eventsim -lifetime
+// and -downtime flags). A deterministic "uniform" family, spelled
+// uniform[:halfwidth-fraction]:
+//
+//	// uniformFam samples U[mean·(1−w), mean·(1+w)].
+//	type uniformFam struct{ w float64 }
+//
+//	func (u uniformFam) Name() string { return fmt.Sprintf("uniform(w=%g)", u.w) }
+//
+//	func (u uniformFam) Dist(mean float64) (lifetime.Dist, error) {
+//		if u.w < 0 || u.w >= 1 {
+//			return nil, fmt.Errorf("uniform halfwidth %v out of [0,1)", u.w)
+//		}
+//		if !(mean > 0) {
+//			return nil, fmt.Errorf("uniform mean %v must be positive", mean)
+//		}
+//		return uniformDist{mean: mean, w: u.w}, nil
+//	}
+//
+//	type uniformDist struct{ mean, w float64 }
+//
+//	func (d uniformDist) Name() string  { return "uniform" }
+//	func (d uniformDist) Mean() float64 { return d.mean }
+//	func (d uniformDist) Sample(rng *overlay.RNG) float64 {
+//		return d.mean * (1 - d.w + 2*d.w*rng.Float64())
+//	}
+//
+//	func init() {
+//		lifetime.Register("uniform", func(arg string) (lifetime.Family, error) {
+//			w := 0.5
+//			if arg != "" {
+//				v, err := strconv.ParseFloat(arg, 64)
+//				if err != nil {
+//					return nil, err
+//				}
+//				w = v
+//			}
+//			f := uniformFam{w: w}
+//			if _, err := f.Dist(1); err != nil {
+//				return nil, err // validate the shape up front
+//			}
+//			return f, nil
+//		})
+//	}
+//
+// Run it against any churn-family scenario:
+//
+//	res, err := eventsim.Run(eventsim.Config{
+//		Protocol: "chord",
+//		Overlay:  eventsim.OverlayConfig{Bits: 12},
+//		Scenario: "heavytail",
+//		Params:   eventsim.Params{Lifetime: "uniform:0.2", MeanOnline: 2},
+//	})
+//
+// Two rules: draw every sample from the rng the engine passes (runs stay
+// reproducible) and return strictly positive finite durations — the
+// scheduler treats a non-positive sample as a programming error. Sampling
+// happens while the scenario pre-schedules lifecycles, so a Dist may be
+// arbitrarily stateful per call but must not retain the RNG.
 package eventsim

@@ -75,16 +75,16 @@ type bucketAcc struct {
 }
 
 // shard owns an interleaved slice of the population (node % shards): its
-// nodes' online flags, routing-table rows, event heap, RNG and metric
+// nodes' online flags, routing-table rows, event queue, RNG and metric
 // accumulators. Within an epoch a shard runs single-threaded and
 // goroutine-free; shards only exchange messages at epoch barriers.
 type shard struct {
 	id  int
 	eng *engine
 
-	heap []ev
-	seq  uint64
-	rng  *overlay.RNG
+	q   eventQueue
+	seq uint64
+	rng *overlay.RNG
 
 	pending     map[uint32]pendingHop
 	nextAttempt uint32
@@ -137,55 +137,13 @@ func (e *engine) bucketOf(t float64) int32 {
 	return b
 }
 
-// heap operations: a classic binary min-heap over (t, seq), slice-backed
-// and allocation-free after warm-up. container/heap is avoided on this hot
-// path — its interface calls box every event.
-
-func evLess(a, b ev) bool {
-	if a.t != b.t {
-		return a.t < b.t
-	}
-	return a.seq < b.seq
-}
-
+// push assigns the event its shard-local sequence number — the tie-break
+// half of the engine's total (t, seq) event order — and hands it to the
+// configured scheduler (timing wheel or binary heap; see queue.go).
 func (sh *shard) push(e ev) {
 	e.seq = sh.seq
 	sh.seq++
-	sh.heap = append(sh.heap, e)
-	i := len(sh.heap) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !evLess(sh.heap[i], sh.heap[parent]) {
-			break
-		}
-		sh.heap[i], sh.heap[parent] = sh.heap[parent], sh.heap[i]
-		i = parent
-	}
-}
-
-func (sh *shard) pop() ev {
-	h := sh.heap
-	top := h[0]
-	last := len(h) - 1
-	h[0] = h[last]
-	sh.heap = h[:last]
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		smallest := i
-		if l < last && evLess(h[l], h[smallest]) {
-			smallest = l
-		}
-		if r < last && evLess(h[r], h[smallest]) {
-			smallest = r
-		}
-		if smallest == i {
-			break
-		}
-		h[i], h[smallest] = h[smallest], h[i]
-		i = smallest
-	}
-	return top
+	sh.q.push(e)
 }
 
 // send schedules an event at another (or the same) node, through the
@@ -213,8 +171,11 @@ func (e *engine) sampleLatency(rng *overlay.RNG) float64 {
 
 // runEpoch processes every local event with t < end.
 func (sh *shard) runEpoch(end float64) {
-	for len(sh.heap) > 0 && sh.heap[0].t < end {
-		e := sh.pop()
+	for {
+		e, ok := sh.q.popBefore(end)
+		if !ok {
+			break
+		}
 		sh.events++
 		switch e.kind {
 		case evStart:
@@ -390,7 +351,7 @@ func (e *engine) run() {
 	for {
 		pendingWork := false
 		for _, sh := range e.shards {
-			if len(sh.heap) > 0 {
+			if sh.q.size() > 0 {
 				pendingWork = true
 				break
 			}
@@ -454,8 +415,8 @@ func (e *engine) run() {
 		// in one hop while staying on lookahead-aligned boundaries.
 		minTop := math.Inf(1)
 		for _, sh := range e.shards {
-			if len(sh.heap) > 0 && sh.heap[0].t < minTop {
-				minTop = sh.heap[0].t
+			if t, ok := sh.q.minTime(); ok && t < minTop {
+				minTop = t
 			}
 		}
 		next := end + e.delta

@@ -2,6 +2,8 @@ package eventsim
 
 import (
 	"math"
+	"os"
+	"path/filepath"
 	"reflect"
 	"testing"
 
@@ -17,10 +19,22 @@ func mustRun(t *testing.T, cfg Config) *Result {
 	return res
 }
 
+// testTracePath writes a small availability trace usable by the
+// tracechurn scenario and the trace lifetime family in tests.
+func testTracePath(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "sessions.txt")
+	if err := os.WriteFile(path, []byte("# test trace\n0.4\n0.9\n1.6\n3.1\n0.2\n1.1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
 // TestDeterministic locks the core reproducibility contract: identical
 // (seed, shards) configurations produce bit-identical results regardless
 // of host scheduling, for every built-in scenario.
 func TestDeterministic(t *testing.T) {
+	trace := testTracePath(t)
 	for _, scenario := range ScenarioNames() {
 		cfg := Config{
 			Protocol: "chord",
@@ -30,6 +44,9 @@ func TestDeterministic(t *testing.T) {
 			Duration: 4,
 			Seed:     42,
 			Maintain: true,
+		}
+		if scenario == "tracechurn" {
+			cfg.Params.Lifetime = "trace:" + trace
 		}
 		a := mustRun(t, cfg)
 		b := mustRun(t, cfg)

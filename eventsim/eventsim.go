@@ -72,6 +72,14 @@ type Config struct {
 	// one (default 2; negative disables retransmission). Without it a
 	// single lost request would permanently skip the best next hop.
 	Retransmits int
+	// Scheduler selects the per-shard event-queue implementation:
+	// SchedulerWheel (hierarchical timing wheels, the default — O(1)
+	// schedule on the timer-dominated churn+stabilization workload) or
+	// SchedulerHeap (the binary-heap reference the wheel is differentially
+	// tested and benchmarked against). Results are bit-identical across
+	// schedulers for a fixed (Seed, Shards); the knob exists for
+	// benchmarking and differential testing, not tuning.
+	Scheduler string
 }
 
 func (cfg Config) withDefaults() Config {
@@ -108,6 +116,10 @@ func (cfg Config) withDefaults() Config {
 	case cfg.Retransmits < 0:
 		cfg.Retransmits = 0
 	}
+	cfg.Scheduler = strings.ToLower(strings.TrimSpace(cfg.Scheduler))
+	if cfg.Scheduler == "" {
+		cfg.Scheduler = SchedulerWheel
+	}
 	cfg.Params = cfg.Params.withDefaults(cfg.Duration)
 	return cfg
 }
@@ -138,6 +150,9 @@ func (cfg Config) Validate() error {
 	}
 	if cfg.Shards > 256 {
 		return fmt.Errorf("eventsim: Shards = %d out of [1,256]", cfg.Shards)
+	}
+	if cfg.Scheduler != SchedulerWheel && cfg.Scheduler != SchedulerHeap {
+		return fmt.Errorf("eventsim: unknown scheduler %q (have %s, %s)", cfg.Scheduler, SchedulerWheel, SchedulerHeap)
 	}
 	return nil
 }
@@ -334,9 +349,16 @@ func RunOverlay(p registry.Protocol, cfg Config) (*Result, error) {
 	}
 	e.shards = make([]*shard, shards)
 	for i := range e.shards {
+		var q eventQueue
+		if cfg.Scheduler == SchedulerHeap {
+			q = &heapQueue{}
+		} else {
+			q = newWheelQueue(e.delta)
+		}
 		e.shards[i] = &shard{
 			id:      i,
 			eng:     e,
+			q:       q,
 			rng:     root.Split(),
 			pending: make(map[uint32]pendingHop),
 			outbox:  make([][]ev, shards),

@@ -1,0 +1,238 @@
+// Package lifetime is the session/downtime distribution library behind
+// rcm/eventsim's churn scenarios: a name-registered, pluggable set of
+// positive-duration distribution families — exponential, Pareto, Weibull,
+// lognormal, and trace replay from availability trace files — all
+// parameterized by their *mean*, so heavy-tailed and memoryless models
+// compare at equal mean online time.
+//
+// The split into Family (a shape: "Pareto with α = 1.5") and Dist (a shape
+// pinned to a mean) mirrors how churn studies are designed: the paper's
+// equivalent failure probability q_eff = E[off]/(E[on]+E[off]) depends only
+// on the means, so sweeping the Family at fixed means isolates the effect
+// of the lifetime *shape* on routing performance. Every Dist draws all of
+// its randomness from the caller's overlay.RNG, keeping runs deterministic.
+package lifetime
+
+import (
+	"fmt"
+	"math"
+
+	"rcm/overlay"
+)
+
+// Dist is a distribution over positive durations with a known mean. Sample
+// must be pure given the RNG and must return positive finite values.
+type Dist interface {
+	// Name identifies the distribution (family plus shape), for rows/logs.
+	Name() string
+	// Mean returns the distribution's mean duration.
+	Mean() float64
+	// Sample draws one duration from rng.
+	Sample(rng *overlay.RNG) float64
+}
+
+// Family is a lifetime shape with the mean left free: Dist pins it.
+// Implementations must be immutable value types safe for concurrent use.
+type Family interface {
+	// Name identifies the family including shape parameters, e.g.
+	// "pareto(α=1.5)".
+	Name() string
+	// Dist returns the family member with the given mean (> 0, finite).
+	Dist(mean float64) (Dist, error)
+}
+
+func checkMean(family string, mean float64) error {
+	if !(mean > 0) || math.IsInf(mean, 0) || math.IsNaN(mean) {
+		return fmt.Errorf("lifetime: %s mean %v must be positive and finite", family, mean)
+	}
+	return nil
+}
+
+// Exponential is the memoryless baseline — the paper's churn-model
+// assumption. Its equilibrium (residual-life) distribution equals the
+// ordinary one, which is what makes the static q_eff summary exact for it.
+type Exponential struct{}
+
+// Name implements Family.
+func (Exponential) Name() string { return "exp" }
+
+// Dist implements Family.
+func (Exponential) Dist(mean float64) (Dist, error) {
+	if err := checkMean("exp", mean); err != nil {
+		return nil, err
+	}
+	return expDist{mean: mean}, nil
+}
+
+type expDist struct{ mean float64 }
+
+func (d expDist) Name() string                    { return "exp" }
+func (d expDist) Mean() float64                   { return d.mean }
+func (d expDist) Sample(rng *overlay.RNG) float64 { return rng.Exp(d.mean) }
+
+// Pareto is the canonical heavy-tailed session model observed in deployed
+// peer populations: survival (x_m/x)^α. Alpha must exceed 1 — at α ≤ 1 the
+// mean is infinite and no member can be pinned to a finite mean. The scale
+// x_m is derived from the requested mean: x_m = mean·(α−1)/α.
+type Pareto struct {
+	// Alpha is the tail exponent (> 1). DefaultParetoAlpha when zero.
+	Alpha float64
+}
+
+// DefaultParetoAlpha is the tail exponent selected by a zero Pareto.Alpha:
+// heavy-tailed (infinite variance) but with a finite mean.
+const DefaultParetoAlpha = 1.5
+
+func (p Pareto) alpha() float64 {
+	if p.Alpha == 0 {
+		return DefaultParetoAlpha
+	}
+	return p.Alpha
+}
+
+// Name implements Family.
+func (p Pareto) Name() string { return fmt.Sprintf("pareto(a=%g)", p.alpha()) }
+
+// Validate rejects tail exponents without a finite mean.
+func (p Pareto) Validate() error {
+	a := p.alpha()
+	if math.IsNaN(a) || math.IsInf(a, 0) || a <= 1 {
+		return fmt.Errorf("lifetime: pareto alpha %v must be > 1 (alpha <= 1 has an infinite mean, so no finite mean online time exists)", a)
+	}
+	return nil
+}
+
+// Dist implements Family.
+func (p Pareto) Dist(mean float64) (Dist, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := checkMean("pareto", mean); err != nil {
+		return nil, err
+	}
+	a := p.alpha()
+	return paretoDist{alpha: a, xm: mean * (a - 1) / a, mean: mean}, nil
+}
+
+type paretoDist struct{ alpha, xm, mean float64 }
+
+func (d paretoDist) Name() string  { return fmt.Sprintf("pareto(a=%g)", d.alpha) }
+func (d paretoDist) Mean() float64 { return d.mean }
+
+func (d paretoDist) Sample(rng *overlay.RNG) float64 {
+	u := rng.Float64()
+	// Inverse CDF x_m·(1−U)^(−1/α); guard the U→1 pole.
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	return d.xm * math.Pow(1-u, -1/d.alpha)
+}
+
+// Weibull generalizes the exponential with a shape k: k < 1 is heavy-ish
+// (subexponential tail, many short sessions), k = 1 is exponential, k > 1
+// concentrates around the mean. The scale is derived from the mean through
+// λ = mean/Γ(1+1/k).
+type Weibull struct {
+	// Shape is k (> 0). DefaultWeibullShape when zero.
+	Shape float64
+}
+
+// DefaultWeibullShape is the shape selected by a zero Weibull.Shape — the
+// stretched-exponential regime availability studies report.
+const DefaultWeibullShape = 0.5
+
+func (w Weibull) shape() float64 {
+	if w.Shape == 0 {
+		return DefaultWeibullShape
+	}
+	return w.Shape
+}
+
+// Name implements Family.
+func (w Weibull) Name() string { return fmt.Sprintf("weibull(k=%g)", w.shape()) }
+
+// Validate rejects non-positive shapes.
+func (w Weibull) Validate() error {
+	k := w.shape()
+	if math.IsNaN(k) || math.IsInf(k, 0) || k <= 0 {
+		return fmt.Errorf("lifetime: weibull shape %v must be positive", k)
+	}
+	return nil
+}
+
+// Dist implements Family.
+func (w Weibull) Dist(mean float64) (Dist, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	if err := checkMean("weibull", mean); err != nil {
+		return nil, err
+	}
+	k := w.shape()
+	return weibullDist{shape: k, scale: mean / math.Gamma(1+1/k), mean: mean}, nil
+}
+
+type weibullDist struct{ shape, scale, mean float64 }
+
+func (d weibullDist) Name() string  { return fmt.Sprintf("weibull(k=%g)", d.shape) }
+func (d weibullDist) Mean() float64 { return d.mean }
+
+func (d weibullDist) Sample(rng *overlay.RNG) float64 {
+	u := rng.Float64()
+	if u <= 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	return d.scale * math.Pow(-math.Log(u), 1/d.shape)
+}
+
+// Lognormal models multiplicative session dynamics: ln X ~ N(μ, σ²), with
+// μ derived from the mean as μ = ln(mean) − σ²/2. Larger σ means heavier
+// (though still light, sub-Pareto) tails at the same mean.
+type Lognormal struct {
+	// Sigma is the log-scale standard deviation (> 0).
+	// DefaultLognormalSigma when zero.
+	Sigma float64
+}
+
+// DefaultLognormalSigma is the σ selected by a zero Lognormal.Sigma.
+const DefaultLognormalSigma = 1
+
+func (l Lognormal) sigma() float64 {
+	if l.Sigma == 0 {
+		return DefaultLognormalSigma
+	}
+	return l.Sigma
+}
+
+// Name implements Family.
+func (l Lognormal) Name() string { return fmt.Sprintf("lognormal(s=%g)", l.sigma()) }
+
+// Validate rejects non-positive sigmas.
+func (l Lognormal) Validate() error {
+	s := l.sigma()
+	if math.IsNaN(s) || math.IsInf(s, 0) || s <= 0 {
+		return fmt.Errorf("lifetime: lognormal sigma %v must be positive", s)
+	}
+	return nil
+}
+
+// Dist implements Family.
+func (l Lognormal) Dist(mean float64) (Dist, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	if err := checkMean("lognormal", mean); err != nil {
+		return nil, err
+	}
+	s := l.sigma()
+	return lognormalDist{sigma: s, mu: math.Log(mean) - s*s/2, mean: mean}, nil
+}
+
+type lognormalDist struct{ sigma, mu, mean float64 }
+
+func (d lognormalDist) Name() string  { return fmt.Sprintf("lognormal(s=%g)", d.sigma) }
+func (d lognormalDist) Mean() float64 { return d.mean }
+
+func (d lognormalDist) Sample(rng *overlay.RNG) float64 {
+	return math.Exp(d.mu + d.sigma*rng.Normal())
+}

@@ -1,0 +1,188 @@
+package lifetime
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Factory builds a Family from the argument part of a Parse spec (the text
+// after the first ':', possibly empty). Factories must validate their
+// argument and return descriptive errors.
+type Factory func(arg string) (Family, error)
+
+// The lifetime registry mirrors the geometry/protocol/scenario registries:
+// a case-insensitive name-keyed table with registration-order listing, so
+// user families resolve everywhere the built-ins do (Parse, eventsim
+// scenario parameters, cmd/eventsim flags).
+var families = struct {
+	mu    sync.RWMutex
+	order []string
+	index map[string]Factory
+}{index: map[string]Factory{}}
+
+// Register adds a lifetime family factory under a canonical name plus
+// optional aliases. Names are case-insensitive; a taken or empty name is
+// an error.
+func Register(name string, f Factory, aliases ...string) error {
+	if f == nil {
+		return fmt.Errorf("lifetime: family %q has nil factory", name)
+	}
+	keys := make([]string, 0, 1+len(aliases))
+	for _, n := range append([]string{name}, aliases...) {
+		k := strings.ToLower(strings.TrimSpace(n))
+		if k == "" {
+			return fmt.Errorf("lifetime: empty family name")
+		}
+		keys = append(keys, k)
+	}
+	families.mu.Lock()
+	defer families.mu.Unlock()
+	for i, k := range keys {
+		if _, taken := families.index[k]; taken {
+			what := "name"
+			if i > 0 {
+				what = "alias"
+			}
+			return fmt.Errorf("lifetime: family %s %q already registered", what, k)
+		}
+		for _, prev := range keys[:i] {
+			if prev == k {
+				return fmt.Errorf("lifetime: family %q aliases itself", k)
+			}
+		}
+	}
+	for _, k := range keys {
+		families.index[k] = f
+	}
+	families.order = append(families.order, keys[0])
+	return nil
+}
+
+// Lookup resolves a family factory by name or alias.
+func Lookup(name string) (Factory, bool) {
+	families.mu.RLock()
+	defer families.mu.RUnlock()
+	f, ok := families.index[strings.ToLower(strings.TrimSpace(name))]
+	return f, ok
+}
+
+// Names returns the canonical family names in registration order (the
+// built-in five first, user registrations after).
+func Names() []string {
+	families.mu.RLock()
+	defer families.mu.RUnlock()
+	out := make([]string, len(families.order))
+	copy(out, families.order)
+	return out
+}
+
+func keys() []string {
+	families.mu.RLock()
+	defer families.mu.RUnlock()
+	out := make([]string, 0, len(families.index))
+	for k := range families.index {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Parse builds a lifetime family from its CLI spelling:
+//
+//	exp
+//	pareto[:alpha]        e.g. pareto:1.5   (alpha > 1; <= 1 has no mean)
+//	weibull[:shape]       e.g. weibull:0.5
+//	lognormal[:sigma]     e.g. lognormal:1
+//	trace:<file>          one duration per line, # comments
+//
+// The empty spec selects the exponential family (the memoryless default).
+// Shape arguments are parsed by the named family's registered factory, so
+// user-registered families get the same spelling.
+func Parse(spec string) (Family, error) {
+	name, arg, _ := strings.Cut(strings.TrimSpace(spec), ":")
+	if name == "" {
+		if arg != "" {
+			return nil, fmt.Errorf("lifetime: spec %q has an argument but no family name", spec)
+		}
+		name = "exp"
+	}
+	f, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("lifetime: unknown family %q (have %s)", name, strings.Join(keys(), ", "))
+	}
+	return f(arg)
+}
+
+// parseShape parses the optional single numeric argument of a parametric
+// family spec; empty selects the family default (zero value).
+func parseShape(family, arg string) (float64, error) {
+	if arg == "" {
+		return 0, nil
+	}
+	v, err := strconv.ParseFloat(arg, 64)
+	if err != nil {
+		return 0, fmt.Errorf("lifetime: %s argument %q: %v", family, arg, err)
+	}
+	return v, nil
+}
+
+func init() {
+	for _, reg := range []struct {
+		name    string
+		factory Factory
+		aliases []string
+	}{
+		{"exp", func(arg string) (Family, error) {
+			if arg != "" {
+				return nil, fmt.Errorf("lifetime: exp takes no argument (got %q); the mean is set by the scenario", arg)
+			}
+			return Exponential{}, nil
+		}, []string{"exponential"}},
+		{"pareto", func(arg string) (Family, error) {
+			a, err := parseShape("pareto", arg)
+			if err != nil {
+				return nil, err
+			}
+			p := Pareto{Alpha: a}
+			if err := p.Validate(); err != nil {
+				return nil, err
+			}
+			return p, nil
+		}, []string{"heavytail"}},
+		{"weibull", func(arg string) (Family, error) {
+			k, err := parseShape("weibull", arg)
+			if err != nil {
+				return nil, err
+			}
+			w := Weibull{Shape: k}
+			if err := w.Validate(); err != nil {
+				return nil, err
+			}
+			return w, nil
+		}, nil},
+		{"lognormal", func(arg string) (Family, error) {
+			s, err := parseShape("lognormal", arg)
+			if err != nil {
+				return nil, err
+			}
+			l := Lognormal{Sigma: s}
+			if err := l.Validate(); err != nil {
+				return nil, err
+			}
+			return l, nil
+		}, []string{"lognorm"}},
+		{"trace", func(arg string) (Family, error) {
+			if arg == "" {
+				return nil, fmt.Errorf("lifetime: trace requires a file path, e.g. trace:sessions.txt")
+			}
+			return LoadTrace(arg)
+		}, nil},
+	} {
+		if err := Register(reg.name, reg.factory, reg.aliases...); err != nil {
+			panic(err) // static names; unreachable
+		}
+	}
+}

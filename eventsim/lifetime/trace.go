@@ -1,0 +1,137 @@
+package lifetime
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"rcm/overlay"
+)
+
+// Trace replays durations measured from a real availability trace: the
+// family resamples uniformly from the recorded durations, rescaled so the
+// empirical mean equals the requested mean. That keeps trace replay on the
+// same equal-mean-online-time axis as the parametric families; to replay a
+// trace at its native time scale, request its own EmpiricalMean.
+type Trace struct {
+	// Source labels the trace (the file path for loaded traces).
+	Source string
+	// Durations are the recorded samples (all positive and finite).
+	Durations []float64
+
+	// mean caches EmpiricalMean and checked marks a passed Validate —
+	// both set by LoadTrace — so Dist stays O(1) per call however often a
+	// scenario re-pins the mean (the diurnal scenario does so per
+	// session). Literal-constructed Traces recompute on demand.
+	mean    float64
+	checked bool
+}
+
+// LoadTrace reads an availability trace file: one duration per line,
+// blank lines and #-comments ignored. Durations are in the engine's time
+// unit and must be positive and finite; an empty trace is an error.
+func LoadTrace(path string) (Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Trace{}, fmt.Errorf("lifetime: trace %q: %w", path, err)
+	}
+	defer f.Close()
+
+	tr := Trace{Source: filepath.ToSlash(path)}
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		v, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return Trace{}, fmt.Errorf("lifetime: trace %q line %d: %v", path, line, err)
+		}
+		if !(v > 0) || math.IsInf(v, 0) {
+			return Trace{}, fmt.Errorf("lifetime: trace %q line %d: duration %v must be positive and finite", path, line, v)
+		}
+		tr.Durations = append(tr.Durations, v)
+	}
+	if err := sc.Err(); err != nil {
+		return Trace{}, fmt.Errorf("lifetime: trace %q: %w", path, err)
+	}
+	if len(tr.Durations) == 0 {
+		return Trace{}, fmt.Errorf("lifetime: trace %q has no durations", path)
+	}
+	tr.mean = tr.EmpiricalMean()
+	tr.checked = true
+	return tr, nil
+}
+
+// EmpiricalMean returns the mean of the recorded durations (NaN for an
+// empty trace).
+func (t Trace) EmpiricalMean() float64 {
+	if t.mean != 0 {
+		return t.mean
+	}
+	if len(t.Durations) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, v := range t.Durations {
+		sum += v
+	}
+	return sum / float64(len(t.Durations))
+}
+
+// Name implements Family.
+func (t Trace) Name() string {
+	src := t.Source
+	if src == "" {
+		src = fmt.Sprintf("%d samples", len(t.Durations))
+	}
+	return "trace(" + src + ")"
+}
+
+// Validate rejects empty or degenerate traces.
+func (t Trace) Validate() error {
+	if t.checked {
+		return nil
+	}
+	if len(t.Durations) == 0 {
+		return fmt.Errorf("lifetime: trace %q has no durations", t.Source)
+	}
+	for i, v := range t.Durations {
+		if !(v > 0) || math.IsInf(v, 0) {
+			return fmt.Errorf("lifetime: trace %q sample %d: duration %v must be positive and finite", t.Source, i, v)
+		}
+	}
+	return nil
+}
+
+// Dist implements Family: uniform resampling of the recorded durations,
+// scaled by mean/EmpiricalMean.
+func (t Trace) Dist(mean float64) (Dist, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if err := checkMean("trace", mean); err != nil {
+		return nil, err
+	}
+	return traceDist{t: t, scale: mean / t.EmpiricalMean(), mean: mean}, nil
+}
+
+type traceDist struct {
+	t     Trace
+	scale float64
+	mean  float64
+}
+
+func (d traceDist) Name() string  { return d.t.Name() }
+func (d traceDist) Mean() float64 { return d.mean }
+
+func (d traceDist) Sample(rng *overlay.RNG) float64 {
+	return d.scale * d.t.Durations[rng.Intn(len(d.t.Durations))]
+}

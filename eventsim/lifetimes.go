@@ -1,0 +1,63 @@
+package eventsim
+
+import (
+	"fmt"
+
+	"rcm/eventsim/lifetime"
+)
+
+// Lifetime is a positive-duration session/downtime distribution — the
+// same type as rcm/eventsim/lifetime.Dist — re-exported for
+// Env.ChurnNodeDist callers and custom scenarios.
+type Lifetime = lifetime.Dist
+
+// LifetimeFamily is a lifetime shape with the mean left free (the same
+// type as rcm/eventsim/lifetime.Family). Register custom families with
+// lifetime.Register; they then resolve through ParseLifetime everywhere
+// the built-ins do (Params.Lifetime/Downtime, the cmd/eventsim -lifetime
+// and -downtime flags).
+type LifetimeFamily = lifetime.Family
+
+// ParseLifetime builds a lifetime family from its CLI spelling:
+//
+//	exp
+//	pareto[:alpha]        e.g. pareto:1.5   (alpha > 1; alpha <= 1 has an
+//	                      infinite mean and is rejected)
+//	weibull[:shape]       e.g. weibull:0.5
+//	lognormal[:sigma]     e.g. lognormal:1
+//	trace:<file>          availability trace replay, one duration per line
+//
+// It is rcm/eventsim/lifetime.Parse re-exported next to ParseTransport so
+// the two scenario-configuration vocabularies live side by side.
+func ParseLifetime(spec string) (LifetimeFamily, error) {
+	return lifetime.Parse(spec)
+}
+
+// lifetimeDists resolves the (Lifetime, Downtime) spec pair of a Params
+// against the (MeanOnline, MeanOffline) means — the shared constructor of
+// the lifetime-model scenarios. Empty specs select the given defaults.
+// Both the parsed families and the mean-pinned distributions are
+// returned: heavytail/tracechurn sample the distributions directly, the
+// diurnal scenario re-pins the families at modulated means per session.
+func lifetimeDists(p Params, defaultOn, defaultOff string) (onFam, offFam LifetimeFamily, on, off Lifetime, err error) {
+	onSpec, offSpec := p.Lifetime, p.Downtime
+	if onSpec == "" {
+		onSpec = defaultOn
+	}
+	if offSpec == "" {
+		offSpec = defaultOff
+	}
+	if onFam, err = ParseLifetime(onSpec); err != nil {
+		return nil, nil, nil, nil, fmt.Errorf("eventsim: Lifetime: %w", err)
+	}
+	if offFam, err = ParseLifetime(offSpec); err != nil {
+		return nil, nil, nil, nil, fmt.Errorf("eventsim: Downtime: %w", err)
+	}
+	if on, err = onFam.Dist(p.MeanOnline); err != nil {
+		return nil, nil, nil, nil, fmt.Errorf("eventsim: Lifetime at MeanOnline: %w", err)
+	}
+	if off, err = offFam.Dist(p.MeanOffline); err != nil {
+		return nil, nil, nil, nil, fmt.Errorf("eventsim: Downtime at MeanOffline: %w", err)
+	}
+	return onFam, offFam, on, off, nil
+}

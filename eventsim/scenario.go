@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 
+	"rcm/eventsim/lifetime"
 	"rcm/overlay"
 )
 
@@ -45,35 +46,61 @@ type Params struct {
 	CrowdStart, CrowdDuration, CrowdFactor float64
 	// Hot is the fraction of crowd-window lookups addressed to the hot key.
 	Hot float64
+
+	// Lifetime and Downtime select the session/downtime distribution
+	// families of the lifetime-model scenarios (heavytail, diurnal,
+	// tracechurn), as rcm/eventsim/lifetime Parse specs: "exp",
+	// "pareto[:alpha]", "weibull[:shape]", "lognormal[:sigma]",
+	// "trace:<file>". The scenario pins the family to MeanOnline /
+	// MeanOffline, so families compare at equal mean online time. Empty
+	// selects each scenario's documented default.
+	Lifetime, Downtime string
+	// DiurnalPeriod and DiurnalAmplitude shape the diurnal scenario:
+	// session means drawn at time t are modulated by
+	// 1 ± DiurnalAmplitude·sin(2πt/DiurnalPeriod) — online sessions
+	// lengthen at the daily peak exactly when offline stretches shorten.
+	// Defaults: period = half the duration, amplitude 0.6; the amplitude
+	// must stay in [0, 1).
+	DiurnalPeriod, DiurnalAmplitude float64
 }
 
+// withDefaults fills zero fields with the documented defaults. Only an
+// exact zero selects a default: negative and non-finite values are left
+// in place so Validate rejects them descriptively instead of a bad knob
+// silently becoming a default and producing a degenerate schedule.
 func (p Params) withDefaults(duration float64) Params {
-	if p.Rate <= 0 {
+	if p.Rate == 0 {
 		p.Rate = 500
 	}
-	if p.FailTime <= 0 {
+	if p.FailTime == 0 {
 		p.FailTime = 0.3 * duration
 	}
-	if p.Regions <= 0 {
+	if p.Regions == 0 {
 		p.Regions = 4
 	}
-	if p.MeanOnline <= 0 {
+	if p.MeanOnline == 0 {
 		p.MeanOnline = 1
 	}
-	if p.MeanOffline <= 0 {
+	if p.MeanOffline == 0 {
 		p.MeanOffline = 0.25
 	}
-	if p.CrowdStart <= 0 {
+	if p.CrowdStart == 0 {
 		p.CrowdStart = 0.3 * duration
 	}
-	if p.CrowdDuration <= 0 {
+	if p.CrowdDuration == 0 {
 		p.CrowdDuration = 0.2 * duration
 	}
-	if p.CrowdFactor <= 0 {
+	if p.CrowdFactor == 0 {
 		p.CrowdFactor = 10
 	}
-	if p.Hot <= 0 {
+	if p.Hot == 0 {
 		p.Hot = 0.8
+	}
+	if p.DiurnalPeriod == 0 {
+		p.DiurnalPeriod = 0.5 * duration
+	}
+	if p.DiurnalAmplitude == 0 {
+		p.DiurnalAmplitude = 0.6
 	}
 	return p
 }
@@ -103,6 +130,32 @@ func (p Params) Validate() error {
 	if p.Regions < 0 {
 		return fmt.Errorf("eventsim: Regions = %d must be >= 0", p.Regions)
 	}
+	if p.DiurnalPeriod < 0 || math.IsNaN(p.DiurnalPeriod) || math.IsInf(p.DiurnalPeriod, 0) {
+		return fmt.Errorf("eventsim: DiurnalPeriod = %v must be a finite value >= 0 (zero selects the default)", p.DiurnalPeriod)
+	}
+	if p.DiurnalAmplitude < 0 || p.DiurnalAmplitude >= 1 || math.IsNaN(p.DiurnalAmplitude) {
+		return fmt.Errorf("eventsim: DiurnalAmplitude = %v out of [0,1) — an amplitude of 1 or more drives session means to zero or negative", p.DiurnalAmplitude)
+	}
+	for _, f := range []struct {
+		name, spec string
+	}{{"Lifetime", p.Lifetime}, {"Downtime", p.Downtime}} {
+		if f.spec == "" {
+			continue
+		}
+		// Trace specs are checked for shape only: the scenario factory
+		// loads the file exactly once at construction, so parsing it here
+		// too would double the I/O and open a window for the file to
+		// change between validation and use.
+		if fam, arg, _ := strings.Cut(strings.ToLower(strings.TrimSpace(f.spec)), ":"); fam == "trace" {
+			if strings.TrimSpace(arg) == "" {
+				return fmt.Errorf("eventsim: %s: lifetime: trace requires a file path, e.g. trace:sessions.txt", f.name)
+			}
+			continue
+		}
+		if _, err := ParseLifetime(f.spec); err != nil {
+			return fmt.Errorf("eventsim: %s: %w", f.name, err)
+		}
+	}
 	return nil
 }
 
@@ -113,14 +166,48 @@ func (p Params) Validate() error {
 // Scenarios without failures (flashcrowd, zipf, unknown names) return 0.
 func (p Params) EffectiveOffline(scenario string, duration float64) float64 {
 	p = p.withDefaults(duration)
+	// Resolve aliases (fail, daily, pareto-churn, trace-replay, ...) to
+	// canonical names so every accepted spelling yields the same q_eff.
+	if canon, ok := CanonicalScenario(scenario); ok {
+		scenario = canon
+	}
 	switch strings.ToLower(strings.TrimSpace(scenario)) {
 	case "massfail", "correlated":
 		if p.FailTime > duration {
 			return 0
 		}
+		// For correlated this is the *requested* failure mass: the
+		// independently-placed regions can overlap, so the realized
+		// offline fraction is at most FailFraction (the expected union is
+		// 1-(1-FailFraction/Regions)^Regions). The comparison columns
+		// treat the requested mass as q_eff, matching how the scenario is
+		// parameterized.
 		return p.FailFraction
-	case "churn":
+	case "churn", "heavytail", "tracechurn":
+		// The long-run offline fraction of an on/off renewal process is
+		// E[off]/(E[on]+E[off]) for *any* session-time distribution with
+		// finite means (renewal-reward), so q_eff is shared by every
+		// lifetime family at equal means — which is exactly what makes the
+		// heavy-tail deviations the equilibrium conformance suite measures
+		// attributable to the lifetime shape, not to a different q_eff.
 		return p.MeanOffline / (p.MeanOnline + p.MeanOffline)
+	case "diurnal":
+		// The modulation does not average out: the instantaneous offline
+		// fraction q(t) = off(t)/(on(t)+off(t)) is nonlinear in the
+		// oppositely-modulated means, so by Jensen the period average
+		// exceeds the unmodulated ratio. Integrate q(t) over one period
+		// numerically — the quasi-static approximation, exact in the
+		// fast-churn limit where sessions are short against the period.
+		a := p.DiurnalAmplitude
+		const steps = 512
+		sum := 0.0
+		for i := 0; i < steps; i++ {
+			s := math.Sin(2 * math.Pi * float64(i) / steps)
+			on := p.MeanOnline * (1 + a*s)
+			off := p.MeanOffline * (1 - a*s)
+			sum += off / (on + off)
+		}
+		return sum / steps
 	default:
 		return 0
 	}
@@ -214,34 +301,89 @@ func (env *Env) JoinAt(t float64, node int) {
 // ChurnNode gives node an exponential on/off lifecycle over the whole run:
 // the initial state is drawn from the steady-state online fraction, and
 // alternating sessions are pre-scheduled until the duration is covered.
+// Because the exponential is memoryless, the resulting process is exactly
+// stationary — the equilibrium regime the paper's churn model assumes.
 func (env *Env) ChurnNode(node int, meanOnline, meanOffline float64) {
-	if !env.checkNode(node) {
-		return
-	}
 	if meanOnline <= 0 || meanOffline <= 0 {
 		env.fail(fmt.Errorf("churn means (%v, %v) must be positive", meanOnline, meanOffline))
 		return
 	}
-	online := env.rng.Bernoulli(meanOnline / (meanOnline + meanOffline))
-	if !online {
+	// The exponential Dist consumes exactly one rng.Exp per session, so
+	// delegating keeps the RNG stream — and therefore every existing churn
+	// run — bit-identical.
+	on, err := lifetime.Exponential{}.Dist(meanOnline)
+	if err != nil {
+		env.fail(err)
+		return
+	}
+	off, err := lifetime.Exponential{}.Dist(meanOffline)
+	if err != nil {
+		env.fail(err)
+		return
+	}
+	env.ChurnNodeDist(node, on, off)
+}
+
+// ChurnNodeDist is ChurnNode generalized over lifetime distributions: an
+// alternating renewal process whose online sessions and offline stretches
+// are drawn from arbitrary positive-duration distributions (see
+// rcm/eventsim/lifetime). The initial state is Bernoulli on the
+// steady-state online fraction E[on]/(E[on]+E[off]); the first interval is
+// drawn from the ordinary (not the equilibrium residual-life)
+// distribution, so heavy-tailed processes start *out* of equilibrium —
+// deliberately: the slow relaxation toward the renewal-reward steady state
+// is precisely the dynamics the static q_eff summary cannot see, and the
+// equilibrium conformance suite measures that gap.
+func (env *Env) ChurnNodeDist(node int, online, offline lifetime.Dist) {
+	if !env.checkNode(node) {
+		return
+	}
+	if online == nil || offline == nil {
+		env.fail(fmt.Errorf("churn lifetime distributions must be non-nil"))
+		return
+	}
+	mOn, mOff := online.Mean(), offline.Mean()
+	if !(mOn > 0) || !(mOff > 0) || math.IsInf(mOn, 0) || math.IsInf(mOff, 0) {
+		env.fail(fmt.Errorf("churn means (%v, %v) must be positive and finite", mOn, mOff))
+		return
+	}
+	on := env.rng.Bernoulli(mOn / (mOn + mOff))
+	if !on {
 		env.SetOffline(node)
 	}
+	env.churnSchedule(node, on, func(on bool, _ float64) (float64, string) {
+		if on {
+			return online.Sample(env.rng), online.Name()
+		}
+		return offline.Sample(env.rng), offline.Name()
+	})
+}
+
+// churnSchedule drives one node's alternating renewal lifecycle: draw is
+// called with the current state and the session's start time and returns
+// the next duration plus a label for errors. It is the shared guarded
+// loop under ChurnNodeDist and the diurnal scenario's time-modulated
+// variant — a non-positive or NaN duration (a misbehaving lifetime
+// implementation) fails the schedule descriptively instead of spinning
+// or silently truncating the node's lifecycle.
+func (env *Env) churnSchedule(node int, on bool, draw func(on bool, t float64) (float64, string)) {
 	t := 0.0
 	for t <= env.duration {
-		if online {
-			t += env.rng.Exp(meanOnline)
-			if t > env.duration {
-				break
-			}
+		d, name := draw(on, t)
+		if !(d > 0) || math.IsNaN(d) || math.IsInf(d, 0) {
+			env.fail(fmt.Errorf("lifetime %s sampled a non-positive duration %v for node %d", name, d, node))
+			return
+		}
+		t += d
+		if t > env.duration {
+			break
+		}
+		if on {
 			env.FailAt(t, node)
 		} else {
-			t += env.rng.Exp(meanOffline)
-			if t > env.duration {
-				break
-			}
 			env.JoinAt(t, node)
 		}
-		online = !online
+		on = !on
 	}
 }
 
@@ -275,8 +417,15 @@ func (env *Env) PoissonLookups(from, to, rate float64, targetOf func(rng *overla
 		} else {
 			dst = env.rng.Intn(env.nodes)
 		}
-		for dst == src {
-			dst = env.rng.Intn(env.nodes)
+		// Redraw a src==dst collision from the same target distribution,
+		// so skewed workloads stay skewed; fall back to uniform after a
+		// few tries in case targetOf is a point mass on src.
+		for tries := 0; dst == src; tries++ {
+			if targetOf != nil && tries < 16 {
+				dst = targetOf(env.rng)
+			} else {
+				dst = env.rng.Intn(env.nodes)
+			}
 		}
 		env.LookupAt(t, src, dst)
 	}
@@ -334,12 +483,19 @@ type Scenario interface {
 type ScenarioFactory func(p Params) (Scenario, error)
 
 // The scenario registry mirrors the geometry/protocol registries: a
-// case-insensitive name-keyed table with registration-order listing.
+// case-insensitive name-keyed table with registration-order listing. Each
+// key remembers its canonical name so aliases resolve everywhere,
+// including q_eff computation.
+type scenarioEntry struct {
+	canonical string
+	factory   ScenarioFactory
+}
+
 var scenarios = struct {
 	mu    sync.RWMutex
 	order []string
-	index map[string]ScenarioFactory
-}{index: map[string]ScenarioFactory{}}
+	index map[string]scenarioEntry
+}{index: map[string]scenarioEntry{}}
 
 // RegisterScenario adds a scenario factory under a canonical name plus
 // optional aliases. Names are case-insensitive; a taken or empty name is
@@ -373,7 +529,7 @@ func RegisterScenario(name string, f ScenarioFactory, aliases ...string) error {
 		}
 	}
 	for _, k := range keys {
-		scenarios.index[k] = f
+		scenarios.index[k] = scenarioEntry{canonical: keys[0], factory: f}
 	}
 	scenarios.order = append(scenarios.order, keys[0])
 	return nil
@@ -383,8 +539,17 @@ func RegisterScenario(name string, f ScenarioFactory, aliases ...string) error {
 func LookupScenario(name string) (ScenarioFactory, bool) {
 	scenarios.mu.RLock()
 	defer scenarios.mu.RUnlock()
-	f, ok := scenarios.index[strings.ToLower(strings.TrimSpace(name))]
-	return f, ok
+	e, ok := scenarios.index[strings.ToLower(strings.TrimSpace(name))]
+	return e.factory, ok
+}
+
+// CanonicalScenario resolves a scenario name or alias to its canonical
+// registered name (ok is false for unknown names).
+func CanonicalScenario(name string) (string, bool) {
+	scenarios.mu.RLock()
+	defer scenarios.mu.RUnlock()
+	e, ok := scenarios.index[strings.ToLower(strings.TrimSpace(name))]
+	return e.canonical, ok
 }
 
 // ScenarioNames returns the canonical scenario names in registration order

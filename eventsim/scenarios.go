@@ -1,6 +1,12 @@
 package eventsim
 
-import "rcm/overlay"
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"rcm/overlay"
+)
 
 // The built-in scenario library. Each scenario is an ordinary registrant
 // of the scenario registry — a user-defined Scenario registered through
@@ -17,6 +23,9 @@ func init() {
 		{"flashcrowd", func(p Params) (Scenario, error) { return flashcrowd{p}, nil }, []string{"crowd"}},
 		{"correlated", func(p Params) (Scenario, error) { return correlated{p}, nil }, []string{"regions"}},
 		{"zipf", func(p Params) (Scenario, error) { return zipf{p}, nil }, []string{"skewed"}},
+		{"heavytail", newHeavytail, []string{"pareto-churn"}},
+		{"diurnal", newDiurnal, []string{"daily"}},
+		{"tracechurn", newTracechurn, []string{"trace-replay"}},
 	} {
 		if err := RegisterScenario(reg.name, reg.factory, reg.aliases...); err != nil {
 			panic(err) // static names; unreachable
@@ -73,7 +82,13 @@ func (s flashcrowd) Name() string { return "flashcrowd" }
 
 func (s flashcrowd) Program(env *Env) error {
 	p := env.Params()
-	crowdEnd := p.CrowdStart + p.CrowdDuration
+	// Clamp the crowd window into the run, as massfail does for FailTime:
+	// a crowd that starts past the horizon degenerates to baseline load.
+	start := p.CrowdStart
+	if start > env.Duration() {
+		start = env.Duration()
+	}
+	crowdEnd := start + p.CrowdDuration
 	if crowdEnd > env.Duration() {
 		crowdEnd = env.Duration()
 	}
@@ -84,8 +99,8 @@ func (s flashcrowd) Program(env *Env) error {
 		}
 		return rng.Intn(env.Nodes())
 	}
-	env.PoissonLookups(0, p.CrowdStart, p.Rate, nil)
-	env.PoissonLookups(p.CrowdStart, crowdEnd, p.Rate*p.CrowdFactor, hotTargets)
+	env.PoissonLookups(0, start, p.Rate, nil)
+	env.PoissonLookups(start, crowdEnd, p.Rate*p.CrowdFactor, hotTargets)
 	env.PoissonLookups(crowdEnd, env.Duration(), p.Rate, nil)
 	return nil
 }
@@ -119,9 +134,130 @@ func (s correlated) Program(env *Env) error {
 	return nil
 }
 
+// heavytail is churn with the memoryless assumption removed: every node's
+// online sessions are drawn from a configurable lifetime family (default
+// Pareto α = 1.5) and its offline stretches from another (default
+// exponential), both pinned to the same MeanOnline/MeanOffline means as
+// the churn scenario — so q_eff is identical and any performance gap is
+// attributable purely to the lifetime *shape*. The equilibrium conformance
+// suite locks in the resulting finding: the static q_eff summary, exact
+// for exponential lifetimes, measurably misses for heavy tails.
+type heavytail struct {
+	p       Params
+	on, off Lifetime
+}
+
+func newHeavytail(p Params) (Scenario, error) {
+	_, _, on, off, err := lifetimeDists(p, "pareto", "exp")
+	if err != nil {
+		return nil, err
+	}
+	return heavytail{p: p, on: on, off: off}, nil
+}
+
+func (s heavytail) Name() string { return "heavytail" }
+
+func (s heavytail) Program(env *Env) error {
+	for node := 0; node < env.Nodes(); node++ {
+		env.ChurnNodeDist(node, s.on, s.off)
+	}
+	env.PoissonLookups(0, env.Duration(), env.Params().Rate, nil)
+	return nil
+}
+
+// diurnal models the daily population swing of a deployed DHT: sessions
+// come from the configured lifetime families (default exponential), but
+// the mean a session is drawn at is modulated by the time of "day" —
+// online means scale by 1 + A·sin(2πt/P) while offline means scale by
+// 1 − A·sin(2πt/P), so the online fraction oscillates around the
+// long-run q_eff with period DiurnalPeriod and amplitude set by
+// DiurnalAmplitude.
+type diurnal struct {
+	p         Params
+	onF, offF LifetimeFamily
+}
+
+func newDiurnal(p Params) (Scenario, error) {
+	// Parsing also pins the unmodulated means once, surfacing degenerate
+	// means now rather than mid-schedule.
+	onF, offF, _, _, err := lifetimeDists(p, "exp", "exp")
+	if err != nil {
+		return nil, err
+	}
+	return diurnal{p: p, onF: onF, offF: offF}, nil
+}
+
+func (s diurnal) Name() string { return "diurnal" }
+
+func (s diurnal) Program(env *Env) error {
+	p := env.Params()
+	period, amp := p.DiurnalPeriod, p.DiurnalAmplitude
+	day := func(t float64) float64 { return math.Sin(2 * math.Pi * t / period) }
+	rng := env.RNG()
+	for node := 0; node < env.Nodes(); node++ {
+		on := rng.Bernoulli(p.MeanOnline / (p.MeanOnline + p.MeanOffline))
+		if !on {
+			env.SetOffline(node)
+		}
+		// The shared guarded renewal loop, with the session mean
+		// re-modulated at each session's start time.
+		env.churnSchedule(node, on, func(on bool, t float64) (float64, string) {
+			mean := p.MeanOnline * (1 + amp*day(t))
+			fam := s.onF
+			if !on {
+				mean = p.MeanOffline * (1 - amp*day(t))
+				fam = s.offF
+			}
+			d, err := fam.Dist(mean)
+			if err != nil {
+				env.fail(err)
+				return 0, fam.Name()
+			}
+			return d.Sample(rng), d.Name()
+		})
+	}
+	env.PoissonLookups(0, env.Duration(), p.Rate, nil)
+	return nil
+}
+
+// tracechurn replays measured availability traces: sessions and downtimes
+// are resampled from trace files (rescaled to MeanOnline/MeanOffline, so
+// trace replay sits on the same equal-mean axis as the parametric
+// families — request the trace's own empirical mean to replay natively).
+// Params.Lifetime must name a trace or other explicit family; the
+// scenario refuses to default it, because "replay" with no trace is a
+// silent downgrade to synthetic churn.
+type tracechurn struct {
+	p       Params
+	on, off Lifetime
+}
+
+func newTracechurn(p Params) (Scenario, error) {
+	if strings.TrimSpace(p.Lifetime) == "" {
+		return nil, fmt.Errorf("eventsim: tracechurn requires Params.Lifetime (e.g. \"trace:sessions.txt\")")
+	}
+	_, _, on, off, err := lifetimeDists(p, p.Lifetime, "exp")
+	if err != nil {
+		return nil, err
+	}
+	return tracechurn{p: p, on: on, off: off}, nil
+}
+
+func (s tracechurn) Name() string { return "tracechurn" }
+
+func (s tracechurn) Program(env *Env) error {
+	for node := 0; node < env.Nodes(); node++ {
+		env.ChurnNodeDist(node, s.on, s.off)
+	}
+	env.PoissonLookups(0, env.Duration(), env.Params().Rate, nil)
+	return nil
+}
+
 // zipf keeps every node online and skews the lookup workload: targets are
 // drawn from a Zipf(ZipfS) rank distribution over a random permutation of
-// the identifier space (ZipfS = 0 is uniform — the lossless baseline).
+// the identifier space. A zero ZipfS selects the scenario default s = 1
+// (a zipf run should be skewed without extra flags); for the uniform
+// baseline use the massfail scenario with FailFraction 0.
 type zipf struct{ p Params }
 
 func (s zipf) Name() string { return "zipf" }

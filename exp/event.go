@@ -2,6 +2,7 @@ package exp
 
 import (
 	"fmt"
+	"strings"
 
 	"rcm/eventsim"
 )
@@ -38,6 +39,11 @@ type EventSetting struct {
 	Shards      int
 	Retransmits int
 	MaxHops     int
+	// Scheduler selects the engine's event-queue implementation ("wheel"
+	// or "heap"; empty selects the default timing wheels). Results are
+	// bit-identical across schedulers — the knob exists for benchmarking
+	// and differential testing.
+	Scheduler string
 }
 
 // config assembles the eventsim configuration for one cell. The transport
@@ -62,12 +68,13 @@ func (e EventSetting) config(protocol string, overlay Config, seed uint64) (even
 		StabilizeEvery: e.StabilizeEvery,
 		Retransmits:    e.Retransmits,
 		MaxHops:        e.MaxHops,
+		Scheduler:      e.Scheduler,
 	}, nil
 }
 
 // Validate rejects settings eventsim would refuse, without running
-// anything: unknown scenario, malformed transport, out-of-domain
-// parameters.
+// anything: unknown scenario, malformed transport or lifetime specs,
+// out-of-domain parameters, unknown scheduler.
 func (e EventSetting) Validate() error {
 	if _, ok := eventsim.LookupScenario(e.Scenario); !ok {
 		return fmt.Errorf("exp: event setting has unknown scenario %q", e.Scenario)
@@ -77,6 +84,11 @@ func (e EventSetting) Validate() error {
 	}
 	if err := e.Params.Validate(); err != nil {
 		return err
+	}
+	// Normalize the way eventsim's own defaulting does, so the two layers
+	// accept the same spellings.
+	if s := strings.ToLower(strings.TrimSpace(e.Scheduler)); s != "" && s != eventsim.SchedulerWheel && s != eventsim.SchedulerHeap {
+		return fmt.Errorf("exp: event setting has unknown scheduler %q (have %s, %s)", e.Scheduler, eventsim.SchedulerWheel, eventsim.SchedulerHeap)
 	}
 	return nil
 }

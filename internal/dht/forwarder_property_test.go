@@ -1,0 +1,249 @@
+package dht
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rcm/overlay"
+)
+
+// Property-based tests for the Forwarder capability of all five registry
+// protocols: candidate lists must be non-empty and acyclic, every
+// candidate must make strict progress under the protocol's ID-space
+// distance metric (so routes never move away from the target and retry
+// chains terminate), the first-alive-candidate walk must replay Route's
+// global-knowledge greedy walk exactly, and failure-free hop counts must
+// respect each protocol's analytic bound. Each property runs both under
+// testing/quick's randomized seeds and over a fixed-seed regression
+// corpus of (bits, seed) overlays, so a regression reproduces exactly.
+
+// forwarderCorpus is the fixed-seed regression corpus: overlay sizes and
+// construction seeds replayed deterministically on every test run.
+var forwarderCorpus = []struct {
+	bits int
+	seed uint64
+}{
+	{6, 1}, {7, 101}, {8, 3}, {9, 7}, {10, 11},
+}
+
+// forwarderProtocols enumerates the five built-ins by registry name.
+var forwarderProtocols = []string{"plaxton", "can", "kademlia", "chord", "symphony"}
+
+// routeMetric returns the protocol's ID-space distance to the target —
+// the quantity the Forwarder contract requires every candidate to
+// strictly decrease.
+func routeMetric(p Protocol) func(a, b overlay.ID) uint64 {
+	s := p.Space()
+	switch p.GeometryName() {
+	case "ring", "symphony":
+		return func(a, b overlay.ID) uint64 { return s.RingDist(a, b) }
+	case "xor":
+		return func(a, b overlay.ID) uint64 { return s.XORDist(a, b) }
+	case "hypercube":
+		return func(a, b overlay.ID) uint64 { return uint64(s.HammingDist(a, b)) }
+	case "tree":
+		// Leftmost-differing-bit depth: correcting digit i moves the
+		// first differing bit right, shrinking d+1-i monotonically.
+		return func(a, b overlay.ID) uint64 {
+			i := s.FirstDifferingBit(a, b)
+			if i == 0 {
+				return 0
+			}
+			return uint64(s.Bits() + 1 - i)
+		}
+	default:
+		return nil
+	}
+}
+
+func mustForwarder(t *testing.T, name string, bits int, seed uint64) (Protocol, Forwarder) {
+	t.Helper()
+	p, err := New(name, Config{Bits: bits, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwd, ok := p.(Forwarder)
+	if !ok {
+		t.Fatalf("%s does not implement Forwarder", name)
+	}
+	return p, fwd
+}
+
+// checkCandidates verifies the candidate-list invariants at one (x, dst)
+// pair: non-empty, no self, no duplicates (acyclic), strict progress.
+func checkCandidates(t *testing.T, name string, p Protocol, fwd Forwarder, x, dst overlay.ID) bool {
+	t.Helper()
+	metric := routeMetric(p)
+	cands := fwd.AppendCandidateHops(nil, x, dst)
+	if x == dst {
+		if len(cands) != 0 {
+			t.Errorf("%s: candidates at x==dst: %v", name, cands)
+			return false
+		}
+		return true
+	}
+	if len(cands) == 0 {
+		t.Errorf("%s: empty candidate list for x=%d dst=%d on a full population", name, x, dst)
+		return false
+	}
+	cur := metric(x, dst)
+	seen := map[overlay.ID]bool{}
+	for _, c := range cands {
+		if c == x {
+			t.Errorf("%s: candidate list for x=%d contains x itself", name, x)
+			return false
+		}
+		if seen[c] {
+			t.Errorf("%s: candidate list for x=%d dst=%d has duplicate %d", name, x, dst, c)
+			return false
+		}
+		seen[c] = true
+		if got := metric(c, dst); got >= cur {
+			t.Errorf("%s: candidate %d does not make strict progress: metric %d -> %d (x=%d dst=%d)",
+				name, c, cur, got, x, dst)
+			return false
+		}
+	}
+	return true
+}
+
+// TestForwarderCandidateInvariants runs the candidate-list invariants over
+// the fixed corpus plus randomized pairs per overlay.
+func TestForwarderCandidateInvariants(t *testing.T) {
+	for _, name := range forwarderProtocols {
+		for _, c := range forwarderCorpus {
+			p, fwd := mustForwarder(t, name, c.bits, c.seed)
+			size := p.Space().Size()
+			rng := overlay.NewRNG(c.seed ^ 0xF0F0)
+			for trial := 0; trial < 300; trial++ {
+				x := overlay.ID(rng.Uint64n(size))
+				dst := overlay.ID(rng.Uint64n(size))
+				if !checkCandidates(t, name, p, fwd, x, dst) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// firstAliveWalk replays the event engine's forwarding discipline with an
+// oracle alive set: at each hop take the first alive candidate; fail when
+// none is alive. Returns hops and success, plus whether the walk stayed
+// monotone and loop-free (it must, by the strict-progress invariant).
+func firstAliveWalk(p Protocol, fwd Forwarder, src, dst overlay.ID, alive *overlay.Bitset) (hops int, ok, sound bool) {
+	metric := routeMetric(p)
+	cur := src
+	last := metric(src, dst)
+	var buf []overlay.ID
+	for n := int(p.Space().Size()); hops <= n; hops++ {
+		if cur == dst {
+			return hops, true, true
+		}
+		buf = fwd.AppendCandidateHops(buf[:0], cur, dst)
+		next := overlay.ID(0)
+		found := false
+		for _, c := range buf {
+			if alive.Get(int(c)) {
+				next = c
+				found = true
+				break
+			}
+		}
+		if !found {
+			return hops, false, true
+		}
+		d := metric(next, dst)
+		if d >= last || next == cur {
+			return hops, false, false // moved away or looped: unsound
+		}
+		last = d
+		cur = next
+	}
+	return hops, false, false // exceeded population size: a loop
+}
+
+// TestFirstAliveWalkReplaysRoute is the Forwarder contract from the
+// registry documentation, enforced exhaustively: against any alive set,
+// hop-by-hop forwarding through the first alive candidate must reproduce
+// Route's global-knowledge greedy walk — same outcome, same hop count —
+// while never increasing the ID-space distance to the target.
+func TestFirstAliveWalkReplaysRoute(t *testing.T) {
+	for _, name := range forwarderProtocols {
+		// Randomized overlays and alive patterns (quick), plus the corpus.
+		p, fwd := mustForwarder(t, name, 9, 3)
+		size := p.Space().Size()
+		f := func(seed uint64, a, b uint16, qSel uint8) bool {
+			alive := overlay.NewBitset(int(size))
+			q := 0.1 + 0.8*float64(qSel)/255
+			alive.FillRandomAlive(1-q, overlay.NewRNG(seed))
+			src := overlay.ID(uint64(a) & (size - 1))
+			dst := overlay.ID(uint64(b) & (size - 1))
+			alive.Set(int(src))
+			alive.Set(int(dst))
+			wHops, wOK, sound := firstAliveWalk(p, fwd, src, dst, alive)
+			rHops, rOK := p.Route(src, dst, alive)
+			return sound && wOK == rOK && (!wOK || wHops == rHops)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		for _, c := range forwarderCorpus {
+			p, fwd := mustForwarder(t, name, c.bits, c.seed)
+			size := p.Space().Size()
+			alive := overlay.NewBitset(int(size))
+			alive.FillRandomAlive(0.7, overlay.NewRNG(c.seed*7919+1))
+			rng := overlay.NewRNG(c.seed ^ 0xBEEF)
+			for trial := 0; trial < 200; trial++ {
+				src := overlay.ID(rng.Uint64n(size))
+				dst := overlay.ID(rng.Uint64n(size))
+				alive.Set(int(src))
+				alive.Set(int(dst))
+				wHops, wOK, sound := firstAliveWalk(p, fwd, src, dst, alive)
+				rHops, rOK := p.Route(src, dst, alive)
+				if !sound {
+					t.Fatalf("%s bits=%d seed=%d: walk src=%d dst=%d increased distance or looped",
+						name, c.bits, c.seed, src, dst)
+				}
+				if wOK != rOK || (wOK && wHops != rHops) {
+					t.Fatalf("%s bits=%d seed=%d: walk (%d,%v) != Route (%d,%v) for src=%d dst=%d",
+						name, c.bits, c.seed, wHops, wOK, rHops, rOK, src, dst)
+				}
+			}
+		}
+	}
+}
+
+// TestHopCountsRespectAnalyticBound checks failure-free routes against
+// each protocol's analytic hop bound: on a full population, the four
+// deterministic-progress geometries resolve one identifier digit (or
+// halve the remaining ring distance) per hop, so hops never exceed
+// MaxDistance(d) = d; Symphony's probabilistic routing has no d bound,
+// but strict ring progress bounds its hops by the initial clockwise
+// distance (and therefore by N − 1).
+func TestHopCountsRespectAnalyticBound(t *testing.T) {
+	for _, name := range forwarderProtocols {
+		for _, c := range forwarderCorpus {
+			p, fwd := mustForwarder(t, name, c.bits, c.seed)
+			size := p.Space().Size()
+			alive := overlay.NewBitset(int(size))
+			alive.SetAll()
+			rng := overlay.NewRNG(c.seed ^ 0xD15C)
+			for trial := 0; trial < 200; trial++ {
+				src := overlay.ID(rng.Uint64n(size))
+				dst := overlay.ID(rng.Uint64n(size))
+				hops, ok, sound := firstAliveWalk(p, fwd, src, dst, alive)
+				if !ok || !sound {
+					t.Fatalf("%s bits=%d: failure-free route src=%d dst=%d failed", name, c.bits, src, dst)
+				}
+				bound := c.bits
+				if name == "symphony" {
+					bound = int(p.Space().RingDist(src, dst))
+				}
+				if hops > bound {
+					t.Fatalf("%s bits=%d: %d hops exceed the analytic bound %d (src=%d dst=%d)",
+						name, c.bits, hops, bound, src, dst)
+				}
+			}
+		}
+	}
+}

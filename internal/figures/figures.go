@@ -18,6 +18,8 @@
 //	E10 §1         percolation: connectivity vs routability
 //	E11 §1/§6      churn vs the static model
 //	E16 §1/§6      geometry × churn-repair cross-product (rcm/exp grid)
+//	E17 §1/§6      analytic vs static-sim vs message-level event simulation
+//	E18 §1/§6      lookup performance vs lifetime family at equal q_eff
 //
 // The grid-shaped experiments (E3–E6, E11, E16) construct declarative
 // experiment plans and delegate execution to the public streaming runner

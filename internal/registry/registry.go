@@ -13,6 +13,15 @@
 // geometry is indistinguishable from a built-in: it flows through the
 // analytic evaluators, the simulator factory, the experiment runner, the
 // CLIs and the figure generators by name.
+//
+// Protocols additionally expose optional *capabilities* — interfaces the
+// event layer (rcm/eventsim) discovers by type assertion: Forwarder
+// (per-hop candidate enumeration; required to run under eventsim) and
+// Maintainer (join/stabilize maintenance). Two sibling name-keyed
+// registries with the same registration rules live beside this one:
+// eventsim's scenario registry (RegisterScenario) and the lifetime
+// distribution registry (rcm/eventsim/lifetime.Register) that supplies
+// session/downtime models to the churn-family scenarios.
 package registry
 
 import (

@@ -89,6 +89,18 @@ func (r *RNG) Exp(mean float64) float64 {
 	return -mean * math.Log(1-u)
 }
 
+// Normal returns a standard normal variate via the Box–Muller transform.
+// Exactly two uniforms are consumed per call (the sine branch is
+// discarded), so the stream advance is fixed and runs stay reproducible.
+func (r *RNG) Normal() float64 {
+	u1 := r.Float64()
+	if u1 <= 0 {
+		u1 = math.SmallestNonzeroFloat64
+	}
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
 // Harmonic returns an integer distance in [1, max] drawn from the harmonic
 // distribution p(l) ∝ 1/l — the Symphony shortcut distribution (§3.5). It
 // uses the standard inverse-CDF construction l = exp(U · ln(max)).

@@ -181,3 +181,37 @@ func TestSplitIndependentStreams(t *testing.T) {
 		t.Errorf("split streams overlapped %d times", same)
 	}
 }
+
+// TestNormalMoments: the Box–Muller variate must have mean ≈ 0 and
+// variance ≈ 1, consume exactly two uniforms per call (fixed stream
+// advance), and stay finite at the log pole.
+func TestNormalMoments(t *testing.T) {
+	rng := NewRNG(17)
+	const draws = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < draws; i++ {
+		z := rng.Normal()
+		if math.IsNaN(z) || math.IsInf(z, 0) {
+			t.Fatalf("Normal() = %v", z)
+		}
+		sum += z
+		sumSq += z * z
+	}
+	mean := sum / draws
+	variance := sumSq/draws - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Errorf("mean %v, want ≈ 0", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Errorf("variance %v, want ≈ 1", variance)
+	}
+
+	// Fixed stream advance: one Normal == two Uint64 draws.
+	a, b := NewRNG(99), NewRNG(99)
+	a.Normal()
+	b.Uint64()
+	b.Uint64()
+	if a.Uint64() != b.Uint64() {
+		t.Error("Normal() does not advance the stream by exactly two draws")
+	}
+}

@@ -45,3 +45,13 @@ echo "== event engine (BENCH_eventsim.json) =="
 go test -bench 'BenchmarkEventSim' -benchmem -benchtime "$eventtime" -run '^$' ./eventsim | tee bench_eventsim.txt
 extract_json < bench_eventsim.txt > BENCH_eventsim.json
 cat BENCH_eventsim.json
+
+# Scheduler gate: the timing-wheel queue must be no slower than the
+# binary-heap reference measured in the same run (same machine, same
+# binary — immune to host-speed variation), plus an informational
+# benchstat-style diff against the committed baseline snapshot.
+echo "== scheduler gate: wheel vs heap (cmd/benchcmp) =="
+go run ./cmd/benchcmp -file BENCH_eventsim.json \
+  -base BenchmarkEventSimScheduler/heap -new BenchmarkEventSimScheduler/wheel \
+  -metric events_per_s -tolerance 0.10 \
+  -baseline bench/BENCH_eventsim.baseline.json
