@@ -1,7 +1,7 @@
 # Developer entry points; CI calls the same targets so local runs and the
 # pipeline cannot drift.
 
-.PHONY: build test race bench fmt vet
+.PHONY: build test race bench profile fmt vet
 
 build:
 	go build ./... && go build ./examples/...
@@ -16,6 +16,15 @@ race:
 # BENCH_eventsim.json (engine events/s, allocs/event) in one command.
 bench:
 	scripts/bench.sh
+
+# profile runs the event-engine benchmark workload through cmd/eventsim
+# with pprof enabled, so perf investigations start from cpu.prof/mem.prof
+# (go tool pprof cpu.prof) instead of guesses.
+profile:
+	go run ./cmd/eventsim -bits 12 -scenario massfail -fail 0.3 -fail-time 1 \
+	  -rate 20000 -duration 2 -maintain -mode event \
+	  -cpuprofile cpu.prof -memprofile mem.prof > /dev/null
+	@echo "wrote cpu.prof and mem.prof — inspect with: go tool pprof cpu.prof"
 
 fmt:
 	gofmt -l .

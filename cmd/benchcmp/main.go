@@ -6,10 +6,13 @@
 //   - Same-run gate (-base/-new): two benchmarks from the *same* artifact
 //     — e.g. BenchmarkEventSimScheduler/heap vs .../wheel — are compared
 //     on -metric, and the command exits non-zero when the new value falls
-//     more than -tolerance below the base. Because both numbers come from
-//     one process on one machine, the gate is immune to host-speed
-//     variation; this is how CI asserts the timing-wheel scheduler is no
-//     slower than the binary-heap reference.
+//     more than -tolerance below the base, or below an explicit required
+//     ratio given with -min-ratio (which may exceed 1: the shard-scaling
+//     gate demands Shards/4 beat Shards/1 by a configured factor on
+//     parallel hardware). Because both numbers come from one process on
+//     one machine, the gate is immune to host-speed variation; this is
+//     how CI asserts the timing-wheel scheduler is no slower than the
+//     binary-heap reference and that shards buy throughput.
 //
 //   - Baseline diff (-baseline): every benchmark shared with a committed
 //     baseline artifact is tabulated with its relative change —
@@ -102,6 +105,7 @@ func run(args []string, out io.Writer) error {
 		newName   = fs.String("new", "", "same-run gate: candidate benchmark name prefix")
 		metric    = fs.String("metric", "events_per_s", "metric to compare: ns_per_op|allocs_per_op|events_per_s|allocs_per_event")
 		tolerance = fs.Float64("tolerance", 0.05, "allowed relative shortfall of new vs base before failing")
+		minRatio  = fs.Float64("min-ratio", 0, "required goodness ratio of new vs base (overrides -tolerance when > 0); values above 1 demand a speedup, e.g. 1.3 gates a 1.3x scaling win")
 		baseline  = fs.String("baseline", "", "optional committed baseline artifact for an informational diff")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -177,13 +181,21 @@ func run(args []string, out io.Writer) error {
 			}
 			ratio = bv / nv
 		}
+		// The pass bar: a plain regression tolerance by default, or an
+		// explicit required ratio — which may exceed 1, turning the gate
+		// from "no slower than" into "at least this much faster than"
+		// (the shard-scaling gate).
+		need := 1 - *tolerance
+		if *minRatio > 0 {
+			need = *minRatio
+		}
 		fmt.Fprintf(out, "## same-run gate: %s on %s\n", *metric, *file)
 		fmt.Fprintf(out, "  base %-48s %14.4g\n", b.Name, bv)
 		fmt.Fprintf(out, "  new  %-48s %14.4g\n", n.Name, nv)
-		fmt.Fprintf(out, "  goodness ratio = %.3f (tolerance: >= %.3f)\n", ratio, 1-*tolerance)
-		if ratio < 1-*tolerance {
-			return fmt.Errorf("%s %s regressed: %.4g vs base %.4g (%.1f%% worse than tolerated)",
-				n.Name, *metric, nv, bv, 100*(1-ratio))
+		fmt.Fprintf(out, "  goodness ratio = %.3f (required: >= %.3f)\n", ratio, need)
+		if ratio < need {
+			return fmt.Errorf("%s %s below the gate: %.4g vs base %.4g (ratio %.3f < required %.3f)",
+				n.Name, *metric, nv, bv, ratio, need)
 		}
 	}
 	return nil

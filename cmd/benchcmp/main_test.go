@@ -48,8 +48,36 @@ func TestGateFailsOnRegression(t *testing.T) {
 		"-new", "BenchmarkEventSimScheduler/heap",
 		"-tolerance", "0.1",
 	}, &sb)
-	if err == nil || !strings.Contains(err.Error(), "regressed") {
+	if err == nil || !strings.Contains(err.Error(), "below the gate") {
 		t.Fatalf("err = %v, want regression failure", err)
+	}
+}
+
+// TestMinRatioGate: -min-ratio turns the gate into a required-speedup
+// check — the shard-scaling gate's mode. wheel/heap is a 1.2 ratio, so a
+// 1.1 bar passes and a 1.3 bar fails.
+func TestMinRatioGate(t *testing.T) {
+	file := writeArtifact(t, sample)
+	base := []string{
+		"-file", file,
+		"-base", "BenchmarkEventSimScheduler/heap",
+		"-new", "BenchmarkEventSimScheduler/wheel",
+		"-metric", "events_per_s",
+	}
+	var sb strings.Builder
+	if err := run(append(base, "-min-ratio", "1.1"), &sb); err != nil {
+		t.Fatalf("1.2 ratio failed a 1.1 bar: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "required: >= 1.100") {
+		t.Errorf("missing required-ratio line:\n%s", sb.String())
+	}
+	if err := run(append(base, "-min-ratio", "1.3"), &sb); err == nil || !strings.Contains(err.Error(), "ratio 1.200 < required 1.300") {
+		t.Fatalf("1.2 ratio passed a 1.3 bar: %v", err)
+	}
+	// -min-ratio overrides -tolerance: a permissive tolerance must not
+	// weaken an explicit bar.
+	if err := run(append(base, "-tolerance", "0.99", "-min-ratio", "1.3"), &sb); err == nil {
+		t.Fatal("min-ratio was weakened by tolerance")
 	}
 }
 
@@ -72,7 +100,7 @@ func TestCostMetricDirection(t *testing.T) {
 		"-file", file,
 		"-base", "BenchmarkEventSimScheduler/wheel", "-new", "BenchmarkEventSimScheduler/heap",
 		"-metric", "ns_per_op", "-tolerance", "0.1",
-	}, &sb); err == nil || !strings.Contains(err.Error(), "regressed") {
+	}, &sb); err == nil || !strings.Contains(err.Error(), "below the gate") {
 		t.Fatalf("slower candidate passed the cost gate: %v", err)
 	}
 }

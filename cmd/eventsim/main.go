@@ -16,6 +16,13 @@
 //	eventsim -protocol chord -scenario tracechurn -lifetime trace:sessions.txt
 //	eventsim -protocol chord -scenario flashcrowd -transport lossy:0.05:empirical
 //	eventsim -protocol symphony -scenario zipf -zipf 1.2 -format csv
+//
+// For performance work, -cpuprofile and -memprofile write pprof profiles
+// of the run (`make profile` wraps the benchmark workload), so
+// optimization PRs start from a profile instead of a guess:
+//
+//	eventsim -bits 12 -scenario massfail -rate 20000 -duration 2 \
+//	  -mode event -cpuprofile cpu.prof -memprofile mem.prof
 package main
 
 import (
@@ -24,6 +31,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"rcm/eventsim"
@@ -76,6 +85,9 @@ func run(args []string, out io.Writer) error {
 		ks        = fs.Int("ks", 1, "symphony shortcuts")
 		modeFlag  = fs.String("mode", "event+analytic", `measurements, "+"-joined: event|event+analytic|event+analytic+sim`)
 		format    = fs.String("format", "ascii", "output format: ascii|csv")
+
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with: go tool pprof)")
+		memprofile = fs.String("memprofile", "", "write a heap profile taken after the run to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -95,6 +107,39 @@ func run(args []string, out io.Writer) error {
 	}
 	if *ks < 1 {
 		return fmt.Errorf("-ks %d must be >= 1", *ks)
+	}
+
+	// Profiles bracket the whole measurement (overlay construction,
+	// scenario programming and the event loop), so a perf investigation
+	// starts from the same command it will optimize. The heap-profile
+	// defer is registered before CPU profiling starts: defers run LIFO,
+	// so the CPU profile stops *before* the forced GC and heap encoding —
+	// neither pollutes cpu.prof's tail.
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			// Collect garbage first so the profile shows live engine state,
+			// not transient epoch litter.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "eventsim: memprofile:", err)
+			}
+			f.Close()
+		}()
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	spec, err := exp.SpecFor(*protocol, exp.Config{SymphonyNear: *kn, SymphonyShortcuts: *ks})

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -92,6 +94,35 @@ func TestErrors(t *testing.T) {
 		if err := run(append(args, quick...), &sb); err == nil {
 			t.Errorf("%s: accepted", name)
 		}
+	}
+}
+
+// TestProfileFlags: -cpuprofile/-memprofile write non-empty pprof files
+// alongside a normal run.
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu, mem := filepath.Join(dir, "cpu.prof"), filepath.Join(dir, "mem.prof")
+	out := runCapture(t, append([]string{
+		"-scenario", "massfail", "-mode", "event",
+		"-cpuprofile", cpu, "-memprofile", mem,
+	}, quick...)...)
+	if !strings.Contains(out, "massfail scenario") {
+		t.Errorf("profiled run lost its output:\n%s", out)
+	}
+	for _, path := range []string{cpu, mem} {
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", path)
+		}
+	}
+	// An unwritable profile path must error instead of silently profiling
+	// nowhere.
+	var sb strings.Builder
+	if err := run(append([]string{"-cpuprofile", filepath.Join(dir, "no", "such", "dir.prof")}, quick...), &sb); err == nil {
+		t.Error("unwritable -cpuprofile accepted")
 	}
 }
 

@@ -2,7 +2,12 @@ package eventsim
 
 import (
 	"runtime"
+	"strconv"
+	"sync"
 	"testing"
+
+	"rcm/internal/dht"
+	"rcm/internal/registry"
 )
 
 // benchConfig is a representative mid-size run: 4096 nodes, a massive
@@ -58,15 +63,67 @@ func BenchmarkEventSim(b *testing.B) {
 	b.ReportAllocs()
 }
 
-// BenchmarkEventSimShards contrasts the inline single-wheel path with the
-// sharded parallel path on the same workload.
+// BenchmarkEventSimShards sweeps the shard count on the same workload:
+// /1 is the inline single-wheel path, the rest exercise the persistent
+// shard workers. The /4-vs-/1 events/s ratio is the scaling number
+// scripts/bench.sh gates on — on parallel hardware shards must buy
+// throughput; on a serial host they must at least not cost it.
 func BenchmarkEventSimShards(b *testing.B) {
-	for _, shards := range []int{1, 4} {
-		b.Run(map[int]string{1: "1", 4: "4"}[shards], func(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(strconv.Itoa(shards), func(b *testing.B) {
 			cfg := benchConfig(shards)
 			var events uint64
 			for i := 0; i < b.N; i++ {
 				res, err := Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				events += res.Events
+			}
+			if s := b.Elapsed().Seconds(); s > 0 {
+				b.ReportMetric(float64(events)/s, "events/s")
+			}
+		})
+	}
+}
+
+// largeOverlay lazily builds the 2^20-node chord overlay the macro
+// benchmark routes on, once per process: construction costs far more than
+// a run and the overlay is read-only under massfail without maintenance,
+// so every sub-benchmark shares it through RunOverlay.
+var largeOverlay struct {
+	once sync.Once
+	p    registry.Protocol
+	err  error
+}
+
+// BenchmarkEventSimLarge is the macro-benchmark: a million-node (2^20)
+// overlay under massive failure, swept across shard counts {1,2,4,8} so
+// the scaling curve at cache-hostile population sizes is a tracked
+// artifact alongside the mid-size numbers.
+func BenchmarkEventSimLarge(b *testing.B) {
+	largeOverlay.once.Do(func() {
+		largeOverlay.p, largeOverlay.err = dht.New("chord", dht.Config{Bits: 20, Seed: 1})
+	})
+	if largeOverlay.err != nil {
+		b.Fatal(largeOverlay.err)
+	}
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(strconv.Itoa(shards), func(b *testing.B) {
+			cfg := Config{
+				Protocol: "chord",
+				Overlay:  OverlayConfig{Bits: 20},
+				Scenario: "massfail",
+				Params:   Params{FailFraction: 0.3, FailTime: 0.5, Rate: 20000},
+				Duration: 1,
+				Buckets:  4,
+				Shards:   shards,
+				Seed:     1,
+			}
+			var events uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := RunOverlay(largeOverlay.p, cfg)
 				if err != nil {
 					b.Fatal(err)
 				}

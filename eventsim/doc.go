@@ -19,29 +19,61 @@
 //
 // # Engine design
 //
-// The engine is goroutine-free at the simulation level: no goroutine per
-// node or per message. The population is interleaved across a small
-// number of shards (node % Shards), each owning a slice-backed binary-heap
-// event queue, a deterministic splitmix64 RNG stream, its nodes' online
-// flags and routing-table rows, and per-bucket metric accumulators.
+// The engine is goroutine-frugal at the simulation level: no goroutine
+// per node or per message — one persistent worker per shard, and none at
+// all on serial hardware. The population is interleaved across a small
+// number of shards (node % Shards), each owning an event queue (a
+// hierarchical timing wheel by default; see Config.Scheduler), a
+// deterministic splitmix64 RNG stream, its nodes' online flags and
+// routing-table rows, a slice-backed free-list arena of in-flight forward
+// attempts, and per-bucket metric accumulators. Every mutable per-node or
+// per-attempt datum lives in its owner shard's own allocations rather
+// than in globally interleaved arrays, so two shards never write the same
+// cache line; the only shared mutable engine state — the alive-snapshot
+// bitset and the lookup table — is written exclusively between epochs.
+//
 // Virtual time advances in epochs of one "lookahead" — the transport's
-// minimum latency. Within an epoch each shard drains its local queue
-// single-threaded (shards run concurrently); at the epoch barrier,
-// cross-shard messages (which always carry at least one lookahead of
-// latency, so they can never arrive inside the epoch that sent them) are
-// merged into their destination heaps sorted by arrival time with ties in
-// source-shard order, and node lifecycle changes are folded into a global
-// alive-snapshot bitset. The snapshot is frozen during an epoch, which
-// makes the one view remote nodes have of the population (used by lookup
-// conditioning and maintenance) both deterministic and realistically
-// stale. Results are bit-identical for a fixed (Seed, Shards) pair
-// regardless of how the host schedules the shard goroutines.
+// minimum latency. Worker goroutines are spawned once per run and parked
+// on a channel barrier: each epoch the coordinator releases every worker
+// with the epoch boundary, the workers drain their local queues
+// concurrently, and the coordinator joins them before running the
+// barrier. (With one shard, or GOMAXPROCS=1, the shards are drained
+// inline in shard order instead — bit-identical by construction, since
+// shards touch disjoint mutable state within an epoch.) At the barrier,
+// node lifecycle changes are folded into the global alive-snapshot
+// bitset, and cross-shard messages (which always carry at least one
+// lookahead of latency, so they can never arrive inside the epoch that
+// sent them) are delivered by bulk-pushing each source shard's outbox, in
+// source-shard order, into the destination queue. No sorting happens at
+// the barrier: queue order is (arrival time, push sequence), so push
+// order only decides ties between equal-time events, and sequential
+// per-source delivery reproduces exactly the tie order — send order
+// within a source, source-shard order across sources — that a stable
+// sort by arrival time over the concatenated outboxes would have
+// produced, at none of its cost.
+//
+// The snapshot is frozen during an epoch, which makes the one view remote
+// nodes have of the population (used by lookup conditioning and
+// maintenance) both deterministic and realistically stale. A lookup's
+// schedule-time identity (endpoints, start time, accounting bucket) is
+// read-only for the whole run; its travelling state — the hop count —
+// rides inside the request messages, so ownership of a lookup passes from
+// shard to shard with the message and no per-lookup record is ever
+// written concurrently. Results are bit-identical for a fixed
+// (Seed, Shards) pair regardless of scheduler choice, GOMAXPROCS, and how
+// the host schedules the shard workers.
 //
 // Acknowledgements are modeled reliable (loss applies to requests), and
 // the retransmission timeout must exceed the worst-case round trip, so a
 // timeout never fires for a hop that actually succeeded: a lookup is
-// never duplicated in flight, and lookup state can pass from shard to
-// shard with the message, race-free by construction.
+// never duplicated in flight. Each forward attempt occupies an arena slot
+// addressed by the attempt id its request, acknowledgement and timeout
+// events carry; the slot is recycled when the attempt's timeout event
+// fires — every attempt schedules exactly one, and any acknowledgement
+// provably precedes it — so slot indices are safe to reuse without
+// generation tags and steady-state forwarding allocates nothing. The slot
+// also stashes the chosen next hop, so retransmissions to the same
+// candidate skip the Forwarder's candidate enumeration entirely.
 //
 // # Defining a custom Scenario
 //

@@ -2,8 +2,7 @@ package eventsim
 
 import (
 	"math"
-	"sort"
-	"sync"
+	"runtime"
 
 	"rcm/internal/registry"
 	"rcm/overlay"
@@ -21,50 +20,61 @@ const (
 	evStab                     // periodic stabilization timer at node
 )
 
-// ev is the uniform event record, used both in per-shard heaps and in
+// ev is the uniform event record, used both in per-shard queues and in
 // cross-shard delivery buffers. Field meaning by kind:
 //
 //	evStart:   node=src, lk=lookup
-//	evReq:     node=receiver, lk=lookup, a=attempt id, b=sender
+//	evReq:     node=receiver, lk=lookup, a=attempt id, b=sender, hops=count so far
 //	evAck:     node=sender, a=attempt id
 //	evTimeout: node=sender, lk=lookup, a=attempt id
 //	evDown/evUp/evStab: node
+//
+// The lookup's mutable progress (its hop count) rides in the event rather
+// than in a shared per-lookup record: ownership of a lookup passes from
+// shard to shard with the message, and keeping the travelling state inside
+// the message itself is what lets adjacent lookups owned by different
+// shards share cache lines without write contention. The hops field packs
+// into alignment padding, so the record stays 40 bytes.
 type ev struct {
 	t    float64
 	seq  uint64
 	kind uint8
+	hops uint16
 	node uint32
 	lk   uint32
 	a, b uint32
 }
 
-// Lookup lifecycle states.
-const (
-	lkScheduled uint8 = iota
-	lkPending
-	lkCompleted
-	lkFailed
-	lkSkipped
-)
-
-// lookup is the state of one scheduled lookup. Ownership passes with the
-// message: only the shard of the node currently holding the lookup touches
-// it, and ownership transfers ride the epoch barrier, so cross-shard
-// access is sequential.
-type lookup struct {
+// lookupMeta is the schedule-time identity of one lookup: endpoints, start
+// time and the accounting bucket. It is written once while the program is
+// pre-scheduled (single-threaded, before the clock starts) and read-only
+// for the whole run, so every shard can read it freely — read-shared cache
+// lines are never invalidated. The mutable part of a lookup is split off:
+// its hop count travels inside the evReq events (see ev), and its
+// started-at-most-once latch lives in the source shard's own bitset.
+type lookupMeta struct {
 	src, dst    uint32
 	startBucket int32
-	state       uint8
-	hops        uint16
 	start       float64
 }
 
-// pendingHop is a forward attempt awaiting acknowledgement at the sender.
+// pendingHop is an arena slot for a forward attempt awaiting
+// acknowledgement at the sender. next stashes the candidate chosen when
+// the attempt was first sent, so a retransmission to the same candidate
+// re-sends directly instead of re-running the Forwarder's candidate
+// enumeration. live distinguishes an outstanding attempt from one already
+// acknowledged: the slot itself is recycled only when the attempt's
+// timeout event fires (every attempt schedules exactly one, and the RTO
+// validation guarantees the ack, if any, arrives first), which is what
+// makes bare slot indices safe to carry in events with no generation tag.
 type pendingHop struct {
 	lk   uint32
 	node uint32 // forwarding node
+	next uint32 // chosen next hop, reused verbatim on retransmission
 	cand uint16 // candidate index being tried
+	hops uint16 // the lookup's hop count when this attempt was sent
 	try  uint8  // retransmission count for this candidate
+	live bool   // false once acknowledged; slot awaits its timeout event
 }
 
 // bucketAcc is a shard-local metrics accumulator for one time bucket.
@@ -75,9 +85,11 @@ type bucketAcc struct {
 }
 
 // shard owns an interleaved slice of the population (node % shards): its
-// nodes' online flags, routing-table rows, event queue, RNG and metric
-// accumulators. Within an epoch a shard runs single-threaded and
-// goroutine-free; shards only exchange messages at epoch barriers.
+// nodes' online flags, routing-table rows, event queue, RNG, pending
+// attempt arena and metric accumulators. Within an epoch a shard runs
+// single-threaded; shards only exchange messages at epoch barriers. Every
+// mutable field lives in the shard's own allocations (not interleaved
+// global arrays), so two shards never write the same cache line.
 type shard struct {
 	id  int
 	eng *engine
@@ -86,8 +98,24 @@ type shard struct {
 	seq uint64
 	rng *overlay.RNG
 
-	pending     map[uint32]pendingHop
-	nextAttempt uint32
+	// online is the authoritative per-node flag for this shard's nodes,
+	// indexed by global node id; only entries with node % shards == id are
+	// ever touched. Full-length per-shard arrays trade a little memory for
+	// division-free indexing and the absence of cross-shard write sharing
+	// the old interleaved global array suffered from.
+	online []bool
+
+	// started latches each own-source lookup's at-most-once start.
+	started *overlay.Bitset
+
+	// pending is the slice-backed arena of in-flight forward attempts,
+	// indexed by the attempt id carried in evReq/evAck/evTimeout events;
+	// freePd is its free-list. Slots recycle when their timeout fires, so
+	// the arena grows once to the peak in-flight count and steady-state
+	// attempts allocate nothing — the map this replaces hashed every
+	// ack and timeout on the hot path.
+	pending []pendingHop
+	freePd  []uint32
 
 	outbox  [][]ev  // cross-shard sends this epoch, indexed by dest shard
 	toggles []int32 // node lifecycle deltas this epoch: +node+1 up, -(node+1) down
@@ -95,6 +123,11 @@ type shard struct {
 	acc     []bucketAcc
 	candBuf []overlay.ID
 	events  uint64
+
+	// work releases the shard's persistent worker for one epoch (carrying
+	// the epoch boundary); the worker reports back on the engine's shared
+	// done channel. Nil when the engine runs shards inline.
+	work chan float64
 }
 
 // engine is one run's state. See doc.go for the synchronization design.
@@ -106,15 +139,15 @@ type engine struct {
 	n      int
 	shards []*shard
 
-	// online is the authoritative per-node flag, read and written only by
-	// the node's owner shard. snapshot is the epoch-stale global view
-	// (frozen during an epoch, advanced at barriers) that maintenance and
-	// lookup-start conditioning read.
-	online      []bool
+	// snapshot is the epoch-stale global alive view (frozen during an
+	// epoch, advanced at barriers) that maintenance and lookup-start
+	// conditioning read. The authoritative per-node flags live in the
+	// owner shards' online arrays.
 	snapshot    *overlay.Bitset
 	onlineCount int
 
-	lookups []lookup
+	// meta is the read-only lookup table; see lookupMeta.
+	meta []lookupMeta
 
 	width      float64 // bucket width
 	delta      float64 // epoch length = transport lookahead
@@ -159,6 +192,18 @@ func (sh *shard) send(e ev) {
 	sh.outbox[ds] = append(sh.outbox[ds], e)
 }
 
+// allocPending places an attempt in the arena and returns its id.
+func (sh *shard) allocPending(pd pendingHop) uint32 {
+	if n := len(sh.freePd); n > 0 {
+		id := sh.freePd[n-1]
+		sh.freePd = sh.freePd[:n-1]
+		sh.pending[id] = pd
+		return id
+	}
+	sh.pending = append(sh.pending, pd)
+	return uint32(len(sh.pending) - 1)
+}
+
 // sampleLatency draws a latency ignoring the delivery verdict — the path
 // acknowledgements take (modeled reliable; see doc.go).
 func (e *engine) sampleLatency(rng *overlay.RNG) float64 {
@@ -167,6 +212,19 @@ func (e *engine) sampleLatency(rng *overlay.RNG) float64 {
 		lat = e.delta
 	}
 	return lat
+}
+
+// worker is the body of a shard's persistent goroutine: woken once per
+// epoch with the epoch boundary, it drains the local queue and reports
+// completion. The channel pair is the engine's reusable barrier — the
+// send into work and the receive from done are the only synchronization
+// the hot loop pays, replacing a goroutine spawn and WaitGroup per shard
+// per epoch.
+func (sh *shard) worker(done chan<- struct{}) {
+	for end := range sh.work {
+		sh.runEpoch(end)
+		done <- struct{}{}
+	}
 }
 
 // runEpoch processes every local event with t < end.
@@ -183,7 +241,9 @@ func (sh *shard) runEpoch(end float64) {
 		case evReq:
 			sh.handleReq(e)
 		case evAck:
-			delete(sh.pending, e.a)
+			// Retire the attempt; the slot itself is reclaimed when the
+			// attempt's timeout event arrives.
+			sh.pending[e.a].live = false
 		case evTimeout:
 			sh.handleTimeout(e)
 		case evDown:
@@ -198,122 +258,128 @@ func (sh *shard) runEpoch(end float64) {
 
 func (sh *shard) handleStart(e ev) {
 	eng := sh.eng
-	l := &eng.lookups[e.lk]
-	if l.state != lkScheduled {
+	if sh.started.Get(int(e.lk)) {
 		return // defensive: a lookup starts at most once
 	}
+	sh.started.Set(int(e.lk))
+	m := &eng.meta[e.lk]
 	// Condition on surviving endpoints, as the static model does: the
 	// source authoritatively (it is local), the destination through the
 	// epoch snapshot (the freshest view any node could have of a remote).
-	if !eng.online[l.src] || !eng.snapshot.Get(int(l.dst)) {
-		l.state = lkSkipped
-		sh.acc[l.startBucket].skipped++
+	if !sh.online[m.src] || !eng.snapshot.Get(int(m.dst)) {
+		sh.acc[m.startBucket].skipped++
 		return
 	}
-	l.state = lkPending
-	sh.acc[l.startBucket].started++
-	sh.forward(e.t, e.lk, l.src)
+	sh.acc[m.startBucket].started++
+	sh.forward(e.t, e.lk, m.src, 0)
 }
 
 // forward advances the lookup held at cur: complete it, or try the first
 // next-hop candidate.
-func (sh *shard) forward(t float64, lk uint32, cur uint32) {
-	l := &sh.eng.lookups[lk]
-	if cur == l.dst {
-		l.state = lkCompleted
-		acc := &sh.acc[l.startBucket]
+func (sh *shard) forward(t float64, lk uint32, cur uint32, hops uint16) {
+	m := &sh.eng.meta[lk]
+	if cur == m.dst {
+		acc := &sh.acc[m.startBucket]
 		acc.completed++
-		acc.sumHops += float64(l.hops)
-		acc.sumLatency += t - l.start
+		acc.sumHops += float64(hops)
+		acc.sumLatency += t - m.start
 		return
 	}
-	sh.attempt(t, lk, cur, 0, 0)
+	sh.attempt(t, lk, cur, 0, hops)
 }
 
-// attempt tries candidate ci (retransmission try) of cur's next-hop
-// preference list: send the request, charge the message, and arm the
-// retransmission timeout. An exhausted candidate list fails the lookup —
-// greedy forwarding with per-hop retries but no backtracking, matching the
-// paper's assumption 3.
-func (sh *shard) attempt(t float64, lk uint32, cur uint32, ci, try int) {
+// attempt tries candidate ci of cur's next-hop preference list: enumerate
+// candidates, pick the ci-th, and dispatch. An exhausted candidate list
+// fails the lookup — greedy forwarding with per-hop retries but no
+// backtracking, matching the paper's assumption 3. Retransmissions to the
+// same candidate do not come through here: they reuse the stashed hop in
+// the pending slot (see handleTimeout) and skip the Forwarder entirely.
+func (sh *shard) attempt(t float64, lk uint32, cur uint32, ci int, hops uint16) {
 	eng := sh.eng
-	l := &eng.lookups[lk]
-	cands := eng.fwd.AppendCandidateHops(sh.candBuf[:0], overlay.ID(cur), overlay.ID(l.dst))
+	m := &eng.meta[lk]
+	cands := eng.fwd.AppendCandidateHops(sh.candBuf[:0], overlay.ID(cur), overlay.ID(m.dst))
 	sh.candBuf = cands[:0]
 	if ci >= len(cands) {
-		l.state = lkFailed
-		sh.acc[l.startBucket].failed++
+		sh.acc[m.startBucket].failed++
 		return
 	}
-	next := uint32(cands[ci])
+	sh.dispatch(t, lk, cur, uint32(cands[ci]), ci, 0, hops)
+}
+
+// dispatch sends the request for an already-chosen next hop: charge the
+// message, arm the retransmission timeout, and record the attempt in the
+// pending arena.
+func (sh *shard) dispatch(t float64, lk, cur, next uint32, ci, try int, hops uint16) {
+	eng := sh.eng
 	sh.acc[eng.bucketOf(t)].msgs++
 	lat, delivered := eng.cfg.Transport.Sample(sh.rng)
 	if lat < eng.delta {
 		lat = eng.delta
 	}
-	attempt := sh.nextAttempt
-	sh.nextAttempt++
-	sh.pending[attempt] = pendingHop{lk: lk, node: cur, cand: uint16(ci), try: uint8(try)}
+	id := sh.allocPending(pendingHop{
+		lk: lk, node: cur, next: next,
+		cand: uint16(ci), hops: hops, try: uint8(try), live: true,
+	})
 	if delivered {
-		sh.send(ev{t: t + lat, kind: evReq, node: next, lk: lk, a: attempt, b: cur})
+		sh.send(ev{t: t + lat, kind: evReq, node: next, lk: lk, a: id, b: cur, hops: hops})
 	}
-	sh.push(ev{t: t + eng.rto, kind: evTimeout, node: cur, lk: lk, a: attempt})
+	sh.push(ev{t: t + eng.rto, kind: evTimeout, node: cur, lk: lk, a: id})
 }
 
 func (sh *shard) handleReq(e ev) {
 	eng := sh.eng
 	y := e.node
-	if !eng.online[y] {
+	if !sh.online[y] {
 		return // dead receiver: the sender's timeout will fire
 	}
 	// Acknowledge (reliable, latency-only) so the sender retires the
-	// attempt, then keep forwarding — ownership of the lookup state has
-	// just transferred to this shard.
+	// attempt, then keep forwarding — ownership of the lookup has just
+	// transferred to this shard with the message.
 	sh.acc[eng.bucketOf(e.t)].msgs++
 	sh.send(ev{t: e.t + eng.sampleLatency(sh.rng), kind: evAck, node: e.b, a: e.a})
-	l := &eng.lookups[e.lk]
-	l.hops++
-	if int(l.hops) > eng.maxHops {
-		l.state = lkFailed
-		sh.acc[l.startBucket].failed++
+	hops := e.hops + 1
+	if int(hops) > eng.maxHops {
+		sh.acc[eng.meta[e.lk].startBucket].failed++
 		return
 	}
-	sh.forward(e.t, e.lk, y)
+	sh.forward(e.t, e.lk, y, hops)
 }
 
 func (sh *shard) handleTimeout(e ev) {
-	pd, ok := sh.pending[e.a]
-	if !ok {
+	pd := sh.pending[e.a]
+	// The timeout is the attempt's last reference: recycle the slot
+	// whether the attempt was acknowledged or is genuinely overdue.
+	sh.freePd = append(sh.freePd, e.a)
+	if !pd.live {
 		return // acknowledged in the meantime
 	}
-	delete(sh.pending, e.a)
 	eng := sh.eng
 	sh.acc[eng.bucketOf(e.t)].timeouts++
 	// A pending timeout means the downstream hop did not accept (requests
 	// that were acknowledged retire their attempt before the RTO). If the
 	// holder itself died while waiting, the lookup dies with it — a dead
 	// node must not keep retransmitting or routing.
-	if !eng.online[pd.node] {
-		l := &eng.lookups[pd.lk]
-		l.state = lkFailed
-		sh.acc[l.startBucket].failed++
+	if !sh.online[pd.node] {
+		sh.acc[eng.meta[pd.lk].startBucket].failed++
 		return
 	}
 	// Retransmit to the same candidate first (a lost request must not skip
-	// the best next hop); fail over to the next candidate once exhausted.
+	// the best next hop) — re-sending the stashed hop directly, with no
+	// second Forwarder call; fail over to the next candidate once
+	// exhausted.
 	if int(pd.try) < eng.cfg.Retransmits {
-		sh.attempt(e.t, pd.lk, pd.node, int(pd.cand), int(pd.try)+1)
+		sh.dispatch(e.t, pd.lk, pd.node, pd.next, int(pd.cand), int(pd.try)+1, pd.hops)
 		return
 	}
-	sh.attempt(e.t, pd.lk, pd.node, int(pd.cand)+1, 0)
+	sh.attempt(e.t, pd.lk, pd.node, int(pd.cand)+1, pd.hops)
 }
 
 func (sh *shard) handleToggle(t float64, node uint32, up bool) {
 	eng := sh.eng
-	if eng.online[node] == up {
+	if sh.online[node] == up {
 		return // idempotent: overlapping scenario schedules are legal
 	}
-	eng.online[node] = up
+	sh.online[node] = up
 	delta := int32(node) + 1
 	if !up {
 		delta = -delta
@@ -327,7 +393,7 @@ func (sh *shard) handleToggle(t float64, node uint32, up bool) {
 
 func (sh *shard) handleStab(e ev) {
 	eng := sh.eng
-	if eng.online[e.node] && eng.mnt != nil {
+	if sh.online[e.node] && eng.mnt != nil {
 		cost := eng.mnt.Stabilize(overlay.ID(e.node), eng.snapshot, sh.rng)
 		sh.acc[eng.bucketOf(e.t)].maint += cost
 	}
@@ -338,15 +404,35 @@ func (sh *shard) handleStab(e ev) {
 }
 
 // run executes the engine to completion: epochs of one lookahead each,
-// with a barrier between epochs that merges cross-shard messages (sorted
-// by arrival time, ties by source-shard order), applies lifecycle deltas
-// to the alive snapshot, and samples per-bucket online fractions. Shards
-// run concurrently within an epoch; with one shard everything is inline.
+// with a barrier between epochs that applies lifecycle deltas to the
+// alive snapshot, merges cross-shard messages into their destination
+// queues, and samples per-bucket online fractions. With more than one
+// shard and parallel hardware, each shard is drained by a persistent
+// worker goroutine released and joined through a channel barrier; on a
+// single shard, or when GOMAXPROCS is 1 and goroutines could only add
+// scheduling overhead, the shards run inline. The two execution paths are
+// bit-identical by construction — within an epoch shards touch disjoint
+// mutable state, so the order (or concurrency) of their draining cannot
+// be observed.
 func (e *engine) run() {
 	e.onlineFrac[0] = float64(e.onlineCount) / float64(e.n)
 	e.nextBucket = 1
 
-	var scratch []ev
+	parallel := len(e.shards) > 1 && runtime.GOMAXPROCS(0) > 1
+	var done chan struct{}
+	if parallel {
+		done = make(chan struct{}, len(e.shards))
+		for _, sh := range e.shards {
+			sh.work = make(chan float64, 1)
+			go sh.worker(done)
+		}
+		defer func() {
+			for _, sh := range e.shards {
+				close(sh.work)
+			}
+		}()
+	}
+
 	end := e.delta
 	for {
 		pendingWork := false
@@ -360,22 +446,21 @@ func (e *engine) run() {
 			break
 		}
 
-		if len(e.shards) == 1 {
-			e.shards[0].runEpoch(end)
-		} else {
-			var wg sync.WaitGroup
+		if parallel {
 			for _, sh := range e.shards {
-				wg.Add(1)
-				go func(sh *shard) {
-					defer wg.Done()
-					sh.runEpoch(end)
-				}(sh)
+				sh.work <- end
 			}
-			wg.Wait()
+			for range e.shards {
+				<-done
+			}
+		} else {
+			for _, sh := range e.shards {
+				sh.runEpoch(end)
+			}
 		}
 
 		// Barrier: lifecycle deltas first (so merged messages and the next
-		// epoch observe the post-toggle snapshot), then message merge.
+		// epoch observe the post-toggle snapshot), then message delivery.
 		for _, sh := range e.shards {
 			for _, d := range sh.toggles {
 				if d > 0 {
@@ -388,19 +473,30 @@ func (e *engine) run() {
 			}
 			sh.toggles = sh.toggles[:0]
 		}
+		// Deliver cross-shard messages: for each destination, bulk-push
+		// every source's outbox in source-shard order. No sort is needed
+		// for determinism — this is the load-bearing trick that emptied
+		// the old barrier's concatenate-and-stable-sort hot path:
+		//
+		// The queues' total order is (t, seq), with seq assigned at push.
+		// Events with different arrival times are ordered by t no matter
+		// which push order (and therefore which seq values) they got, so
+		// seq assignment only decides ties. Pushing source 0's outbox in
+		// send order, then source 1's, and so on gives equal-t events
+		// exactly the tie order the former stable sort produced: send
+		// order within a source, source-shard order across sources. Ties
+		// against events pushed in earlier or later epochs keep their
+		// order too, because the seq counter is monotonic across the whole
+		// run in both schemes. Identical (t, seq)-relative order means
+		// identical pop order, so results are bit-identical — enforced by
+		// the determinism and scheduler-differential suites.
 		for di, dst := range e.shards {
-			scratch = scratch[:0]
 			for _, src := range e.shards {
-				scratch = append(scratch, src.outbox[di]...)
-				src.outbox[di] = src.outbox[di][:0]
-			}
-			// Stable sort by arrival time: ties keep source-shard order,
-			// which is what makes merges deterministic. (Stable, not an
-			// insertion sort: the buffer is a concatenation of per-source
-			// runs and can be large under heavy cross-shard traffic.)
-			sort.SliceStable(scratch, func(i, j int) bool { return scratch[i].t < scratch[j].t })
-			for _, m := range scratch {
-				dst.push(m)
+				ob := src.outbox[di]
+				for _, m := range ob {
+					dst.push(m)
+				}
+				src.outbox[di] = ob[:0]
 			}
 		}
 
@@ -411,7 +507,7 @@ func (e *engine) run() {
 			e.nextBucket++
 		}
 
-		// Advance; skip idle stretches (all heap tops far in the future)
+		// Advance; skip idle stretches (all queue tops far in the future)
 		// in one hop while staying on lookahead-aligned boundaries.
 		minTop := math.Inf(1)
 		for _, sh := range e.shards {

@@ -333,9 +333,8 @@ func RunOverlay(p registry.Protocol, cfg Config) (*Result, error) {
 		cfg:        cfg,
 		fwd:        fwd,
 		n:          n,
-		online:     make([]bool, n),
 		snapshot:   overlay.NewBitset(n),
-		lookups:    make([]lookup, len(env.lookups)),
+		meta:       make([]lookupMeta, len(env.lookups)),
 		width:      cfg.Duration / float64(cfg.Buckets),
 		delta:      cfg.Transport.MinLatency(),
 		rto:        cfg.RTO,
@@ -360,16 +359,18 @@ func RunOverlay(p registry.Protocol, cfg Config) (*Result, error) {
 			eng:     e,
 			q:       q,
 			rng:     root.Split(),
-			pending: make(map[uint32]pendingHop),
+			online:  make([]bool, n),
+			started: overlay.NewBitset(len(env.lookups)),
 			outbox:  make([][]ev, shards),
 			acc:     make([]bucketAcc, cfg.Buckets),
 		}
 	}
 
-	// Initial population state.
+	// Initial population state: each owner shard's online array plus the
+	// shared snapshot.
 	for i := 0; i < n; i++ {
 		if !env.initialOffline[i] {
-			e.online[i] = true
+			e.shards[i%shards].online[i] = true
 			e.snapshot.Set(i)
 			e.onlineCount++
 		}
@@ -379,7 +380,7 @@ func RunOverlay(p registry.Protocol, cfg Config) (*Result, error) {
 	// workload, then lifecycle toggles, then stabilization timers.
 	for li, sl := range env.lookups {
 		lk := uint32(li)
-		e.lookups[li] = lookup{src: sl.src, dst: sl.dst, start: sl.t, startBucket: e.bucketOf(sl.t)}
+		e.meta[li] = lookupMeta{src: sl.src, dst: sl.dst, start: sl.t, startBucket: e.bucketOf(sl.t)}
 		sh := e.shards[e.shardOf(sl.src)]
 		sh.push(ev{t: sl.t, kind: evStart, node: sl.src, lk: lk})
 	}

@@ -1,0 +1,73 @@
+package eventsim
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// TestDeterministicAcrossGOMAXPROCS locks the persistent-worker engine's
+// execution-strategy independence: for a fixed (Seed, Shards) pair the
+// result must be byte-identical whether the shards are drained inline
+// (GOMAXPROCS=1 — the engine detects serial hardware and skips the worker
+// goroutines entirely) or by persistent workers racing on however many
+// cores the host offers. The scenario turns on every contention-prone
+// subsystem at once — churn lifecycles, maintenance (concurrent
+// routing-table reads and owner-row writes), a lossy empirical transport
+// (retransmissions, arena recycling) — and CI runs this under -race, so
+// the test is simultaneously the bit-identity and the data-race check for
+// the worker/barrier architecture.
+func TestDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	cfg := Config{
+		Protocol:       "chord",
+		Overlay:        OverlayConfig{Bits: 8},
+		Scenario:       "churn",
+		Params:         Params{MeanOnline: 1, MeanOffline: 0.25, Rate: 1500},
+		Transport:      Lossy{Rate: 0.05, Inner: Empirical{Median: 0.06}},
+		Duration:       4,
+		Shards:         4,
+		Seed:           21,
+		Maintain:       true,
+		StabilizeEvery: 0.5,
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	procs := []int{1, 2, runtime.NumCPU()}
+	results := make([]*Result, len(procs))
+	for i, p := range procs {
+		runtime.GOMAXPROCS(p)
+		results[i] = mustRun(t, cfg)
+	}
+	runtime.GOMAXPROCS(prev)
+	for i := 1; i < len(procs); i++ {
+		if !reflect.DeepEqual(results[0], results[i]) {
+			t.Errorf("GOMAXPROCS %d vs %d diverged:\n%+v\nvs\n%+v",
+				procs[0], procs[i], results[0], results[i])
+		}
+	}
+}
+
+// TestInlineMatchesWorkers pins the single-shard inline path against the
+// multi-shard worker path on the qualitative contract (the quantitative
+// per-shard-count results legitimately differ — the shard count is part
+// of the sampling plan): a lossless churn-free run completes every lookup
+// at Shards=1 and Shards=4 alike, under whatever parallelism the host
+// gives the workers.
+func TestInlineMatchesWorkers(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		res := mustRun(t, Config{
+			Protocol: "chord",
+			Overlay:  OverlayConfig{Bits: 8},
+			Scenario: "massfail",
+			Params:   Params{FailFraction: 0, Rate: 600},
+			Duration: 3,
+			Shards:   shards,
+			Seed:     5,
+		})
+		total := res.Totals()
+		if total.Started == 0 || total.Completed != total.Started {
+			t.Errorf("shards=%d: %d/%d lookups completed, want all", shards, total.Completed, total.Started)
+		}
+	}
+}

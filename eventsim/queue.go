@@ -5,6 +5,9 @@ package eventsim
 // bit-identical across them — is total (t, seq) order: popBefore emits
 // pending events in exactly the order evLess defines, stopping at the
 // epoch boundary. Sequence numbers are assigned by the shard before push.
+// Implementations must not let push *order* leak into pop order: the
+// epoch barrier bulk-pushes merged cross-shard batches in unsorted
+// arrival-time order and relies on (t, seq) alone to linearize them.
 //
 // Two implementations exist: the hierarchical timing wheel (Config
 // Scheduler "wheel", the default — O(1) schedule for the timer-dominated

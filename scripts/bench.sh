@@ -42,7 +42,14 @@ extract_json < bench_exp.txt > BENCH_exp.json
 cat BENCH_exp.json
 
 echo "== event engine (BENCH_eventsim.json) =="
-go test -bench 'BenchmarkEventSim' -benchmem -benchtime "$eventtime" -run '^$' ./eventsim | tee bench_eventsim.txt
+# Two invocations share one artifact: the mid-size benchmarks (including
+# the {1,2,4,8} shard sweep) at the configured benchtime, and the 2^20-node
+# macro-benchmark shard sweep at 2x — one million-node run per shard count
+# is plenty, and the shared prebuilt overlay amortizes construction.
+go test -bench 'BenchmarkEventSim$|BenchmarkEventSimShards|BenchmarkEventSimScheduler' \
+  -benchmem -benchtime "$eventtime" -run '^$' ./eventsim | tee bench_eventsim.txt
+go test -bench 'BenchmarkEventSimLarge' \
+  -benchmem -benchtime 2x -run '^$' ./eventsim | tee -a bench_eventsim.txt
 extract_json < bench_eventsim.txt > BENCH_eventsim.json
 cat BENCH_eventsim.json
 
@@ -55,3 +62,29 @@ go run ./cmd/benchcmp -file BENCH_eventsim.json \
   -base BenchmarkEventSimScheduler/heap -new BenchmarkEventSimScheduler/wheel \
   -metric events_per_s -tolerance 0.10 \
   -baseline bench/BENCH_eventsim.baseline.json
+
+# Shard-scaling gate: four shards must beat one shard's events/s by a
+# factor that depends on what the host can physically deliver — parallel
+# speedup needs parallel hardware. On >= 4 cores the persistent-worker
+# engine owes a real scaling win (1.3x); on 2-3 cores a modest one; on a
+# serial host no speedup is possible, so the gate instead pins the
+# sharding tax near zero (the pre-rework engine was ~20% *slower* at 4
+# shards even serially). The 1.30 multi-core bar is the scaling target,
+# set from the serial measurements (1.06x on ONE core with the barrier
+# reduced to 2xShards channel ops per epoch); if a particular runner's
+# first multi-core run lands under it, recalibrate with one line here or
+# override ad hoc with SHARD_GATE_FACTOR.
+cores="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
+if [ -n "${SHARD_GATE_FACTOR:-}" ]; then
+  factor="$SHARD_GATE_FACTOR"
+elif [ "$cores" -ge 4 ]; then
+  factor=1.30
+elif [ "$cores" -ge 2 ]; then
+  factor=1.05
+else
+  factor=0.95
+fi
+echo "== shard-scaling gate: Shards/4 vs Shards/1, factor $factor on $cores core(s) (cmd/benchcmp) =="
+go run ./cmd/benchcmp -file BENCH_eventsim.json \
+  -base BenchmarkEventSimShards/1 -new BenchmarkEventSimShards/4 \
+  -metric events_per_s -min-ratio "$factor"
