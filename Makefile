@@ -1,7 +1,7 @@
 # Developer entry points; CI calls the same targets so local runs and the
 # pipeline cannot drift.
 
-.PHONY: build test race bench profile fmt vet
+.PHONY: build test race bench profile fmt vet cluster-smoke
 
 build:
 	go build ./... && go build ./examples/...
@@ -25,6 +25,14 @@ profile:
 	  -rate 20000 -duration 2 -maintain -mode event \
 	  -cpuprofile cpu.prof -memprofile mem.prof > /dev/null
 	@echo "wrote cpu.prof and mem.prof — inspect with: go tool pprof cpu.prof"
+
+# cluster-smoke boots a live in-process 64-node DHT cluster and replays
+# an eventsim massfail schedule against it — the quick end-to-end check
+# that the live-node layer (wire protocol, RTO failover, kill/restart)
+# still routes. The test carries its own wall-clock budget; -timeout is
+# the outer backstop.
+cluster-smoke:
+	go test -run TestClusterSmoke -count=1 -timeout 120s -v ./node/cluster/
 
 fmt:
 	gofmt -l .

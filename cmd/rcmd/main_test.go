@@ -1,0 +1,168 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"rcm"
+	"rcm/node"
+	"rcm/overlay"
+)
+
+// TestClusterInteractive scripts the in-process cluster mode through its
+// stdin grammar: put, get through failover, kill, restart, status, quit.
+func TestClusterInteractive(t *testing.T) {
+	in := strings.NewReader(strings.Join([]string{
+		"put color green",
+		"get color",
+		"kill 3",
+		"status",
+		"get color",
+		"restart 3",
+		"lookup 7",
+		"bogus",
+		"quit",
+	}, "\n"))
+	var out strings.Builder
+	err := run([]string{"-cluster", "16", "-protocol", "chord", "-rto", "20ms"}, in, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	text := out.String()
+	for _, want := range []string{
+		"16-node in-process chord cluster up",
+		`color = "green"`,
+		"node 3 killed",
+		"16 nodes, 1 down",
+		"node 3 restarted",
+		"lookup 7: ok",
+		`unknown command "bogus"`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestClusterRejectsNonPowerOfTwo: the population flag is validated.
+func TestClusterRejectsNonPowerOfTwo(t *testing.T) {
+	err := run([]string{"-cluster", "12"}, strings.NewReader(""), &strings.Builder{})
+	if err == nil || !strings.Contains(err.Error(), "power of two") {
+		t.Errorf("cluster 12: %v", err)
+	}
+}
+
+// TestClientAgainstLiveNodes boots a small UDP deployment through the
+// node API (standing in for rcmd daemons) and drives the client mode's
+// full op set against it.
+func TestClientAgainstLiveNodes(t *testing.T) {
+	const bits = 3
+	proto, err := rcm.NewProtocol("chord", rcm.Config{Bits: bits, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int(proto.Space().Size())
+	addrs := make([]string, n)
+	nodes := make([]*node.Node, n)
+	transports := make([]node.Transport, n)
+	for i := range nodes {
+		tr, err := node.ListenUDP("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		transports[i] = tr
+		addrs[i] = tr.Addr()
+	}
+	for i := range nodes {
+		nd, err := node.New(node.Config{
+			Protocol:  proto,
+			ID:        overlay.ID(i),
+			Transport: transports[i],
+			AddrOf:    func(id overlay.ID) string { return addrs[id] },
+			RTO:       20 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = nd
+		nd.Start()
+		defer nd.Close()
+	}
+
+	base := []string{"-protocol", "chord", "-bits", fmt.Sprint(bits), "-connect", addrs[2], "-rto", "20ms"}
+	var out strings.Builder
+	if err := run(append(base, "-op", "put", "-key", "k", "-value", "v"), nil, &out); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	if err := run(append(base, "-op", "get", "-key", "k"), nil, &out); err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	if err := run(append(base, "-op", "lookup", "-key", "5"), nil, &out); err != nil {
+		t.Fatalf("lookup: %v", err)
+	}
+	text := out.String()
+	for _, want := range []string{"put k: ok", `k = "v"`, "lookup 5: ok"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+	if err := run(append(base, "-op", "frob", "-key", "k"), nil, &out); err == nil || !strings.Contains(err.Error(), "unknown -op") {
+		t.Errorf("frob: %v", err)
+	}
+	if err := run(append(base, "-op", "lookup", "-key", "pear"), nil, &out); err == nil || !strings.Contains(err.Error(), "numeric identifier") {
+		t.Errorf("lookup pear: %v", err)
+	}
+}
+
+// TestLoadPeers pins the peers-file grammar: comments, blank lines,
+// malformed rows, out-of-range ids.
+func TestLoadPeers(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	good := write("good.txt", "# deployment map\n0 127.0.0.1:4000\n\n1 127.0.0.1:4001\n")
+	addrs, err := loadPeers(good, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addrs[0] != "127.0.0.1:4000" || addrs[1] != "127.0.0.1:4001" || addrs[2] != "" {
+		t.Errorf("addrs = %q", addrs)
+	}
+	for name, content := range map[string]string{
+		"range.txt": "9 127.0.0.1:4009",
+		"row.txt":   "0 127.0.0.1:4000 extra",
+	} {
+		if _, err := loadPeers(write(name, content), 4); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	if _, err := loadPeers(filepath.Join(dir, "absent.txt"), 4); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+// TestModeValidation: flag combinations that select no mode, or a
+// client op without its key, are refused with guidance.
+func TestModeValidation(t *testing.T) {
+	if err := run(nil, strings.NewReader(""), &strings.Builder{}); err == nil || !strings.Contains(err.Error(), "pick a mode") {
+		t.Errorf("no mode: %v", err)
+	}
+	if err := run([]string{"-op", "get", "-connect", "x"}, nil, &strings.Builder{}); err == nil || !strings.Contains(err.Error(), "needs -key") {
+		t.Errorf("missing key: %v", err)
+	}
+	if err := run([]string{"-op", "get", "-key", "k"}, nil, &strings.Builder{}); err == nil || !strings.Contains(err.Error(), "needs -connect") {
+		t.Errorf("missing connect: %v", err)
+	}
+	if err := run([]string{"-listen", "127.0.0.1:0"}, nil, &strings.Builder{}); err == nil || !strings.Contains(err.Error(), "needs -peers") {
+		t.Errorf("missing peers: %v", err)
+	}
+}

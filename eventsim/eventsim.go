@@ -269,6 +269,40 @@ func (r *Result) WindowSuccess(from, to float64) float64 {
 	return float64(completed) / float64(started)
 }
 
+// programScenario resolves and programs the configured scenario for a
+// population of n nodes, reproducing the exact deterministic RNG stream Run
+// executes: the root stream is seeded cfg.Seed ^ "EVENT" and the scenario
+// consumes the first Split. The returned root has the scenario's split
+// already consumed, so RunOverlay's subsequent per-shard splits see the
+// same stream whether or not a schedule was built separately. cfg must
+// already have defaults applied.
+func programScenario(cfg Config, n int) (*Env, Scenario, *overlay.RNG, error) {
+	factory, ok := LookupScenario(cfg.Scenario)
+	if !ok {
+		return nil, nil, nil, fmt.Errorf("eventsim: unknown scenario %q", cfg.Scenario)
+	}
+	scen, err := factory(cfg.Params)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("eventsim: scenario %q: %w", cfg.Scenario, err)
+	}
+
+	root := overlay.NewRNG(cfg.Seed ^ 0x4556454e54) // "EVENT"
+	env := &Env{
+		nodes:          n,
+		duration:       cfg.Duration,
+		params:         cfg.Params,
+		rng:            root.Split(),
+		initialOffline: make([]bool, n),
+	}
+	if err := scen.Program(env); err != nil {
+		return nil, nil, nil, fmt.Errorf("eventsim: scenario %q: %w", cfg.Scenario, err)
+	}
+	if env.err != nil {
+		return nil, nil, nil, fmt.Errorf("eventsim: scenario %q: %w", cfg.Scenario, env.err)
+	}
+	return env, scen, root, nil
+}
+
 // Run builds the named overlay through the shared registry and simulates
 // the configured scenario on it, returning the bucketed metric series.
 func Run(cfg Config) (*Result, error) {
@@ -305,28 +339,9 @@ func RunOverlay(p registry.Protocol, cfg Config) (*Result, error) {
 		shards = n
 	}
 
-	factory, ok := LookupScenario(cfg.Scenario)
-	if !ok {
-		return nil, fmt.Errorf("eventsim: unknown scenario %q", cfg.Scenario)
-	}
-	scen, err := factory(cfg.Params)
+	env, scen, root, err := programScenario(cfg, n)
 	if err != nil {
-		return nil, fmt.Errorf("eventsim: scenario %q: %w", cfg.Scenario, err)
-	}
-
-	root := overlay.NewRNG(cfg.Seed ^ 0x4556454e54) // "EVENT"
-	env := &Env{
-		nodes:          n,
-		duration:       cfg.Duration,
-		params:         cfg.Params,
-		rng:            root.Split(),
-		initialOffline: make([]bool, n),
-	}
-	if err := scen.Program(env); err != nil {
-		return nil, fmt.Errorf("eventsim: scenario %q: %w", cfg.Scenario, err)
-	}
-	if env.err != nil {
-		return nil, fmt.Errorf("eventsim: scenario %q: %w", cfg.Scenario, env.err)
+		return nil, err
 	}
 
 	e := &engine{

@@ -2,93 +2,36 @@ package lifetime
 
 import (
 	"fmt"
-	"sort"
-	"strconv"
-	"strings"
-	"sync"
+
+	"rcm/spec"
 )
 
 // Factory builds a Family from the argument part of a Parse spec (the text
 // after the first ':', possibly empty). Factories must validate their
 // argument and return descriptive errors.
-type Factory func(arg string) (Family, error)
+type Factory = spec.Factory[Family]
 
-// The lifetime registry mirrors the geometry/protocol/scenario registries:
-// a case-insensitive name-keyed table with registration-order listing, so
-// user families resolve everywhere the built-ins do (Parse, eventsim
-// scenario parameters, cmd/eventsim flags).
-var families = struct {
-	mu    sync.RWMutex
-	order []string
-	index map[string]Factory
-}{index: map[string]Factory{}}
+// families is the name-keyed family table — an instance of the module's
+// one registry-style spec grammar (rcm/spec): case-insensitive,
+// alias-aware, collision-checked, with unknown names erroring against the
+// sorted list of every accepted spelling.
+var families = spec.New[Family]("lifetime", "family")
 
 // Register adds a lifetime family factory under a canonical name plus
 // optional aliases. Names are case-insensitive; a taken or empty name is
-// an error.
+// an error. Registered families resolve everywhere the built-ins do:
+// Parse, eventsim scenario parameters, and the cmd/eventsim -lifetime and
+// -downtime flags.
 func Register(name string, f Factory, aliases ...string) error {
-	if f == nil {
-		return fmt.Errorf("lifetime: family %q has nil factory", name)
-	}
-	keys := make([]string, 0, 1+len(aliases))
-	for _, n := range append([]string{name}, aliases...) {
-		k := strings.ToLower(strings.TrimSpace(n))
-		if k == "" {
-			return fmt.Errorf("lifetime: empty family name")
-		}
-		keys = append(keys, k)
-	}
-	families.mu.Lock()
-	defer families.mu.Unlock()
-	for i, k := range keys {
-		if _, taken := families.index[k]; taken {
-			what := "name"
-			if i > 0 {
-				what = "alias"
-			}
-			return fmt.Errorf("lifetime: family %s %q already registered", what, k)
-		}
-		for _, prev := range keys[:i] {
-			if prev == k {
-				return fmt.Errorf("lifetime: family %q aliases itself", k)
-			}
-		}
-	}
-	for _, k := range keys {
-		families.index[k] = f
-	}
-	families.order = append(families.order, keys[0])
-	return nil
+	return families.Register(name, f, aliases...)
 }
 
 // Lookup resolves a family factory by name or alias.
-func Lookup(name string) (Factory, bool) {
-	families.mu.RLock()
-	defer families.mu.RUnlock()
-	f, ok := families.index[strings.ToLower(strings.TrimSpace(name))]
-	return f, ok
-}
+func Lookup(name string) (Factory, bool) { return families.Lookup(name) }
 
 // Names returns the canonical family names in registration order (the
 // built-in five first, user registrations after).
-func Names() []string {
-	families.mu.RLock()
-	defer families.mu.RUnlock()
-	out := make([]string, len(families.order))
-	copy(out, families.order)
-	return out
-}
-
-func keys() []string {
-	families.mu.RLock()
-	defer families.mu.RUnlock()
-	out := make([]string, 0, len(families.index))
-	for k := range families.index {
-		out = append(out, k)
-	}
-	sort.Strings(out)
-	return out
-}
+func Names() []string { return families.Names() }
 
 // Parse builds a lifetime family from its CLI spelling:
 //
@@ -101,32 +44,36 @@ func keys() []string {
 // The empty spec selects the exponential family (the memoryless default).
 // Shape arguments are parsed by the named family's registered factory, so
 // user-registered families get the same spelling.
-func Parse(spec string) (Family, error) {
-	name, arg, _ := strings.Cut(strings.TrimSpace(spec), ":")
-	if name == "" {
-		if arg != "" {
-			return nil, fmt.Errorf("lifetime: spec %q has an argument but no family name", spec)
-		}
-		name = "exp"
+func Parse(s string) (Family, error) {
+	return families.Parse(s)
+}
+
+// Spec renders a family as its canonical Parse spelling — the inverse
+// tested by the round-trip suite. Families built outside this package
+// (user registrations) fall back to their Name, which registrants should
+// keep parseable.
+func Spec(f Family) string {
+	switch v := f.(type) {
+	case Exponential:
+		return "exp"
+	case Pareto:
+		return fmt.Sprintf("pareto:%g", v.alpha())
+	case Weibull:
+		return fmt.Sprintf("weibull:%g", v.shape())
+	case Lognormal:
+		return fmt.Sprintf("lognormal:%g", v.sigma())
+	case Trace:
+		return "trace:" + v.Source
+	default:
+		return f.Name()
 	}
-	f, ok := Lookup(name)
-	if !ok {
-		return nil, fmt.Errorf("lifetime: unknown family %q (have %s)", name, strings.Join(keys(), ", "))
-	}
-	return f(arg)
 }
 
 // parseShape parses the optional single numeric argument of a parametric
 // family spec; empty selects the family default (zero value).
 func parseShape(family, arg string) (float64, error) {
-	if arg == "" {
-		return 0, nil
-	}
-	v, err := strconv.ParseFloat(arg, 64)
-	if err != nil {
-		return 0, fmt.Errorf("lifetime: %s argument %q: %v", family, arg, err)
-	}
-	return v, nil
+	v, _, err := spec.Float("lifetime", family, arg)
+	return v, err
 }
 
 func init() {
@@ -181,8 +128,9 @@ func init() {
 			return LoadTrace(arg)
 		}, nil},
 	} {
-		if err := Register(reg.name, reg.factory, reg.aliases...); err != nil {
-			panic(err) // static names; unreachable
-		}
+		families.MustRegister(reg.name, reg.factory, reg.aliases...)
+	}
+	if err := families.SetDefault("exp"); err != nil {
+		panic(err) // exp was just registered; unreachable
 	}
 }

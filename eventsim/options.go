@@ -1,0 +1,76 @@
+package eventsim
+
+// Option mutates a Params under construction. Options exist so call sites
+// can name exactly the knobs they set and get domain validation at
+// construction time; the plain struct-literal path (Params{...}) remains
+// fully supported and is validated later, by Config.Validate.
+type Option func(*Params)
+
+// WithRate sets the aggregate lookup arrival rate (lookups per time unit).
+func WithRate(rate float64) Option { return func(p *Params) { p.Rate = rate } }
+
+// WithZipfS sets the Zipf skew of lookup targets (0 = uniform).
+func WithZipfS(s float64) Option { return func(p *Params) { p.ZipfS = s } }
+
+// WithFailFraction sets the fraction of nodes the massfail/correlated
+// scenarios kill.
+func WithFailFraction(q float64) Option { return func(p *Params) { p.FailFraction = q } }
+
+// WithFailTime sets when the failure disturbance hits.
+func WithFailTime(t float64) Option { return func(p *Params) { p.FailTime = t } }
+
+// WithRegions sets how many contiguous identifier regions the correlated
+// scenario kills.
+func WithRegions(n int) Option { return func(p *Params) { p.Regions = n } }
+
+// WithChurnMeans sets the exponential session parameters of the churn-style
+// scenarios: mean online session and mean offline stretch.
+func WithChurnMeans(meanOnline, meanOffline float64) Option {
+	return func(p *Params) { p.MeanOnline, p.MeanOffline = meanOnline, meanOffline }
+}
+
+// WithCrowd shapes the flashcrowd scenario: at start the arrival rate
+// multiplies by factor for the given duration.
+func WithCrowd(start, duration, factor float64) Option {
+	return func(p *Params) { p.CrowdStart, p.CrowdDuration, p.CrowdFactor = start, duration, factor }
+}
+
+// WithHot sets the fraction of crowd-window lookups aimed at the hot key;
+// NewParams rejects values outside [0,1].
+func WithHot(hot float64) Option { return func(p *Params) { p.Hot = hot } }
+
+// WithLifetime selects the session-duration family of the lifetime-model
+// scenarios, as a lifetime.Parse spec ("pareto:1.5", "weibull:0.5", ...).
+func WithLifetime(spec string) Option { return func(p *Params) { p.Lifetime = spec } }
+
+// WithDowntime selects the offline-stretch family, as a lifetime.Parse spec.
+func WithDowntime(spec string) Option { return func(p *Params) { p.Downtime = spec } }
+
+// WithDiurnal shapes the diurnal scenario's daily modulation: session means
+// drawn at time t are scaled by 1 ± amplitude·sin(2πt/period).
+func WithDiurnal(period, amplitude float64) Option {
+	return func(p *Params) { p.DiurnalPeriod, p.DiurnalAmplitude = period, amplitude }
+}
+
+// NewParams builds a Params from options and validates the result at
+// construction, so a bad knob fails where it was written instead of deep in
+// Config.Validate at run time. Unset fields stay zero and select the same
+// documented defaults as a zero struct literal:
+//
+//	p, err := eventsim.NewParams(
+//	    eventsim.WithRate(2000),
+//	    eventsim.WithFailFraction(0.2),
+//	)
+//
+// is equivalent to Params{Rate: 2000, FailFraction: 0.2} plus an immediate
+// Validate.
+func NewParams(opts ...Option) (Params, error) {
+	var p Params
+	for _, o := range opts {
+		o(&p)
+	}
+	if err := p.Validate(); err != nil {
+		return Params{}, err
+	}
+	return p, nil
+}

@@ -1,0 +1,112 @@
+package eventsim
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestNewParamsEquivalence: the options path produces exactly the struct
+// the equivalent literal would — the literal path stays the source of
+// truth and NewParams is sugar plus early validation.
+func TestNewParamsEquivalence(t *testing.T) {
+	got, err := NewParams(
+		WithRate(2000),
+		WithZipfS(0.9),
+		WithFailFraction(0.2),
+		WithFailTime(1),
+		WithRegions(8),
+		WithChurnMeans(2, 0.5),
+		WithCrowd(3, 2, 20),
+		WithHot(0.5),
+		WithLifetime("pareto:1.5"),
+		WithDowntime("exp"),
+		WithDiurnal(12, 0.3),
+	)
+	if err != nil {
+		t.Fatalf("NewParams: %v", err)
+	}
+	want := Params{
+		Rate: 2000, ZipfS: 0.9,
+		FailFraction: 0.2, FailTime: 1, Regions: 8,
+		MeanOnline: 2, MeanOffline: 0.5,
+		CrowdStart: 3, CrowdDuration: 2, CrowdFactor: 20, Hot: 0.5,
+		Lifetime: "pareto:1.5", Downtime: "exp",
+		DiurnalPeriod: 12, DiurnalAmplitude: 0.3,
+	}
+	if got != want {
+		t.Errorf("NewParams = %+v\nwant       %+v", got, want)
+	}
+
+	// No options = zero value, which validates.
+	zero, err := NewParams()
+	if err != nil || zero != (Params{}) {
+		t.Errorf("NewParams() = %+v, %v; want zero Params", zero, err)
+	}
+}
+
+// TestNewParamsValidates: construction rejects out-of-domain knobs with
+// the same descriptive errors Config.Validate would raise later.
+func TestNewParamsValidates(t *testing.T) {
+	for name, tc := range map[string]struct {
+		opts    []Option
+		wantSub string
+	}{
+		"negative rate":   {[]Option{WithRate(-1)}, "Rate = -1"},
+		"fail fraction":   {[]Option{WithFailFraction(1.5)}, "FailFraction = 1.5 out of [0,1]"},
+		"hot above one":   {[]Option{WithHot(2)}, "Hot = 2 out of [0,1]"},
+		"bad lifetime":    {[]Option{WithLifetime("warp")}, "unknown family"},
+		"bad amplitude":   {[]Option{WithDiurnal(12, 1)}, "DiurnalAmplitude = 1 out of [0,1)"},
+		"negative region": {[]Option{WithRegions(-2)}, "Regions = -2"},
+	} {
+		_, err := NewParams(tc.opts...)
+		if err == nil {
+			t.Errorf("%s: NewParams accepted", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("%s: error %q does not mention %q", name, err, tc.wantSub)
+		}
+	}
+}
+
+// TestHotValidation: the Hot knob's domain is [0,1] — the table pins the
+// boundary, interior, and every rejection class (negative, above one, NaN)
+// with the descriptive error text.
+func TestHotValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		hot  float64
+		ok   bool
+	}{
+		{"zero selects default", 0, true},
+		{"interior", 0.5, true},
+		{"lower boundary epsilon", 1e-9, true},
+		{"upper boundary", 1, true},
+		{"negative", -0.1, false},
+		{"above one", 1.1, false},
+		{"far out", 80, false},
+		{"NaN", math.NaN(), false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			p := Params{Hot: tc.hot}
+			err := p.Validate()
+			if tc.ok {
+				if err != nil {
+					t.Fatalf("Validate(Hot=%v) = %v, want nil", tc.hot, err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("Validate(Hot=%v) accepted", tc.hot)
+			}
+			if !strings.Contains(err.Error(), "Hot") || !strings.Contains(err.Error(), "out of [0,1]") {
+				t.Errorf("Validate(Hot=%v) error %q not descriptive", tc.hot, err)
+			}
+			// The options path surfaces the same rejection at construction.
+			if _, err := NewParams(WithHot(tc.hot)); err == nil {
+				t.Errorf("NewParams(WithHot(%v)) accepted", tc.hot)
+			}
+		})
+	}
+}

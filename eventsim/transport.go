@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"rcm/overlay"
+	"rcm/spec"
 )
 
 // Transport models the network between nodes: every message send samples a
@@ -202,39 +203,38 @@ func validateTransport(tr Transport) error {
 	return nil
 }
 
-// ParseTransport builds a transport from its CLI spelling:
-//
-//	constant[:latency]
-//	empirical[:median]
-//	lossy[:rate[:inner]]       e.g. lossy:0.05:empirical:0.08
-//
-// Numbers are in the engine's time unit (seconds).
-func ParseTransport(s string) (Transport, error) {
-	name, rest, _ := strings.Cut(strings.TrimSpace(s), ":")
-	switch strings.ToLower(name) {
-	case "", "constant":
+// transports is the name-keyed transport table — an instance of the
+// module's one registry-style spec grammar (rcm/spec): case-insensitive,
+// alias-aware, collision-checked, with unknown names erroring against the
+// sorted list of every accepted spelling.
+var transports = spec.New[Transport]("eventsim", "transport")
+
+func init() {
+	transports.MustRegister("constant", func(arg string) (Transport, error) {
 		c := Constant{}
-		if rest != "" {
-			v, err := strconv.ParseFloat(rest, 64)
+		if arg != "" {
+			v, err := strconv.ParseFloat(arg, 64)
 			if err != nil {
-				return nil, fmt.Errorf("eventsim: constant latency %q: %v", rest, err)
+				return nil, fmt.Errorf("eventsim: constant latency %q: %v", arg, err)
 			}
 			c.Latency = v
 		}
 		return c, validateTransport(c)
-	case "empirical":
+	}, "const")
+	transports.MustRegister("empirical", func(arg string) (Transport, error) {
 		e := Empirical{}
-		if rest != "" {
-			v, err := strconv.ParseFloat(rest, 64)
+		if arg != "" {
+			v, err := strconv.ParseFloat(arg, 64)
 			if err != nil {
-				return nil, fmt.Errorf("eventsim: empirical median %q: %v", rest, err)
+				return nil, fmt.Errorf("eventsim: empirical median %q: %v", arg, err)
 			}
 			e.Median = v
 		}
 		return e, validateTransport(e)
-	case "lossy":
+	}, "king")
+	transports.MustRegister("lossy", func(arg string) (Transport, error) {
 		l := Lossy{}
-		rateStr, innerStr, _ := strings.Cut(rest, ":")
+		rateStr, innerStr, _ := strings.Cut(arg, ":")
 		if rateStr != "" {
 			v, err := strconv.ParseFloat(rateStr, 64)
 			if err != nil {
@@ -253,7 +253,58 @@ func ParseTransport(s string) (Transport, error) {
 			l.Inner = inner
 		}
 		return l, validateTransport(l)
+	})
+	if err := transports.SetDefault("constant"); err != nil {
+		panic(err) // constant was just registered; unreachable
+	}
+}
+
+// RegisterTransport adds a transport factory under a canonical name plus
+// optional aliases, with the same naming rules as every other registry in
+// the module. The factory receives the argument text after the first ':'
+// and must validate its result (validateTransport is applied to whatever
+// the factory returns before the engine runs it). Registered transports
+// resolve through ParseTransport everywhere the built-ins do, including
+// the cmd/eventsim -transport flag and exp event settings.
+func RegisterTransport(name string, f func(arg string) (Transport, error), aliases ...string) error {
+	return transports.Register(name, f, aliases...)
+}
+
+// TransportNames returns the canonical transport names in registration
+// order (the built-in three first, user registrations after).
+func TransportNames() []string { return transports.Names() }
+
+// ParseTransport builds a transport from its CLI spelling:
+//
+//	constant[:latency]
+//	empirical[:median]
+//	lossy[:rate[:inner]]       e.g. lossy:0.05:empirical:0.08
+//
+// plus anything added through RegisterTransport. Numbers are in the
+// engine's time unit (seconds); the empty spec selects the default
+// constant model.
+func ParseTransport(s string) (Transport, error) {
+	return transports.Parse(s)
+}
+
+// TransportSpec renders a transport as a canonical ParseTransport spelling
+// — the inverse the round-trip suite checks (Transport.Name is a display
+// label, not a spec: a Lossy names itself "lossy+constant"). Transports
+// registered outside this package fall back to their Name, which
+// registrants should keep parseable.
+func TransportSpec(tr Transport) string {
+	switch v := tr.(type) {
+	case Constant:
+		return fmt.Sprintf("constant:%g", v.latency())
+	case Empirical:
+		med := v.Median
+		if med <= 0 {
+			med = DefaultLatency
+		}
+		return fmt.Sprintf("empirical:%g", med)
+	case Lossy:
+		return fmt.Sprintf("lossy:%g:%s", v.Rate, TransportSpec(v.inner()))
 	default:
-		return nil, fmt.Errorf("eventsim: unknown transport %q (have constant, empirical, lossy)", name)
+		return tr.Name()
 	}
 }

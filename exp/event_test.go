@@ -25,10 +25,27 @@ func TestParseModeRoundTrip(t *testing.T) {
 	if m, err := ParseMode(" Analytic + EVENT "); err != nil || m != ModeAnalytic|ModeEvent {
 		t.Errorf("ParseMode with case/space noise = %v, %v", m, err)
 	}
-	for _, bad := range []string{"", "warp", "sim+warp", "sim++analytic"} {
+	// Aliases from the shared spec table resolve to their canonical flags.
+	for alias, want := range map[string]Mode{
+		"rcm":          ModeAnalytic,
+		"static":       ModeSim,
+		"eventsim":     ModeEvent,
+		"rcm+static":   ModeAnalytic | ModeSim,
+		"none+sim":     ModeSim,
+		"sim+analytic": ModeAnalytic | ModeSim,
+	} {
+		if m, err := ParseMode(alias); err != nil || m != want {
+			t.Errorf("ParseMode(%q) = %v, %v; want %v", alias, m, err, want)
+		}
+	}
+	for _, bad := range []string{"", "warp", "sim+warp", "sim++analytic", "sim:3"} {
 		if _, err := ParseMode(bad); err == nil {
 			t.Errorf("ParseMode(%q) accepted", bad)
 		}
+	}
+	// Unknown flags name every accepted spelling.
+	if _, err := ParseMode("warp"); err == nil || !strings.Contains(err.Error(), "analytic") || !strings.Contains(err.Error(), "eventsim") {
+		t.Errorf("ParseMode(warp) error %v does not list accepted spellings", err)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"rcm/internal/sim"
+	"rcm/spec"
 )
 
 // Mode is a bitmask selecting which measurements each cell performs.
@@ -59,30 +60,49 @@ func (m Mode) String() string {
 	return strings.Join(parts, "+")
 }
 
-// ParseMode is the inverse of Mode.String: it parses a "+"-joined,
-// case-insensitive flag list — "sim", "analytic+sim", "event+analytic" —
-// into a Mode. "none" (String's rendering of the zero Mode) parses to 0,
-// which Plan.Validate subsequently rejects. It backs the CLIs' -mode
-// flags, so one spelling works everywhere.
-func ParseMode(s string) (Mode, error) {
-	s = strings.TrimSpace(s)
-	if strings.EqualFold(s, "none") {
-		return 0, nil
+// modeFlags is the name-keyed mode-flag table — an instance of the
+// module's one registry-style spec grammar (rcm/spec), so mode flags get
+// the same case folding, aliasing and unknown-name errors as transports,
+// lifetime families and store specs. Flags take no argument; "none" is a
+// first-class flag mapping to the zero Mode (String's rendering of it).
+var modeFlags = func() *spec.Table[Mode] {
+	t := spec.New[Mode]("exp", "mode flag")
+	for _, reg := range []struct {
+		name    string
+		mode    Mode
+		aliases []string
+	}{
+		{"analytic", ModeAnalytic, []string{"rcm"}},
+		{"sim", ModeSim, []string{"static"}},
+		{"churn", ModeChurn, nil},
+		{"event", ModeEvent, []string{"eventsim"}},
+		{"none", 0, nil},
+	} {
+		m := reg.mode
+		name := reg.name
+		t.MustRegister(name, func(arg string) (Mode, error) {
+			if arg != "" {
+				return 0, fmt.Errorf("exp: mode flag %s takes no argument (got %q)", name, arg)
+			}
+			return m, nil
+		}, reg.aliases...)
 	}
+	return t
+}()
+
+// ParseMode is the inverse of Mode.String: it parses a "+"-joined,
+// case-insensitive, alias-aware flag list — "sim", "analytic+sim",
+// "event+analytic" — into a Mode. "none" (String's rendering of the zero
+// Mode) parses to 0, which Plan.Validate subsequently rejects. It backs
+// the CLIs' -mode flags, so one spelling works everywhere.
+func ParseMode(s string) (Mode, error) {
 	var m Mode
 	for _, part := range strings.Split(s, "+") {
-		switch strings.ToLower(strings.TrimSpace(part)) {
-		case "analytic":
-			m |= ModeAnalytic
-		case "sim":
-			m |= ModeSim
-		case "churn":
-			m |= ModeChurn
-		case "event":
-			m |= ModeEvent
-		default:
-			return 0, fmt.Errorf("exp: unknown mode flag %q in %q (have analytic, sim, churn, event)", part, s)
+		flag, err := modeFlags.Parse(part)
+		if err != nil {
+			return 0, err
 		}
+		m |= flag
 	}
 	return m, nil
 }

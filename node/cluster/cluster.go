@@ -1,0 +1,324 @@
+// Package cluster bootstraps and drives whole populations of live
+// rcm/node DHT nodes — every identifier in the space backed by a running
+// node, over in-memory datagrams (one process, no sockets) or real UDP
+// loopback sockets. Its centerpiece is Replay: executing an eventsim
+// schedule (the exact lifecycle and workload eventsim.Run would simulate)
+// against the live cluster, so the conformance suite can pin live lookup
+// outcomes to the simulator's predictions.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"rcm"
+	"rcm/eventsim"
+	"rcm/node"
+	"rcm/overlay"
+)
+
+// Config configures a cluster.
+type Config struct {
+	// Protocol names the overlay in either registry vocabulary ("chord",
+	// "ring", "kademlia", ...).
+	Protocol string
+	// Bits is the identifier length; the cluster runs 2^Bits nodes.
+	Bits int
+	// Seed seeds overlay construction.
+	Seed uint64
+	// Transport selects the substrate: "mem" (default; in-memory
+	// datagrams) or "udp" (one loopback socket per node).
+	Transport string
+	// Store is the per-node store spec ("mem", "lru:1024", ...); every
+	// node gets its own fresh store.
+	Store string
+	// RTO, Retransmits, MaxHops and Deadline configure every node; see
+	// node.Config. Zero selects the node defaults.
+	RTO         time.Duration
+	Retransmits int
+	MaxHops     int
+	Deadline    time.Duration
+}
+
+// Cluster is a running population of live nodes, one per identifier.
+type Cluster struct {
+	proto rcm.Protocol
+	nodes []*node.Node
+	addrs []string
+}
+
+// New builds the overlay, boots one node per identifier and starts them
+// all. Callers own the cluster and must Close it.
+func New(cfg Config) (*Cluster, error) {
+	proto, err := rcm.NewProtocol(cfg.Protocol, rcm.Config{Bits: cfg.Bits, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	n := int(proto.Space().Size())
+	c := &Cluster{
+		proto: proto,
+		nodes: make([]*node.Node, n),
+		addrs: make([]string, n),
+	}
+
+	var mem *node.MemNetwork
+	switch cfg.Transport {
+	case "", "mem":
+		mem = node.NewMemNetwork()
+	case "udp":
+	default:
+		return nil, fmt.Errorf("cluster: unknown transport %q (have mem, udp)", cfg.Transport)
+	}
+
+	transports := make([]node.Transport, n)
+	for i := 0; i < n; i++ {
+		var tr node.Transport
+		if mem != nil {
+			tr = mem.Endpoint()
+		} else {
+			tr, err = node.ListenUDP("127.0.0.1:0")
+			if err != nil {
+				c.closeTransports(transports[:i])
+				return nil, err
+			}
+		}
+		transports[i] = tr
+		c.addrs[i] = tr.Addr()
+	}
+
+	addrOf := func(id overlay.ID) string { return c.addrs[id] }
+	for i := 0; i < n; i++ {
+		store, err := node.ParseStore(cfg.Store)
+		if err != nil {
+			c.closeTransports(transports)
+			c.closeStarted(i)
+			return nil, err
+		}
+		nd, err := node.New(node.Config{
+			Protocol:    proto,
+			ID:          overlay.ID(i),
+			Transport:   transports[i],
+			AddrOf:      addrOf,
+			Store:       store,
+			RTO:         cfg.RTO,
+			Retransmits: cfg.Retransmits,
+			MaxHops:     cfg.MaxHops,
+			Deadline:    cfg.Deadline,
+		})
+		if err != nil {
+			c.closeTransports(transports)
+			c.closeStarted(i)
+			return nil, err
+		}
+		c.nodes[i] = nd
+		nd.Start()
+	}
+	return c, nil
+}
+
+func (c *Cluster) closeTransports(ts []node.Transport) {
+	for _, t := range ts {
+		if t != nil {
+			t.Close()
+		}
+	}
+}
+
+func (c *Cluster) closeStarted(n int) {
+	for i := 0; i < n; i++ {
+		if c.nodes[i] != nil {
+			c.nodes[i].Close()
+		}
+	}
+}
+
+// Len returns the population size.
+func (c *Cluster) Len() int { return len(c.nodes) }
+
+// Node returns node i.
+func (c *Cluster) Node(i int) *node.Node { return c.nodes[i] }
+
+// Protocol returns the shared overlay.
+func (c *Cluster) Protocol() rcm.Protocol { return c.proto }
+
+// Kill crashes node i (idempotent).
+func (c *Cluster) Kill(i int) { c.nodes[i].Kill() }
+
+// Restart revives node i (idempotent).
+func (c *Cluster) Restart(i int) { c.nodes[i].Restart() }
+
+// Close stops every node.
+func (c *Cluster) Close() {
+	var wg sync.WaitGroup
+	for _, nd := range c.nodes {
+		wg.Add(1)
+		go func(nd *node.Node) {
+			defer wg.Done()
+			nd.Close()
+		}(nd)
+	}
+	wg.Wait()
+}
+
+// Outcome is the live verdict of one scheduled lookup, index-aligned with
+// the schedule's Lookups.
+type Outcome struct {
+	// T is the lookup's scheduled time (simulated seconds, for windowing).
+	T float64
+	// Skipped reports the lookup was not issued: src or dst was offline at
+	// its scheduled time, eventsim's surviving-pair conditioning.
+	Skipped bool
+	// OK reports the issued lookup reached its owner.
+	OK bool
+	// Hops is the delivered route length (OK only).
+	Hops int
+}
+
+// Report aggregates a replay, window-compatible with eventsim.Result.
+type Report struct {
+	// Duration is the schedule's horizon.
+	Duration float64
+	// Outcomes has one entry per scheduled lookup.
+	Outcomes []Outcome
+}
+
+// WindowSuccess returns completed/started over lookups scheduled in
+// [from, to] — the live counterpart of eventsim's Result.WindowSuccess.
+// NaN when the window started no lookups.
+func (r *Report) WindowSuccess(from, to float64) float64 {
+	started, completed := 0, 0
+	for _, o := range r.Outcomes {
+		if o.Skipped || o.T < from || o.T > to {
+			continue
+		}
+		started++
+		if o.OK {
+			completed++
+		}
+	}
+	if started == 0 {
+		return math.NaN()
+	}
+	return float64(completed) / float64(started)
+}
+
+// WindowMeanHops returns the mean hop count over completed lookups
+// scheduled in [from, to] (NaN when none completed).
+func (r *Report) WindowMeanHops(from, to float64) float64 {
+	sum, completed := 0.0, 0
+	for _, o := range r.Outcomes {
+		if o.Skipped || !o.OK || o.T < from || o.T > to {
+			continue
+		}
+		completed++
+		sum += float64(o.Hops)
+	}
+	if completed == 0 {
+		return math.NaN()
+	}
+	return sum / float64(completed)
+}
+
+// ReplayOptions tunes Replay.
+type ReplayOptions struct {
+	// Concurrency bounds simultaneously in-flight lookups (default 64).
+	Concurrency int
+}
+
+// replayEvent is one schedule entry in the merged timeline.
+type replayEvent struct {
+	t      float64
+	lookup int // index into sched.Lookups, or -1
+	toggle int // index into sched.Toggles, or -1
+}
+
+// Replay executes an eventsim schedule against the live cluster: initial
+// offline nodes are killed, toggles become Kill/Restart, and every
+// scheduled lookup whose endpoints are up is issued as a live OpLookup
+// from its source node. Events run in schedule-time order; real time is
+// event-driven rather than wall-clock-scaled — before any lifecycle
+// toggle applies, in-flight lookups are drained, so each lookup observes
+// exactly the population state of its scheduled instant (the regime
+// eventsim's own lookups see, since simulated routes complete fast
+// against toggle spacing).
+//
+// The report's windows are in schedule time, directly comparable to the
+// eventsim.Result of the same Config — which is precisely what the
+// conformance suite does.
+func (c *Cluster) Replay(sched *eventsim.Schedule, opt ReplayOptions) (*Report, error) {
+	if sched.Nodes != len(c.nodes) {
+		return nil, fmt.Errorf("cluster: schedule population %d != cluster population %d", sched.Nodes, len(c.nodes))
+	}
+	conc := opt.Concurrency
+	if conc <= 0 {
+		conc = 64
+	}
+
+	offline := make([]bool, len(c.nodes))
+	for i, off := range sched.InitialOffline {
+		if off {
+			offline[i] = true
+			c.Kill(i)
+		}
+	}
+
+	events := make([]replayEvent, 0, len(sched.Lookups)+len(sched.Toggles))
+	for i, lk := range sched.Lookups {
+		events = append(events, replayEvent{t: lk.T, lookup: i, toggle: -1})
+	}
+	for i, tg := range sched.Toggles {
+		events = append(events, replayEvent{t: tg.T, lookup: -1, toggle: i})
+	}
+	sort.SliceStable(events, func(a, b int) bool { return events[a].t < events[b].t })
+
+	report := &Report{
+		Duration: sched.Duration,
+		Outcomes: make([]Outcome, len(sched.Lookups)),
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, conc)
+	drained := true
+
+	for _, ev := range events {
+		if ev.toggle >= 0 {
+			if !drained {
+				wg.Wait()
+				drained = true
+			}
+			tg := sched.Toggles[ev.toggle]
+			if offline[tg.Node] == !tg.Up {
+				continue // idempotent, like the engine's handleToggle
+			}
+			offline[tg.Node] = !tg.Up
+			if tg.Up {
+				c.Restart(tg.Node)
+			} else {
+				c.Kill(tg.Node)
+			}
+			continue
+		}
+
+		lk := sched.Lookups[ev.lookup]
+		out := &report.Outcomes[ev.lookup]
+		out.T = lk.T
+		if offline[lk.Src] || offline[lk.Dst] {
+			out.Skipped = true
+			continue
+		}
+		drained = false
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(src, dst int, out *Outcome) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			res := c.nodes[src].Lookup(overlay.ID(dst))
+			out.OK = res.OK()
+			out.Hops = res.Hops
+		}(lk.Src, lk.Dst, out)
+	}
+	wg.Wait()
+	return report, nil
+}

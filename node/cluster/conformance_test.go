@@ -1,0 +1,186 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"rcm/eventsim"
+)
+
+// conformanceConfig is the shared eventsim configuration of the live
+// conformance suite: a 2^bits-node massfail run whose post-failure window
+// [2, 4] is the steady state both executors are compared over. The
+// overlay seed is pinned explicitly so the simulator and the live cluster
+// construct the *same* routing tables — agreement is then structural
+// (identical first-alive-candidate walks), not statistical.
+func conformanceConfig(protocol string, bits int, q float64, seed uint64) eventsim.Config {
+	return eventsim.Config{
+		Protocol: protocol,
+		Overlay:  eventsim.OverlayConfig{Bits: bits, Seed: seed},
+		Scenario: "massfail",
+		Params:   eventsim.Params{FailFraction: q, FailTime: 1, Rate: 200},
+		Duration: 4,
+		Seed:     seed,
+		// Lossless transports never benefit from same-candidate
+		// retransmission, so disable it on both sides: dead-candidate
+		// failover then costs one RTO instead of three, which keeps the
+		// live replay's wall clock tight without changing any outcome.
+		Retransmits: -1,
+	}
+}
+
+// liveCluster boots the matching live cluster for a conformance config.
+func liveCluster(t *testing.T, cfg eventsim.Config) *Cluster {
+	t.Helper()
+	c, err := New(Config{
+		Protocol:    cfg.Protocol,
+		Bits:        cfg.Overlay.Bits,
+		Seed:        cfg.Overlay.Seed,
+		RTO:         15 * time.Millisecond,
+		Retransmits: -1,
+		Deadline:    3 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+// TestConformanceLiveVsEventsim is the acceptance gate of the live-node
+// layer: replay the massfail schedule on a 128-node in-process cluster
+// for chord and kademlia at q = 0 and q = 0.2, and require the live
+// steady-state lookup success within ±0.05 and the live mean hop count
+// within ±0.5 of eventsim's prediction for the identical configuration.
+// Both executors walk the same Forwarder candidate lists over the same
+// overlay tables against the same failed set, so the comparison pins the
+// whole live stack — wire protocol, RTO machinery, candidate failover,
+// kill semantics — to the simulator's routing discipline.
+func TestConformanceLiveVsEventsim(t *testing.T) {
+	const (
+		bits = 7 // 128 nodes
+		seed = 11
+	)
+	for _, protocol := range []string{"chord", "kademlia"} {
+		for _, q := range []float64{0, 0.2} {
+			cfg := conformanceConfig(protocol, bits, q, seed)
+
+			res, err := eventsim.Run(cfg)
+			if err != nil {
+				t.Fatalf("%s q=%v: eventsim: %v", protocol, q, err)
+			}
+			sched, err := eventsim.BuildSchedule(cfg)
+			if err != nil {
+				t.Fatalf("%s q=%v: BuildSchedule: %v", protocol, q, err)
+			}
+
+			c := liveCluster(t, cfg)
+			report, err := c.Replay(sched, ReplayOptions{})
+			if err != nil {
+				t.Fatalf("%s q=%v: replay: %v", protocol, q, err)
+			}
+
+			// Steady state: well after the t = 1 failure.
+			simSucc := res.WindowSuccess(2, cfg.Duration)
+			liveSucc := report.WindowSuccess(2, cfg.Duration)
+			if math.IsNaN(simSucc) || math.IsNaN(liveSucc) {
+				t.Fatalf("%s q=%v: empty window (sim %v, live %v)", protocol, q, simSucc, liveSucc)
+			}
+			if d := math.Abs(simSucc - liveSucc); d > 0.05 {
+				t.Errorf("%s q=%v: live success %.4f vs eventsim %.4f (|Δ| = %.4f > 0.05)",
+					protocol, q, liveSucc, simSucc, d)
+			}
+
+			simHops := windowMeanHops(res, 2, cfg.Duration)
+			liveHops := report.WindowMeanHops(2, cfg.Duration)
+			if d := math.Abs(simHops - liveHops); d > 0.5 {
+				t.Errorf("%s q=%v: live mean hops %.3f vs eventsim %.3f (|Δ| = %.3f > 0.5)",
+					protocol, q, liveHops, simHops, d)
+			}
+
+			// q = 0 is an identity, not an approximation: nothing failed,
+			// so every lookup must succeed on both substrates.
+			if q == 0 && (liveSucc != 1 || simSucc != 1) {
+				t.Errorf("%s q=0: success live %.4f, sim %.4f (want exactly 1)", protocol, liveSucc, simSucc)
+			}
+			t.Logf("%s q=%v: success live %.4f sim %.4f; hops live %.3f sim %.3f",
+				protocol, q, liveSucc, simSucc, liveHops, simHops)
+		}
+	}
+}
+
+// windowMeanHops mirrors Report.WindowMeanHops for an eventsim result:
+// mean hop count over buckets fully inside [from, to].
+func windowMeanHops(r *eventsim.Result, from, to float64) float64 {
+	sum, completed := 0.0, 0
+	for _, b := range r.Buckets {
+		if b.Start >= from && b.End <= to {
+			sum += b.SumHops
+			completed += b.Completed
+		}
+	}
+	if completed == 0 {
+		return math.NaN()
+	}
+	return sum / float64(completed)
+}
+
+// TestReplayChurn exercises the Restart path: a small churn schedule with
+// nodes cycling off and on replays without deadlock, and the report's
+// cohorts are complete (every scheduled lookup is accounted skipped,
+// succeeded or failed).
+func TestReplayChurn(t *testing.T) {
+	cfg := eventsim.Config{
+		Protocol:    "chord",
+		Overlay:     eventsim.OverlayConfig{Bits: 4, Seed: 3},
+		Scenario:    "churn",
+		Params:      eventsim.Params{Rate: 60, MeanOnline: 2, MeanOffline: 0.5},
+		Duration:    3,
+		Seed:        3,
+		Retransmits: -1,
+	}
+	sched, err := eventsim.BuildSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := liveCluster(t, cfg)
+	report, err := c.Replay(sched, ReplayOptions{Concurrency: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Outcomes) != len(sched.Lookups) {
+		t.Fatalf("report covers %d of %d lookups", len(report.Outcomes), len(sched.Lookups))
+	}
+	issued, ok := 0, 0
+	for _, o := range report.Outcomes {
+		if o.Skipped {
+			continue
+		}
+		issued++
+		if o.OK {
+			ok++
+		}
+	}
+	if issued == 0 {
+		t.Fatal("churn replay issued no lookups")
+	}
+	// Chord under mild churn with static tables still routes most pairs.
+	if frac := float64(ok) / float64(issued); frac < 0.5 {
+		t.Errorf("churn replay success %.3f (%d/%d) below sanity floor 0.5", frac, ok, issued)
+	}
+}
+
+// TestReplayRejectsMismatchedPopulation: a schedule built for a different
+// population is refused, not misapplied.
+func TestReplayRejectsMismatchedPopulation(t *testing.T) {
+	cfg := conformanceConfig("chord", 4, 0, 1)
+	sched, err := eventsim.BuildSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := liveCluster(t, conformanceConfig("chord", 3, 0, 1))
+	if _, err := small.Replay(sched, ReplayOptions{}); err == nil {
+		t.Error("mismatched population accepted")
+	}
+}

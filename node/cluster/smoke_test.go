@@ -1,0 +1,47 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"rcm/eventsim"
+)
+
+// TestClusterSmoke is the `make cluster-smoke` gate: boot a 64-node
+// in-process cluster, replay a massfail schedule, and require a nonzero
+// lookup success — all under a hard wall-clock budget enforced inside the
+// test (in addition to the Makefile's `go test -timeout`). It is the
+// cheap always-on signal that the live stack boots, routes, kills and
+// fails over; the full tolerance comparison lives in
+// TestConformanceLiveVsEventsim.
+func TestClusterSmoke(t *testing.T) {
+	const budget = 60 * time.Second
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+
+		cfg := conformanceConfig("chord", 6, 0.2, 5) // 64 nodes
+		sched, err := eventsim.BuildSchedule(cfg)
+		if err != nil {
+			t.Errorf("BuildSchedule: %v", err)
+			return
+		}
+		c := liveCluster(t, cfg)
+		report, err := c.Replay(sched, ReplayOptions{})
+		if err != nil {
+			t.Errorf("replay: %v", err)
+			return
+		}
+		succ := report.WindowSuccess(0, cfg.Duration)
+		if !(succ > 0) {
+			t.Errorf("smoke replay success %v, want > 0", succ)
+			return
+		}
+		t.Logf("smoke: 64 nodes, %d lookups, success %.4f", len(report.Outcomes), succ)
+	}()
+	select {
+	case <-done:
+	case <-time.After(budget):
+		t.Fatalf("cluster smoke exceeded the %v wall-clock budget", budget)
+	}
+}

@@ -1,0 +1,67 @@
+// Package node runs registered DHT protocols as live networked nodes —
+// the framework's fifth and highest-fidelity layer. Where eventsim
+// simulates hop-by-hop forwarding with virtual timers, a Node does the
+// same thing with real packets and real clocks: the identical
+// ACK-transfers-ownership, RTO-retransmit, candidate-failover
+// discipline, driven by the same Forwarder candidate enumeration, over
+// an actual datagram transport.
+//
+// # Anatomy of a node
+//
+// A Node is three goroutines around loop-owned state: an event loop
+// that owns every piece of routing state (so handlers never lock), a
+// receive pump decoding datagrams into loop events, and timer callbacks
+// posting retransmission timeouts. Requests travel in a compact binary
+// wire format (versioned header; request/ack/response kinds; hop
+// budgets and millisecond deadlines carried in every message), and the
+// get/put key-value API stores values at each key's owner through a
+// pluggable Store (in-memory map, bounded LRU, or anything registered
+// with RegisterStore).
+//
+// # Launching a cluster
+//
+// The quickest way to a running overlay is the in-process harness:
+//
+//	c, err := cluster.New(cluster.Config{Protocol: "chord", Bits: 6, Seed: 1})
+//	if err != nil { ... }
+//	defer c.Close()
+//
+// which boots one node per identifier (64 here) over in-memory
+// datagrams — or real UDP loopback sockets with Transport: "udp". For
+// multi-process deployments, cmd/rcmd launches one daemon per process
+// from a shared peers file; every daemon must share the protocol, bits
+// and seed, because those three determine the routing tables.
+//
+// # Put, get, and watching failover
+//
+// Any node serves as an entry point; values land at the key's owner:
+//
+//	if res := c.Node(3).Put("color", []byte("green")); !res.OK() { ... }
+//	res := c.Node(40).Get("color") // routes to the owner, hop by hop
+//
+// Kill a node on the route and the path heals itself: the upstream
+// holder's RTO expires, retransmission is exhausted, and the request
+// fails over to the next candidate the Forwarder enumerated — exactly
+// eventsim's timeout semantics, now observable with tcpdump:
+//
+//	c.Kill(17)                     // crash: drops all in-flight state
+//	res = c.Node(40).Get("color")  // still OK, one failover later
+//	c.Restart(17)                  // back, store intact
+//
+// Out-of-band tools use Client, which injects requests at any entry
+// node and receives the owner's response directly (Dial, then
+// Get/Put/Lookup) — that is what `rcmd -op get` does.
+//
+// # Conformance with eventsim
+//
+// The point of the layer is cross-validation: eventsim.BuildSchedule
+// reifies a scenario's exact lifecycle toggles and lookup workload as
+// data, cluster.Replay executes that schedule against live nodes, and
+// the conformance suite in node/cluster compares windowed success rate
+// and mean hops between the two executors. With the overlay seed
+// pinned, both walk the same candidate lists over the same tables
+// against the same failed set, so they agree exactly — making eventsim
+// a calibrated model of a deployable system rather than a fourth
+// abstraction layer, and the live stack a tested implementation of the
+// simulator's semantics.
+package node

@@ -1,0 +1,554 @@
+package node
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rcm"
+	"rcm/overlay"
+)
+
+// Config configures one live node.
+type Config struct {
+	// Protocol is the overlay the node routes on; it must implement the
+	// rcm.Forwarder capability. Many nodes share one Protocol value: the
+	// built-in overlays' routing tables are read-only under forwarding, and
+	// maintenance (when used) confines writes to the maintained node's own
+	// rows per the Maintainer contract.
+	Protocol rcm.Protocol
+	// ID is this node's identifier in the overlay's space.
+	ID overlay.ID
+	// Transport is the datagram substrate (ListenUDP or MemNetwork
+	// endpoints).
+	Transport Transport
+	// AddrOf resolves an overlay identifier to a transport address — the
+	// cluster directory (a peers file for rcmd daemons, the harness's
+	// table for in-process clusters).
+	AddrOf func(overlay.ID) string
+	// Store is the key-value backend (default: NewMemStore()).
+	Store Store
+	// RTO is how long a forwarding node waits for a hop acknowledgement
+	// before retransmitting; it must exceed the worst-case round trip
+	// (default 50 ms).
+	RTO time.Duration
+	// Retransmits is how many times a timed-out attempt re-sends to the
+	// same candidate before failing over to the next one (0 selects the
+	// default 2, mirroring eventsim; negative disables retransmission).
+	Retransmits int
+	// MaxHops bounds route length (default 4·bits + 16, the eventsim
+	// default).
+	MaxHops int
+	// Deadline is the per-request time-to-live carried in every message
+	// and decremented by each holder's holding time (default 5 s).
+	Deadline time.Duration
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.Store == nil {
+		cfg.Store = NewMemStore()
+	}
+	if cfg.RTO <= 0 {
+		cfg.RTO = 50 * time.Millisecond
+	}
+	switch {
+	case cfg.Retransmits == 0:
+		cfg.Retransmits = 2
+	case cfg.Retransmits < 0:
+		cfg.Retransmits = 0
+	}
+	if cfg.MaxHops <= 0 && cfg.Protocol != nil {
+		cfg.MaxHops = 4*cfg.Protocol.Space().Bits() + 16
+	}
+	if cfg.Deadline <= 0 {
+		cfg.Deadline = 5 * time.Second
+	}
+	return cfg
+}
+
+// Result is the outcome of one request issued through a node.
+type Result struct {
+	// Status is the wire-level verdict.
+	Status Status
+	// Hops is the number of request deliveries the route took (0 when the
+	// issuing node owns the destination).
+	Hops int
+	// Value is the fetched value (get only).
+	Value []byte
+	// Err is the local failure, if the request never produced a verdict
+	// (node killed, response deadline lapsed).
+	Err error
+}
+
+// OK reports whether the request reached its owner successfully.
+func (r Result) OK() bool { return r.Err == nil && r.Status == StatusOK }
+
+// pendingFwd is one in-flight forward attempt awaiting its hop
+// acknowledgement — the live counterpart of eventsim's pending arena slot.
+type pendingFwd struct {
+	msg      message      // the request as this holder forwards it
+	cands    []overlay.ID // candidate next hops, best first, enumerated once
+	ci       int          // current candidate index
+	try      int          // retransmissions consumed for this candidate
+	attempt  uint64       // guards against stale timer firings
+	timer    *time.Timer
+	deadline time.Time // absolute per-message deadline at this holder
+}
+
+// Node is one live DHT node: an event-loop goroutine owning all routing
+// state, a receive goroutine feeding it decoded packets, and timer
+// callbacks feeding it retransmission timeouts. The public methods are
+// safe for concurrent use.
+type Node struct {
+	cfg   Config
+	fwd   rcm.Forwarder
+	space overlay.Space
+	tr    Transport
+	store Store
+
+	cmds chan func()
+	done chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+
+	reqSeq  atomic.Uint64
+	downNow atomic.Bool // read by fast paths; written only by the loop
+
+	// Loop-owned state (no locking: only the event loop touches it).
+	pending    map[uint64]*pendingFwd
+	origins    map[uint64]chan Result
+	attemptSeq uint64
+	seen       map[uint64]struct{} // recently handled request ids (dedupe)
+	seenFIFO   []uint64
+	encBuf     []byte
+	candBuf    []overlay.ID
+}
+
+const seenCap = 4096
+
+// New validates the configuration and creates the node (stopped; call
+// Start).
+func New(cfg Config) (*Node, error) {
+	if cfg.Protocol == nil {
+		return nil, fmt.Errorf("node: nil Protocol")
+	}
+	fwd, ok := cfg.Protocol.(rcm.Forwarder)
+	if !ok {
+		return nil, fmt.Errorf("node: protocol %q does not implement the Forwarder capability required for live routing", cfg.Protocol.Name())
+	}
+	if cfg.Transport == nil {
+		return nil, fmt.Errorf("node: nil Transport")
+	}
+	if cfg.AddrOf == nil {
+		return nil, fmt.Errorf("node: nil AddrOf directory")
+	}
+	space := cfg.Protocol.Space()
+	if !space.Contains(cfg.ID) {
+		return nil, fmt.Errorf("node: id %d outside the %d-bit identifier space", cfg.ID, space.Bits())
+	}
+	cfg = cfg.withDefaults()
+	return &Node{
+		cfg:     cfg,
+		fwd:     fwd,
+		space:   space,
+		tr:      cfg.Transport,
+		store:   cfg.Store,
+		cmds:    make(chan func(), 256),
+		done:    make(chan struct{}),
+		pending: make(map[uint64]*pendingFwd),
+		origins: make(map[uint64]chan Result),
+		seen:    make(map[uint64]struct{}),
+	}, nil
+}
+
+// ID returns the node's overlay identifier.
+func (n *Node) ID() overlay.ID { return n.cfg.ID }
+
+// Addr returns the node's transport address.
+func (n *Node) Addr() string { return n.tr.Addr() }
+
+// Store returns the node's key-value backend.
+func (n *Node) Store() Store { return n.store }
+
+// Start launches the event loop and the receive pump.
+func (n *Node) Start() {
+	n.wg.Add(2)
+	go n.loop()
+	go n.recvPump()
+}
+
+// Close stops the node permanently, failing callers blocked on requests.
+func (n *Node) Close() {
+	n.once.Do(func() {
+		close(n.done)
+		n.tr.Close()
+	})
+	n.wg.Wait()
+}
+
+// Kill simulates a crash: the node stops accepting, forwarding and
+// responding, in-flight state is dropped, and local callers get an error.
+// The transport stays open (packets arrive and are ignored), matching a
+// live process whose DHT layer died. Kill blocks until the loop has
+// applied it.
+func (n *Node) Kill() { n.control(true) }
+
+// Restart brings a killed node back (with its store intact).
+func (n *Node) Restart() { n.control(false) }
+
+// Down reports whether the node is currently killed.
+func (n *Node) Down() bool { return n.downNow.Load() }
+
+func (n *Node) control(down bool) {
+	ack := make(chan struct{})
+	select {
+	case n.cmds <- func() {
+		if down && !n.downNow.Load() {
+			// Crash semantics: every in-flight responsibility dies with
+			// the node.
+			for _, st := range n.pending {
+				st.timer.Stop()
+			}
+			n.pending = make(map[uint64]*pendingFwd)
+			for id, ch := range n.origins {
+				delete(n.origins, id)
+				ch <- Result{Err: fmt.Errorf("node %d: killed", n.cfg.ID)}
+			}
+		}
+		n.downNow.Store(down)
+		close(ack)
+	}:
+		<-ack
+	case <-n.done:
+	}
+}
+
+// loop is the event loop: every piece of routing state is owned by this
+// goroutine, so handlers never lock.
+func (n *Node) loop() {
+	defer n.wg.Done()
+	for {
+		select {
+		case f := <-n.cmds:
+			f()
+		case <-n.done:
+			// Drain to release any control/op callers racing with Close,
+			// then fail every still-waiting originator: timers posting
+			// after done cannot reach the loop, so nobody else will.
+			for {
+				select {
+				case f := <-n.cmds:
+					f()
+				default:
+					for id, ch := range n.origins {
+						delete(n.origins, id)
+						ch <- Result{Err: fmt.Errorf("node %d: closed", n.cfg.ID)}
+					}
+					for _, st := range n.pending {
+						st.timer.Stop()
+					}
+					return
+				}
+			}
+		}
+	}
+}
+
+// recvPump decodes packets and posts them to the loop.
+func (n *Node) recvPump() {
+	defer n.wg.Done()
+	for {
+		pkt, from, err := n.tr.Recv()
+		if err != nil {
+			return
+		}
+		m, err := decodeWire(pkt)
+		if err != nil {
+			continue // malformed datagram: drop, like any UDP service
+		}
+		select {
+		case n.cmds <- func() { n.handle(m, from) }:
+		case <-n.done:
+			return
+		}
+	}
+}
+
+// post schedules f on the loop, reporting false if the node is closed.
+func (n *Node) post(f func()) bool {
+	select {
+	case n.cmds <- f:
+		return true
+	case <-n.done:
+		return false
+	}
+}
+
+// ---- Public operations -------------------------------------------------
+
+// KeyHash maps a string key to its full 64-bit FNV-1a digest — the
+// store key. Stores index by the full digest, not the folded
+// identifier, so distinct keys owned by the same node stay distinct
+// even in tiny identifier spaces.
+func KeyHash(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return h.Sum64()
+}
+
+// KeyID maps a string key to its owner's identifier — KeyHash folded
+// into the space, so every node (and client) agrees on ownership.
+func KeyID(space overlay.Space, key string) overlay.ID {
+	return overlay.ID(KeyHash(key) & (space.Size() - 1))
+}
+
+// Lookup routes to the owner of dst and reports the hop count.
+func (n *Node) Lookup(dst overlay.ID) Result {
+	return n.issue(OpLookup, dst, 0, nil)
+}
+
+// Get fetches the value stored under key at its owner.
+func (n *Node) Get(key string) Result {
+	return n.issue(OpGet, KeyID(n.space, key), KeyHash(key), nil)
+}
+
+// Put stores value under key at its owner.
+func (n *Node) Put(key string, value []byte) Result {
+	if len(value) > MaxValueLen {
+		return Result{Err: fmt.Errorf("node: value of %d bytes exceeds the %d-byte wire limit", len(value), MaxValueLen)}
+	}
+	return n.issue(OpPut, KeyID(n.space, key), KeyHash(key), value)
+}
+
+// issue originates a request at this node and blocks for its verdict.
+func (n *Node) issue(op Op, dst overlay.ID, key uint64, value []byte) Result {
+	if n.downNow.Load() {
+		return Result{Err: fmt.Errorf("node %d: down", n.cfg.ID)}
+	}
+	reqID := uint64(n.cfg.ID)<<32 | (n.reqSeq.Add(1) & 0xffffffff)
+	ch := make(chan Result, 1)
+	m := message{
+		Kind:     msgReq,
+		Op:       op,
+		Hops:     0,
+		Budget:   uint16(n.cfg.MaxHops),
+		ReqID:    reqID,
+		Dst:      uint64(dst),
+		Key:      key,
+		Deadline: uint32(n.cfg.Deadline / time.Millisecond),
+		Origin:   n.tr.Addr(),
+		Value:    value,
+	}
+	ok := n.post(func() {
+		if n.downNow.Load() {
+			ch <- Result{Err: fmt.Errorf("node %d: down", n.cfg.ID)}
+			return
+		}
+		n.origins[reqID] = ch
+		// Local response deadline: if every downstream holder dies or the
+		// response datagram is lost, the origin still concludes.
+		guard := n.cfg.Deadline + 2*n.cfg.RTO
+		time.AfterFunc(guard, func() {
+			n.post(func() {
+				if c, live := n.origins[reqID]; live {
+					delete(n.origins, reqID)
+					c <- Result{Status: StatusExpired, Err: fmt.Errorf("node %d: request %#x: no response within %v", n.cfg.ID, reqID, guard)}
+				}
+			})
+		})
+		n.hold(m, time.Now())
+	})
+	if !ok {
+		return Result{Err: fmt.Errorf("node %d: closed", n.cfg.ID)}
+	}
+	return <-ch
+}
+
+// ---- Event handlers (loop goroutine only) ------------------------------
+
+// handle dispatches one decoded packet.
+func (n *Node) handle(m message, from string) {
+	if n.downNow.Load() {
+		return // a dead node neither acknowledges nor routes
+	}
+	switch m.Kind {
+	case msgReq:
+		n.handleReq(m, from)
+	case msgAck:
+		n.handleAck(m)
+	case msgResp:
+		n.handleResp(m)
+	}
+}
+
+// handleReq mirrors eventsim's handleReq: acknowledge so the sender
+// retires its attempt — ownership of the request transfers here with the
+// message — then apply or keep forwarding.
+func (n *Node) handleReq(m message, from string) {
+	n.sendMsg(from, &message{Kind: msgAck, ReqID: m.ReqID})
+	if _, dup := n.seen[m.ReqID]; dup {
+		return // duplicate delivery (our ACK was lost); already handled
+	}
+	if _, fwding := n.pending[m.ReqID]; fwding {
+		return // retransmission of an attempt we accepted moments ago
+	}
+	n.markSeen(m.ReqID)
+	m.Hops++
+	n.hold(m, time.Now())
+}
+
+// hold is the holder state machine shared by origination and receipt:
+// complete the request at its owner, or pick the first candidate and
+// dispatch.
+func (n *Node) hold(m message, arrived time.Time) {
+	if overlay.ID(m.Dst) == n.cfg.ID {
+		n.applyOwner(m)
+		return
+	}
+	if m.Budget == 0 {
+		n.respond(m, StatusHopBudget, nil)
+		return
+	}
+	n.candBuf = n.fwd.AppendCandidateHops(n.candBuf[:0], n.cfg.ID, overlay.ID(m.Dst))
+	if len(n.candBuf) == 0 {
+		n.respond(m, StatusNoRoute, nil)
+		return
+	}
+	st := &pendingFwd{
+		msg:      m,
+		cands:    append([]overlay.ID(nil), n.candBuf...),
+		deadline: arrived.Add(time.Duration(m.Deadline) * time.Millisecond),
+	}
+	n.pending[m.ReqID] = st
+	n.dispatch(st)
+}
+
+// dispatch sends the request to the current candidate and arms the RTO —
+// the live counterpart of eventsim's dispatch.
+func (n *Node) dispatch(st *pendingFwd) {
+	remaining := time.Until(st.deadline)
+	if remaining <= 0 {
+		delete(n.pending, st.msg.ReqID)
+		n.respond(st.msg, StatusExpired, nil)
+		return
+	}
+	n.attemptSeq++
+	st.attempt = n.attemptSeq
+	out := st.msg
+	out.Budget--
+	out.Deadline = uint32(remaining / time.Millisecond)
+	n.sendMsg(n.cfg.AddrOf(st.cands[st.ci]), &out)
+	attempt := st.attempt
+	reqID := st.msg.ReqID
+	st.timer = time.AfterFunc(n.cfg.RTO, func() {
+		n.post(func() { n.handleTimeout(reqID, attempt) })
+	})
+}
+
+// handleAck retires the acknowledged attempt: the downstream hop has
+// accepted responsibility.
+func (n *Node) handleAck(m message) {
+	st, ok := n.pending[m.ReqID]
+	if !ok {
+		return
+	}
+	st.timer.Stop()
+	delete(n.pending, m.ReqID)
+}
+
+// handleTimeout mirrors eventsim's handleTimeout: retransmit to the same
+// candidate first (a lost request must not skip the best next hop), fail
+// over to the next candidate once retransmissions are exhausted, and fail
+// the request when no candidates remain.
+func (n *Node) handleTimeout(reqID, attempt uint64) {
+	st, ok := n.pending[reqID]
+	if !ok || st.attempt != attempt {
+		return // acknowledged or superseded in the meantime
+	}
+	if st.try < n.cfg.Retransmits {
+		st.try++
+		n.dispatch(st)
+		return
+	}
+	st.ci++
+	st.try = 0
+	if st.ci >= len(st.cands) {
+		delete(n.pending, reqID)
+		n.respond(st.msg, StatusNoRoute, nil)
+		return
+	}
+	n.dispatch(st)
+}
+
+// applyOwner performs the operation at the key's owner and responds to
+// the origin.
+func (n *Node) applyOwner(m message) {
+	switch m.Op {
+	case OpGet:
+		if v, ok := n.store.Get(m.Key); ok {
+			n.respond(m, StatusOK, v)
+		} else {
+			n.respond(m, StatusNotFound, nil)
+		}
+	case OpPut:
+		n.store.Put(m.Key, m.Value)
+		n.respond(m, StatusOK, nil)
+	default:
+		n.respond(m, StatusOK, nil)
+	}
+}
+
+// respond sends the final verdict straight to the origin (or delivers
+// locally when this node originated the request).
+func (n *Node) respond(req message, status Status, value []byte) {
+	resp := message{
+		Kind:   msgResp,
+		Op:     req.Op,
+		Status: status,
+		Hops:   req.Hops,
+		ReqID:  req.ReqID,
+		Value:  value,
+	}
+	if req.Origin == n.tr.Addr() {
+		n.handleResp(resp)
+		return
+	}
+	n.sendMsg(req.Origin, &resp)
+}
+
+// handleResp delivers a verdict to the waiting originator, deduplicating
+// by request id.
+func (n *Node) handleResp(m message) {
+	ch, ok := n.origins[m.ReqID]
+	if !ok {
+		return // duplicate or late response
+	}
+	delete(n.origins, m.ReqID)
+	ch <- Result{Status: m.Status, Hops: int(m.Hops), Value: m.Value}
+}
+
+// sendMsg encodes and transmits one message, best-effort.
+func (n *Node) sendMsg(addr string, m *message) {
+	if addr == "" {
+		return
+	}
+	buf, err := appendWire(n.encBuf[:0], m)
+	if err != nil {
+		return // oversized value: callers validate, so only corrupt state lands here
+	}
+	n.encBuf = buf[:0]
+	n.tr.Send(addr, buf)
+}
+
+// markSeen records a handled request id in the bounded dedupe window.
+func (n *Node) markSeen(reqID uint64) {
+	if len(n.seenFIFO) >= seenCap {
+		old := n.seenFIFO[0]
+		n.seenFIFO = n.seenFIFO[1:]
+		delete(n.seen, old)
+	}
+	n.seen[reqID] = struct{}{}
+	n.seenFIFO = append(n.seenFIFO, reqID)
+}

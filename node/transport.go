@@ -1,0 +1,171 @@
+package node
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Transport is the datagram substrate a node sends and receives packets
+// on: unreliable, unordered, message-boundary-preserving — UDP semantics.
+// The node's retransmission machinery assumes exactly this contract, so an
+// in-memory implementation must not add reliability the real network
+// lacks.
+type Transport interface {
+	// Addr returns the transport's own address, the string other nodes
+	// send to and the origin carried inside requests.
+	Addr() string
+	// Send transmits one packet toward addr. Best-effort: packets may be
+	// dropped silently; Send errors only on misuse (closed transport,
+	// unresolvable address).
+	Send(addr string, pkt []byte) error
+	// Recv blocks for the next packet, returning it and the sender's
+	// address. It returns an error after Close.
+	Recv() ([]byte, string, error)
+	// Close releases the transport; pending and future Recv calls fail.
+	Close() error
+}
+
+// errClosed is returned by transport operations after Close.
+var errClosed = errors.New("node: transport closed")
+
+// udpTransport is the real-socket transport.
+type udpTransport struct {
+	conn *net.UDPConn
+	buf  []byte
+}
+
+// ListenUDP opens a UDP socket on addr ("127.0.0.1:0" picks a free port)
+// and returns the transport bound to it.
+func ListenUDP(addr string) (Transport, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("node: resolve %q: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, fmt.Errorf("node: listen %q: %w", addr, err)
+	}
+	return &udpTransport{conn: conn, buf: make([]byte, maxPacket+1)}, nil
+}
+
+func (t *udpTransport) Addr() string { return t.conn.LocalAddr().String() }
+
+func (t *udpTransport) Send(addr string, pkt []byte) error {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return fmt.Errorf("node: resolve %q: %w", addr, err)
+	}
+	_, err = t.conn.WriteToUDP(pkt, ua)
+	return err
+}
+
+func (t *udpTransport) Recv() ([]byte, string, error) {
+	n, from, err := t.conn.ReadFromUDP(t.buf)
+	if err != nil {
+		return nil, "", err
+	}
+	pkt := append([]byte(nil), t.buf[:n]...)
+	return pkt, from.String(), nil
+}
+
+func (t *udpTransport) Close() error { return t.conn.Close() }
+
+// MemNetwork is an in-memory datagram network: a set of named endpoints
+// with UDP semantics (unordered across endpoints, silently dropping into
+// full mailboxes), letting a whole cluster run in one process with no
+// sockets. It is the substrate the conformance and smoke tests replay
+// eventsim schedules on.
+type MemNetwork struct {
+	mu   sync.RWMutex
+	next int
+	eps  map[string]*memEndpoint
+}
+
+// NewMemNetwork returns an empty network.
+func NewMemNetwork() *MemNetwork {
+	return &MemNetwork{eps: make(map[string]*memEndpoint)}
+}
+
+// memMailboxCap bounds an endpoint's receive queue; packets beyond it are
+// dropped, as a kernel socket buffer would.
+const memMailboxCap = 4096
+
+type memPacket struct {
+	data []byte
+	from string
+}
+
+type memEndpoint struct {
+	net  *MemNetwork
+	addr string
+	box  chan memPacket
+	once sync.Once
+	done chan struct{}
+}
+
+// Endpoint creates a new endpoint with a unique synthetic address.
+func (n *MemNetwork) Endpoint() Transport {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	addr := fmt.Sprintf("mem:%d", n.next)
+	n.next++
+	ep := &memEndpoint{
+		net:  n,
+		addr: addr,
+		box:  make(chan memPacket, memMailboxCap),
+		done: make(chan struct{}),
+	}
+	n.eps[addr] = ep
+	return ep
+}
+
+func (e *memEndpoint) Addr() string { return e.addr }
+
+func (e *memEndpoint) Send(addr string, pkt []byte) error {
+	select {
+	case <-e.done:
+		return errClosed
+	default:
+	}
+	e.net.mu.RLock()
+	dst, ok := e.net.eps[addr]
+	e.net.mu.RUnlock()
+	if !ok {
+		return nil // unknown destination: dropped, like an unroutable datagram
+	}
+	p := memPacket{data: append([]byte(nil), pkt...), from: e.addr}
+	select {
+	case dst.box <- p:
+	case <-dst.done:
+	default: // full mailbox: dropped, like a full socket buffer
+	}
+	return nil
+}
+
+func (e *memEndpoint) Recv() ([]byte, string, error) {
+	select {
+	case p := <-e.box:
+		return p.data, p.from, nil
+	case <-e.done:
+		// Drain anything already queued before reporting closure, so a
+		// test that closes and re-reads sees deterministic behavior.
+		select {
+		case p := <-e.box:
+			return p.data, p.from, nil
+		default:
+			return nil, "", errClosed
+		}
+	}
+}
+
+func (e *memEndpoint) Close() error {
+	e.once.Do(func() {
+		close(e.done)
+		e.net.mu.Lock()
+		delete(e.net.eps, e.addr)
+		e.net.mu.Unlock()
+	})
+	return nil
+}

@@ -1,0 +1,90 @@
+package node
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestWireRoundTrip: every message kind survives encode → decode exactly.
+func TestWireRoundTrip(t *testing.T) {
+	for name, m := range map[string]message{
+		"lookup req": {
+			Kind: msgReq, Op: OpLookup, Hops: 3, Budget: 41,
+			ReqID: 0xdeadbeefcafe, Dst: 77, Deadline: 4500,
+			Origin: "127.0.0.1:40001",
+		},
+		"put req": {
+			Kind: msgReq, Op: OpPut, Budget: 56, ReqID: 1, Dst: 5, Key: 5,
+			Deadline: 1, Origin: "mem:0", Value: []byte("hello world"),
+		},
+		"ack": {Kind: msgAck, ReqID: 42},
+		"resp ok": {
+			Kind: msgResp, Op: OpGet, Status: StatusOK, Hops: 7,
+			ReqID: 9, Value: bytes.Repeat([]byte{0xab}, MaxValueLen),
+		},
+		"resp fail": {Kind: msgResp, Op: OpLookup, Status: StatusNoRoute, Hops: 2, ReqID: 9},
+	} {
+		pkt, err := appendWire(nil, &m)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", name, err)
+		}
+		got, err := decodeWire(pkt)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Errorf("%s: round trip\n got %+v\nwant %+v", name, got, m)
+		}
+	}
+}
+
+// TestWireRejects: malformed packets are rejected, never misparsed.
+func TestWireRejects(t *testing.T) {
+	good, err := appendWire(nil, &message{Kind: msgReq, Op: OpLookup, ReqID: 1, Origin: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := func(mutate func([]byte)) []byte {
+		p := append([]byte(nil), good...)
+		mutate(p)
+		return p
+	}
+	for name, tc := range map[string]struct {
+		pkt     []byte
+		wantSub string
+	}{
+		"empty":        {nil, "shorter"},
+		"truncated":    {good[:10], "shorter"},
+		"bad magic":    {corrupt(func(p []byte) { p[0] = 0xff }), "magic"},
+		"bad version":  {corrupt(func(p []byte) { p[2] = 9 }), "version"},
+		"bad kind":     {corrupt(func(p []byte) { p[3] = 77 }), "kind"},
+		"short origin": {corrupt(func(p []byte) { p[headerLen] = 200 }), "origin"},
+		"oversized":    {make([]byte, maxPacket+1), "maximum"},
+		"value length mismatch": {corrupt(func(p []byte) {
+			binary.BigEndian.PutUint16(p[len(p)-2:], 9)
+		}), "value length"},
+	} {
+		_, err := decodeWire(tc.pkt)
+		if err == nil {
+			t.Errorf("%s: accepted", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("%s: error %q does not mention %q", name, err, tc.wantSub)
+		}
+	}
+}
+
+// TestWireEncodeRejects: oversized fields fail at encode, before hitting
+// the network.
+func TestWireEncodeRejects(t *testing.T) {
+	if _, err := appendWire(nil, &message{Kind: msgReq, Origin: strings.Repeat("a", 256)}); err == nil {
+		t.Error("256-byte origin accepted")
+	}
+	if _, err := appendWire(nil, &message{Kind: msgReq, Value: make([]byte, MaxValueLen+1)}); err == nil {
+		t.Error("oversized value accepted")
+	}
+}

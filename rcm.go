@@ -36,6 +36,33 @@ type GeometryFactory = registry.GeometryFactory
 // ProtocolFactory builds a Protocol overlay from a Config.
 type ProtocolFactory = registry.ProtocolFactory
 
+// Forwarder is the per-hop candidate-enumeration capability: candidates
+// for the next hop from x toward dst, best first, with the first *alive*
+// candidate equal to the greedy Route hop. It is what message-level
+// executors — rcm/eventsim and the live nodes in rcm/node — route with;
+// all five built-in protocols implement it.
+type Forwarder = registry.Forwarder
+
+// Maintainer is the optional join/stabilize maintenance capability.
+// Implementations confine writes to node x's own table rows, so distinct
+// nodes may maintain one shared overlay concurrently (each from its own
+// goroutine or process); the four table-based built-ins implement it.
+type Maintainer = registry.Maintainer
+
+// NewProtocol resolves a protocol name (either registry vocabulary,
+// including user registrations) and constructs the overlay — the
+// programmatic counterpart of the name-driven Simulate/Churn entry points,
+// for callers that need the Protocol value itself: routing directly,
+// asserting capabilities (Forwarder, Maintainer), or running live nodes
+// (rcm/node) on the exact overlay the analytic layers describe.
+func NewProtocol(name string, cfg Config) (Protocol, error) {
+	p, err := dht.New(name, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("rcm: %w", err)
+	}
+	return p, nil
+}
+
 // RegisterGeometry adds an analytic geometry to the shared name-keyed
 // registry under a canonical name plus optional aliases. Names are
 // case-insensitive; a name or alias that is already taken is an error.

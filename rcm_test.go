@@ -239,3 +239,30 @@ func TestChurnValidation(t *testing.T) {
 		t.Errorf("valid config rejected: %v", err)
 	}
 }
+
+// TestNewProtocol: the facade constructor resolves both registry
+// vocabularies and returns overlays carrying the message-level
+// capabilities the live-node layer routes with.
+func TestNewProtocol(t *testing.T) {
+	for _, name := range []string{"chord", "ring", "kademlia", "xor"} {
+		p, err := NewProtocol(name, Config{Bits: 4})
+		if err != nil {
+			t.Fatalf("NewProtocol(%q): %v", name, err)
+		}
+		if p.Space().Bits() != 4 {
+			t.Errorf("%s: bits = %d, want 4", name, p.Space().Bits())
+		}
+		if _, ok := p.(Forwarder); !ok {
+			t.Errorf("%s: does not implement Forwarder", name)
+		}
+		if _, ok := p.(Maintainer); !ok {
+			t.Errorf("%s: does not implement Maintainer", name)
+		}
+	}
+	if _, err := NewProtocol("warp", Config{Bits: 4}); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+	if _, err := NewProtocol("chord", Config{}); err == nil {
+		t.Error("zero bits accepted")
+	}
+}

@@ -1,0 +1,239 @@
+// Package spec is the one implementation of the module's registry-style
+// configuration mini-grammar
+//
+//	name[:arg[,...]]
+//
+// shared by every name-keyed parser surface: transports
+// (eventsim.ParseTransport), lifetime families (rcm/eventsim/lifetime.Parse),
+// experiment modes (exp.ParseMode), and the live node's -store/-transport
+// flags (rcm/node). Before this package each of those parsers hand-rolled
+// the same four rules; now they are thin wrappers over one Table and the
+// rules cannot drift:
+//
+//   - names resolve case-insensitively with surrounding space ignored,
+//   - aliases are first-class (every accepted spelling resolves to the same
+//     canonical registrant),
+//   - an unknown name errors descriptively, listing every accepted name and
+//     alias in sorted order,
+//   - everything after the first ':' is the registrant's argument text,
+//     passed verbatim to its factory — the factory owns the argument
+//     grammar (a number, a comma list, a file path, even a nested spec).
+//
+// A Table is the same shape as the geometry/protocol/scenario registries in
+// the rest of the module: Register with collision checking, Lookup,
+// registration-order Names, sorted Keys. The generic payload keeps each
+// wrapper's vocabulary strongly typed.
+package spec
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Factory builds a registrant's value from the argument part of a spec (the
+// text after the first ':', possibly empty). Factories must validate their
+// argument and return descriptive errors; they never see the name part,
+// which the Table has already resolved.
+type Factory[T any] func(arg string) (T, error)
+
+// Table is one case-insensitive, alias-aware name-keyed parser: the shared
+// grammar of every "name[:arg]" flag in the module. The zero value is not
+// usable; construct with New. Tables are safe for concurrent use.
+type Table[T any] struct {
+	prefix string // error prefix, e.g. "eventsim" or "lifetime"
+	noun   string // what a registrant is called in errors, e.g. "transport"
+	def    string // canonical name selected by the empty spec ("" = reject)
+
+	mu    sync.RWMutex
+	order []string
+	index map[string]tableEntry[T]
+}
+
+type tableEntry[T any] struct {
+	canonical string
+	factory   Factory[T]
+}
+
+// New returns an empty table. prefix is the error-message package prefix
+// ("eventsim"), noun is the vocabulary word used in errors ("transport" —
+// producing e.g. `eventsim: unknown transport "warp" (have constant,
+// empirical, lossy)`).
+func New[T any](prefix, noun string) *Table[T] {
+	return &Table[T]{prefix: prefix, noun: noun, index: map[string]tableEntry[T]{}}
+}
+
+// SetDefault makes the empty spec resolve to the named registrant (which
+// must already be registered) with an empty argument, mirroring how
+// ParseTransport("") means constant and lifetime.Parse("") means exp.
+func (t *Table[T]) SetDefault(name string) error {
+	k := fold(name)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.index[k]; !ok {
+		return fmt.Errorf("%s: default %s %q is not registered", t.prefix, t.noun, name)
+	}
+	t.def = k
+	return nil
+}
+
+// Register adds a factory under a canonical name plus optional aliases.
+// Names are case-insensitive; registering a name or alias that is already
+// taken (by either a canonical name or an alias) is an error, as is an
+// empty name or a nil factory.
+func (t *Table[T]) Register(name string, f Factory[T], aliases ...string) error {
+	if f == nil {
+		return fmt.Errorf("%s: %s %q has nil factory", t.prefix, t.noun, name)
+	}
+	keys := make([]string, 0, 1+len(aliases))
+	for _, n := range append([]string{name}, aliases...) {
+		k := fold(n)
+		if k == "" {
+			return fmt.Errorf("%s: empty %s name", t.prefix, t.noun)
+		}
+		keys = append(keys, k)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, k := range keys {
+		if _, taken := t.index[k]; taken {
+			what := "name"
+			if i > 0 {
+				what = "alias"
+			}
+			return fmt.Errorf("%s: %s %s %q already registered", t.prefix, t.noun, what, k)
+		}
+		for _, prev := range keys[:i] {
+			if prev == k {
+				return fmt.Errorf("%s: %s %q aliases itself", t.prefix, t.noun, k)
+			}
+		}
+	}
+	for _, k := range keys {
+		t.index[k] = tableEntry[T]{canonical: keys[0], factory: f}
+	}
+	t.order = append(t.order, keys[0])
+	return nil
+}
+
+// MustRegister is Register for statically-known names; it panics on error
+// and is intended for package init blocks.
+func (t *Table[T]) MustRegister(name string, f Factory[T], aliases ...string) {
+	if err := t.Register(name, f, aliases...); err != nil {
+		panic(err)
+	}
+}
+
+// Parse resolves a full "name[:arg]" spec: split at the first ':', resolve
+// the name (or the table default for an empty spec), and hand the argument
+// text to the registrant's factory. A spec with an argument but no name
+// (":0.5") is rejected — it is almost always a typo for a real name.
+func (t *Table[T]) Parse(s string) (T, error) {
+	var zero T
+	name, arg := Split(s)
+	if name == "" {
+		if arg != "" || hasArg(s) {
+			return zero, fmt.Errorf("%s: %s spec %q has an argument but no %s name", t.prefix, t.noun, s, t.noun)
+		}
+		t.mu.RLock()
+		def := t.def
+		t.mu.RUnlock()
+		if def == "" {
+			return zero, fmt.Errorf("%s: empty %s spec (have %s)", t.prefix, t.noun, strings.Join(t.Keys(), ", "))
+		}
+		name = def
+	}
+	f, ok := t.lookup(name)
+	if !ok {
+		return zero, fmt.Errorf("%s: unknown %s %q (have %s)", t.prefix, t.noun, name, strings.Join(t.Keys(), ", "))
+	}
+	return f(arg)
+}
+
+// Lookup resolves a factory by canonical name or alias.
+func (t *Table[T]) Lookup(name string) (Factory[T], bool) { return t.lookup(name) }
+
+func (t *Table[T]) lookup(name string) (Factory[T], bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	e, ok := t.index[fold(name)]
+	return e.factory, ok
+}
+
+// Canonical resolves a name or alias to its canonical registered name
+// (ok is false for unknown names).
+func (t *Table[T]) Canonical(name string) (string, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	e, ok := t.index[fold(name)]
+	return e.canonical, ok
+}
+
+// Names returns the canonical names in registration order (built-ins
+// first, user registrations after).
+func (t *Table[T]) Names() []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]string, len(t.order))
+	copy(out, t.order)
+	return out
+}
+
+// Keys returns every accepted name and alias, sorted; it backs "unknown
+// name" error messages.
+func (t *Table[T]) Keys() []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]string, 0, len(t.index))
+	for k := range t.index {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Split separates a spec into its name and argument parts at the first
+// ':' — "pareto:1.5" is ("pareto", "1.5"), "lossy:0.05:empirical" is
+// ("lossy", "0.05:empirical"), "exp" is ("exp", ""). The name is trimmed;
+// the argument is passed through verbatim (factories own its grammar).
+func Split(s string) (name, arg string) {
+	name, arg, _ = strings.Cut(strings.TrimSpace(s), ":")
+	return strings.TrimSpace(name), arg
+}
+
+// hasArg reports whether the spec carries a ':' (so ":" and ": " are
+// "argument but no name" even though the argument text is empty).
+func hasArg(s string) bool {
+	return strings.Contains(s, ":")
+}
+
+// fold is the table's name normalization: lower-case, space-trimmed.
+func fold(s string) string { return strings.ToLower(strings.TrimSpace(s)) }
+
+// Float parses a registrant's single numeric argument; the empty argument
+// selects the registrant's default (zero, with ok=false). kind and name
+// contextualize errors, e.g. Float("lifetime", "pareto", arg).
+func Float(prefix, name, arg string) (v float64, ok bool, err error) {
+	if strings.TrimSpace(arg) == "" {
+		return 0, false, nil
+	}
+	v, err = strconv.ParseFloat(strings.TrimSpace(arg), 64)
+	if err != nil {
+		return 0, false, fmt.Errorf("%s: %s argument %q: %v", prefix, name, arg, err)
+	}
+	return v, true, nil
+}
+
+// Int is Float for integer arguments.
+func Int(prefix, name, arg string) (v int, ok bool, err error) {
+	if strings.TrimSpace(arg) == "" {
+		return 0, false, nil
+	}
+	v, err = strconv.Atoi(strings.TrimSpace(arg))
+	if err != nil {
+		return 0, false, fmt.Errorf("%s: %s argument %q: %v", prefix, name, arg, err)
+	}
+	return v, true, nil
+}
