@@ -1,7 +1,7 @@
 # Developer entry points; CI calls the same targets so local runs and the
 # pipeline cannot drift.
 
-.PHONY: build test race bench profile fmt vet cluster-smoke
+.PHONY: build test race bench profile fmt vet lint fuzz-smoke cluster-smoke
 
 build:
 	go build ./... && go build ./examples/...
@@ -39,3 +39,14 @@ fmt:
 
 vet:
 	go vet ./... && go vet ./examples/...
+
+# lint runs rcmlint, the in-repo analysis suite enforcing the
+# determinism, loop-ownership, registry and import-boundary invariants
+# (see internal/lint). Exit 0 means the module is clean.
+lint:
+	go run ./cmd/rcmlint ./...
+
+# fuzz-smoke gives the wire-codec fuzz target a short budget; the target
+# is build-tagged so it stays out of ordinary test runs.
+fuzz-smoke:
+	go test -tags fuzz -fuzz FuzzParseMessage -fuzztime 10s -run '^$$' ./node

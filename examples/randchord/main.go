@@ -212,9 +212,12 @@ func (p *protocol) ResampleNode(x overlay.ID, alive *overlay.Bitset, rng *overla
 	}
 }
 
-func main() {
-	// 1. Register both halves under one name. After this, "randchord"
-	//    resolves everywhere the five built-ins do.
+// Register both halves under one name, at package-init time as the
+// registry discipline demands (rcmlint's registrydiscipline analyzer):
+// every name is resolvable before main starts, so no code path can
+// observe a half-populated registry. After this, "randchord" resolves
+// everywhere the five built-ins do.
+func init() {
 	if err := rcm.RegisterGeometry("randchord", func(rcm.Config) (rcm.Geometry, error) {
 		return geometry{R: redundancy}, nil
 	}, "record"); err != nil {
@@ -223,8 +226,10 @@ func main() {
 	if err := rcm.RegisterProtocol("randchord", newProtocol, "record"); err != nil {
 		log.Fatal(err)
 	}
+}
 
-	// 2. Classify the new geometry with the numeric Knopp-test probe: no
+func main() {
+	// 1. Classify the new geometry with the numeric Knopp-test probe: no
 	//    hand-derived verdict exists, so Scalability() is indeterminate and
 	//    the probe is the only oracle.
 	m, err := rcm.ModelFor("randchord", rcm.Config{})
@@ -246,7 +251,7 @@ func main() {
 	}
 	fmt.Printf("analytic r(2^16,0.3) : %.4f (ring with R=1 fingers: %.4f)\n\n", r16, ring)
 
-	// 3. Sweep the full grid — analytic, simulation and churn cells —
+	// 2. Sweep the full grid — analytic, simulation and churn cells —
 	//    through the public streaming runner, exactly as the built-ins do
 	//    in cmd/figures. Rows stream out as cells complete.
 	spec, err := exp.SpecFor("randchord", exp.Config{})

@@ -1,0 +1,156 @@
+package lint
+
+// The golden-test harness: an analysistest analogue for the in-tree
+// engine. Each golden package under testdata/src/<dir> is parsed,
+// type-checked under an explicit import path (so path-sensitive
+// analyzers like detsource and boundary see the package they are meant
+// to see), and run through Run — suppression filtering included, so
+// //lint:allow comments are testable. Expected findings are `// want`
+// comments on the offending line, carrying one backquoted regexp per
+// expected diagnostic:
+//
+//	x := time.Now() // want `time\.Now in a determinism-critical package`
+//
+// Module-internal imports ("rcm/...") resolve to empty placeholder
+// packages — golden files import them blank, which is all the boundary
+// analyzer needs — and standard-library imports resolve through the
+// toolchain.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// loadGolden parses and type-checks testdata/src/<rel> as importPath.
+func loadGolden(t *testing.T, rel, importPath string) *Package {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", filepath.FromSlash(rel))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading golden package: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parsing golden file: %v", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("golden package %s has no .go files", rel)
+	}
+
+	std := newStdImporter(fset)
+	imp := importerFunc(func(p string) (*types.Package, error) {
+		if p == "rcm" || strings.HasPrefix(p, "rcm/") {
+			fake := types.NewPackage(p, path.Base(p))
+			fake.MarkComplete()
+			return fake, nil
+		}
+		return std.Import(p)
+	})
+	info := newInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking golden package %s: %v", rel, err)
+	}
+	return &Package{Path: importPath, Dir: dir, Fset: fset, Files: files, Types: tpkg, Info: info}
+}
+
+// expectation is one `// want` entry: a diagnostic that must be
+// reported at file:line with a message matching re.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRe = regexp.MustCompile("`([^`]*)`")
+
+// collectWants extracts the expectations from a golden package.
+func collectWants(t *testing.T, pkg *Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				_, after, found := strings.Cut(c.Text, "want ")
+				if !found {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				ms := wantRe.FindAllStringSubmatch(after, -1)
+				if len(ms) == 0 {
+					t.Fatalf("%s: want comment carries no backquoted regexp", pos)
+				}
+				for _, m := range ms {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, m[1], err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// runGolden loads the golden package, runs the analyzers, and checks
+// findings against the `// want` expectations — each must match
+// exactly one diagnostic and vice versa.
+func runGolden(t *testing.T, rel, importPath string, analyzers ...*Analyzer) {
+	t.Helper()
+	pkg := loadGolden(t, rel, importPath)
+	diags, err := Run([]*Package{pkg}, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	wants := collectWants(t, pkg)
+
+	for _, d := range diags {
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic:\n  %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("missing diagnostic at %s:%d matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// diagSummaries renders diagnostics compactly for failure output.
+func diagSummaries(diags []Diagnostic) string {
+	lines := make([]string, len(diags))
+	for i, d := range diags {
+		lines[i] = fmt.Sprintf("%s:%d: %s: %s", filepath.Base(d.Pos.Filename), d.Pos.Line, d.Analyzer, d.Message)
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}

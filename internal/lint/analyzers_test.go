@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDetSourceBad: every nondeterminism class — wall clocks, timers,
+// global math/rand (called and referenced), env reads, and the three
+// ordered-sink map-iteration shapes — is caught in a
+// determinism-critical package.
+func TestDetSourceBad(t *testing.T) {
+	runGolden(t, "detsource/bad", "rcm/eventsim", DetSource)
+}
+
+// TestDetSourceClean: the deterministic counterparts — duration
+// arithmetic, seeded generators, collect-then-sort, order-insensitive
+// folds, loop-local accumulators — produce no findings.
+func TestDetSourceClean(t *testing.T) {
+	runGolden(t, "detsource/clean", "rcm/eventsim", DetSource)
+}
+
+// TestDetSourceUncritical: the same wall-clock and global-rand code is
+// fine outside the determinism-critical allowlist.
+func TestDetSourceUncritical(t *testing.T) {
+	runGolden(t, "detsource/uncritical", "rcm/cmd/rcmd", DetSource)
+}
+
+// TestLoopOwnerBad: exported-entry-point reads, timer-callback and
+// goroutine writes, and laundering via a method call are all caught.
+func TestLoopOwnerBad(t *testing.T) {
+	runGolden(t, "loopowner/bad", "rcm/node", LoopOwner)
+}
+
+// TestLoopOwnerClean: the dispatch root, posted closures (both the
+// channel send and the rcm:loop-post helper), loop-reachable handlers,
+// the go-launch of the root, and unannotated types are all silent.
+func TestLoopOwnerClean(t *testing.T) {
+	runGolden(t, "loopowner/clean", "rcm/node", LoopOwner)
+}
+
+// TestRegistryDisciplineBad: registration from ordinary runtime code is
+// caught, including inside returned closures.
+func TestRegistryDisciplineBad(t *testing.T) {
+	runGolden(t, "registrydiscipline/bad", "rcm/widgets", RegistryDiscipline)
+}
+
+// TestRegistryDisciplineClean: init funcs, package-level var
+// initializers and Register* wrappers are sanctioned.
+func TestRegistryDisciplineClean(t *testing.T) {
+	runGolden(t, "registrydiscipline/clean", "rcm/widgets", RegistryDiscipline)
+}
+
+// TestBoundaryBad: a public-API layer importing rcm/internal is caught
+// at the import site.
+func TestBoundaryBad(t *testing.T) {
+	runGolden(t, "boundary/bad", "rcm/node", Boundary)
+}
+
+// TestBoundaryInternalBack: internal layers importing the event engine
+// (layer acyclicity) are caught.
+func TestBoundaryInternalBack(t *testing.T) {
+	runGolden(t, "boundary/internalback", "rcm/internal/percolation", Boundary)
+}
+
+// TestBoundaryClean: facade, overlay, spec and stdlib imports pass.
+func TestBoundaryClean(t *testing.T) {
+	runGolden(t, "boundary/clean", "rcm/node", Boundary)
+}
+
+// TestSuppression: justified //lint:allow markers silence exactly their
+// analyzer on their line (and the line below); unjustified or
+// unknown-analyzer markers suppress nothing and are findings
+// themselves.
+func TestSuppression(t *testing.T) {
+	pkg := loadGolden(t, "suppress", "rcm/eventsim")
+	diags, err := Run([]*Package{pkg}, All)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type want struct {
+		analyzer string
+		substr   string
+	}
+	wants := []want{
+		{"lint", `suppression of "detsource" gives no reason`},
+		{"detsource", "time.Now"}, // the finding above the reasonless marker stands
+		{"lint", `suppression names unknown analyzer "clockcheck"`},
+		{"detsource", "time.Now"}, // the finding next to the unknown-analyzer marker stands
+	}
+	if len(diags) != len(wants) {
+		t.Fatalf("got %d diagnostics, want %d:\n%s", len(diags), len(wants), diagSummaries(diags))
+	}
+	for _, w := range wants {
+		found := false
+		for _, d := range diags {
+			if d.Analyzer == w.analyzer && strings.Contains(d.Message, w.substr) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no %s diagnostic containing %q in:\n%s", w.analyzer, w.substr, diagSummaries(diags))
+		}
+	}
+}

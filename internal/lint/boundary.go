@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"strconv"
+	"strings"
+)
+
+// boundaryRule forbids packages matching From from importing packages
+// matching To. Patterns are exact import paths, or prefixes when they
+// end in "/..." (which also matches the path without the suffix).
+type boundaryRule struct {
+	From   string
+	To     string
+	Reason string
+	// Except lists From-side packages exempt from this rule — each one
+	// a documented, deliberate exception to the layer contract, not a
+	// suppression of convenience.
+	Except []string
+}
+
+// BoundaryRules is the module's layer contract, bottom to top:
+//
+//	spec, overlay                     (leaf libraries: stdlib only)
+//	internal/...                      (model, simulators, registry)
+//	rcm, eventsim, exp                (public facade + engines)
+//	node, cluster, cmd/rcmd, examples (public-API consumers)
+//
+// The public-API consumers must build against the exported surface
+// alone — that is what keeps the facade honest and lets external
+// protocol implementations do everything the in-tree ones do — and
+// lower layers must not reach up, which keeps the layering acyclic.
+var BoundaryRules = []boundaryRule{
+	{From: "rcm/node/...", To: "rcm/internal/...", Reason: "node builds on the public API only (rcm facade, rcm/overlay)"},
+	{From: "rcm/examples/...", To: "rcm/internal/...", Reason: "examples demonstrate the public API only"},
+	{From: "rcm/cmd/rcmd", To: "rcm/internal/...", Reason: "the live-node daemon builds on the public API only"},
+	{From: "rcm/internal/...", To: "rcm", Reason: "internal layers must not import the facade built on them"},
+	{From: "rcm/internal/...", To: "rcm/eventsim/...", Reason: "internal layers must not import the event engine built on them"},
+	// internal/figures is the one sanctioned upward edge: figure
+	// construction is an *application* of the public experiment runner
+	// (PR 1 deliberately rewired the sweeps through it) and lives under
+	// internal/ only to keep the figure set out of the exported API.
+	{From: "rcm/internal/...", To: "rcm/exp/...", Reason: "internal layers must not import the experiment runner built on them",
+		Except: []string{"rcm/internal/figures"}},
+	{From: "rcm/internal/...", To: "rcm/node/...", Reason: "internal layers must not import the live-node layer built on them"},
+	{From: "rcm/eventsim/...", To: "rcm/node/...", Reason: "the event engine must not depend on the live-node layer validated against it"},
+	{From: "rcm/exp/...", To: "rcm/node/...", Reason: "the experiment runner must not depend on the live-node layer"},
+	{From: "rcm/spec/...", To: "rcm/...", Reason: "spec is a leaf library (stdlib only)"},
+	{From: "rcm/overlay/...", To: "rcm/...", Reason: "overlay is a leaf library (stdlib only)"},
+}
+
+// Boundary enforces the import contract between the module's layers.
+// It subsumes the old shell check (`grep rcm/internal examples/ node/`)
+// that guarded the public-API discipline by hand.
+var Boundary = &Analyzer{
+	Name: "boundary",
+	Doc:  "forbid imports that cross the module's layer boundaries (node/examples/cmd/rcmd -> internal, internal -> engines)",
+	Run:  runBoundary,
+}
+
+func runBoundary(pass *Pass) error {
+	for _, f := range pass.Pkg.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			for _, rule := range BoundaryRules {
+				if matchPattern(pass.Pkg.Path, rule.From) && matchPattern(path, rule.To) && !exempt(pass.Pkg.Path, rule.Except) {
+					pass.Reportf(imp.Pos(), "package %s must not import %s: %s", pass.Pkg.Path, path, rule.Reason)
+					break
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// exempt reports whether path matches any exception pattern.
+func exempt(path string, except []string) bool {
+	for _, pat := range except {
+		if matchPattern(path, pat) {
+			return true
+		}
+	}
+	return false
+}
+
+// matchPattern reports whether path matches pattern: exact match, or —
+// when pattern ends in "/..." — the prefix itself or anything below it.
+func matchPattern(path, pattern string) bool {
+	if prefix, ok := strings.CutSuffix(pattern, "/..."); ok {
+		return path == prefix || strings.HasPrefix(path, prefix+"/")
+	}
+	return path == pattern
+}

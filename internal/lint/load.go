@@ -1,0 +1,201 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Standard   bool
+	GoFiles    []string
+	Imports    []string
+}
+
+// Load enumerates the packages matching patterns (relative to dir, the
+// module root), parses their non-test sources, and type-checks them in
+// dependency order. Module-internal dependencies that the patterns do
+// not match are loaded too (analyzers need their type information) but
+// are not returned; standard-library imports come from the toolchain's
+// export data, falling back to type-checking the library from source.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	roots, err := goList(dir, patterns, false)
+	if err != nil {
+		return nil, err
+	}
+	all, err := goList(dir, patterns, true)
+	if err != nil {
+		return nil, err
+	}
+
+	index := make(map[string]*listPackage, len(all))
+	for _, lp := range all {
+		if !lp.Standard {
+			index[lp.ImportPath] = lp
+		}
+	}
+
+	fset := token.NewFileSet()
+	ld := &loader{
+		fset:    fset,
+		index:   index,
+		checked: make(map[string]*Package, len(index)),
+		std:     newStdImporter(fset),
+	}
+
+	var out []*Package
+	for _, lp := range roots {
+		pkg, err := ld.load(lp.ImportPath, nil)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// goList runs `go list -json [-deps] patterns` in dir and decodes the
+// concatenated JSON stream.
+func goList(dir string, patterns []string, deps bool) ([]*listPackage, error) {
+	args := []string{"list", "-json"}
+	if deps {
+		args = append(args, "-deps")
+	}
+	args = append(args, "--")
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []*listPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		lp := new(listPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, lp)
+	}
+	return pkgs, nil
+}
+
+// loader type-checks module packages in import order, memoizing results.
+type loader struct {
+	fset    *token.FileSet
+	index   map[string]*listPackage // module packages by import path
+	checked map[string]*Package
+	std     types.Importer
+}
+
+// load returns the type-checked package for path, checking its
+// module-internal imports first. trail guards against import cycles.
+func (ld *loader) load(path string, trail []string) (*Package, error) {
+	if pkg, ok := ld.checked[path]; ok {
+		return pkg, nil
+	}
+	for _, t := range trail {
+		if t == path {
+			return nil, fmt.Errorf("import cycle: %s", strings.Join(append(trail, path), " -> "))
+		}
+	}
+	lp, ok := ld.index[path]
+	if !ok {
+		return nil, fmt.Errorf("package %s not known to the loader", path)
+	}
+	trail = append(trail, path)
+	for _, imp := range lp.Imports {
+		if _, module := ld.index[imp]; module {
+			if _, err := ld.load(imp, trail); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(ld.fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %v", filepath.Join(lp.Dir, name), err)
+		}
+		files = append(files, f)
+	}
+
+	info := newInfo()
+	conf := types.Config{Importer: importerFunc(func(imp string) (*types.Package, error) {
+		if pkg, ok := ld.checked[imp]; ok {
+			return pkg.Types, nil
+		}
+		return ld.std.Import(imp)
+	})}
+	tpkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", path, err)
+	}
+	pkg := &Package{Path: path, Dir: lp.Dir, Fset: ld.fset, Files: files, Types: tpkg, Info: info}
+	ld.checked[path] = pkg
+	return pkg, nil
+}
+
+// newInfo allocates a fully-populated types.Info fact table.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// newStdImporter imports standard-library packages: compiled export
+// data when the toolchain provides it (fast), else type-checking the
+// library from source. Results are memoized across both paths.
+func newStdImporter(fset *token.FileSet) types.Importer {
+	gc := importer.ForCompiler(fset, "gc", nil)
+	src := importer.ForCompiler(fset, "source", nil)
+	cache := make(map[string]*types.Package)
+	return importerFunc(func(path string) (*types.Package, error) {
+		if pkg, ok := cache[path]; ok {
+			return pkg, nil
+		}
+		pkg, err := gc.Import(path)
+		if err != nil {
+			pkg, err = src.Import(path)
+		}
+		if err != nil {
+			return nil, err
+		}
+		cache[path] = pkg
+		return pkg, nil
+	})
+}

@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// RegistryDiscipline requires that every registration — a call to a
+// function or method named Register* or MustRegister* (rcm.RegisterGeometry,
+// spec.Table.Register, eventsim.RegisterScenario, ...) — happens during
+// package initialization: inside an init function, inside a
+// package-level variable initializer, or inside another Register*
+// wrapper (whose own callers are checked the same way, wherever they
+// live). Names looked up through a registry are then complete before
+// main starts, so resolution never depends on call order, and two runs
+// of any binary see the same name table — a precondition for the
+// fixed-(Seed, Shards) bit-identity contract, which pins lookups by
+// registered name.
+var RegistryDiscipline = &Analyzer{
+	Name: "registrydiscipline",
+	Doc:  "require Register*/MustRegister* calls to run during package init (init funcs, package-level vars, Register* wrappers)",
+	Run:  runRegistryDiscipline,
+}
+
+// isRegisterName reports whether name is a registration entry point.
+func isRegisterName(name string) bool {
+	return strings.HasPrefix(name, "Register") || strings.HasPrefix(name, "MustRegister")
+}
+
+func runRegistryDiscipline(pass *Pass) error {
+	walkStack(pass.Pkg, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass.Pkg.Info, call)
+		if fn == nil || !isRegisterName(fn.Name()) {
+			return true
+		}
+		if initTimeContext(stack) {
+			return true
+		}
+		pass.Reportf(call.Pos(), "%s called outside package initialization: move the call into an init function or package-level var so the registry is complete before main", fn.Name())
+		return true
+	})
+	return nil
+}
+
+// initTimeContext reports whether a node whose ancestors are stack runs
+// during package initialization: under an init FuncDecl, under a
+// package-level var declaration (including function literals invoked as
+// part of its initializer), or under a Register* wrapper function.
+func initTimeContext(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch anc := stack[i].(type) {
+		case *ast.FuncDecl:
+			if anc.Recv == nil && anc.Name.Name == "init" {
+				return true
+			}
+			return isRegisterName(anc.Name.Name)
+		case *ast.GenDecl:
+			// A ValueSpec under a file-level GenDecl is a package-level
+			// var; anything lexically inside its initializer (function
+			// literals included) runs before main.
+			if i == 1 && anc.Tok == token.VAR {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"bytes"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// moduleRoot locates the rcm module directory from wherever the test
+// binary runs.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatalf("go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == "/dev/null" || gomod == "NUL" {
+		t.Fatal("not running inside the rcm module")
+	}
+	return strings.TrimSuffix(strings.TrimSuffix(gomod, "go.mod"), "/")
+}
+
+// TestRepoClean is the conformance gate: the full rcmlint suite over
+// the whole module must report nothing. This is also where the old
+// shell check lived on (PR 6 enforced the node/examples public-API
+// discipline with `grep rcm/internal`); the boundary analyzer now
+// carries that invariant — typed, type-checked and alias-proof —
+// alongside detsource, loopowner and registrydiscipline.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module; skipped in -short runs")
+	}
+	root := moduleRoot(t)
+	pkgs, err := Load(root, "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages from %s — pattern or loader regression", len(pkgs), root)
+	}
+	diags, err := Run(pkgs, All)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	if len(diags) > 0 {
+		var b bytes.Buffer
+		for _, d := range diags {
+			b.WriteString("  " + d.String() + "\n")
+		}
+		t.Errorf("rcmlint findings on the module (fix, or justify with %s <analyzer> <reason>):\n%s", AllowPrefix, b.String())
+	}
+}
+
+// TestBoundaryCoversPublicAPISurface pins the analyzer config that
+// replaced the grep: the node, examples and cmd/rcmd trees must each be
+// covered by a rule forbidding rcm/internal imports, so a config edit
+// cannot silently drop the public-API discipline the conformance suites
+// (and PR 6's exactness guarantees) assume.
+func TestBoundaryCoversPublicAPISurface(t *testing.T) {
+	for _, consumer := range []string{"rcm/node", "rcm/node/cluster", "rcm/examples/randchord", "rcm/cmd/rcmd"} {
+		covered := false
+		for _, rule := range BoundaryRules {
+			if matchPattern(consumer, rule.From) && matchPattern("rcm/internal/dht", rule.To) && !exempt(consumer, rule.Except) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			t.Errorf("no boundary rule forbids %s -> rcm/internal/...; the public-API discipline lost its guard", consumer)
+		}
+	}
+}

@@ -1,0 +1,10 @@
+// Package bad is type-checked under the import path rcm/node: its
+// rcm/internal import crosses the public-API boundary that keeps the
+// live-node layer honest.
+package bad
+
+import (
+	_ "fmt"
+	_ "rcm/internal/dht" // want `package rcm/node must not import rcm/internal/dht: node builds on the public API only`
+	_ "rcm/overlay"
+)

@@ -1,0 +1,10 @@
+// Package clean is type-checked under rcm/node: the facade, overlay
+// and stdlib are exactly the imports the layer contract sanctions.
+package clean
+
+import (
+	_ "fmt"
+	_ "rcm"
+	_ "rcm/overlay"
+	_ "rcm/spec"
+)

@@ -1,0 +1,9 @@
+// Package internalback is type-checked under rcm/internal/percolation:
+// importing the event engine from an internal layer is the acyclicity
+// violation boundary must refuse.
+package internalback
+
+import (
+	_ "rcm/eventsim"          // want `package rcm/internal/percolation must not import rcm/eventsim: internal layers must not import the event engine`
+	_ "rcm/eventsim/lifetime" // want `must not import rcm/eventsim/lifetime`
+)

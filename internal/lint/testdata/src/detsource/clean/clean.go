@@ -1,0 +1,68 @@
+// Package clean holds the deterministic counterparts of every pattern
+// detsource forbids: the analyzer must stay silent on all of it. It is
+// type-checked under the import path rcm/eventsim.
+package clean
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Duration arithmetic is unit bookkeeping, not a clock read.
+const tick = 10 * time.Millisecond
+
+// Explicitly seeded generators are the sanctioned randomness.
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// Collect-then-sort is the one legitimate map-to-slice pattern.
+func keysSorted(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// sort.Slice with a total-order comparator counts too.
+func valuesSorted(m map[string]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+// Order-insensitive folds over maps are fine.
+func total(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// A loop-local accumulator confines any ordering to one iteration.
+func perKey(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		local := make([]int, 0, len(vs))
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}
+
+// Writing from slice iteration is ordered and fine.
+func writeSorted(m map[string]int, w io.Writer) {
+	for _, k := range keysSorted(m) {
+		fmt.Fprintf(w, "%s,%d\n", k, m[k])
+	}
+}

@@ -1,0 +1,17 @@
+// Package uncritical is type-checked under rcm/cmd/rcmd, which is NOT
+// determinism-critical: wall clocks and the global rand source are the
+// normal tools of a live daemon, and detsource must not fire here.
+package uncritical
+
+import (
+	"math/rand"
+	"time"
+)
+
+func jitter() time.Duration {
+	return time.Duration(rand.Intn(50)) * time.Millisecond
+}
+
+func now() time.Time {
+	return time.Now()
+}

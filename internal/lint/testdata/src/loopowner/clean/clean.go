@@ -1,0 +1,69 @@
+// Package clean exercises every sanctioned access path to loop-owned
+// state: the dispatch root itself, closures sent on the command
+// channel, closures handed to the rcm:loop-post helper, methods
+// reachable from those, the `go`-launch of the root, and — in a second
+// type — fields with no marker at all. loopowner must stay silent.
+package clean
+
+import "time"
+
+type worker struct {
+	cmds  chan func()
+	done  chan struct{}
+	state map[int]int // rcm:loop-owned
+	buf   []byte      // rcm:loop-owned
+}
+
+// Start launches the dispatch — the one sanctioned non-loop call site
+// of a loop-reachable method.
+func (w *worker) Start() {
+	go w.run()
+}
+
+// run dispatches posted commands; the root may touch state freely.
+// rcm:event-loop
+func (w *worker) run() {
+	for {
+		select {
+		case f := <-w.cmds:
+			f()
+		case <-w.done:
+			w.state = nil
+			return
+		}
+	}
+}
+
+// post schedules f on the loop. rcm:loop-post
+func (w *worker) post(f func()) { w.cmds <- f }
+
+// Set posts a closure through the helper — the canonical entry point.
+func (w *worker) Set(k, v int) {
+	w.post(func() { w.state[k] = v })
+}
+
+// Add sends straight into the command channel; the closure and the
+// handler it calls both run on the loop.
+func (w *worker) Add(k int) {
+	w.cmds <- func() { w.handle(k) }
+}
+
+// handle is loop-reachable (called from posted closures only).
+func (w *worker) handle(k int) {
+	w.state[k]++
+	w.buf = append(w.buf[:0], byte(k))
+}
+
+// Timers may fire off-loop as long as they post back in.
+func (w *worker) armed(k int) {
+	time.AfterFunc(time.Second, func() {
+		w.post(func() { w.handle(k) })
+	})
+}
+
+// plain has no markers: unannotated fields stay unrestricted.
+type plain struct {
+	hits int
+}
+
+func (p *plain) Touch() { p.hits++ }

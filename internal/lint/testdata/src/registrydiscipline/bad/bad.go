@@ -1,0 +1,20 @@
+// Package bad calls registration entry points from ordinary runtime
+// code paths — after main has started, a registry can be observed
+// half-populated, which registrydiscipline forbids.
+package bad
+
+// RegisterWidget stands in for rcm.RegisterGeometry and friends.
+func RegisterWidget(name string) {}
+
+// MustRegisterGadget stands in for spec.Table.MustRegister.
+func MustRegisterGadget(name string) {}
+
+func configure() {
+	RegisterWidget("late") // want `RegisterWidget called outside package initialization`
+}
+
+func setup() func() {
+	return func() {
+		MustRegisterGadget("later") // want `MustRegisterGadget called outside package initialization`
+	}
+}

@@ -1,0 +1,28 @@
+// Package clean registers through every sanctioned init-time path:
+// init functions, package-level var initializers (immediately invoked
+// literals included), and Register* wrappers — whose own callers are
+// checked wherever they live.
+package clean
+
+type table struct{ names []string }
+
+// Register records a name (the spec.Table.Register stand-in).
+func (t *table) Register(name string) { t.names = append(t.names, name) }
+
+// RegisterWidget is the package's exported registration wrapper; the
+// nested Register call is the wrapper doing its job.
+func RegisterWidget(name string) { defaultTable.Register(name) }
+
+var defaultTable = &table{}
+
+// A package-level var initializer runs before main.
+var seeded = func() *table {
+	t := &table{}
+	t.Register("builtin")
+	return t
+}()
+
+func init() {
+	RegisterWidget("first")
+	defaultTable.Register("second")
+}

@@ -1,0 +1,32 @@
+// Package suppress exercises the //lint:allow grammar. It is
+// type-checked under rcm/eventsim so detsource is live; the two
+// justified suppressions must silence it, the unjustified and unknown
+// ones must not (and are themselves findings).
+package suppress
+
+import "time"
+
+// A justified suppression on the line above the finding.
+func above() int64 {
+	//lint:allow detsource golden-test fixture exercising the suppression grammar
+	return time.Now().Unix()
+}
+
+// A justified suppression trailing the finding's own line.
+func trailing() int64 {
+	return time.Now().Unix() //lint:allow detsource golden-test fixture: same-line form
+}
+
+// A reason alone does not name an analyzer; the finding stands and the
+// marker is malformed. (Asserted programmatically in suppress_test.go —
+// the framework diagnostic lands on the comment's own line.)
+func unjustified() int64 {
+	//lint:allow detsource
+	return time.Now().Unix()
+}
+
+// An unknown analyzer name is a malformed marker too, and suppresses
+// nothing.
+func unknown() int64 {
+	return time.Now().Unix() //lint:allow clockcheck stale analyzer name
+}

@@ -117,13 +117,16 @@ type Node struct {
 	downNow atomic.Bool // read by fast paths; written only by the loop
 
 	// Loop-owned state (no locking: only the event loop touches it).
-	pending    map[uint64]*pendingFwd
-	origins    map[uint64]chan Result
-	attemptSeq uint64
-	seen       map[uint64]struct{} // recently handled request ids (dedupe)
-	seenFIFO   []uint64
-	encBuf     []byte
-	candBuf    []overlay.ID
+	// The rcm:loop-owned markers are enforced by rcmlint's loopowner
+	// analyzer: any read or write outside code reachable from the
+	// rcm:event-loop dispatch is a lint error, not a latent race.
+	pending    map[uint64]*pendingFwd // rcm:loop-owned
+	origins    map[uint64]chan Result // rcm:loop-owned
+	attemptSeq uint64                 // rcm:loop-owned
+	seen       map[uint64]struct{}    // rcm:loop-owned — recently handled request ids (dedupe)
+	seenFIFO   []uint64               // rcm:loop-owned
+	encBuf     []byte                 // rcm:loop-owned
+	candBuf    []overlay.ID           // rcm:loop-owned
 }
 
 const seenCap = 4096
@@ -226,7 +229,9 @@ func (n *Node) control(down bool) {
 }
 
 // loop is the event loop: every piece of routing state is owned by this
-// goroutine, so handlers never lock.
+// goroutine, so handlers never lock. rcm:event-loop (the loopowner
+// dispatch root: code reachable from here may touch rcm:loop-owned
+// fields).
 func (n *Node) loop() {
 	defer n.wg.Done()
 	for {
@@ -277,6 +282,8 @@ func (n *Node) recvPump() {
 }
 
 // post schedules f on the loop, reporting false if the node is closed.
+// rcm:loop-post (loopowner: function literals passed here run on the
+// event-loop goroutine).
 func (n *Node) post(f func()) bool {
 	select {
 	case n.cmds <- f:

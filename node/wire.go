@@ -181,6 +181,12 @@ func decodeWire(pkt []byte) (message, error) {
 	rest = rest[olen:]
 	vlen := int(binary.BigEndian.Uint16(rest[0:2]))
 	rest = rest[2:]
+	if vlen > MaxValueLen {
+		// maxPacket budgets for a full 255-byte origin, so a short origin
+		// leaves room for an over-limit value; reject it here so every
+		// decoded message can be re-encoded.
+		return m, fmt.Errorf("node: value of %d bytes exceeds the %d-byte wire limit", vlen, MaxValueLen)
+	}
 	if len(rest) != vlen {
 		return m, fmt.Errorf("node: value length %d does not match remaining %d bytes", vlen, len(rest))
 	}

@@ -1,0 +1,81 @@
+//go:build fuzz
+
+package node
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"testing"
+)
+
+// FuzzParseMessage throws arbitrary packets at the wire codec and holds
+// it to two properties: decodeWire never panics, and any packet it
+// accepts round-trips — the decoded message re-encodes without error
+// and decodes back to the identical message. The seed corpus is the
+// malformed-packet catalogue from TestWireRejects plus one valid packet
+// per message kind, so mutation starts from both sides of every length
+// and range check.
+//
+// The file is build-tagged so the target (and its corpus) stays out of
+// ordinary `go test ./...` runs; CI smokes it with:
+//
+//	go test -tags fuzz -fuzz FuzzParseMessage -fuzztime 10s -run '^$' ./node
+func FuzzParseMessage(f *testing.F) {
+	// Valid packets, one per kind, covering empty and maximal fields.
+	for _, m := range []message{
+		{Kind: msgReq, Op: OpLookup, Hops: 3, Budget: 41, ReqID: 0xdeadbeefcafe, Dst: 77, Deadline: 4500, Origin: "127.0.0.1:40001"},
+		{Kind: msgReq, Op: OpPut, Budget: 56, ReqID: 1, Dst: 5, Key: 5, Deadline: 1, Origin: "mem:0", Value: []byte("hello world")},
+		{Kind: msgAck, ReqID: 42},
+		{Kind: msgResp, Op: OpGet, Status: StatusOK, Hops: 7, ReqID: 9, Value: bytes.Repeat([]byte{0xab}, MaxValueLen)},
+		{Kind: msgResp, Op: OpLookup, Status: StatusNoRoute, Hops: 2, ReqID: 9},
+	} {
+		pkt, err := appendWire(nil, &m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(pkt)
+	}
+
+	// The malformed catalogue: each seed sits just past one validation.
+	good, err := appendWire(nil, &message{Kind: msgReq, Op: OpLookup, ReqID: 1, Origin: "a"})
+	if err != nil {
+		f.Fatal(err)
+	}
+	corrupt := func(mutate func([]byte)) []byte {
+		p := append([]byte(nil), good...)
+		mutate(p)
+		return p
+	}
+	f.Add([]byte{})
+	f.Add(good[:10])
+	f.Add(corrupt(func(p []byte) { p[0] = 0xff }))        // bad magic
+	f.Add(corrupt(func(p []byte) { p[2] = 9 }))           // bad version
+	f.Add(corrupt(func(p []byte) { p[3] = 77 }))          // bad kind
+	f.Add(corrupt(func(p []byte) { p[headerLen] = 200 })) // short origin
+	f.Add(make([]byte, maxPacket+1))                      // oversized packet
+	f.Add(corrupt(func(p []byte) {                        // value length mismatch
+		binary.BigEndian.PutUint16(p[len(p)-2:], 9)
+	}))
+
+	f.Fuzz(func(t *testing.T, pkt []byte) {
+		m, err := decodeWire(pkt)
+		if err != nil {
+			return // rejection is fine; panicking or misparsing is not
+		}
+		if len(m.Origin) > 255 || len(m.Value) > MaxValueLen {
+			t.Fatalf("decode accepted out-of-range fields: origin %d bytes, value %d bytes", len(m.Origin), len(m.Value))
+		}
+		enc, err := appendWire(nil, &m)
+		if err != nil {
+			t.Fatalf("decoded message failed to re-encode: %v\nmessage: %+v", err, m)
+		}
+		m2, err := decodeWire(enc)
+		if err != nil {
+			t.Fatalf("re-encoded packet failed to decode: %v\nmessage: %+v", err, m)
+		}
+		if !reflect.DeepEqual(m, m2) {
+			t.Fatalf("round trip drift:\n first %+v\nsecond %+v", m, m2)
+		}
+	})
+}

@@ -63,6 +63,17 @@ func TestWireRejects(t *testing.T) {
 		"bad kind":     {corrupt(func(p []byte) { p[3] = 77 }), "kind"},
 		"short origin": {corrupt(func(p []byte) { p[headerLen] = 200 }), "origin"},
 		"oversized":    {make([]byte, maxPacket+1), "maximum"},
+		// A short origin leaves headroom under maxPacket for a value
+		// beyond MaxValueLen; decode must reject it so the message could
+		// be re-encoded (found by FuzzParseMessage's round-trip check).
+		"oversized value": {func() []byte {
+			p, err := appendWire(nil, &message{Kind: msgReq, Op: OpPut, Value: make([]byte, MaxValueLen)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			binary.BigEndian.PutUint16(p[headerLen+1:], MaxValueLen+1)
+			return append(p, 0)
+		}(), "wire limit"},
 		"value length mismatch": {corrupt(func(p []byte) {
 			binary.BigEndian.PutUint16(p[len(p)-2:], 9)
 		}), "value length"},
