@@ -30,7 +30,9 @@ profile:
 # an eventsim massfail schedule against it — the quick end-to-end check
 # that the live-node layer (wire protocol, RTO failover, kill/restart)
 # still routes. The test carries its own wall-clock budget; -timeout is
-# the outer backstop.
+# the outer backstop. Set CLUSTER_METRICS_OUT=<file> to also write the
+# cluster-wide metrics/histogram snapshot (CI uploads it as an
+# artifact).
 cluster-smoke:
 	go test -run TestClusterSmoke -count=1 -timeout 120s -v ./node/cluster/
 

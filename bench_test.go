@@ -1,4 +1,7 @@
-package rcm
+// Package rcm_test (external so internal/figures' live-cluster figure,
+// which imports the rcm facade through rcm/node, does not cycle back
+// into the package under test).
+package rcm_test
 
 // Benchmark harness: one benchmark per paper artifact (see DESIGN.md §3 for
 // the experiment index). Each BenchmarkFigNN regenerates the corresponding

@@ -23,6 +23,12 @@
 //
 //	eventsim -bits 12 -scenario massfail -rate 20000 -duration 2 \
 //	  -mode event -cpuprofile cpu.prof -memprofile mem.prof
+//
+// For debugging routing behavior, -trace N prints the full hop trace
+// (sends, per-hop progress, RTO retransmissions, candidate failovers,
+// verdict) of every Nth lookup after the table:
+//
+//	eventsim -bits 8 -scenario massfail -fail 0.3 -duration 2 -trace 100
 package main
 
 import (
@@ -88,6 +94,8 @@ func run(args []string, out io.Writer) error {
 
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with: go tool pprof)")
 		memprofile = fs.String("memprofile", "", "write a heap profile taken after the run to this file")
+
+		traceEvery = fs.Int("trace", 0, "print the full hop trace of every Nth lookup after the table (0 disables; ascii format only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -180,6 +188,13 @@ func run(args []string, out io.Writer) error {
 		Events: []exp.EventSetting{setting},
 	}
 
+	if *traceEvery < 0 {
+		return fmt.Errorf("-trace %d must be >= 0", *traceEvery)
+	}
+	if *traceEvery > 0 && *format != "ascii" {
+		return fmt.Errorf("-trace mixes trace text into the output; use -format ascii")
+	}
+
 	if *format == "csv" {
 		return exp.StreamCSV(out, exp.Stream(context.Background(), plan,
 			exp.WithModes(mode), exp.WithSeed(*seed), exp.WithSimWorkers(1)))
@@ -190,7 +205,50 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	return renderASCII(out, setting, mode, rows)
+	if err := renderASCII(out, setting, mode, rows); err != nil {
+		return err
+	}
+	if *traceEvery > 0 {
+		return renderTraces(out, setting, *protocol,
+			exp.Config{Bits: *bits, SymphonyNear: *kn, SymphonyShortcuts: *ks}, *seed, *traceEvery)
+	}
+	return nil
+}
+
+// renderTraces re-runs the identical configuration with trace sampling
+// enabled and prints each sampled lookup's event-by-event route. A
+// second run is fine for a debug flag: the engine is deterministic, so
+// the traced run is the run the table came from.
+func renderTraces(out io.Writer, setting exp.EventSetting, protocol string, overlay exp.Config, seed uint64, every int) error {
+	cfg, err := setting.SimConfig(protocol, overlay, seed)
+	if err != nil {
+		return err
+	}
+	cfg.Trace = every
+	res, err := eventsim.Run(cfg)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(out, "hop traces (every %d%s lookup, %d sampled):\n",
+		every, ordinal(every), len(res.Traces)); err != nil {
+		return err
+	}
+	return eventsim.WriteTraces(out, res)
+}
+
+// ordinal returns the English ordinal suffix for n.
+func ordinal(n int) string {
+	switch {
+	case n%100 >= 11 && n%100 <= 13:
+		return "th"
+	case n%10 == 1:
+		return "st"
+	case n%10 == 2:
+		return "nd"
+	case n%10 == 3:
+		return "rd"
+	}
+	return "th"
 }
 
 // renderASCII prints the bucket series as a table, plus a summary of the
@@ -202,14 +260,16 @@ func renderASCII(out io.Writer, setting exp.EventSetting, mode exp.Mode, rows []
 	first := rows[0]
 	t := table.New(fmt.Sprintf("%s · %s scenario, N=2^%d, transport %s, q_eff=%.3g",
 		first.Protocol, first.Scenario, first.Bits, displayTransport(setting.Transport), first.Q),
-		"t", "started", "success %", "mean hops", "latency", "msgs/node/s", "maint/node/s", "online %")
+		"t", "started", "success %", "mean hops", "hops p99", "latency", "lat p99", "msgs/node/s", "maint/node/s", "online %")
 	for _, r := range rows {
 		t.AddRow(
 			table.F(r.Time, 1),
 			fmt.Sprintf("%d", r.EventStarted),
 			table.Pct(r.EventSuccess, 2),
 			table.F(r.EventMeanHops, 2),
+			table.F(r.EventHopsP99, 0),
 			table.F(r.EventMeanLatency, 3),
+			table.F(r.EventLatencyP99, 3),
 			table.F(r.EventMsgsNodeS, 3),
 			table.F(r.EventMaintNodeS, 3),
 			table.Pct(r.EventOnline, 1),

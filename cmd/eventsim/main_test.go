@@ -1,6 +1,9 @@
 package main
 
 import (
+	"bytes"
+	"compress/gzip"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -89,6 +92,8 @@ func TestErrors(t *testing.T) {
 		"trace without file":  {"-scenario", "tracechurn"},
 		"amplitude too big":   {"-scenario", "diurnal", "-diurnal-amplitude", "1.5"},
 		"unknown scheduler":   {"-scheduler", "fifo"},
+		"negative trace":      {"-trace", "-1"},
+		"trace into csv":      {"-trace", "5", "-format", "csv"},
 	} {
 		var sb strings.Builder
 		if err := run(append(args, quick...), &sb); err == nil {
@@ -118,11 +123,51 @@ func TestProfileFlags(t *testing.T) {
 			t.Errorf("%s is empty", path)
 		}
 	}
+	// The heap profile must be a well-formed gzipped proto, not a
+	// truncated write: main runs runtime.GC() first so the profile
+	// reflects post-run live objects, then WriteHeapProfile emits one
+	// complete gzip stream.
+	raw, err := os.ReadFile(mem)
+	if err != nil {
+		t.Fatalf("read heap profile: %v", err)
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("heap profile is not gzip: %v", err)
+	}
+	body, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatalf("heap profile gzip stream truncated: %v", err)
+	}
+	if len(body) == 0 {
+		t.Error("heap profile decompressed to nothing")
+	}
 	// An unwritable profile path must error instead of silently profiling
 	// nowhere.
 	var sb strings.Builder
 	if err := run(append([]string{"-cpuprofile", filepath.Join(dir, "no", "such", "dir.prof")}, quick...), &sb); err == nil {
 		t.Error("unwritable -cpuprofile accepted")
+	}
+}
+
+// TestTraceFlag: -trace N appends sampled per-lookup hop traces after
+// the ascii table, and two invocations agree byte for byte.
+func TestTraceFlag(t *testing.T) {
+	args := append([]string{"-scenario", "massfail", "-fail", "0.3", "-seed", "5",
+		"-mode", "event", "-trace", "50"}, quick...)
+	out := runCapture(t, args...)
+	for _, want := range []string{
+		"hops p99", "lat p99", // percentile columns in the table
+		"hop traces (every 50th lookup,",
+		"lookup 0 src=", // the first sampled lookup's header line
+		"start",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+	if again := runCapture(t, args...); again != out {
+		t.Errorf("traced run is not deterministic:\n%s\nvs\n%s", out, again)
 	}
 }
 

@@ -49,6 +49,7 @@ import (
 	"rcm"
 	"rcm/node"
 	"rcm/node/cluster"
+	"rcm/obs"
 	"rcm/overlay"
 )
 
@@ -81,6 +82,8 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		rto         = fs.Duration("rto", 50*time.Millisecond, "per-hop acknowledgement timeout")
 		retransmits = fs.Int("retransmits", 2, "re-sends per candidate before failover (-1 disables)")
 		deadline    = fs.Duration("deadline", 5*time.Second, "per-request time to live")
+
+		metricsAddr = fs.String("metrics-addr", "", "daemon/cluster: serve metrics JSON, text and pprof on this HTTP address (e.g. 127.0.0.1:6060)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -88,11 +91,11 @@ func run(args []string, in io.Reader, out io.Writer) error {
 
 	switch {
 	case *clusterN > 0:
-		return runCluster(*clusterN, *protocol, *seed, *storeSpc, *rto, *retransmits, *deadline, in, out)
+		return runCluster(*clusterN, *protocol, *seed, *storeSpc, *rto, *retransmits, *deadline, *metricsAddr, in, out)
 	case *op != "":
 		return runClient(*connect, *protocol, *bits, *op, *key, *value, *rto, *retransmits, *deadline, out)
 	case *listen != "":
-		return runDaemon(*protocol, *bits, *seed, *id, *listen, *peers, *storeSpc, *rto, *retransmits, *deadline, out)
+		return runDaemon(*protocol, *bits, *seed, *id, *listen, *peers, *storeSpc, *rto, *retransmits, *deadline, *metricsAddr, out)
 	default:
 		return fmt.Errorf("pick a mode: -listen (daemon), -op (client) or -cluster N (interactive); see -h")
 	}
@@ -125,7 +128,7 @@ func loadPeers(path string, n int) ([]string, error) {
 	return addrs, nil
 }
 
-func runDaemon(protocol string, bits int, seed uint64, id int, listen, peersPath, storeSpec string, rto time.Duration, retransmits int, deadline time.Duration, out io.Writer) error {
+func runDaemon(protocol string, bits int, seed uint64, id int, listen, peersPath, storeSpec string, rto time.Duration, retransmits int, deadline time.Duration, metricsAddr string, out io.Writer) error {
 	if peersPath == "" {
 		return fmt.Errorf("daemon mode needs -peers")
 	}
@@ -165,6 +168,17 @@ func runDaemon(protocol string, bits int, seed uint64, id int, listen, peersPath
 	}
 	nd.Start()
 	fmt.Fprintf(out, "rcmd: node %d/%d of %s overlay up on %s\n", id, n, proto.Name(), nd.Addr())
+
+	if metricsAddr != "" {
+		ms, err := startMetricsServer(metricsAddr, func() obs.Snapshot {
+			return obs.Default().Snapshot().Merge(nd.Metrics().Snapshot("node"))
+		}, out)
+		if err != nil {
+			nd.Close()
+			return err
+		}
+		defer ms.Close()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -237,7 +251,7 @@ func printResult(out io.Writer, op, key string, res node.Result) error {
 
 // ---- Interactive cluster mode ------------------------------------------
 
-func runCluster(n int, protocol string, seed uint64, storeSpec string, rto time.Duration, retransmits int, deadline time.Duration, in io.Reader, out io.Writer) error {
+func runCluster(n int, protocol string, seed uint64, storeSpec string, rto time.Duration, retransmits int, deadline time.Duration, metricsAddr string, in io.Reader, out io.Writer) error {
 	bits := 0
 	for 1<<bits < n {
 		bits++
@@ -259,7 +273,16 @@ func runCluster(n int, protocol string, seed uint64, storeSpec string, rto time.
 	}
 	defer c.Close()
 	fmt.Fprintf(out, "rcmd: %d-node in-process %s cluster up\n", c.Len(), c.Protocol().Name())
-	fmt.Fprintln(out, "commands: put <key> <value> | get <key> | lookup <dst> | kill <id> | restart <id> | status | quit")
+	if metricsAddr != "" {
+		ms, err := startMetricsServer(metricsAddr, func() obs.Snapshot {
+			return obs.Default().Snapshot().Merge(c.Metrics().Snapshot("cluster"))
+		}, out)
+		if err != nil {
+			return err
+		}
+		defer ms.Close()
+	}
+	fmt.Fprintln(out, "commands: put <key> <value> | get <key> | lookup <dst> | kill <id> | restart <id> | status | stats | quit")
 
 	sc := bufio.NewScanner(in)
 	for {
@@ -313,6 +336,11 @@ func clusterCommand(c *cluster.Cluster, fields []string, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "%d nodes, %d down\n", c.Len(), down)
 		return nil
+	case "stats":
+		// Cluster-wide instrumentation: merged counters plus hop and
+		// latency histogram summaries, in the same shape the
+		// -metrics-addr endpoint serves.
+		return c.Metrics().Snapshot("cluster").WriteText(out)
 	case "kill", "restart":
 		if len(fields) != 2 {
 			return fmt.Errorf("usage: %s <id>", cmd)

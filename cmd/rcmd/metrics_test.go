@@ -1,0 +1,141 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a strings.Builder safe to read while run() writes it.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+var metricsURLRe = regexp.MustCompile(`metrics on http://([^/]+)/`)
+
+// TestMetricsEndpoint is the observability e2e: boot the interactive
+// cluster with -metrics-addr :0, do work, and require the HTTP surface
+// to serve (1) valid /debug/vars JSON with message counters and
+// histogram percentiles, (2) the text rendering, (3) live pprof
+// profiles — plus the in-band `stats` command.
+func TestMetricsEndpoint(t *testing.T) {
+	pr, pw := io.Pipe()
+	out := &syncBuffer{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-cluster", "16", "-protocol", "chord", "-rto", "20ms",
+			"-metrics-addr", "127.0.0.1:0"}, pr, out)
+	}()
+
+	// The server prints its bound address before the prompt appears.
+	var addr string
+	for deadline := time.Now().Add(10 * time.Second); addr == ""; {
+		if m := metricsURLRe.FindStringSubmatch(out.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("metrics address never announced:\n%s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	write := func(cmd string) {
+		t.Helper()
+		if _, err := io.WriteString(pw, cmd+"\n"); err != nil {
+			t.Fatalf("write %q: %v", cmd, err)
+		}
+	}
+	write("put color green")
+	write("get color")
+	write("lookup 7")
+	write("stats")
+
+	get := func(path string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read: %v", path, err)
+		}
+		return resp.StatusCode, body
+	}
+
+	// /debug/vars: valid JSON, three sections, node counters under the
+	// cluster prefix, histograms with percentile fields.
+	code, body := get("/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars status %d", code)
+	}
+	var vars struct {
+		Counters   map[string]int64           `json:"counters"`
+		Gauges     map[string]int64           `json:"gauges"`
+		Histograms map[string]json.RawMessage `json:"histograms"`
+	}
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatalf("/debug/vars is not valid JSON: %v\n%s", err, body)
+	}
+	if vars.Counters["cluster_reqs_out"] <= 0 {
+		t.Errorf("cluster_reqs_out = %d, want > 0 after three routed ops", vars.Counters["cluster_reqs_out"])
+	}
+	if _, ok := vars.Gauges["cluster_store_len"]; !ok {
+		t.Errorf("gauges missing cluster_store_len: %v", vars.Gauges)
+	}
+	var hops struct {
+		Count uint64 `json:"count"`
+		P50   int64  `json:"p50"`
+		P99   int64  `json:"p99"`
+		P999  int64  `json:"p999"`
+	}
+	if err := json.Unmarshal(vars.Histograms["cluster_hops"], &hops); err != nil {
+		t.Fatalf("cluster_hops histogram: %v\n%s", err, vars.Histograms["cluster_hops"])
+	}
+	if hops.Count < 3 || hops.P99 < hops.P50 {
+		t.Errorf("cluster_hops percentiles implausible: %+v", hops)
+	}
+
+	// /metrics: the same snapshot as text.
+	code, body = get("/metrics")
+	if code != http.StatusOK || !strings.Contains(string(body), "cluster_hops") {
+		t.Errorf("/metrics status %d, body:\n%s", code, body)
+	}
+
+	// pprof: the index and a live heap profile.
+	if code, _ := get("/debug/pprof/"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/ status %d", code)
+	}
+	if code, body := get("/debug/pprof/heap"); code != http.StatusOK || len(body) == 0 {
+		t.Errorf("/debug/pprof/heap status %d, %d bytes", code, len(body))
+	}
+
+	write("quit")
+	if err := <-done; err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	// The in-band stats command rendered the same counters.
+	if text := out.String(); !strings.Contains(text, "cluster_reqs_out") || !strings.Contains(text, "cluster_hops") {
+		t.Errorf("stats command output missing counters/histograms:\n%s", text)
+	}
+}

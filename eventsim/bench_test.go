@@ -87,6 +87,39 @@ func BenchmarkEventSimShards(b *testing.B) {
 	}
 }
 
+// BenchmarkEventSimObs measures the cost of the always-on hop/latency
+// histogram accumulation: /off runs with Config.NoDist (the pre-obs
+// engine), /on is the default. Both process the identical event
+// sequence, so events/s compares apples to apples; scripts/bench.sh
+// gates /on at >= 0.98x of /off from the same run.
+func BenchmarkEventSimObs(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		noDist bool
+	}{{"off", true}, {"on", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			cfg := benchConfig(4)
+			cfg.NoDist = mode.noDist
+			if _, err := Run(cfg); err != nil {
+				b.Fatal(err)
+			}
+			var events uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				events += res.Events
+			}
+			if s := b.Elapsed().Seconds(); s > 0 {
+				b.ReportMetric(float64(events)/s, "events/s")
+			}
+			b.ReportAllocs()
+		})
+	}
+}
+
 // largeOverlay lazily builds the 2^20-node chord overlay the macro
 // benchmark routes on, once per process: construction costs far more than
 // a run and the overlay is read-only under massfail without maintenance,

@@ -5,6 +5,7 @@ import (
 	"runtime"
 
 	"rcm/internal/registry"
+	"rcm/obs"
 	"rcm/overlay"
 )
 
@@ -78,10 +79,16 @@ type pendingHop struct {
 }
 
 // bucketAcc is a shard-local metrics accumulator for one time bucket.
+// The histograms ride here rather than in shared engine state for the
+// same reason as the counters: each shard observes into its own copy
+// with no synchronization, and the barrier-free epoch stays barrier
+// free — the per-bucket copies merge once, after the run (obs.Merge is
+// commutative, so the fold order cannot be observed in the result).
 type bucketAcc struct {
 	started, completed, failed, skipped int
 	timeouts, msgs, maint               int
 	sumHops, sumLatency                 float64
+	hops, lat                           obs.Histogram
 }
 
 // shard owns an interleaved slice of the population (node % shards): its
@@ -124,6 +131,10 @@ type shard struct {
 	candBuf []overlay.ID
 	events  uint64
 
+	// traces collects this shard's events for sampled lookups (empty
+	// unless Config.Trace > 0); merged deterministically after the run.
+	traces []traceRec
+
 	// work releases the shard's persistent worker for one epoch (carrying
 	// the epoch boundary); the worker reports back on the engine's shared
 	// done channel. Nil when the engine runs shards inline.
@@ -155,6 +166,16 @@ type engine struct {
 	maxHops    int
 	onlineFrac []float64
 	nextBucket int
+
+	dist  bool // accumulate hop/latency histograms (on unless NoDist)
+	trace int  // sample every trace-th lookup's hop trace (0 = off)
+}
+
+// traced reports whether lookup lk's path is being recorded. The
+// predicate depends only on the schedule index, so the sampled set is
+// identical across (Seed, Shards) and schedulers.
+func (e *engine) traced(lk uint32) bool {
+	return e.trace > 0 && int(lk)%e.trace == 0
 }
 
 func (e *engine) shardOf(node uint32) int { return int(node) % len(e.shards) }
@@ -268,24 +289,46 @@ func (sh *shard) handleStart(e ev) {
 	// epoch snapshot (the freshest view any node could have of a remote).
 	if !sh.online[m.src] || !eng.snapshot.Get(int(m.dst)) {
 		sh.acc[m.startBucket].skipped++
+		if eng.traced(e.lk) {
+			sh.recordTrace(e.lk, TraceEvent{T: e.t, Kind: TraceSkip, Node: int(m.src)})
+		}
 		return
 	}
 	sh.acc[m.startBucket].started++
+	if eng.traced(e.lk) {
+		sh.recordTrace(e.lk, TraceEvent{T: e.t, Kind: TraceStart, Node: int(m.src)})
+	}
 	sh.forward(e.t, e.lk, m.src, 0)
 }
 
 // forward advances the lookup held at cur: complete it, or try the first
 // next-hop candidate.
 func (sh *shard) forward(t float64, lk uint32, cur uint32, hops uint16) {
-	m := &sh.eng.meta[lk]
+	eng := sh.eng
+	m := &eng.meta[lk]
 	if cur == m.dst {
 		acc := &sh.acc[m.startBucket]
 		acc.completed++
 		acc.sumHops += float64(hops)
 		acc.sumLatency += t - m.start
+		if eng.dist {
+			acc.hops.Observe(int64(hops))
+			acc.lat.Observe(latencyMicros(t - m.start))
+		}
+		if eng.traced(lk) {
+			sh.recordTrace(lk, TraceEvent{T: t, Kind: TraceDone, Node: int(cur), Hops: int(hops)})
+		}
 		return
 	}
 	sh.attempt(t, lk, cur, 0, hops)
+}
+
+// latencyMicros converts a simulated-time latency to the integer
+// microseconds the latency histograms record. Round-to-nearest keeps
+// the conversion exact for the transport library's millisecond-scale
+// constants.
+func latencyMicros(lat float64) int64 {
+	return int64(math.Round(lat * 1e6))
 }
 
 // attempt tries candidate ci of cur's next-hop preference list: enumerate
@@ -301,6 +344,9 @@ func (sh *shard) attempt(t float64, lk uint32, cur uint32, ci int, hops uint16) 
 	sh.candBuf = cands[:0]
 	if ci >= len(cands) {
 		sh.acc[m.startBucket].failed++
+		if eng.traced(lk) {
+			sh.recordTrace(lk, TraceEvent{T: t, Kind: TraceFail, Node: int(cur), Hops: int(hops)})
+		}
 		return
 	}
 	sh.dispatch(t, lk, cur, uint32(cands[ci]), ci, 0, hops)
@@ -320,6 +366,9 @@ func (sh *shard) dispatch(t float64, lk, cur, next uint32, ci, try int, hops uin
 		lk: lk, node: cur, next: next,
 		cand: uint16(ci), hops: hops, try: uint8(try), live: true,
 	})
+	if eng.traced(lk) {
+		sh.recordTrace(lk, TraceEvent{T: t, Kind: TraceSend, Node: int(cur), To: int(next), Hops: int(hops), Cand: ci, Try: try})
+	}
 	if delivered {
 		sh.send(ev{t: t + lat, kind: evReq, node: next, lk: lk, a: id, b: cur, hops: hops})
 	}
@@ -338,8 +387,14 @@ func (sh *shard) handleReq(e ev) {
 	sh.acc[eng.bucketOf(e.t)].msgs++
 	sh.send(ev{t: e.t + eng.sampleLatency(sh.rng), kind: evAck, node: e.b, a: e.a})
 	hops := e.hops + 1
+	if eng.traced(e.lk) {
+		sh.recordTrace(e.lk, TraceEvent{T: e.t, Kind: TraceHop, Node: int(y), Hops: int(hops)})
+	}
 	if int(hops) > eng.maxHops {
 		sh.acc[eng.meta[e.lk].startBucket].failed++
+		if eng.traced(e.lk) {
+			sh.recordTrace(e.lk, TraceEvent{T: e.t, Kind: TraceFail, Node: int(y), Hops: int(hops)})
+		}
 		return
 	}
 	sh.forward(e.t, e.lk, y, hops)
@@ -355,12 +410,18 @@ func (sh *shard) handleTimeout(e ev) {
 	}
 	eng := sh.eng
 	sh.acc[eng.bucketOf(e.t)].timeouts++
+	if eng.traced(pd.lk) {
+		sh.recordTrace(pd.lk, TraceEvent{T: e.t, Kind: TraceRTO, Node: int(pd.node), To: int(pd.next), Hops: int(pd.hops), Cand: int(pd.cand), Try: int(pd.try)})
+	}
 	// A pending timeout means the downstream hop did not accept (requests
 	// that were acknowledged retire their attempt before the RTO). If the
 	// holder itself died while waiting, the lookup dies with it — a dead
 	// node must not keep retransmitting or routing.
 	if !sh.online[pd.node] {
 		sh.acc[eng.meta[pd.lk].startBucket].failed++
+		if eng.traced(pd.lk) {
+			sh.recordTrace(pd.lk, TraceEvent{T: e.t, Kind: TraceFail, Node: int(pd.node), Hops: int(pd.hops)})
+		}
 		return
 	}
 	// Retransmit to the same candidate first (a lost request must not skip

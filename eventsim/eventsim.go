@@ -7,6 +7,7 @@ import (
 
 	"rcm/internal/dht"
 	"rcm/internal/registry"
+	"rcm/obs"
 	"rcm/overlay"
 )
 
@@ -80,6 +81,19 @@ type Config struct {
 	// schedulers for a fixed (Seed, Shards); the knob exists for
 	// benchmarking and differential testing, not tuning.
 	Scheduler string
+	// Trace samples per-lookup hop traces: every Trace-th scheduled
+	// lookup (by schedule index; 1 records all) has its full path —
+	// start, per-hop sends and acceptances, retransmission timeouts,
+	// failovers, and the final verdict — recorded into Result.Traces.
+	// Zero (the default) disables tracing. Traces are bit-identical
+	// across (Seed, Shards) and schedulers, like every other output.
+	Trace int
+	// NoDist disables the per-bucket hop/latency distribution
+	// accumulation (Result.HopDist/LatDist), which is otherwise always
+	// on. It exists for the bench.sh histogram-overhead gate — the
+	// baseline side of the "obs enabled >= 0.98x baseline" comparison —
+	// not as a tuning knob.
+	NoDist bool
 }
 
 func (cfg Config) withDefaults() Config {
@@ -150,6 +164,9 @@ func (cfg Config) Validate() error {
 	}
 	if cfg.Shards > 256 {
 		return fmt.Errorf("eventsim: Shards = %d out of [1,256]", cfg.Shards)
+	}
+	if cfg.Trace < 0 {
+		return fmt.Errorf("eventsim: Trace = %d must be >= 0 (0 off, N samples every Nth lookup)", cfg.Trace)
 	}
 	if cfg.Scheduler != SchedulerWheel && cfg.Scheduler != SchedulerHeap {
 		return fmt.Errorf("eventsim: unknown scheduler %q (have %s, %s)", cfg.Scheduler, SchedulerWheel, SchedulerHeap)
@@ -232,6 +249,16 @@ type Result struct {
 	Duration float64
 	// Buckets is the time-bucketed metric series.
 	Buckets []Bucket
+	// HopDist and LatDist are the per-bucket hop-count and latency
+	// distributions over each bucket's completed cohort, indexed like
+	// Buckets (lookups attribute to the bucket they started in).
+	// Latencies are recorded in microseconds of simulated time. Both
+	// are nil when Config.NoDist is set. Like every Result field they
+	// are bit-identical across (Seed, Shards) and schedulers.
+	HopDist, LatDist []obs.Histogram
+	// Traces holds the sampled per-lookup hop traces, ascending by
+	// lookup index; empty unless Config.Trace > 0.
+	Traces []Trace
 	// Lookups is the number of scheduled lookups; Events the total event
 	// count the engine processed.
 	Lookups int
@@ -267,6 +294,31 @@ func (r *Result) WindowSuccess(from, to float64) float64 {
 		return math.NaN()
 	}
 	return float64(completed) / float64(started)
+}
+
+// WindowHopDist merges the hop-count distributions of the buckets fully
+// inside [from, to] into one histogram — the distribution-level
+// counterpart of WindowSuccess, and what the live-cluster conformance
+// suite pins replayed hop distributions against. Empty (Count() == 0)
+// when the window completed no lookups or distributions were disabled.
+func (r *Result) WindowHopDist(from, to float64) obs.Histogram {
+	return mergeWindow(r.Buckets, r.HopDist, from, to)
+}
+
+// WindowLatencyDist merges the latency distributions (microseconds of
+// simulated time) of the buckets fully inside [from, to].
+func (r *Result) WindowLatencyDist(from, to float64) obs.Histogram {
+	return mergeWindow(r.Buckets, r.LatDist, from, to)
+}
+
+func mergeWindow(buckets []Bucket, dists []obs.Histogram, from, to float64) obs.Histogram {
+	var h obs.Histogram
+	for i := range dists {
+		if buckets[i].Start >= from && buckets[i].End <= to {
+			h.Merge(&dists[i])
+		}
+	}
+	return h
 }
 
 // programScenario resolves and programs the configured scenario for a
@@ -355,6 +407,8 @@ func RunOverlay(p registry.Protocol, cfg Config) (*Result, error) {
 		rto:        cfg.RTO,
 		maxHops:    cfg.MaxHops,
 		onlineFrac: make([]float64, cfg.Buckets),
+		dist:       !cfg.NoDist,
+		trace:      cfg.Trace,
 	}
 	if cfg.Maintain {
 		if mnt, ok := p.(registry.Maintainer); ok {
@@ -428,13 +482,17 @@ func RunOverlay(p registry.Protocol, cfg Config) (*Result, error) {
 		Buckets:   make([]Bucket, cfg.Buckets),
 		Lookups:   len(env.lookups),
 	}
+	if e.dist {
+		res.HopDist = make([]obs.Histogram, cfg.Buckets)
+		res.LatDist = make([]obs.Histogram, cfg.Buckets)
+	}
 	for bi := range res.Buckets {
 		b := &res.Buckets[bi]
 		b.Start = float64(bi) * e.width
 		b.End = float64(bi+1) * e.width
 		b.OnlineFraction = e.onlineFrac[bi]
 		for _, sh := range e.shards {
-			acc := sh.acc[bi]
+			acc := &sh.acc[bi]
 			b.add(Bucket{
 				Started: acc.started, Skipped: acc.skipped,
 				Completed: acc.completed, Failed: acc.failed,
@@ -442,8 +500,15 @@ func RunOverlay(p registry.Protocol, cfg Config) (*Result, error) {
 				LookupMessages: acc.msgs, MaintMessages: acc.maint,
 				SumHops: acc.sumHops, SumLatency: acc.sumLatency,
 			})
+			// Folding shard histograms in shard order is deterministic by
+			// construction: Merge is commutative, so any order would do.
+			if e.dist {
+				res.HopDist[bi].Merge(&acc.hops)
+				res.LatDist[bi].Merge(&acc.lat)
+			}
 		}
 	}
+	res.Traces = e.mergeTraces()
 	for _, sh := range e.shards {
 		res.Events += sh.events
 	}

@@ -20,6 +20,10 @@ func Header() []string {
 		"scenario", "time", "event_started", "event_success",
 		"event_mean_hops", "event_mean_latency",
 		"event_msgs_node_s", "event_maint_node_s", "event_online",
+		// Appended after the original columns so pre-existing readers
+		// (and golden files' shared prefix) see byte-identical cells.
+		"event_hops_p50", "event_hops_p99", "event_hops_p999",
+		"event_latency_p50", "event_latency_p99", "event_latency_p999",
 	}
 }
 
@@ -38,6 +42,8 @@ func (r Row) fields() []string {
 		r.Scenario, num(r.Time), eventCount(r.Kind, r.EventStarted), num(r.EventSuccess),
 		num(r.EventMeanHops), num(r.EventMeanLatency),
 		num(r.EventMsgsNodeS), num(r.EventMaintNodeS), num(r.EventOnline),
+		num(r.EventHopsP50), num(r.EventHopsP99), num(r.EventHopsP999),
+		num(r.EventLatencyP50), num(r.EventLatencyP99), num(r.EventLatencyP999),
 	}
 }
 

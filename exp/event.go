@@ -72,6 +72,14 @@ func (e EventSetting) config(protocol string, overlay Config, seed uint64) (even
 	}, nil
 }
 
+// SimConfig assembles the eventsim configuration this setting runs for
+// one (protocol, overlay, seed) cell — the same assembly the runner
+// performs, exported so CLIs can drive eventsim directly for outputs
+// the Row schema does not carry (cmd/eventsim's -trace hop traces).
+func (e EventSetting) SimConfig(protocol string, overlay Config, seed uint64) (eventsim.Config, error) {
+	return e.config(protocol, overlay, seed)
+}
+
 // Validate rejects settings eventsim would refuse, without running
 // anything: unknown scenario, malformed transport or lifetime specs,
 // out-of-domain parameters, unknown scheduler.

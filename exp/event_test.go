@@ -93,6 +93,20 @@ func TestEventMode(t *testing.T) {
 		if r.EventStarted == 0 || math.IsNaN(r.EventSuccess) {
 			t.Errorf("row %d: no event measurements: %+v", i, r)
 		}
+		// Percentile columns: monotone, exact-hop p50 bracketing the
+		// mean, latency percentiles in the same unit as the mean.
+		if math.IsNaN(r.EventHopsP50) || r.EventHopsP50 > r.EventHopsP99 || r.EventHopsP99 > r.EventHopsP999 {
+			t.Errorf("row %d: hop percentiles not monotone: %v/%v/%v", i, r.EventHopsP50, r.EventHopsP99, r.EventHopsP999)
+		}
+		if r.EventHopsP999 < r.EventMeanHops {
+			t.Errorf("row %d: p999 hops %v below mean %v", i, r.EventHopsP999, r.EventMeanHops)
+		}
+		if math.IsNaN(r.EventLatencyP50) || r.EventLatencyP50 > r.EventLatencyP999 {
+			t.Errorf("row %d: latency percentiles not monotone: %v/%v", i, r.EventLatencyP50, r.EventLatencyP999)
+		}
+		if r.EventLatencyP999 < r.EventMeanLatency*0.5 || r.EventLatencyP50 > r.EventMeanLatency*4 {
+			t.Errorf("row %d: latency percentiles (%v..%v) inconsistent with mean %v", i, r.EventLatencyP50, r.EventLatencyP999, r.EventMeanLatency)
+		}
 	}
 	// Bucket 0 ends exactly at the failure instant: lookups still in
 	// flight when the failure hits are attributed to their start bucket

@@ -71,6 +71,15 @@ type Row struct {
 	EventMsgsNodeS  float64
 	EventMaintNodeS float64
 	EventOnline     float64
+	// EventHopsP50/P99/P999 and EventLatencyP50/P99/P999 are the
+	// window cohort's hop-count and latency percentiles from the
+	// engine's distribution collector (rcm/obs). Hop percentiles are
+	// exact order statistics; latency percentiles carry the
+	// histogram's ≤6.25% bucket resolution and are reported in the
+	// run's time unit, like EventMeanLatency. NaN when the window
+	// completed no lookups.
+	EventHopsP50, EventHopsP99, EventHopsP999          float64
+	EventLatencyP50, EventLatencyP99, EventLatencyP999 float64
 
 	// Series is the churn time series backing ChurnSuccess. It is carried
 	// for renderers (cmd/churnsim) and excluded from CSV/JSON encodings.
@@ -105,6 +114,12 @@ func newRow(plan string, c cell) Row {
 		EventMsgsNodeS:      nan,
 		EventMaintNodeS:     nan,
 		EventOnline:         nan,
+		EventHopsP50:        nan,
+		EventHopsP99:        nan,
+		EventHopsP999:       nan,
+		EventLatencyP50:     nan,
+		EventLatencyP99:     nan,
+		EventLatencyP999:    nan,
 	}
 }
 
@@ -552,7 +567,7 @@ func (r *run) fillEvent(c cell) ([]Row, error) {
 
 	rows := make([]Row, 0, len(res.Buckets))
 	nodes := float64(res.Nodes)
-	for _, b := range res.Buckets {
+	for bi, b := range res.Buckets {
 		row := proto
 		row.Time = b.End
 		row.EventStarted = b.Started
@@ -564,6 +579,19 @@ func (r *run) fillEvent(c cell) ([]Row, error) {
 			row.EventMaintNodeS = float64(b.MaintMessages) / (nodes * width)
 		}
 		row.EventOnline = b.OnlineFraction
+		// Percentile columns, when the engine collected distributions
+		// and the window completed anything (they stay NaN otherwise).
+		// The latency histogram records integer microseconds; the
+		// columns convert back to the run's time unit.
+		if res.HopDist != nil && res.HopDist[bi].Count() > 0 {
+			hd, ld := &res.HopDist[bi], &res.LatDist[bi]
+			row.EventHopsP50 = float64(hd.P50())
+			row.EventHopsP99 = float64(hd.P99())
+			row.EventHopsP999 = float64(hd.P999())
+			row.EventLatencyP50 = float64(ld.P50()) / 1e6
+			row.EventLatencyP99 = float64(ld.P99()) / 1e6
+			row.EventLatencyP999 = float64(ld.P999()) / 1e6
+		}
 		rows = append(rows, row)
 	}
 	return rows, nil

@@ -71,6 +71,52 @@ func TestPathLengthTables(t *testing.T) {
 	}
 }
 
+func TestHopDistribution(t *testing.T) {
+	ts, err := Generate("hopdist", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 2 {
+		t.Fatalf("tables = %d, want 2 (chord, kademlia)", len(ts))
+	}
+	for _, tb := range ts {
+		last := tb.NumRows() - 1
+		if got := cell(t, tb, last, "hops"); got != "mean" {
+			t.Fatalf("%s: last row label %q, want mean", tb.Title(), got)
+		}
+		for _, q := range []string{"0", "0.2"} {
+			// Each empirical pmf column sums to 100% over the hop rows.
+			for _, src := range []string{"analytic", "event", "live"} {
+				col := src + " q=" + q + " %"
+				var sum float64
+				for r := 0; r < last; r++ {
+					sum += cellF(t, tb, r, col)
+				}
+				if sum < 99.5 || sum > 100.5 {
+					t.Errorf("%s: %s mass sums to %v%%", tb.Title(), col, sum)
+				}
+			}
+			// The live cluster's distribution is the event simulator's,
+			// bucket for bucket (the conformance suite pins the histograms
+			// equal), so every rendered cell matches exactly.
+			for r := 0; r <= last; r++ {
+				ev := cell(t, tb, r, "event q="+q+" %")
+				lv := cell(t, tb, r, "live q="+q+" %")
+				if ev != lv {
+					t.Errorf("%s: row %d event %s != live %s at q=%s", tb.Title(), r, ev, lv, q)
+				}
+			}
+			// The Markov mixture tracks the sampled empirical mean.
+			am := cellF(t, tb, last, "analytic q="+q+" %")
+			em := cellF(t, tb, last, "event q="+q+" %")
+			t.Logf("%s q=%s: analytic mean %v, event mean %v", tb.Title(), q, am, em)
+			if d := am - em; d > 1 || d < -1 {
+				t.Errorf("%s: analytic mean %v vs event mean %v (|Δ| > 1) at q=%s", tb.Title(), am, em, q)
+			}
+		}
+	}
+}
+
 func TestSuccessorAblationMonotone(t *testing.T) {
 	ts, err := Generate("successors", fastOpts())
 	if err != nil {

@@ -26,6 +26,12 @@ func TestDetSourceUncritical(t *testing.T) {
 	runGolden(t, "detsource/uncritical", "rcm/cmd/rcmd", DetSource)
 }
 
+// TestDetSourceObsHist: rcm/obs is determinism-critical — a histogram
+// that timestamps, times, or samples via the global source is caught.
+func TestDetSourceObsHist(t *testing.T) {
+	runGolden(t, "detsource/obshist", "rcm/obs", DetSource)
+}
+
 // TestLoopOwnerBad: exported-entry-point reads, timer-callback and
 // goroutine writes, and laundering via a method call are all caught.
 func TestLoopOwnerBad(t *testing.T) {

@@ -17,6 +17,7 @@ var DetPackages = []string{
 	"rcm/eventsim/...",
 	"rcm/overlay/...",
 	"rcm/spec/...",
+	"rcm/obs/...",
 	"rcm/exp/...",
 	"rcm/internal/core",
 	"rcm/internal/dht",

@@ -1,0 +1,42 @@
+// Package obshist proves the observability layer sits inside the
+// determinism contract: it is type-checked under the import path
+// rcm/obs, so a histogram implementation that reads the wall clock or
+// draws from the global rand source is a lint error, not a silent
+// reproducibility leak. (The real rcm/obs records values callers pass
+// in; bucketing is pure arithmetic.)
+package obshist
+
+import (
+	"math/rand"
+	"time"
+)
+
+type histogram struct {
+	counts [64]uint64
+	n      uint64
+}
+
+func (h *histogram) observe(v int64) {
+	h.counts[v&63]++
+	h.n++
+}
+
+// A timestamping Observe would make every histogram a run-to-run diff.
+func (h *histogram) observeNow() {
+	h.observe(time.Now().UnixNano()) // want `time\.Now in a determinism-critical package \(wall-clock read\)`
+}
+
+// Timing an operation with the wall clock inside obs is equally out:
+// latencies must be simulated-time (eventsim) or measured by the
+// non-critical caller (node) and passed in as plain integers.
+func (h *histogram) observeSince(t0 time.Time) {
+	h.observe(int64(time.Since(t0))) // want `time\.Since in a determinism-critical package`
+}
+
+// Sampling which values to record from the global source would make
+// the recorded distribution itself nondeterministic.
+func (h *histogram) observeSampled(v int64) {
+	if rand.Intn(10) == 0 { // want `math/rand\.Intn uses the process-global, unseeded source`
+		h.observe(v)
+	}
+}

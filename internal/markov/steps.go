@@ -37,3 +37,59 @@ func (c *Chain) ExpectedStepsGivenSuccess(start, target StateID) (float64, error
 	}
 	return steps[target] / mass[target], nil
 }
+
+// StepDistribution returns the full conditional law of the walk length:
+// dist[k] = P(walk takes exactly k transitions | absorbed at target).
+// It forward-propagates a per-step mass vector over a topological order:
+//
+//	dist'[to][k+1] += P(edge)·dist[s][k]
+//
+// then normalizes the target's vector by its total absorption mass. A
+// nil slice means the target is unreachable from start. On a DAG every
+// path visits each state at most once, so vectors stay bounded by the
+// state count and the propagation is O(E·n).
+//
+// This is the distributional refinement of ExpectedStepsGivenSuccess —
+// the hop-count histogram the routing model predicts, comparable bucket
+// for bucket against eventsim's and a live cluster's hop distributions.
+func (c *Chain) StepDistribution(start, target StateID) ([]float64, error) {
+	order, err := c.topoOrder()
+	if err != nil {
+		return nil, err
+	}
+	dist := make([][]float64, c.NumStates())
+	dist[start] = []float64{1}
+	for _, s := range order {
+		ds := dist[s]
+		if len(ds) == 0 || c.Absorbing(s) {
+			continue
+		}
+		for _, e := range c.edges[s] {
+			dt := dist[e.To]
+			if len(dt) < len(ds)+1 {
+				grown := make([]float64, len(ds)+1)
+				copy(grown, dt)
+				dt = grown
+				dist[e.To] = dt
+			}
+			for k, m := range ds {
+				if m != 0 {
+					dt[k+1] += e.P * m
+				}
+			}
+		}
+	}
+	at := dist[target]
+	var total float64
+	for _, m := range at {
+		total += m
+	}
+	if total == 0 {
+		return nil, nil
+	}
+	out := make([]float64, len(at))
+	for k, m := range at {
+		out[k] = m / total
+	}
+	return out, nil
+}

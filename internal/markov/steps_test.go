@@ -136,6 +136,91 @@ func TestExpectedStepsMonteCarloAgreement(t *testing.T) {
 	}
 }
 
+func TestStepDistributionTreePointMass(t *testing.T) {
+	// No suboptimal states: the successful-walk length is deterministic,
+	// so the distribution is a point mass at h.
+	c, ep, err := TreeChain(5, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := c.StepDistribution(ep.Start, ep.Success)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dist) != 6 {
+		t.Fatalf("dist length %d, want 6 (indices 0..5)", len(dist))
+	}
+	for k, p := range dist {
+		want := 0.0
+		if k == 5 {
+			want = 1
+		}
+		if math.Abs(p-want) > 1e-12 {
+			t.Errorf("dist[%d] = %v, want %v", k, p, want)
+		}
+	}
+}
+
+func TestStepDistributionMatchesExpectedSteps(t *testing.T) {
+	// The distribution's mean must equal ExpectedStepsGivenSuccess, and
+	// its mass must sum to one — for every geometry, at a failure level
+	// that exercises the suboptimal states.
+	chains := map[string]func() (*Chain, Endpoints, error){
+		"tree":      func() (*Chain, Endpoints, error) { return TreeChain(6, 0.4) },
+		"hypercube": func() (*Chain, Endpoints, error) { return HypercubeChain(6, 0.4) },
+		"xor":       func() (*Chain, Endpoints, error) { return XORChain(6, 0.4) },
+		"ring":      func() (*Chain, Endpoints, error) { return RingChain(6, 0.4) },
+		"symphony":  func() (*Chain, Endpoints, error) { return SymphonyChain(3, 12, 0.2, 1, 1) },
+	}
+	for name, build := range chains {
+		c, ep, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		dist, err := c.StepDistribution(ep.Start, ep.Success)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total, mean float64
+		for k, p := range dist {
+			if p < 0 {
+				t.Errorf("%s: dist[%d] = %v < 0", name, k, p)
+			}
+			total += p
+			mean += float64(k) * p
+		}
+		if math.Abs(total-1) > 1e-9 {
+			t.Errorf("%s: mass sums to %v, want 1", name, total)
+		}
+		exact, err := c.ExpectedStepsGivenSuccess(ep.Start, ep.Success)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(mean-exact) > 1e-9 {
+			t.Errorf("%s: distribution mean %v != expected steps %v", name, mean, exact)
+		}
+	}
+}
+
+func TestStepDistributionUnreachableTarget(t *testing.T) {
+	var b Builder
+	s0 := b.AddState("S0")
+	a := b.AddState("A")
+	island := b.AddState("ISLAND")
+	b.AddEdge(s0, a, 1)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := c.StepDistribution(s0, island)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist != nil {
+		t.Errorf("unreachable target dist = %v, want nil", dist)
+	}
+}
+
 func TestExpectedStepsUnreachableTarget(t *testing.T) {
 	var b Builder
 	s0 := b.AddState("S0")

@@ -17,6 +17,7 @@ import (
 	"rcm"
 	"rcm/eventsim"
 	"rcm/node"
+	"rcm/obs"
 	"rcm/overlay"
 )
 
@@ -150,6 +151,16 @@ func (c *Cluster) Kill(i int) { c.nodes[i].Kill() }
 // Restart revives node i (idempotent).
 func (c *Cluster) Restart(i int) { c.nodes[i].Restart() }
 
+// Metrics snapshots every node's instrumentation and merges it into a
+// cluster-wide aggregate (counters sum, histograms merge).
+func (c *Cluster) Metrics() node.Metrics {
+	ms := make([]node.Metrics, len(c.nodes))
+	for i, nd := range c.nodes {
+		ms[i] = nd.Metrics()
+	}
+	return node.MergeMetrics(ms...)
+}
+
 // Close stops every node.
 func (c *Cluster) Close() {
 	var wg sync.WaitGroup
@@ -175,6 +186,9 @@ type Outcome struct {
 	OK bool
 	// Hops is the delivered route length (OK only).
 	Hops int
+	// Latency is the issue-to-verdict wall-clock time of an issued
+	// lookup (zero when skipped).
+	Latency time.Duration
 }
 
 // Report aggregates a replay, window-compatible with eventsim.Result.
@@ -220,6 +234,36 @@ func (r *Report) WindowMeanHops(from, to float64) float64 {
 		return math.NaN()
 	}
 	return sum / float64(completed)
+}
+
+// WindowHopDist returns the hop-count distribution over completed
+// lookups scheduled in [from, to] — the live counterpart of
+// eventsim's Result.WindowHopDist, and directly comparable to it:
+// both observe integer hop counts into the same bucket layout, so on
+// identical outcome sets the histograms are identical values.
+func (r *Report) WindowHopDist(from, to float64) obs.Histogram {
+	var h obs.Histogram
+	for _, o := range r.Outcomes {
+		if o.Skipped || !o.OK || o.T < from || o.T > to {
+			continue
+		}
+		h.Observe(int64(o.Hops))
+	}
+	return h
+}
+
+// WindowLatency returns the wall-clock lookup latency distribution, in
+// microseconds, over issued lookups scheduled in [from, to] — every
+// verdict, not just successes, mirroring eventsim's latency histogram.
+func (r *Report) WindowLatency(from, to float64) obs.Histogram {
+	var h obs.Histogram
+	for _, o := range r.Outcomes {
+		if o.Skipped || o.T < from || o.T > to {
+			continue
+		}
+		h.Observe(o.Latency.Microseconds())
+	}
+	return h
 }
 
 // ReplayOptions tunes Replay.
@@ -314,7 +358,9 @@ func (c *Cluster) Replay(sched *eventsim.Schedule, opt ReplayOptions) (*Report, 
 		go func(src, dst int, out *Outcome) {
 			defer wg.Done()
 			defer func() { <-sem }()
+			start := time.Now()
 			res := c.nodes[src].Lookup(overlay.ID(dst))
+			out.Latency = time.Since(start)
 			out.OK = res.OK()
 			out.Hops = res.Hops
 		}(lk.Src, lk.Dst, out)

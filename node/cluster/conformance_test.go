@@ -99,6 +99,36 @@ func TestConformanceLiveVsEventsim(t *testing.T) {
 					protocol, q, liveHops, simHops, d)
 			}
 
+			// The strongest pin: the steady-state hop *distributions* are
+			// identical histogram values, bucket for bucket — not just
+			// close in the mean. Both sides walk the same candidate lists
+			// over the same seed-pinned tables against the same failed
+			// set, observe integer hop counts into the same obs bucket
+			// layout, and the window cohort (lookups scheduled in [2, 4])
+			// is closed well after the t = 1 failure, so any inequality
+			// here is a routing divergence, not noise.
+			simDist := res.WindowHopDist(2, cfg.Duration)
+			liveDist := report.WindowHopDist(2, cfg.Duration)
+			if simDist != liveDist {
+				t.Errorf("%s q=%v: live hop distribution diverges from eventsim:\nlive: %s\nsim:  %s",
+					protocol, q, liveDist.String(), simDist.String())
+			}
+			if simDist.Count() == 0 {
+				t.Errorf("%s q=%v: empty steady-state hop distribution", protocol, q)
+			}
+
+			// Live latency is wall-clock, so only sanity is pinned: one
+			// observation per issued (not skipped) window lookup, and a
+			// positive tail.
+			liveLat := report.WindowLatency(2, cfg.Duration)
+			if liveLat.Count() < liveDist.Count() {
+				t.Errorf("%s q=%v: latency histogram n=%d below completed n=%d",
+					protocol, q, liveLat.Count(), liveDist.Count())
+			}
+			if liveLat.Count() > 0 && liveLat.Max() <= 0 {
+				t.Errorf("%s q=%v: non-positive live latency tail", protocol, q)
+			}
+
 			// q = 0 is an identity, not an approximation: nothing failed,
 			// so every lookup must succeed on both substrates.
 			if q == 0 && (liveSucc != 1 || simSucc != 1) {

@@ -1,0 +1,108 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// reportFixture builds a hand-made report: two completed lookups at
+// t = 1 and t = 2, one failed at t = 2.5, one skipped at t = 3.
+func reportFixture() *Report {
+	return &Report{
+		Duration: 4,
+		Outcomes: []Outcome{
+			{T: 1, OK: true, Hops: 2, Latency: 100 * time.Microsecond},
+			{T: 2, OK: true, Hops: 4, Latency: 300 * time.Microsecond},
+			{T: 2.5, OK: false, Latency: 900 * time.Microsecond},
+			{T: 3, Skipped: true},
+		},
+	}
+}
+
+// TestWindowAccessorsEdgeCases: empty windows, windows outside the run,
+// and windows with zero completed lookups yield NaN means (never a
+// panic, never an Inf or a bogus 0) and empty histograms.
+func TestWindowAccessorsEdgeCases(t *testing.T) {
+	r := reportFixture()
+
+	// Inverted and out-of-run windows start nothing.
+	for _, w := range [][2]float64{{3.5, 3.9}, {10, 20}, {-5, -1}, {2, 1}} {
+		if s := r.WindowSuccess(w[0], w[1]); !math.IsNaN(s) {
+			t.Errorf("WindowSuccess%v = %v, want NaN", w, s)
+		}
+		if h := r.WindowMeanHops(w[0], w[1]); !math.IsNaN(h) {
+			t.Errorf("WindowMeanHops%v = %v, want NaN", w, h)
+		}
+		hd := r.WindowHopDist(w[0], w[1])
+		if hd.Count() != 0 {
+			t.Errorf("WindowHopDist%v n = %d, want empty", w, hd.Count())
+		}
+		lat := r.WindowLatency(w[0], w[1])
+		if lat.Count() != 0 {
+			t.Errorf("WindowLatency%v n = %d, want empty", w, lat.Count())
+		}
+	}
+
+	// A window where everything started but nothing completed: success
+	// is an exact 0, mean hops NaN (no completions to average), and the
+	// latency histogram still sees the failed lookup.
+	if s := r.WindowSuccess(2.4, 2.6); s != 0 {
+		t.Errorf("all-failed WindowSuccess = %v, want 0", s)
+	}
+	if h := r.WindowMeanHops(2.4, 2.6); !math.IsNaN(h) {
+		t.Errorf("all-failed WindowMeanHops = %v, want NaN", h)
+	}
+	failedDist := r.WindowHopDist(2.4, 2.6)
+	if failedDist.Count() != 0 {
+		t.Errorf("all-failed WindowHopDist n = %d, want 0", failedDist.Count())
+	}
+	failedLat := r.WindowLatency(2.4, 2.6)
+	if failedLat.Count() != 1 || failedLat.Max() != 900 {
+		t.Errorf("all-failed WindowLatency n=%d max=%d, want n=1 max=900µs", failedLat.Count(), failedLat.Max())
+	}
+
+	// A window holding only the skipped lookup is empty, not failed.
+	if s := r.WindowSuccess(2.9, 3.1); !math.IsNaN(s) {
+		t.Errorf("skipped-only WindowSuccess = %v, want NaN", s)
+	}
+
+	// The empty report: every accessor degrades the same way.
+	empty := &Report{Duration: 4}
+	if s := empty.WindowSuccess(0, 4); !math.IsNaN(s) {
+		t.Errorf("empty report WindowSuccess = %v, want NaN", s)
+	}
+	if h := empty.WindowMeanHops(0, 4); !math.IsNaN(h) {
+		t.Errorf("empty report WindowMeanHops = %v, want NaN", h)
+	}
+	emptyDist := empty.WindowHopDist(0, 4)
+	if got := emptyDist.Mean(); !math.IsNaN(got) {
+		t.Errorf("empty report hop-dist mean = %v, want NaN", got)
+	}
+}
+
+// TestWindowAccessorsFullRun: over the whole run the accessors agree
+// with hand counts: 2 completed of 3 started, hops {2, 4}, latencies
+// {100, 300, 900}µs.
+func TestWindowAccessorsFullRun(t *testing.T) {
+	r := reportFixture()
+	if s := r.WindowSuccess(0, 4); s != 2.0/3.0 {
+		t.Errorf("WindowSuccess = %v, want 2/3", s)
+	}
+	if h := r.WindowMeanHops(0, 4); h != 3 {
+		t.Errorf("WindowMeanHops = %v, want 3", h)
+	}
+	hd := r.WindowHopDist(0, 4)
+	if hd.Count() != 2 || hd.Sum() != 6 || hd.Min() != 2 || hd.Max() != 4 {
+		t.Errorf("WindowHopDist n=%d sum=%d min=%d max=%d, want 2/6/2/4",
+			hd.Count(), hd.Sum(), hd.Min(), hd.Max())
+	}
+	lat := r.WindowLatency(0, 4)
+	if lat.Count() != 3 || lat.Min() != 100 || lat.Max() != 900 {
+		t.Errorf("WindowLatency n=%d min=%d max=%d, want 3/100/900", lat.Count(), lat.Min(), lat.Max())
+	}
+	// Window boundaries are inclusive on both ends.
+	if hd := r.WindowHopDist(1, 2); hd.Count() != 2 {
+		t.Errorf("inclusive-boundary WindowHopDist n = %d, want 2", hd.Count())
+	}
+}

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"os"
 	"testing"
 	"time"
 
@@ -38,6 +39,23 @@ func TestClusterSmoke(t *testing.T) {
 			return
 		}
 		t.Logf("smoke: 64 nodes, %d lookups, success %.4f", len(report.Outcomes), succ)
+
+		// CI artifact: when CLUSTER_METRICS_OUT names a file, write the
+		// cluster-wide metrics snapshot (counters, gauges, histogram
+		// percentiles) there in the registry JSON shape, so every CI run
+		// keeps an inspectable record of what the live stack did.
+		if out := os.Getenv("CLUSTER_METRICS_OUT"); out != "" {
+			f, err := os.Create(out)
+			if err != nil {
+				t.Errorf("CLUSTER_METRICS_OUT: %v", err)
+				return
+			}
+			defer f.Close()
+			if err := c.Metrics().Snapshot("cluster").WriteJSON(f); err != nil {
+				t.Errorf("write metrics snapshot: %v", err)
+			}
+			t.Logf("smoke: wrote cluster metrics snapshot to %s", out)
+		}
 	}()
 	select {
 	case <-done:

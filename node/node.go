@@ -97,6 +97,15 @@ type pendingFwd struct {
 	deadline time.Time // absolute per-message deadline at this holder
 }
 
+// originWait is one locally-originated request awaiting its verdict:
+// the caller's channel plus what the origin needs to attribute the
+// outcome (operation, issue time) when the response arrives.
+type originWait struct {
+	ch    chan Result
+	op    Op
+	start time.Time
+}
+
 // Node is one live DHT node: an event-loop goroutine owning all routing
 // state, a receive goroutine feeding it decoded packets, and timer
 // callbacks feeding it retransmission timeouts. The public methods are
@@ -108,10 +117,11 @@ type Node struct {
 	tr    Transport
 	store Store
 
-	cmds chan func()
-	done chan struct{}
-	wg   sync.WaitGroup
-	once sync.Once
+	cmds     chan func()
+	done     chan struct{}
+	loopExit chan struct{} // closed when the event loop returns
+	wg       sync.WaitGroup
+	once     sync.Once
 
 	reqSeq  atomic.Uint64
 	downNow atomic.Bool // read by fast paths; written only by the loop
@@ -121,12 +131,13 @@ type Node struct {
 	// analyzer: any read or write outside code reachable from the
 	// rcm:event-loop dispatch is a lint error, not a latent race.
 	pending    map[uint64]*pendingFwd // rcm:loop-owned
-	origins    map[uint64]chan Result // rcm:loop-owned
+	origins    map[uint64]originWait  // rcm:loop-owned
 	attemptSeq uint64                 // rcm:loop-owned
 	seen       map[uint64]struct{}    // rcm:loop-owned — recently handled request ids (dedupe)
 	seenFIFO   []uint64               // rcm:loop-owned
 	encBuf     []byte                 // rcm:loop-owned
 	candBuf    []overlay.ID           // rcm:loop-owned
+	stats      stats                  // rcm:loop-owned — instrumentation (see metrics.go)
 }
 
 const seenCap = 4096
@@ -153,16 +164,17 @@ func New(cfg Config) (*Node, error) {
 	}
 	cfg = cfg.withDefaults()
 	return &Node{
-		cfg:     cfg,
-		fwd:     fwd,
-		space:   space,
-		tr:      cfg.Transport,
-		store:   cfg.Store,
-		cmds:    make(chan func(), 256),
-		done:    make(chan struct{}),
-		pending: make(map[uint64]*pendingFwd),
-		origins: make(map[uint64]chan Result),
-		seen:    make(map[uint64]struct{}),
+		cfg:      cfg,
+		fwd:      fwd,
+		space:    space,
+		tr:       cfg.Transport,
+		store:    cfg.Store,
+		cmds:     make(chan func(), 256),
+		done:     make(chan struct{}),
+		loopExit: make(chan struct{}),
+		pending:  make(map[uint64]*pendingFwd),
+		origins:  make(map[uint64]originWait),
+		seen:     make(map[uint64]struct{}),
 	}, nil
 }
 
@@ -215,9 +227,9 @@ func (n *Node) control(down bool) {
 				st.timer.Stop()
 			}
 			n.pending = make(map[uint64]*pendingFwd)
-			for id, ch := range n.origins {
+			for id, w := range n.origins {
 				delete(n.origins, id)
-				ch <- Result{Err: fmt.Errorf("node %d: killed", n.cfg.ID)}
+				w.ch <- Result{Err: fmt.Errorf("node %d: killed", n.cfg.ID)}
 			}
 		}
 		n.downNow.Store(down)
@@ -234,6 +246,7 @@ func (n *Node) control(down bool) {
 // fields).
 func (n *Node) loop() {
 	defer n.wg.Done()
+	defer close(n.loopExit)
 	for {
 		select {
 		case f := <-n.cmds:
@@ -247,9 +260,9 @@ func (n *Node) loop() {
 				case f := <-n.cmds:
 					f()
 				default:
-					for id, ch := range n.origins {
+					for id, w := range n.origins {
 						delete(n.origins, id)
-						ch <- Result{Err: fmt.Errorf("node %d: closed", n.cfg.ID)}
+						w.ch <- Result{Err: fmt.Errorf("node %d: closed", n.cfg.ID)}
 					}
 					for _, st := range n.pending {
 						st.timer.Stop()
@@ -353,15 +366,16 @@ func (n *Node) issue(op Op, dst overlay.ID, key uint64, value []byte) Result {
 			ch <- Result{Err: fmt.Errorf("node %d: down", n.cfg.ID)}
 			return
 		}
-		n.origins[reqID] = ch
+		n.origins[reqID] = originWait{ch: ch, op: op, start: time.Now()}
 		// Local response deadline: if every downstream holder dies or the
 		// response datagram is lost, the origin still concludes.
 		guard := n.cfg.Deadline + 2*n.cfg.RTO
 		time.AfterFunc(guard, func() {
 			n.post(func() {
-				if c, live := n.origins[reqID]; live {
+				if w, live := n.origins[reqID]; live {
 					delete(n.origins, reqID)
-					c <- Result{Status: StatusExpired, Err: fmt.Errorf("node %d: request %#x: no response within %v", n.cfg.ID, reqID, guard)}
+					n.stats.expired++
+					w.ch <- Result{Status: StatusExpired, Err: fmt.Errorf("node %d: request %#x: no response within %v", n.cfg.ID, reqID, guard)}
 				}
 			})
 		})
@@ -380,6 +394,7 @@ func (n *Node) handle(m message, from string) {
 	if n.downNow.Load() {
 		return // a dead node neither acknowledges nor routes
 	}
+	n.stats.countIn(m.Kind)
 	switch m.Kind {
 	case msgReq:
 		n.handleReq(m, from)
@@ -396,9 +411,11 @@ func (n *Node) handle(m message, from string) {
 func (n *Node) handleReq(m message, from string) {
 	n.sendMsg(from, &message{Kind: msgAck, ReqID: m.ReqID})
 	if _, dup := n.seen[m.ReqID]; dup {
+		n.stats.dupReqs++
 		return // duplicate delivery (our ACK was lost); already handled
 	}
 	if _, fwding := n.pending[m.ReqID]; fwding {
+		n.stats.dupReqs++
 		return // retransmission of an attempt we accepted moments ago
 	}
 	n.markSeen(m.ReqID)
@@ -474,13 +491,16 @@ func (n *Node) handleTimeout(reqID, attempt uint64) {
 	if !ok || st.attempt != attempt {
 		return // acknowledged or superseded in the meantime
 	}
+	n.stats.timeouts++
 	if st.try < n.cfg.Retransmits {
 		st.try++
+		n.stats.retransmits++
 		n.dispatch(st)
 		return
 	}
 	st.ci++
 	st.try = 0
+	n.stats.failovers++
 	if st.ci >= len(st.cands) {
 		delete(n.pending, reqID)
 		n.respond(st.msg, StatusNoRoute, nil)
@@ -494,12 +514,15 @@ func (n *Node) handleTimeout(reqID, attempt uint64) {
 func (n *Node) applyOwner(m message) {
 	switch m.Op {
 	case OpGet:
+		n.stats.storeGets++
 		if v, ok := n.store.Get(m.Key); ok {
+			n.stats.storeHits++
 			n.respond(m, StatusOK, v)
 		} else {
 			n.respond(m, StatusNotFound, nil)
 		}
 	case OpPut:
+		n.stats.storePuts++
 		n.store.Put(m.Key, m.Value)
 		n.respond(m, StatusOK, nil)
 	default:
@@ -528,12 +551,13 @@ func (n *Node) respond(req message, status Status, value []byte) {
 // handleResp delivers a verdict to the waiting originator, deduplicating
 // by request id.
 func (n *Node) handleResp(m message) {
-	ch, ok := n.origins[m.ReqID]
+	w, ok := n.origins[m.ReqID]
 	if !ok {
 		return // duplicate or late response
 	}
 	delete(n.origins, m.ReqID)
-	ch <- Result{Status: m.Status, Hops: int(m.Hops), Value: m.Value}
+	n.stats.recordVerdict(w.op, m.Status, int(m.Hops), time.Since(w.start))
+	w.ch <- Result{Status: m.Status, Hops: int(m.Hops), Value: m.Value}
 }
 
 // sendMsg encodes and transmits one message, best-effort.
@@ -546,6 +570,7 @@ func (n *Node) sendMsg(addr string, m *message) {
 		return // oversized value: callers validate, so only corrupt state lands here
 	}
 	n.encBuf = buf[:0]
+	n.stats.countOut(m.Kind)
 	n.tr.Send(addr, buf)
 }
 

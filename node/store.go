@@ -56,10 +56,11 @@ func (s *MemStore) Len() int {
 // LRUStore is a bounded store evicting the least-recently-used key once
 // capacity is exceeded. Both Get and Put refresh a key's recency.
 type LRUStore struct {
-	mu  sync.Mutex
-	cap int
-	ll  *list.List // front = most recent; values are *lruEntry
-	m   map[uint64]*list.Element
+	mu     sync.Mutex
+	cap    int
+	ll     *list.List // front = most recent; values are *lruEntry
+	m      map[uint64]*list.Element
+	evicts uint64
 }
 
 type lruEntry struct {
@@ -101,6 +102,7 @@ func (s *LRUStore) Put(key uint64, value []byte) {
 		oldest := s.ll.Back()
 		s.ll.Remove(oldest)
 		delete(s.m, oldest.Value.(*lruEntry).key)
+		s.evicts++
 	}
 	s.m[key] = s.ll.PushFront(&lruEntry{key: key, value: value})
 }
@@ -114,6 +116,15 @@ func (s *LRUStore) Len() int {
 
 // Cap returns the configured capacity.
 func (s *LRUStore) Cap() int { return s.cap }
+
+// Evictions returns the number of keys evicted since creation. It is the
+// optional store capability behind Metrics.StoreEvictions: any Store
+// with an Evictions() uint64 method reports through node metrics.
+func (s *LRUStore) Evictions() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.evicts
+}
 
 // stores is the name-keyed store table — an instance of the module's one
 // registry-style spec grammar (rcm/spec), backing the -store flags of

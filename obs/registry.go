@@ -1,0 +1,236 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric, safe for concurrent
+// use. The zero value is ready.
+type Counter struct{ v atomic.Uint64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a metric that can move in both directions, safe for
+// concurrent use. The zero value is ready.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by delta (which may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Registry is a name-keyed collection of counters, gauges and
+// histogram snapshot providers. Lookup methods create on first use, so
+// callers write obs.Default().Counter("msgs_in").Inc() without
+// registration ceremony. Rendering walks names in sorted order, so
+// output is deterministic regardless of registration order.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]func() Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]func() Histogram),
+	}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry served by the rcmd
+// metrics endpoint.
+func Default() *Registry { return defaultRegistry }
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// RegisterHistogram registers a snapshot provider for a histogram
+// owned elsewhere (for example by a node event loop, which snapshots
+// behind its own synchronization). The provider is called at render
+// time; replacing an existing name is allowed and takes effect on the
+// next snapshot.
+func (r *Registry) RegisterHistogram(name string, snapshot func() Histogram) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.hists[name] = snapshot
+}
+
+// Snapshot is a point-in-time copy of a registry's contents with all
+// names in sorted order.
+type Snapshot struct {
+	Counters []NamedValue
+	Gauges   []NamedValue
+	Hists    []NamedHist
+}
+
+// NamedValue is one counter or gauge reading.
+type NamedValue struct {
+	Name  string
+	Value int64
+}
+
+// NamedHist is one histogram snapshot.
+type NamedHist struct {
+	Name string
+	Hist Histogram
+}
+
+// Snapshot captures the registry. Histogram providers run outside the
+// registry lock so a provider that posts into an event loop cannot
+// deadlock against metric creation.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	var s Snapshot
+	for name, c := range r.counters {
+		s.Counters = append(s.Counters, NamedValue{name, int64(c.Value())})
+	}
+	for name, g := range r.gauges {
+		s.Gauges = append(s.Gauges, NamedValue{name, g.Value()})
+	}
+	providers := make([]NamedHist, 0, len(r.hists))
+	byName := make(map[string]func() Histogram, len(r.hists))
+	for name, fn := range r.hists {
+		providers = append(providers, NamedHist{Name: name})
+		byName[name] = fn
+	}
+	r.mu.Unlock()
+
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(providers, func(i, j int) bool { return providers[i].Name < providers[j].Name })
+	for i := range providers {
+		providers[i].Hist = byName[providers[i].Name]()
+	}
+	s.Hists = providers
+	return s
+}
+
+// Merge returns the union of two snapshots with every section
+// re-sorted by name, so a registry snapshot and a subsystem-rendered
+// one (node.Metrics.Snapshot) serve as one document. Callers keep
+// names disjoint via prefixes; duplicates would render as duplicate
+// keys.
+func (s Snapshot) Merge(other Snapshot) Snapshot {
+	out := Snapshot{
+		Counters: append(append([]NamedValue(nil), s.Counters...), other.Counters...),
+		Gauges:   append(append([]NamedValue(nil), s.Gauges...), other.Gauges...),
+		Hists:    append(append([]NamedHist(nil), s.Hists...), other.Hists...),
+	}
+	sort.Slice(out.Counters, func(i, j int) bool { return out.Counters[i].Name < out.Counters[j].Name })
+	sort.Slice(out.Gauges, func(i, j int) bool { return out.Gauges[i].Name < out.Gauges[j].Name })
+	sort.Slice(out.Hists, func(i, j int) bool { return out.Hists[i].Name < out.Hists[j].Name })
+	return out
+}
+
+// WriteJSON renders the snapshot as a /debug/vars-style JSON object
+// with three sections and deterministic (sorted) key order:
+//
+//	{"counters":{...},"gauges":{...},"histograms":{...}}
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	buf := make([]byte, 0, 256)
+	buf = append(buf, `{"counters":{`...)
+	for i, c := range s.Counters {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = appendQuoted(buf, c.Name)
+		buf = append(buf, ':')
+		buf = appendInt(buf, c.Value)
+	}
+	buf = append(buf, `},"gauges":{`...)
+	for i, g := range s.Gauges {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = appendQuoted(buf, g.Name)
+		buf = append(buf, ':')
+		buf = appendInt(buf, g.Value)
+	}
+	buf = append(buf, `},"histograms":{`...)
+	for i, h := range s.Hists {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = appendQuoted(buf, h.Name)
+		buf = append(buf, ':')
+		buf = h.Hist.appendJSON(buf)
+	}
+	buf = append(buf, "}}\n"...)
+	_, err := w.Write(buf)
+	return err
+}
+
+// WriteText renders the snapshot as sorted "name value" lines followed
+// by one summary line per histogram — the rcmd stats format.
+func (s Snapshot) WriteText(w io.Writer) error {
+	for _, c := range s.Counters {
+		if _, err := fmt.Fprintf(w, "%-32s %d\n", c.Name, c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		if _, err := fmt.Fprintf(w, "%-32s %d\n", g.Name, g.Value); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Hists {
+		if _, err := fmt.Fprintf(w, "%-32s %s\n", h.Name, h.Hist.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func appendInt(buf []byte, v int64) []byte {
+	return strconv.AppendInt(buf, v, 10)
+}
+
+// appendQuoted quotes a metric name. Names are plain identifiers
+// (letters, digits, '_', '.', '/'), so byte-level quoting suffices.
+func appendQuoted(buf []byte, s string) []byte {
+	buf = append(buf, '"')
+	buf = append(buf, s...)
+	return append(buf, '"')
+}

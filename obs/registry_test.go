@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryCreateOnFirstUse(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a")
+	c.Inc()
+	c.Add(2)
+	if r.Counter("a") != c {
+		t.Error("Counter(name) did not return the same instance")
+	}
+	if c.Value() != 3 {
+		t.Errorf("counter = %d, want 3", c.Value())
+	}
+	g := r.Gauge("b")
+	g.Set(10)
+	g.Add(-4)
+	if r.Gauge("b") != g {
+		t.Error("Gauge(name) did not return the same instance")
+	}
+	if g.Value() != 6 {
+		t.Errorf("gauge = %d, want 6", g.Value())
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("hits").Inc()
+				r.Gauge("depth").Add(1)
+				r.Gauge("depth").Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("hits").Value(); got != 8000 {
+		t.Errorf("hits = %d, want 8000", got)
+	}
+	if got := r.Gauge("depth").Value(); got != 0 {
+		t.Errorf("depth = %d, want 0", got)
+	}
+}
+
+func TestSnapshotSortedAndDeterministic(t *testing.T) {
+	r := NewRegistry()
+	// Register in non-sorted order; snapshot must come out sorted.
+	r.Counter("zebra").Add(1)
+	r.Counter("alpha").Add(2)
+	r.Gauge("mid").Set(-7)
+	var h Histogram
+	h.Observe(4)
+	r.RegisterHistogram("lat_us", func() Histogram { return h })
+
+	s := r.Snapshot()
+	if len(s.Counters) != 2 || s.Counters[0].Name != "alpha" || s.Counters[1].Name != "zebra" {
+		t.Fatalf("counters not sorted: %+v", s.Counters)
+	}
+	if len(s.Hists) != 1 || s.Hists[0].Hist.Count() != 1 {
+		t.Fatalf("histogram snapshot missing: %+v", s.Hists)
+	}
+
+	var a, b strings.Builder
+	if err := s.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Snapshot().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("two snapshots of unchanged state rendered differently")
+	}
+	var parsed struct {
+		Counters   map[string]int64          `json:"counters"`
+		Gauges     map[string]int64          `json:"gauges"`
+		Histograms map[string]map[string]any `json:"histograms"`
+	}
+	if err := json.Unmarshal([]byte(a.String()), &parsed); err != nil {
+		t.Fatalf("snapshot JSON invalid: %v\n%s", err, a.String())
+	}
+	if parsed.Counters["zebra"] != 1 || parsed.Counters["alpha"] != 2 || parsed.Gauges["mid"] != -7 {
+		t.Errorf("parsed snapshot wrong: %+v", parsed)
+	}
+	if parsed.Histograms["lat_us"]["count"].(float64) != 1 {
+		t.Errorf("histogram count wrong: %+v", parsed.Histograms["lat_us"])
+	}
+
+	var txt strings.Builder
+	if err := s.WriteText(&txt); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(txt.String(), "alpha") || !strings.Contains(txt.String(), "lat_us") {
+		t.Errorf("text snapshot missing entries:\n%s", txt.String())
+	}
+}
+
+func TestDefaultRegistryShared(t *testing.T) {
+	name := "obs_test_default_counter"
+	Default().Counter(name).Inc()
+	if Default().Counter(name).Value() == 0 {
+		t.Error("default registry did not persist counter")
+	}
+}
