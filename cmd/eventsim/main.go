@@ -56,7 +56,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("eventsim", flag.ContinueOnError)
 	var (
-		protocol = fs.String("protocol", "chord", "protocol: plaxton|can|kademlia|chord|symphony")
+		protocol = fs.String("protocol", "chord", "protocol: plaxton|can|kademlia|chord|symphony|singlehop")
 		bits     = fs.Int("bits", 12, "identifier length d (N = 2^d)")
 		scenario = fs.String("scenario", "massfail", "scenario: "+strings.Join(eventsim.ScenarioNames(), "|"))
 		duration = fs.Float64("duration", 10, "total simulated time")
@@ -82,6 +82,7 @@ func run(args []string, out io.Writer) error {
 		crowdMul   = fs.Float64("crowd-factor", 0, "flashcrowd: rate multiplier (0: default 10)")
 
 		transport = fs.String("transport", "constant", "transport: constant[:lat] | empirical[:median] | lossy[:rate[:inner]]")
+		replicas  = fs.Int("replicas", 0, "replicate each key across k successive owners with failover reads (0 or 1: no replication)")
 		maintain  = fs.Bool("maintain", false, "enable join/stabilize maintenance")
 		stabilize = fs.Float64("stabilize-every", 0, "per-node stabilization period (0: default 1)")
 		shards    = fs.Int("shards", 0, "event wheels to shard the population across (0: default 4)")
@@ -172,6 +173,7 @@ func run(args []string, out io.Writer) error {
 			Downtime:         *downtime,
 			DiurnalPeriod:    *diurnalPer,
 			DiurnalAmplitude: *diurnalAmp,
+			Replicas:         *replicas,
 		},
 		Transport:      *transport,
 		Duration:       *duration,
@@ -258,11 +260,19 @@ func renderASCII(out io.Writer, setting exp.EventSetting, mode exp.Mode, rows []
 		return fmt.Errorf("no rows produced")
 	}
 	first := rows[0]
-	t := table.New(fmt.Sprintf("%s · %s scenario, N=2^%d, transport %s, q_eff=%.3g",
-		first.Protocol, first.Scenario, first.Bits, displayTransport(setting.Transport), first.Q),
-		"t", "started", "success %", "mean hops", "hops p99", "latency", "lat p99", "msgs/node/s", "maint/node/s", "online %")
+	cols := []string{"t", "started", "success %", "mean hops", "hops p99", "latency", "lat p99", "msgs/node/s", "maint/node/s", "online %"}
+	replicated := setting.Params.Replicas > 1
+	if replicated {
+		cols = append(cols, "repair/node/s")
+	}
+	title := fmt.Sprintf("%s · %s scenario, N=2^%d, transport %s, q_eff=%.3g",
+		first.Protocol, first.Scenario, first.Bits, displayTransport(setting.Transport), first.Q)
+	if replicated {
+		title += fmt.Sprintf(", k=%d", setting.Params.Replicas)
+	}
+	t := table.New(title, cols...)
 	for _, r := range rows {
-		t.AddRow(
+		cells := []string{
 			table.F(r.Time, 1),
 			fmt.Sprintf("%d", r.EventStarted),
 			table.Pct(r.EventSuccess, 2),
@@ -273,7 +283,11 @@ func renderASCII(out io.Writer, setting exp.EventSetting, mode exp.Mode, rows []
 			table.F(r.EventMsgsNodeS, 3),
 			table.F(r.EventMaintNodeS, 3),
 			table.Pct(r.EventOnline, 1),
-		)
+		}
+		if replicated {
+			cells = append(cells, table.F(r.EventRepairNodeS, 3))
+		}
+		t.AddRow(cells...)
 	}
 	if _, err := fmt.Fprintln(out, t.ASCII()); err != nil {
 		return err

@@ -94,10 +94,30 @@ func TestErrors(t *testing.T) {
 		"unknown scheduler":   {"-scheduler", "fifo"},
 		"negative trace":      {"-trace", "-1"},
 		"trace into csv":      {"-trace", "5", "-format", "csv"},
+		"negative replicas":   {"-replicas", "-1"},
+		"replicas over cap":   {"-replicas", "99"},
 	} {
 		var sb strings.Builder
 		if err := run(append(args, quick...), &sb); err == nil {
 			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestReplicatedSingleHop: -protocol singlehop resolves through the
+// registry grammar and -replicas k adds the repair column plus the k
+// annotation to the table title.
+func TestReplicatedSingleHop(t *testing.T) {
+	out := runCapture(t, append([]string{
+		"-protocol", "singlehop", "-scenario", "massfail", "-fail", "0.3",
+		"-replicas", "3", "-mode", "event"}, quick...)...)
+	for _, want := range []string{
+		"singlehop · massfail scenario",
+		"k=3",
+		"repair/node/s",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
 		}
 	}
 }

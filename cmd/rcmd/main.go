@@ -79,6 +79,8 @@ func run(args []string, in io.Reader, out io.Writer) error {
 
 		clusterN = fs.Int("cluster", 0, "interactive: boot an in-process cluster of N nodes (power of two)")
 
+		replicas = fs.Int("replicas", 0, "daemon/cluster: replicate each key across k owners with failover reads (0 or 1: single-owner; every node of a deployment must agree)")
+
 		rto         = fs.Duration("rto", 50*time.Millisecond, "per-hop acknowledgement timeout")
 		retransmits = fs.Int("retransmits", 2, "re-sends per candidate before failover (-1 disables)")
 		deadline    = fs.Duration("deadline", 5*time.Second, "per-request time to live")
@@ -91,11 +93,11 @@ func run(args []string, in io.Reader, out io.Writer) error {
 
 	switch {
 	case *clusterN > 0:
-		return runCluster(*clusterN, *protocol, *seed, *storeSpc, *rto, *retransmits, *deadline, *metricsAddr, in, out)
+		return runCluster(*clusterN, *protocol, *seed, *storeSpc, *replicas, *rto, *retransmits, *deadline, *metricsAddr, in, out)
 	case *op != "":
 		return runClient(*connect, *protocol, *bits, *op, *key, *value, *rto, *retransmits, *deadline, out)
 	case *listen != "":
-		return runDaemon(*protocol, *bits, *seed, *id, *listen, *peers, *storeSpc, *rto, *retransmits, *deadline, *metricsAddr, out)
+		return runDaemon(*protocol, *bits, *seed, *id, *listen, *peers, *storeSpc, *replicas, *rto, *retransmits, *deadline, *metricsAddr, out)
 	default:
 		return fmt.Errorf("pick a mode: -listen (daemon), -op (client) or -cluster N (interactive); see -h")
 	}
@@ -128,7 +130,7 @@ func loadPeers(path string, n int) ([]string, error) {
 	return addrs, nil
 }
 
-func runDaemon(protocol string, bits int, seed uint64, id int, listen, peersPath, storeSpec string, rto time.Duration, retransmits int, deadline time.Duration, metricsAddr string, out io.Writer) error {
+func runDaemon(protocol string, bits int, seed uint64, id int, listen, peersPath, storeSpec string, replicas int, rto time.Duration, retransmits int, deadline time.Duration, metricsAddr string, out io.Writer) error {
 	if peersPath == "" {
 		return fmt.Errorf("daemon mode needs -peers")
 	}
@@ -158,6 +160,7 @@ func runDaemon(protocol string, bits int, seed uint64, id int, listen, peersPath
 		Transport:   tr,
 		AddrOf:      func(x overlay.ID) string { return addrs[x] },
 		Store:       store,
+		Replicas:    replicas,
 		RTO:         rto,
 		Retransmits: retransmits,
 		Deadline:    deadline,
@@ -251,7 +254,7 @@ func printResult(out io.Writer, op, key string, res node.Result) error {
 
 // ---- Interactive cluster mode ------------------------------------------
 
-func runCluster(n int, protocol string, seed uint64, storeSpec string, rto time.Duration, retransmits int, deadline time.Duration, metricsAddr string, in io.Reader, out io.Writer) error {
+func runCluster(n int, protocol string, seed uint64, storeSpec string, replicas int, rto time.Duration, retransmits int, deadline time.Duration, metricsAddr string, in io.Reader, out io.Writer) error {
 	bits := 0
 	for 1<<bits < n {
 		bits++
@@ -264,6 +267,7 @@ func runCluster(n int, protocol string, seed uint64, storeSpec string, rto time.
 		Bits:        bits,
 		Seed:        seed,
 		Store:       storeSpec,
+		Replicas:    replicas,
 		RTO:         rto,
 		Retransmits: retransmits,
 		Deadline:    deadline,

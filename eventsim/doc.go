@@ -204,4 +204,51 @@
 // scheduler treats a non-positive sample as a programming error. Sampling
 // happens while the scenario pre-schedules lifecycles, so a Dist may be
 // arbitrarily stateful per call but must not retain the RNG.
+//
+// # Replication
+//
+// Setting Params.Replicas to k > 1 places every key on k distinct owners
+// instead of one. Placement comes from rcm/replica: a protocol that
+// implements replica.Replicator chooses its own replica geometry
+// (kademlia places XOR-adjacent identifiers), every other protocol gets
+// the classic ring-successor set — root first, then k−1 clockwise
+// neighbours. Because placement is a pure function of (space, root, k),
+// the live layer (rcm/node with Config.Replicas) computes the same sets,
+// and the conformance suite pins the two executors to exact agreement.
+//
+// A replicated lookup freezes its owner-eligibility mask at start time:
+// the replica set is intersected with the epoch's alive snapshot once,
+// and the lookup carries that bitmask for its whole life. When routing
+// toward the current owner dead-ends (timeout budget exhausted or no
+// candidate closer), the lookup fails over to the next eligible owner in
+// placement order and keeps its accumulated hop count — failover is a
+// continuation, not a fresh attempt, which is what makes mean hops rise
+// with k under churn. A lookup fails only when every start-time-eligible
+// owner has been tried. The freeze mirrors a real resolver working from
+// a membership view sampled when the query was issued.
+//
+// Replication is not free, and the engine bills it: with k > 1, every
+// effective churn toggle (a node actually changing liveness) charges k
+// repair messages — the re-replication traffic the survivors must send
+// to restore the replication factor — into that bucket's
+// Bucket.RepairMessages. Result.Replicas records the effective factor.
+// Compare the two sides of the bargain:
+//
+//	for _, k := range []int{1, 3} {
+//		res, err := eventsim.Run(eventsim.Config{
+//			Protocol: "chord",
+//			Overlay:  eventsim.OverlayConfig{Bits: 10},
+//			Scenario: "heavytail",
+//			Params:   eventsim.Params{Replicas: k},
+//			Maintain: true,
+//		})
+//		// success rises with k; RepairMessages is the price
+//	}
+//
+// With Replicas 0 or 1 the replication path is disabled outright and
+// runs are bit-identical to builds that predate the capability. Figure
+// E20 (internal/figures, "frontier") tabulates the full
+// latency-vs-maintenance frontier this opens, including where the
+// singlehop protocol's O(1) routing claim breaks under heavy-tailed
+// churn and how much of the loss k=3 replication buys back.
 package eventsim

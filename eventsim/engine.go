@@ -19,6 +19,7 @@ const (
 	evDown                     // scenario: node goes offline
 	evUp                       // scenario: node comes online
 	evStab                     // periodic stabilization timer at node
+	evRetry                    // a replicated lookup fails over to its next owner at the source
 )
 
 // ev is the uniform event record, used both in per-shard queues and in
@@ -28,22 +29,28 @@ const (
 //	evReq:     node=receiver, lk=lookup, a=attempt id, b=sender, hops=count so far
 //	evAck:     node=sender, a=attempt id
 //	evTimeout: node=sender, lk=lookup, a=attempt id
+//	evRetry:   node=src, lk=lookup, ri=next owner, prior=hops already spent
 //	evDown/evUp/evStab: node
 //
-// The lookup's mutable progress (its hop count) rides in the event rather
-// than in a shared per-lookup record: ownership of a lookup passes from
-// shard to shard with the message, and keeping the travelling state inside
-// the message itself is what lets adjacent lookups owned by different
-// shards share cache lines without write contention. The hops field packs
-// into alignment padding, so the record stays 40 bytes.
+// The lookup's mutable progress (its hop count, and under replication its
+// current owner index, start-time eligibility mask and hops spent by
+// earlier attempts) rides in the event rather than in a shared per-lookup
+// record: ownership of a lookup passes from shard to shard with the
+// message, and keeping the travelling state inside the message itself is
+// what lets adjacent lookups owned by different shards share cache lines
+// without write contention. All of it packs into alignment padding, so
+// the record stays 40 bytes.
 type ev struct {
-	t    float64
-	seq  uint64
-	kind uint8
-	hops uint16
-	node uint32
-	lk   uint32
-	a, b uint32
+	t     float64
+	seq   uint64
+	kind  uint8
+	hops  uint16
+	node  uint32
+	lk    uint32
+	a, b  uint32
+	ri    uint8  // replica index of the owner this attempt targets
+	mask  uint8  // owner-eligibility bitmask frozen at lookup start (k > 1)
+	prior uint16 // hops spent by earlier failed attempts (replication failover)
 }
 
 // lookupMeta is the schedule-time identity of one lookup: endpoints, start
@@ -69,13 +76,16 @@ type lookupMeta struct {
 // validation guarantees the ack, if any, arrives first), which is what
 // makes bare slot indices safe to carry in events with no generation tag.
 type pendingHop struct {
-	lk   uint32
-	node uint32 // forwarding node
-	next uint32 // chosen next hop, reused verbatim on retransmission
-	cand uint16 // candidate index being tried
-	hops uint16 // the lookup's hop count when this attempt was sent
-	try  uint8  // retransmission count for this candidate
-	live bool   // false once acknowledged; slot awaits its timeout event
+	lk    uint32
+	node  uint32 // forwarding node
+	next  uint32 // chosen next hop, reused verbatim on retransmission
+	cand  uint16 // candidate index being tried
+	hops  uint16 // the lookup's hop count when this attempt was sent
+	try   uint8  // retransmission count for this candidate
+	live  bool   // false once acknowledged; slot awaits its timeout event
+	ri    uint8  // replica index of the owner this attempt targets
+	mask  uint8  // owner-eligibility bitmask frozen at lookup start
+	prior uint16 // hops spent by earlier failed attempts
 }
 
 // bucketAcc is a shard-local metrics accumulator for one time bucket.
@@ -86,7 +96,7 @@ type pendingHop struct {
 // commutative, so the fold order cannot be observed in the result).
 type bucketAcc struct {
 	started, completed, failed, skipped int
-	timeouts, msgs, maint               int
+	timeouts, msgs, maint, repair       int
 	sumHops, sumLatency                 float64
 	hops, lat                           obs.Histogram
 }
@@ -159,6 +169,15 @@ type engine struct {
 
 	// meta is the read-only lookup table; see lookupMeta.
 	meta []lookupMeta
+
+	// k is the effective replication factor (1 = off) and repl the
+	// precomputed placement table: repl[root*k+i] is the i-th owner of
+	// the key rooted at root (root itself first). Built once before the
+	// clock starts and read-only for the whole run, like meta, so every
+	// shard reads it freely. Empty when k == 1 — the unreplicated path
+	// never touches it.
+	k    int
+	repl []overlay.ID
 
 	width      float64 // bucket width
 	delta      float64 // epoch length = transport lookahead
@@ -267,6 +286,8 @@ func (sh *shard) runEpoch(end float64) {
 			sh.pending[e.a].live = false
 		case evTimeout:
 			sh.handleTimeout(e)
+		case evRetry:
+			sh.handleRetry(e)
 		case evDown:
 			sh.handleToggle(e.t, e.node, false)
 		case evUp:
@@ -287,7 +308,26 @@ func (sh *shard) handleStart(e ev) {
 	// Condition on surviving endpoints, as the static model does: the
 	// source authoritatively (it is local), the destination through the
 	// epoch snapshot (the freshest view any node could have of a remote).
-	if !sh.online[m.src] || !eng.snapshot.Get(int(m.dst)) {
+	// Under replication the destination condition generalizes: the lookup
+	// is viable while ANY owner of the key survives in the snapshot, and
+	// the surviving set is frozen into a bitmask the lookup carries — the
+	// failover order is decided at start time, exactly the information a
+	// live client holds when it issues the request.
+	viable := eng.snapshot.Get(int(m.dst))
+	ri, mask := uint8(0), uint8(1)
+	if eng.k > 1 {
+		mask = 0
+		for i := 0; i < eng.k; i++ {
+			if eng.snapshot.Get(int(eng.repl[int(m.dst)*eng.k+i])) {
+				mask |= 1 << uint(i)
+			}
+		}
+		viable = mask != 0
+		for ri+1 < uint8(eng.k) && mask&(1<<ri) == 0 {
+			ri++
+		}
+	}
+	if !sh.online[m.src] || !viable {
 		sh.acc[m.startBucket].skipped++
 		if eng.traced(e.lk) {
 			sh.recordTrace(e.lk, TraceEvent{T: e.t, Kind: TraceSkip, Node: int(m.src)})
@@ -298,29 +338,42 @@ func (sh *shard) handleStart(e ev) {
 	if eng.traced(e.lk) {
 		sh.recordTrace(e.lk, TraceEvent{T: e.t, Kind: TraceStart, Node: int(m.src)})
 	}
-	sh.forward(e.t, e.lk, m.src, 0)
+	sh.forward(e.t, e.lk, m.src, 0, ri, mask, 0)
 }
 
-// forward advances the lookup held at cur: complete it, or try the first
-// next-hop candidate.
-func (sh *shard) forward(t float64, lk uint32, cur uint32, hops uint16) {
+// owner returns the ri-th replica owner of the key rooted at root (the
+// root itself when replication is off).
+func (e *engine) owner(root uint32, ri uint8) uint32 {
+	if e.k <= 1 {
+		return root
+	}
+	return uint32(e.repl[int(root)*e.k+int(ri)])
+}
+
+// forward advances the lookup held at cur: complete it at the current
+// target owner, or try the first next-hop candidate. hops counts this
+// attempt's deliveries (the per-attempt budget a live request carries);
+// prior accumulates the deliveries of earlier failed-over attempts, so
+// the completed tally is the total work a live origin would observe.
+func (sh *shard) forward(t float64, lk uint32, cur uint32, hops uint16, ri, mask uint8, prior uint16) {
 	eng := sh.eng
 	m := &eng.meta[lk]
-	if cur == m.dst {
+	if cur == eng.owner(m.dst, ri) {
 		acc := &sh.acc[m.startBucket]
+		total := hops + prior
 		acc.completed++
-		acc.sumHops += float64(hops)
+		acc.sumHops += float64(total)
 		acc.sumLatency += t - m.start
 		if eng.dist {
-			acc.hops.Observe(int64(hops))
+			acc.hops.Observe(int64(total))
 			acc.lat.Observe(latencyMicros(t - m.start))
 		}
 		if eng.traced(lk) {
-			sh.recordTrace(lk, TraceEvent{T: t, Kind: TraceDone, Node: int(cur), Hops: int(hops)})
+			sh.recordTrace(lk, TraceEvent{T: t, Kind: TraceDone, Node: int(cur), Hops: int(total)})
 		}
 		return
 	}
-	sh.attempt(t, lk, cur, 0, hops)
+	sh.attempt(t, lk, cur, 0, hops, ri, mask, prior)
 }
 
 // latencyMicros converts a simulated-time latency to the integer
@@ -337,25 +390,67 @@ func latencyMicros(lat float64) int64 {
 // backtracking, matching the paper's assumption 3. Retransmissions to the
 // same candidate do not come through here: they reuse the stashed hop in
 // the pending slot (see handleTimeout) and skip the Forwarder entirely.
-func (sh *shard) attempt(t float64, lk uint32, cur uint32, ci int, hops uint16) {
+func (sh *shard) attempt(t float64, lk uint32, cur uint32, ci int, hops uint16, ri, mask uint8, prior uint16) {
 	eng := sh.eng
 	m := &eng.meta[lk]
-	cands := eng.fwd.AppendCandidateHops(sh.candBuf[:0], overlay.ID(cur), overlay.ID(m.dst))
+	cands := eng.fwd.AppendCandidateHops(sh.candBuf[:0], overlay.ID(cur), overlay.ID(eng.owner(m.dst, ri)))
 	sh.candBuf = cands[:0]
 	if ci >= len(cands) {
+		sh.failAttempt(t, lk, cur, hops, ri, mask, prior)
+		return
+	}
+	sh.dispatch(t, lk, cur, uint32(cands[ci]), ci, 0, hops, ri, mask, prior)
+}
+
+// failAttempt ends one owner-directed attempt. With replication and an
+// eligible owner remaining in the start-time mask, the lookup fails over:
+// a failure notice travels back to the source (one transport latency, so
+// failover costs real time) and the source re-issues toward the next
+// owner, carrying the failed attempt's hop bill in prior — exactly the
+// retry a live client performs when an owner's route fails. Without
+// replication, or with the mask exhausted, the lookup fails for good.
+func (sh *shard) failAttempt(t float64, lk uint32, cur uint32, hops uint16, ri, mask uint8, prior uint16) {
+	eng := sh.eng
+	m := &eng.meta[lk]
+	if eng.k > 1 {
+		for next := ri + 1; next < uint8(eng.k); next++ {
+			if mask&(1<<next) == 0 {
+				continue
+			}
+			if eng.traced(lk) {
+				sh.recordTrace(lk, TraceEvent{T: t, Kind: TraceRetry, Node: int(cur), To: int(eng.owner(m.dst, next)), Hops: int(hops + prior)})
+			}
+			sh.send(ev{t: t + eng.sampleLatency(sh.rng), kind: evRetry, node: m.src, lk: lk, ri: next, mask: mask, prior: hops + prior})
+			return
+		}
+	}
+	sh.acc[m.startBucket].failed++
+	if eng.traced(lk) {
+		sh.recordTrace(lk, TraceEvent{T: t, Kind: TraceFail, Node: int(cur), Hops: int(hops + prior)})
+	}
+}
+
+// handleRetry restarts a failed replicated lookup at its source, aimed at
+// the next eligible owner. The source re-checks only its own liveness
+// (authoritative, local); the owner eligibility was frozen at start time,
+// like the k = 1 path's destination conditioning.
+func (sh *shard) handleRetry(e ev) {
+	eng := sh.eng
+	m := &eng.meta[e.lk]
+	if !sh.online[m.src] {
 		sh.acc[m.startBucket].failed++
-		if eng.traced(lk) {
-			sh.recordTrace(lk, TraceEvent{T: t, Kind: TraceFail, Node: int(cur), Hops: int(hops)})
+		if eng.traced(e.lk) {
+			sh.recordTrace(e.lk, TraceEvent{T: e.t, Kind: TraceFail, Node: int(m.src), Hops: int(e.prior)})
 		}
 		return
 	}
-	sh.dispatch(t, lk, cur, uint32(cands[ci]), ci, 0, hops)
+	sh.forward(e.t, e.lk, m.src, 0, e.ri, e.mask, e.prior)
 }
 
 // dispatch sends the request for an already-chosen next hop: charge the
 // message, arm the retransmission timeout, and record the attempt in the
 // pending arena.
-func (sh *shard) dispatch(t float64, lk, cur, next uint32, ci, try int, hops uint16) {
+func (sh *shard) dispatch(t float64, lk, cur, next uint32, ci, try int, hops uint16, ri, mask uint8, prior uint16) {
 	eng := sh.eng
 	sh.acc[eng.bucketOf(t)].msgs++
 	lat, delivered := eng.cfg.Transport.Sample(sh.rng)
@@ -365,12 +460,13 @@ func (sh *shard) dispatch(t float64, lk, cur, next uint32, ci, try int, hops uin
 	id := sh.allocPending(pendingHop{
 		lk: lk, node: cur, next: next,
 		cand: uint16(ci), hops: hops, try: uint8(try), live: true,
+		ri: ri, mask: mask, prior: prior,
 	})
 	if eng.traced(lk) {
-		sh.recordTrace(lk, TraceEvent{T: t, Kind: TraceSend, Node: int(cur), To: int(next), Hops: int(hops), Cand: ci, Try: try})
+		sh.recordTrace(lk, TraceEvent{T: t, Kind: TraceSend, Node: int(cur), To: int(next), Hops: int(hops + prior), Cand: ci, Try: try})
 	}
 	if delivered {
-		sh.send(ev{t: t + lat, kind: evReq, node: next, lk: lk, a: id, b: cur, hops: hops})
+		sh.send(ev{t: t + lat, kind: evReq, node: next, lk: lk, a: id, b: cur, hops: hops, ri: ri, mask: mask, prior: prior})
 	}
 	sh.push(ev{t: t + eng.rto, kind: evTimeout, node: cur, lk: lk, a: id})
 }
@@ -388,16 +484,16 @@ func (sh *shard) handleReq(e ev) {
 	sh.send(ev{t: e.t + eng.sampleLatency(sh.rng), kind: evAck, node: e.b, a: e.a})
 	hops := e.hops + 1
 	if eng.traced(e.lk) {
-		sh.recordTrace(e.lk, TraceEvent{T: e.t, Kind: TraceHop, Node: int(y), Hops: int(hops)})
+		sh.recordTrace(e.lk, TraceEvent{T: e.t, Kind: TraceHop, Node: int(y), Hops: int(hops + e.prior)})
 	}
 	if int(hops) > eng.maxHops {
-		sh.acc[eng.meta[e.lk].startBucket].failed++
-		if eng.traced(e.lk) {
-			sh.recordTrace(e.lk, TraceEvent{T: e.t, Kind: TraceFail, Node: int(y), Hops: int(hops)})
-		}
+		// The per-attempt hop budget ran out — a terminal failure without
+		// replication, a failover with (a live re-issued request carries a
+		// fresh budget).
+		sh.failAttempt(e.t, e.lk, y, hops, e.ri, e.mask, e.prior)
 		return
 	}
-	sh.forward(e.t, e.lk, y, hops)
+	sh.forward(e.t, e.lk, y, hops, e.ri, e.mask, e.prior)
 }
 
 func (sh *shard) handleTimeout(e ev) {
@@ -415,13 +511,12 @@ func (sh *shard) handleTimeout(e ev) {
 	}
 	// A pending timeout means the downstream hop did not accept (requests
 	// that were acknowledged retire their attempt before the RTO). If the
-	// holder itself died while waiting, the lookup dies with it — a dead
-	// node must not keep retransmitting or routing.
+	// holder itself died while waiting, the attempt dies with it — a dead
+	// node must not keep retransmitting or routing — and replication
+	// treats that like any other attempt failure: the origin's deadline
+	// machinery re-issues toward the next owner.
 	if !sh.online[pd.node] {
-		sh.acc[eng.meta[pd.lk].startBucket].failed++
-		if eng.traced(pd.lk) {
-			sh.recordTrace(pd.lk, TraceEvent{T: e.t, Kind: TraceFail, Node: int(pd.node), Hops: int(pd.hops)})
-		}
+		sh.failAttempt(e.t, pd.lk, pd.node, pd.hops, pd.ri, pd.mask, pd.prior)
 		return
 	}
 	// Retransmit to the same candidate first (a lost request must not skip
@@ -429,10 +524,10 @@ func (sh *shard) handleTimeout(e ev) {
 	// second Forwarder call; fail over to the next candidate once
 	// exhausted.
 	if int(pd.try) < eng.cfg.Retransmits {
-		sh.dispatch(e.t, pd.lk, pd.node, pd.next, int(pd.cand), int(pd.try)+1, pd.hops)
+		sh.dispatch(e.t, pd.lk, pd.node, pd.next, int(pd.cand), int(pd.try)+1, pd.hops, pd.ri, pd.mask, pd.prior)
 		return
 	}
-	sh.attempt(e.t, pd.lk, pd.node, int(pd.cand)+1, pd.hops)
+	sh.attempt(e.t, pd.lk, pd.node, int(pd.cand)+1, pd.hops, pd.ri, pd.mask, pd.prior)
 }
 
 func (sh *shard) handleToggle(t float64, node uint32, up bool) {
@@ -446,6 +541,15 @@ func (sh *shard) handleToggle(t float64, node uint32, up bool) {
 		delta = -delta
 	}
 	sh.toggles = append(sh.toggles, delta)
+	if eng.k > 1 {
+		// Churn-driven re-replication: the toggled node participates in k
+		// replica groups (one as root, k−1 as a successor), and each
+		// affected group restores its k-copy invariant with one transfer
+		// coordinated across the survivors — k repair messages per
+		// effective toggle, the repair-bandwidth bill replication adds on
+		// top of routing-table maintenance.
+		sh.acc[eng.bucketOf(t)].repair += eng.k
+	}
 	if up && eng.mnt != nil {
 		cost := eng.mnt.Join(overlay.ID(node), eng.snapshot, sh.rng)
 		sh.acc[eng.bucketOf(t)].maint += cost

@@ -9,6 +9,7 @@ import (
 	"rcm/internal/registry"
 	"rcm/obs"
 	"rcm/overlay"
+	"rcm/replica"
 )
 
 // OverlayConfig is the canonical overlay-construction configuration — the
@@ -194,6 +195,11 @@ type Bucket struct {
 	// also absorbs the drain-phase traffic of lookups still in flight at
 	// the horizon.
 	LookupMessages, MaintMessages int
+	// RepairMessages counts re-replication traffic: with Replicas k > 1,
+	// every effective lifecycle toggle charges the k messages its replica
+	// groups spend restoring the k-copy invariant. Zero when replication
+	// is off.
+	RepairMessages int
 	// SumHops and SumLatency accumulate over the completed cohort.
 	SumHops, SumLatency float64
 	// OnlineFraction is the alive fraction at the bucket's start.
@@ -235,6 +241,7 @@ func (b *Bucket) add(o Bucket) {
 	b.Timeouts += o.Timeouts
 	b.LookupMessages += o.LookupMessages
 	b.MaintMessages += o.MaintMessages
+	b.RepairMessages += o.RepairMessages
 	b.SumHops += o.SumHops
 	b.SumLatency += o.SumLatency
 }
@@ -245,6 +252,9 @@ type Result struct {
 	Protocol, Scenario, Transport string
 	// Bits, Nodes and Shards describe the population and its sharding.
 	Bits, Nodes, Shards int
+	// Replicas is the effective replication factor the run placed keys
+	// with (1 = no replication).
+	Replicas int
 	// Duration is the configured simulated time.
 	Duration float64
 	// Buckets is the time-bucketed metric series.
@@ -396,12 +406,31 @@ func RunOverlay(p registry.Protocol, cfg Config) (*Result, error) {
 		return nil, err
 	}
 
+	// Replication: precompute the whole placement table before the clock
+	// starts — repl[root*k+i] is the i-th owner of root's key — so the hot
+	// path reads it like meta (read-shared, never invalidated) and a buggy
+	// Replicator opt-in fails here, loudly, not mid-run. k <= 1 leaves the
+	// table empty and the engine on the exact unreplicated code path.
+	k := 1
+	var repl []overlay.ID
+	if cfg.Params.Replicas > 1 {
+		for root := 0; root < n; root++ {
+			repl, err = replica.For(p, p.Space(), repl, overlay.ID(root), cfg.Params.Replicas)
+			if err != nil {
+				return nil, fmt.Errorf("eventsim: %w", err)
+			}
+		}
+		k = len(repl) / n
+	}
+
 	e := &engine{
 		cfg:        cfg,
 		fwd:        fwd,
 		n:          n,
 		snapshot:   overlay.NewBitset(n),
 		meta:       make([]lookupMeta, len(env.lookups)),
+		k:          k,
+		repl:       repl,
 		width:      cfg.Duration / float64(cfg.Buckets),
 		delta:      cfg.Transport.MinLatency(),
 		rto:        cfg.RTO,
@@ -478,6 +507,7 @@ func RunOverlay(p registry.Protocol, cfg Config) (*Result, error) {
 		Bits:      p.Space().Bits(),
 		Nodes:     n,
 		Shards:    shards,
+		Replicas:  k,
 		Duration:  cfg.Duration,
 		Buckets:   make([]Bucket, cfg.Buckets),
 		Lookups:   len(env.lookups),
@@ -498,7 +528,8 @@ func RunOverlay(p registry.Protocol, cfg Config) (*Result, error) {
 				Completed: acc.completed, Failed: acc.failed,
 				Timeouts:       acc.timeouts,
 				LookupMessages: acc.msgs, MaintMessages: acc.maint,
-				SumHops: acc.sumHops, SumLatency: acc.sumLatency,
+				RepairMessages: acc.repair,
+				SumHops:        acc.sumHops, SumLatency: acc.sumLatency,
 			})
 			// Folding shard histograms in shard order is deterministic by
 			// construction: Merge is commutative, so any order would do.

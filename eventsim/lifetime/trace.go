@@ -32,8 +32,11 @@ type Trace struct {
 }
 
 // LoadTrace reads an availability trace file: one duration per line,
-// blank lines and #-comments ignored. Durations are in the engine's time
-// unit and must be positive and finite; an empty trace is an error.
+// blank lines and #-comments ignored. LF, CRLF and bare-CR line endings
+// all delimit lines, and a leading UTF-8 byte-order mark is skipped, so
+// traces exported from spreadsheets or Windows editors replay unchanged.
+// Durations are in the engine's time unit and must be positive and
+// finite; an empty trace is an error.
 func LoadTrace(path string) (Trace, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -43,16 +46,20 @@ func LoadTrace(path string) (Trace, error) {
 
 	tr := Trace{Source: filepath.ToSlash(path)}
 	sc := bufio.NewScanner(f)
+	sc.Split(scanTraceLines)
 	line := 0
 	for sc.Scan() {
 		line++
 		text := strings.TrimSpace(sc.Text())
+		if line == 1 {
+			text = strings.TrimPrefix(text, "\ufeff")
+		}
 		if text == "" || strings.HasPrefix(text, "#") {
 			continue
 		}
 		v, err := strconv.ParseFloat(text, 64)
 		if err != nil {
-			return Trace{}, fmt.Errorf("lifetime: trace %q line %d: %v", path, line, err)
+			return Trace{}, fmt.Errorf("lifetime: trace %q line %d: %q is not a duration", path, line, text)
 		}
 		if !(v > 0) || math.IsInf(v, 0) {
 			return Trace{}, fmt.Errorf("lifetime: trace %q line %d: duration %v must be positive and finite", path, line, v)
@@ -68,6 +75,39 @@ func LoadTrace(path string) (Trace, error) {
 	tr.mean = tr.EmpiricalMean()
 	tr.checked = true
 	return tr, nil
+}
+
+// scanTraceLines is bufio.ScanLines extended to accept bare-CR line
+// endings: a line ends at the first LF or CR, with CRLF consumed as one
+// terminator. Plain ScanLines would hand a CR-delimited file back as a
+// single giant token and the parse error would quote the whole file.
+func scanTraceLines(data []byte, atEOF bool) (advance int, token []byte, err error) {
+	if atEOF && len(data) == 0 {
+		return 0, nil, nil
+	}
+	for i, b := range data {
+		switch b {
+		case '\n':
+			return i + 1, data[:i], nil
+		case '\r':
+			if i+1 < len(data) {
+				if data[i+1] == '\n' {
+					return i + 2, data[:i], nil
+				}
+				return i + 1, data[:i], nil
+			}
+			if atEOF {
+				return i + 1, data[:i], nil
+			}
+			// CR at the buffer edge: ask for more data to see whether an
+			// LF follows before deciding how much to consume.
+			return 0, nil, nil
+		}
+	}
+	if atEOF {
+		return len(data), data, nil
+	}
+	return 0, nil, nil
 }
 
 // EmpiricalMean returns the mean of the recorded durations (NaN for an

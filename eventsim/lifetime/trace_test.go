@@ -1,0 +1,104 @@
+package lifetime
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLoadTraceLineEndings is the regression table for trace files that
+// did not come from a well-behaved unix editor: CRLF and bare-CR line
+// endings, trailing blank lines, a leading UTF-8 BOM, and whitespace
+// padding must all replay to the same samples an LF file yields; junk
+// and non-positive lines must error naming the line and the text.
+func TestLoadTraceLineEndings(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		want []float64
+		// errSub non-empty means LoadTrace must fail and the error must
+		// contain this substring.
+		errSub string
+	}{
+		{name: "lf", body: "1.0\n2.0\n3.5\n", want: []float64{1, 2, 3.5}},
+		{name: "crlf", body: "1.0\r\n2.0\r\n3.5\r\n", want: []float64{1, 2, 3.5}},
+		{name: "bare cr", body: "1.0\r2.0\r3.5\r", want: []float64{1, 2, 3.5}},
+		{name: "mixed endings", body: "1.0\r\n2.0\n3.5\r", want: []float64{1, 2, 3.5}},
+		{name: "no final newline", body: "1.0\n2.0", want: []float64{1, 2}},
+		{name: "blank trailing lines", body: "1.0\n2.0\n\n\n", want: []float64{1, 2}},
+		{name: "blank crlf trailing lines", body: "1.0\r\n2.0\r\n\r\n\r\n", want: []float64{1, 2}},
+		{name: "interior blanks and comments", body: "# head\n\n1.0\n# mid\r\n\r\n2.0\n", want: []float64{1, 2}},
+		{name: "utf8 bom", body: "\ufeff1.0\n2.0\n", want: []float64{1, 2}},
+		{name: "bom then comment", body: "\ufeff# exported\n4.0\n", want: []float64{4}},
+		{name: "padded", body: "  1.0 \t\r\n\t2.0  \n", want: []float64{1, 2}},
+
+		{name: "zero duration", body: "1.0\r\n0\r\n", errSub: "line 2: duration 0 must be positive"},
+		{name: "negative duration", body: "1.0\n-2.5\n", errSub: "line 2: duration -2.5 must be positive"},
+		{name: "negative with cr", body: "-1\r", errSub: "line 1: duration -1 must be positive"},
+		{name: "nan", body: "NaN\n", errSub: "line 1: duration NaN must be positive"},
+		{name: "inf", body: "+Inf\n", errSub: "line 1: duration +Inf must be positive"},
+		{name: "junk", body: "1.0\ntwo\n", errSub: `line 2: "two" is not a duration`},
+		{name: "junk quoted after crlf", body: "1.0\r\n1,5\r\n", errSub: `line 2: "1,5" is not a duration`},
+		{name: "only blanks", body: "\r\n\n\r", errSub: "has no durations"},
+		{name: "only comments", body: "# a\r\n# b\r\n", errSub: "has no durations"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "trace.txt")
+			if err := os.WriteFile(path, []byte(tc.body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			tr, err := LoadTrace(path)
+			if tc.errSub != "" {
+				if err == nil {
+					t.Fatalf("LoadTrace(%q) = %v, want error containing %q", tc.body, tr.Durations, tc.errSub)
+				}
+				if !strings.Contains(err.Error(), tc.errSub) {
+					t.Fatalf("LoadTrace(%q) error = %v, want substring %q", tc.body, err, tc.errSub)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("LoadTrace(%q): %v", tc.body, err)
+			}
+			if len(tr.Durations) != len(tc.want) {
+				t.Fatalf("LoadTrace(%q) = %v, want %v", tc.body, tr.Durations, tc.want)
+			}
+			for i, v := range tc.want {
+				if tr.Durations[i] != v {
+					t.Fatalf("LoadTrace(%q) = %v, want %v", tc.body, tr.Durations, tc.want)
+				}
+			}
+			// The same file must resolve through the Parse grammar too —
+			// trace:<path> is the user-facing spelling.
+			fam, err := Parse("trace:" + path)
+			if err != nil {
+				t.Fatalf("Parse(trace:%s): %v", path, err)
+			}
+			if got := fam.(Trace).Durations; len(got) != len(tc.want) {
+				t.Fatalf("Parse(trace:...) samples = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestScanTraceLines pins the split function itself at buffer edges: a CR
+// as the last byte of a non-final read must not be consumed until the
+// scanner knows whether an LF follows (otherwise a CRLF pair straddling
+// two reads would produce a phantom blank line — harmless here, but the
+// contract should hold regardless of read sizing).
+func TestScanTraceLines(t *testing.T) {
+	if adv, tok, err := scanTraceLines([]byte("1.0\r"), false); adv != 0 || tok != nil || err != nil {
+		t.Fatalf("CR at buffer edge: advance=%d token=%q err=%v, want request for more data", adv, tok, err)
+	}
+	if adv, tok, err := scanTraceLines([]byte("1.0\r"), true); adv != 4 || string(tok) != "1.0" || err != nil {
+		t.Fatalf("CR at EOF: advance=%d token=%q err=%v", adv, tok, err)
+	}
+	if adv, tok, err := scanTraceLines([]byte("1.0\r\n2"), false); adv != 5 || string(tok) != "1.0" || err != nil {
+		t.Fatalf("CRLF: advance=%d token=%q err=%v", adv, tok, err)
+	}
+	if adv, tok, err := scanTraceLines([]byte("1.0\r2"), false); adv != 4 || string(tok) != "1.0" || err != nil {
+		t.Fatalf("bare CR: advance=%d token=%q err=%v", adv, tok, err)
+	}
+}

@@ -52,6 +52,10 @@ func WithDiurnal(period, amplitude float64) Option {
 	return func(p *Params) { p.DiurnalPeriod, p.DiurnalAmplitude = period, amplitude }
 }
 
+// WithReplicas sets the key replication factor k (0 and 1 both mean no
+// replication); NewParams rejects values outside [0, replica.MaxReplicas].
+func WithReplicas(k int) Option { return func(p *Params) { p.Replicas = k } }
+
 // NewParams builds a Params from options and validates the result at
 // construction, so a bad knob fails where it was written instead of deep in
 // Config.Validate at run time. Unset fields stay zero and select the same

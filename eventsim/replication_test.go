@@ -1,0 +1,174 @@
+package eventsim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestReplicasValidation covers the knob's rejection paths: the factor
+// must stay within [0, replica.MaxReplicas].
+func TestReplicasValidation(t *testing.T) {
+	ok := Config{Protocol: "chord", Overlay: OverlayConfig{Bits: 6}, Scenario: "massfail"}
+	for _, k := range []int{-1, 9, 100} {
+		cfg := ok
+		cfg.Params.Replicas = k
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("Replicas=%d accepted", k)
+		}
+	}
+}
+
+// TestReplicasOffIsBitIdentical pins the opt-in contract: Replicas 0 and
+// 1 both mean "no replication" and must leave the whole result — every
+// bucket, every counter — bit-identical to a run that never heard of the
+// knob. This is the guard that keeps replication from perturbing the
+// RNG streams of every pre-existing golden.
+func TestReplicasOffIsBitIdentical(t *testing.T) {
+	base := Config{
+		Protocol: "chord",
+		Overlay:  OverlayConfig{Bits: 8},
+		Scenario: "massfail",
+		Params:   Params{FailFraction: 0.3, FailTime: 1, Rate: 800},
+		Duration: 4,
+		Seed:     7,
+	}
+	a := mustRun(t, base)
+	for _, k := range []int{0, 1} {
+		cfg := base
+		cfg.Params.Replicas = k
+		b := mustRun(t, cfg)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("Replicas=%d diverged from the unreplicated run", k)
+		}
+	}
+	if a.Replicas != 1 {
+		t.Errorf("Result.Replicas = %d, want 1 for an unreplicated run", a.Replicas)
+	}
+}
+
+// TestReplicationDeterministic extends the reproducibility contract to
+// k > 1: identical configurations produce bit-identical results.
+func TestReplicationDeterministic(t *testing.T) {
+	cfg := Config{
+		Protocol: "chord",
+		Overlay:  OverlayConfig{Bits: 8},
+		Scenario: "massfail",
+		Params:   Params{FailFraction: 0.4, FailTime: 1, Rate: 800, Replicas: 3},
+		Duration: 4,
+		Seed:     13,
+	}
+	a, b := mustRun(t, cfg), mustRun(t, cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("two identical replicated runs diverged")
+	}
+	if a.Replicas != 3 {
+		t.Errorf("Result.Replicas = %d, want 3", a.Replicas)
+	}
+}
+
+// TestReplicationHealthyMatchesUnreplicated: in a failure-free run every
+// lookup completes at the root (owner 0), so k = 3 must reproduce the
+// k = 1 traffic and hop statistics exactly — replication costs nothing
+// until churn makes it earn its keep. Repair traffic is likewise zero
+// because no lifecycle toggle ever fires.
+func TestReplicationHealthyMatchesUnreplicated(t *testing.T) {
+	base := Config{
+		Protocol: "kademlia",
+		Overlay:  OverlayConfig{Bits: 8},
+		Scenario: "massfail",
+		Params:   Params{FailFraction: 0, Rate: 500},
+		Duration: 3,
+		Seed:     5,
+	}
+	repl := base
+	repl.Params.Replicas = 3
+	a, b := mustRun(t, base), mustRun(t, repl)
+	if !reflect.DeepEqual(a.Buckets, b.Buckets) {
+		t.Error("healthy replicated run diverged from unreplicated buckets")
+	}
+	if got := b.Totals().RepairMessages; got != 0 {
+		t.Errorf("healthy run charged %d repair messages, want 0", got)
+	}
+}
+
+// TestReplicationFailoverCompletes is the deterministic core of the
+// feature: a lookup whose root is dead at issue time is skipped without
+// replication, but with k = 3 the start-time eligibility mask routes it
+// to the first live successor owner and it completes.
+func TestReplicationFailoverCompletes(t *testing.T) {
+	const dead = 40 // root of the looked-up key; owners are 40, 41, 42
+	err := RegisterScenario("test-dead-root", func(p Params) (Scenario, error) {
+		return scenarioFunc{name: "test-dead-root", program: func(env *Env) error {
+			env.SetOffline(dead)
+			env.LookupAt(1, 3, dead)
+			return nil
+		}}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{
+		Protocol: "chord",
+		Overlay:  OverlayConfig{Bits: 6},
+		Scenario: "test-dead-root",
+		Duration: 3,
+		Seed:     1,
+	}
+	plain := mustRun(t, base)
+	if tot := plain.Totals(); tot.Skipped != 1 || tot.Completed != 0 {
+		t.Fatalf("unreplicated: skipped=%d completed=%d, want the lookup skipped", tot.Skipped, tot.Completed)
+	}
+	repl := base
+	repl.Params.Replicas = 3
+	res := mustRun(t, repl)
+	if tot := res.Totals(); tot.Completed != 1 || tot.Failed != 0 || tot.Skipped != 0 {
+		t.Fatalf("replicated: %+v, want the lookup completed via a successor owner", tot)
+	}
+}
+
+// TestReplicationUnderMassfail locks the aggregate behavior the knob
+// exists for: with 40% of the population dead and maintenance healing
+// the routing tables, the residual failures are mostly dead key roots —
+// exactly what k = 3 replication repairs. It must recover a clear slice
+// of the lookups the unreplicated run loses, mid-flight failovers leave
+// retry events in the traces, and the repair bill — k messages per
+// effective toggle — shows up in the accounting.
+func TestReplicationUnderMassfail(t *testing.T) {
+	base := Config{
+		Protocol: "chord",
+		Overlay:  OverlayConfig{Bits: 8},
+		Scenario: "massfail",
+		Params:   Params{FailFraction: 0.4, FailTime: 1, Rate: 1500},
+		Duration: 4,
+		Seed:     11,
+		Trace:    400,
+		Maintain: true,
+	}
+	repl := base
+	repl.Params.Replicas = 3
+	plain, res := mustRun(t, base), mustRun(t, repl)
+
+	sPlain := plain.WindowSuccess(2, 4)
+	sRepl := res.WindowSuccess(2, 4)
+	if !(sRepl > sPlain+0.03) {
+		t.Errorf("replication did not help: k=3 success %.4f vs k=1 %.4f", sRepl, sPlain)
+	}
+	if plain.Totals().RepairMessages != 0 {
+		t.Errorf("unreplicated run charged %d repair messages", plain.Totals().RepairMessages)
+	}
+	// massfail toggles ~0.4·256 nodes once each; every one owes k messages.
+	if got := res.Totals().RepairMessages; got == 0 || got%3 != 0 {
+		t.Errorf("repair messages = %d, want a positive multiple of k=3", got)
+	}
+	retries := 0
+	for _, tr := range res.Traces {
+		for _, ev := range tr.Events {
+			if ev.Kind == TraceRetry {
+				retries++
+			}
+		}
+	}
+	if retries == 0 {
+		t.Error("no retry events in traces despite mid-flight owner deaths")
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"rcm/eventsim/lifetime"
 	"rcm/overlay"
+	"rcm/replica"
 )
 
 // Params is the flat knob set shared by the scenario library. Every field
@@ -62,6 +63,14 @@ type Params struct {
 	// Defaults: period = half the duration, amplitude 0.6; the amplitude
 	// must stay in [0, 1).
 	DiurnalPeriod, DiurnalAmplitude float64
+
+	// Replicas is the key replication factor k, a knob that rides on every
+	// scenario rather than belonging to one: each key's copies live on the
+	// k owners rcm/replica places for its root, a lookup succeeds when it
+	// reaches any surviving owner (failing over in placement order), and
+	// every churn toggle charges re-replication repair traffic. 0 and 1
+	// both mean no replication; the cap is replica.MaxReplicas.
+	Replicas int
 }
 
 // withDefaults fills zero fields with the documented defaults. Only an
@@ -135,6 +144,9 @@ func (p Params) Validate() error {
 	}
 	if p.DiurnalAmplitude < 0 || p.DiurnalAmplitude >= 1 || math.IsNaN(p.DiurnalAmplitude) {
 		return fmt.Errorf("eventsim: DiurnalAmplitude = %v out of [0,1) — an amplitude of 1 or more drives session means to zero or negative", p.DiurnalAmplitude)
+	}
+	if err := replica.ValidateK(p.Replicas); err != nil {
+		return fmt.Errorf("eventsim: Replicas: %w", err)
 	}
 	for _, f := range []struct {
 		name, spec string

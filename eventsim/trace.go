@@ -18,6 +18,7 @@ const (
 	TraceRTO   = "rto"   // the attempt from Node to To timed out
 	TraceDone  = "done"  // lookup completed at Node after Hops hops
 	TraceFail  = "fail"  // lookup failed at Node (no candidates, hop bound, or dead holder)
+	TraceRetry = "retry" // replicated lookup failed over at Node toward next owner To
 )
 
 // TraceEvent is one step of a traced lookup's path.
@@ -110,6 +111,9 @@ func WriteTraces(w io.Writer, r *Result) error {
 		for _, ev := range tr.Events {
 			var err error
 			switch ev.Kind {
+			case TraceRetry:
+				_, err = fmt.Fprintf(w, "  t=%.6f %-5s node=%d -> %d hops=%d\n",
+					ev.T, ev.Kind, ev.Node, ev.To, ev.Hops)
 			case TraceSend, TraceRTO:
 				_, err = fmt.Fprintf(w, "  t=%.6f %-5s node=%d -> %d hops=%d cand=%d try=%d\n",
 					ev.T, ev.Kind, ev.Node, ev.To, ev.Hops, ev.Cand, ev.Try)

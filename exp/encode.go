@@ -24,6 +24,7 @@ func Header() []string {
 		// (and golden files' shared prefix) see byte-identical cells.
 		"event_hops_p50", "event_hops_p99", "event_hops_p999",
 		"event_latency_p50", "event_latency_p99", "event_latency_p999",
+		"event_replicas", "event_repair_node_s",
 	}
 }
 
@@ -44,6 +45,7 @@ func (r Row) fields() []string {
 		num(r.EventMsgsNodeS), num(r.EventMaintNodeS), num(r.EventOnline),
 		num(r.EventHopsP50), num(r.EventHopsP99), num(r.EventHopsP999),
 		num(r.EventLatencyP50), num(r.EventLatencyP99), num(r.EventLatencyP999),
+		eventCount(r.Kind, r.EventReplicas), num(r.EventRepairNodeS),
 	}
 }
 

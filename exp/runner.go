@@ -80,6 +80,11 @@ type Row struct {
 	// completed no lookups.
 	EventHopsP50, EventHopsP99, EventHopsP999          float64
 	EventLatencyP50, EventLatencyP99, EventLatencyP999 float64
+	// EventReplicas is the run's effective key replication factor (1 =
+	// unreplicated) and EventRepairNodeS the churn-driven re-replication
+	// message rate per node per time unit. Event rows only.
+	EventReplicas    int
+	EventRepairNodeS float64
 
 	// Series is the churn time series backing ChurnSuccess. It is carried
 	// for renderers (cmd/churnsim) and excluded from CSV/JSON encodings.
@@ -120,6 +125,7 @@ func newRow(plan string, c cell) Row {
 		EventLatencyP50:     nan,
 		EventLatencyP99:     nan,
 		EventLatencyP999:    nan,
+		EventRepairNodeS:    nan,
 	}
 }
 
@@ -577,8 +583,10 @@ func (r *run) fillEvent(c cell) ([]Row, error) {
 		if width := b.End - b.Start; width > 0 {
 			row.EventMsgsNodeS = float64(b.LookupMessages) / (nodes * width)
 			row.EventMaintNodeS = float64(b.MaintMessages) / (nodes * width)
+			row.EventRepairNodeS = float64(b.RepairMessages) / (nodes * width)
 		}
 		row.EventOnline = b.OnlineFraction
+		row.EventReplicas = res.Replicas
 		// Percentile columns, when the engine collected distributions
 		// and the window completed anything (they stay NaN otherwise).
 		// The latency histogram records integer microseconds; the

@@ -34,6 +34,10 @@ func init() {
 			}
 			return NewSymphony(kn, ks)
 		}, []string{"smallworld", "small-world"}},
+		// Beyond the paper's five: the full-membership one-hop geometry
+		// (see SingleHop), registered under the same name as its protocol
+		// so an exp.SpecFor("singlehop") resolves both halves.
+		{"singlehop", static(SingleHop{}), []string{"onehop", "d1ht"}},
 	} {
 		if err := registry.RegisterGeometry(reg.name, reg.factory, reg.aliases...); err != nil {
 			panic(err) // static names; unreachable

@@ -49,6 +49,8 @@ func TheoreticalVerdict(g Geometry) (Verdict, string) {
 		return Scalable, "ring p(h,q) dominates the XOR lower bound (§5.4)"
 	case "symphony":
 		return Unscalable, "Qsym is a positive constant per phase; Σ diverges (§5.5)"
+	case "singlehop":
+		return Scalable, "one phase with Q(1) = q: Σ Q = q converges trivially; the cost moves to maintenance bandwidth"
 	default:
 		return Indeterminate, "no closed-form analysis available"
 	}

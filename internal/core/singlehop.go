@@ -1,0 +1,47 @@
+package core
+
+import "math"
+
+// SingleHop is the full-membership one-hop geometry (Monnerat & Amorim's
+// D1HT family): every node's routing table holds every other node, so the
+// routing-distance distribution is a single phase covering all 2^d − 1
+// peers and the only way a route fails is the target itself being dead —
+// Q(1) = q. Routability is therefore ~1 for every q, the latency-optimal
+// corner of the latency-vs-maintenance frontier; what the static model
+// cannot see is the price, O(N) maintenance bandwidth per join and
+// N-proportional stabilization, which the event layer (rcm/eventsim) and
+// figure E20 measure.
+type SingleHop struct{}
+
+// Name implements Geometry.
+func (SingleHop) Name() string { return "singlehop" }
+
+// System implements Geometry.
+func (SingleHop) System() string { return "D1HT" }
+
+// MaxDistance implements Geometry: every target is one hop away.
+func (SingleHop) MaxDistance(int) int { return 1 }
+
+// LogNodesAt implements Geometry: all 2^d − 1 other nodes sit at distance
+// 1. Computed in log space so Fig. 7(a)-scale dimensions (d = 100+) stay
+// finite.
+func (SingleHop) LogNodesAt(d, h int) float64 {
+	if h != 1 {
+		return math.Inf(-1)
+	}
+	if d < 53 {
+		return math.Log(float64((uint64(1) << uint(d)) - 1))
+	}
+	// ln(2^d − 1) = d·ln2 + ln(1 − 2^−d); the correction underflows.
+	return float64(d) * math.Ln2
+}
+
+// PhaseFailure implements Geometry: the single phase fails exactly when
+// the target is dead. Σ_m Q(m) = q independent of d, so the Knopp probe
+// (§5) classifies the geometry scalable at every q.
+func (SingleHop) PhaseFailure(d, m int, q float64) float64 {
+	if m != 1 {
+		return 0
+	}
+	return q
+}

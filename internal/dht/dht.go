@@ -147,6 +147,9 @@ func init() {
 		{"kademlia", wrap(asProtocol(NewKademlia)), []string{"xor"}},
 		{"chord", wrap(asProtocol(NewChord)), []string{"ring"}},
 		{"symphony", wrap(asProtocol(NewSymphony)), []string{"smallworld", "small-world"}},
+		// Beyond the paper's five: the full-membership one-hop overlay,
+		// registered under the same name as its geometry in internal/core.
+		{"singlehop", wrap(asProtocol(NewSingleHop)), []string{"onehop", "d1ht"}},
 	} {
 		if err := registry.RegisterProtocol(reg.name, reg.factory, reg.aliases...); err != nil {
 			panic(err) // static names; unreachable

@@ -72,11 +72,12 @@ func TestNewBadBits(t *testing.T) {
 
 func TestGeometryNameMapping(t *testing.T) {
 	want := map[string]string{
-		"plaxton":  "tree",
-		"can":      "hypercube",
-		"kademlia": "xor",
-		"chord":    "ring",
-		"symphony": "symphony",
+		"plaxton":   "tree",
+		"can":       "hypercube",
+		"kademlia":  "xor",
+		"chord":     "ring",
+		"symphony":  "symphony",
+		"singlehop": "singlehop",
 	}
 	for _, p := range buildAll(t, 4) {
 		if got := p.GeometryName(); got != want[p.Name()] {
@@ -123,11 +124,12 @@ func TestHopBoundsWithoutFailures(t *testing.T) {
 	// Prefix-correcting protocols take at most d hops; Chord takes O(d) and
 	// Symphony O(d²) in expectation — generous caps catch runaway routes.
 	bounds := map[string]int{
-		"plaxton":  10,      // exactly <= d
-		"can":      10,      // exactly <= d (Hamming distance)
-		"kademlia": 10,      // one prefix bit per hop
-		"chord":    4 * 10,  // greedy fingers
-		"symphony": 40 * 10, // O(log² N) expected
+		"plaxton":   10,      // exactly <= d
+		"can":       10,      // exactly <= d (Hamming distance)
+		"kademlia":  10,      // one prefix bit per hop
+		"chord":     4 * 10,  // greedy fingers
+		"symphony":  40 * 10, // O(log² N) expected
+		"singlehop": 1,       // full table: exactly one hop
 	}
 	for _, p := range buildAll(t, 10) {
 		s := p.Space()

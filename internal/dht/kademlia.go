@@ -152,3 +152,22 @@ func (k *Kademlia) Neighbors(x overlay.ID) []overlay.ID {
 	copy(out, k.table[int(x)*d:int(x)*d+d])
 	return out
 }
+
+// AppendReplicaSet implements the rcm/replica.Replicator capability
+// (structurally — no import needed): copies of a key live on the XOR-
+// adjacent identifiers root^0, root^1, root^2, …, Kademlia's natural
+// replica neighborhood (the k closest ids under the XOR metric). The
+// root is first, the set is distinct by construction, and the placement
+// is a pure function of (root, k) per the capability contract.
+func (k *Kademlia) AppendReplicaSet(buf []overlay.ID, root overlay.ID, n int) []overlay.ID {
+	if n < 1 {
+		n = 1
+	}
+	if sz := k.space.Size(); uint64(n) > sz {
+		n = int(sz)
+	}
+	for i := 0; i < n; i++ {
+		buf = append(buf, root^overlay.ID(i))
+	}
+	return buf
+}

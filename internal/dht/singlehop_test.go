@@ -1,0 +1,176 @@
+package dht
+
+import (
+	"strings"
+	"testing"
+
+	"rcm/overlay"
+)
+
+func TestSingleHopRouteIsOneHop(t *testing.T) {
+	p, err := NewSingleHop(Config{Bits: 6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alive := allAlive(p.Space())
+	for src := overlay.ID(0); src < 64; src++ {
+		for dst := overlay.ID(0); dst < 64; dst++ {
+			hops, ok := p.Route(src, dst, alive)
+			want := 1
+			if src == dst {
+				want = 0
+			}
+			if !ok || hops != want {
+				t.Fatalf("route %d->%d = (%d,%v), want (%d,true)", src, dst, hops, ok, want)
+			}
+		}
+	}
+}
+
+func TestSingleHopDeadTargetFailsImmediately(t *testing.T) {
+	p, err := NewSingleHop(Config{Bits: 6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alive := allAlive(p.Space())
+	alive.Clear(9)
+	if hops, ok := p.Route(3, 9, alive); ok || hops != 0 {
+		t.Fatalf("route to dead target = (%d,%v), want (0,false)", hops, ok)
+	}
+	// Everything else still routes: dead nodes are not intermediates in a
+	// one-hop overlay, so one death removes exactly one destination.
+	if _, ok := p.Route(3, 10, alive); !ok {
+		t.Fatal("unrelated route failed")
+	}
+}
+
+func TestSingleHopForwarderMatchesRoute(t *testing.T) {
+	p, err := NewSingleHop(Config{Bits: 6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := p.AppendCandidateHops(nil, 5, 11)
+	if len(cands) != 1 || cands[0] != 11 {
+		t.Fatalf("candidates = %v, want [11]", cands)
+	}
+	if got := p.AppendCandidateHops(nil, 5, 5); len(got) != 0 {
+		t.Fatalf("self candidates = %v, want none", got)
+	}
+}
+
+func TestSingleHopStaleViewBreaksRouting(t *testing.T) {
+	// The one-hop failure mode: node 9 dies, node 3 sweeps past it (view
+	// marks it dead), 9 rejoins — 3 still cannot route to it until a sweep
+	// passes again, even though 9 is alive. This is the stale-view window
+	// figure E20 measures under heavy-tailed churn.
+	p, err := NewSingleHop(Config{Bits: 6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alive := allAlive(p.Space())
+	alive.Clear(9)
+	rng := overlay.NewRNG(1)
+	// Full sweep of node 3's view: sweepFraction rounds cover all slots.
+	for i := 0; i < sweepFraction; i++ {
+		p.Stabilize(3, alive, rng)
+	}
+	alive.Set(9) // 9 rejoins
+	if _, ok := p.Route(3, 9, alive); ok {
+		t.Fatal("route succeeded through a stale-dead view entry")
+	}
+	if cands := p.AppendCandidateHops(nil, 3, 9); len(cands) != 0 {
+		t.Fatalf("stale-dead target still enumerated: %v", cands)
+	}
+	// Another full sweep repairs the entry.
+	for i := 0; i < sweepFraction; i++ {
+		p.Stabilize(3, alive, rng)
+	}
+	if hops, ok := p.Route(3, 9, alive); !ok || hops != 1 {
+		t.Fatalf("route after repair sweep = (%d,%v), want (1,true)", hops, ok)
+	}
+	// Other nodes' views were never touched (writes confined to row 3).
+	if _, ok := p.Route(4, 9, alive); !ok {
+		t.Fatal("stabilizing node 3 mutated node 4's view")
+	}
+}
+
+func TestSingleHopJoinRebuildsOwnView(t *testing.T) {
+	p, err := NewSingleHop(Config{Bits: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alive := allAlive(p.Space())
+	alive.Clear(7)
+	rng := overlay.NewRNG(1)
+	cost := p.Join(2, alive, rng)
+	if wantMin := int(p.Space().Size()); cost < wantMin {
+		t.Fatalf("join cost %d, want >= %d (O(N) membership transfer)", cost, wantMin)
+	}
+	if _, ok := p.Route(2, 7, alive); ok {
+		t.Fatal("join copied a dead node as alive")
+	}
+	alive.Set(7)
+	// 2's view has 7 dead (snapshot at join); other views unaffected.
+	if _, ok := p.Route(2, 7, alive); ok {
+		t.Fatal("view entry revived without maintenance")
+	}
+	if _, ok := p.Route(3, 7, alive); !ok {
+		t.Fatal("join of node 2 mutated node 3's view")
+	}
+}
+
+func TestSingleHopMaintenanceCostScalesWithN(t *testing.T) {
+	small, _ := NewSingleHop(Config{Bits: 6, Seed: 1})
+	big, _ := NewSingleHop(Config{Bits: 10, Seed: 1})
+	rng := overlay.NewRNG(1)
+	js, jb := small.Join(0, nil, rng), big.Join(0, nil, rng)
+	if jb < 8*js {
+		t.Errorf("join costs %d (2^6) vs %d (2^10): want ~16x scaling", js, jb)
+	}
+	ss, sb := small.Stabilize(0, nil, rng), big.Stabilize(0, nil, rng)
+	if sb < 8*ss {
+		t.Errorf("stabilize costs %d (2^6) vs %d (2^10): want ~16x scaling", ss, sb)
+	}
+}
+
+func TestSingleHopBitsCap(t *testing.T) {
+	if _, err := NewSingleHop(Config{Bits: MaxSingleHopBits + 1, Seed: 1}); err == nil ||
+		!strings.Contains(err.Error(), "singlehop") {
+		t.Fatalf("bits over the one-hop cap accepted: %v", err)
+	}
+	if _, err := New("singlehop", Config{Bits: MaxSingleHopBits, Seed: 1}); err != nil {
+		t.Fatalf("bits at the cap rejected: %v", err)
+	}
+}
+
+func TestSingleHopAliases(t *testing.T) {
+	for _, alias := range []string{"singlehop", "onehop", "D1HT"} {
+		p, err := New(alias, Config{Bits: 4, Seed: 1})
+		if err != nil {
+			t.Fatalf("New(%q): %v", alias, err)
+		}
+		if p.Name() != "singlehop" {
+			t.Errorf("New(%q).Name() = %q", alias, p.Name())
+		}
+	}
+}
+
+func TestKademliaReplicaSet(t *testing.T) {
+	k, err := NewKademlia(Config{Bits: 6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := k.AppendReplicaSet(nil, 12, 4)
+	want := []overlay.ID{12, 13, 14, 15} // 12^0, 12^1, 12^2, 12^3
+	if len(got) != len(want) {
+		t.Fatalf("replica set = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("replica set = %v, want %v", got, want)
+		}
+	}
+	if got := k.AppendReplicaSet(nil, 12, 0); len(got) != 1 || got[0] != 12 {
+		t.Fatalf("k=0 replica set = %v, want the bare root", got)
+	}
+}

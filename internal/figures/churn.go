@@ -31,11 +31,12 @@ func Churn(opt Options) ([]*table.Table, error) {
 		bits = 12
 	}
 	geoms := map[string]core.Geometry{
-		"plaxton":  core.Tree{},
-		"can":      core.Hypercube{},
-		"kademlia": core.XOR{},
-		"chord":    core.Ring{},
-		"symphony": core.DefaultSymphony(),
+		"plaxton":   core.Tree{},
+		"can":       core.Hypercube{},
+		"kademlia":  core.XOR{},
+		"chord":     core.Ring{},
+		"symphony":  core.DefaultSymphony(),
+		"singlehop": core.SingleHop{},
 	}
 	churnOpt := sim.ChurnOptions{
 		MeanOnline:      1,

@@ -14,7 +14,7 @@ func TestPathLengthTables(t *testing.T) {
 		t.Fatalf("tables = %d, want 2", len(ts))
 	}
 	overlays := ts[0]
-	if overlays.NumRows() != 5 {
+	if overlays.NumRows() != 6 {
 		t.Fatalf("overlay rows = %d", overlays.NumRows())
 	}
 	var symHops, chordHops float64

@@ -20,6 +20,8 @@
 //	E16 §1/§6      geometry × churn-repair cross-product (rcm/exp grid)
 //	E17 §1/§6      analytic vs static-sim vs message-level event simulation
 //	E18 §1/§6      lookup performance vs lifetime family at equal q_eff
+//	E20 §1/§5      latency-vs-maintenance frontier: multi-hop vs single-hop
+//	               vs k-replication under exponential and heavy-tailed churn
 //
 // The grid-shaped experiments (E3–E6, E11, E16) construct declarative
 // experiment plans and delegate execution to the public streaming runner

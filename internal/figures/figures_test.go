@@ -34,7 +34,7 @@ func cellF(t *testing.T, tb *table.Table, row int, col string) float64 {
 }
 
 func TestNamesComplete(t *testing.T) {
-	want := []string{"3", "6a", "6b", "7a", "7b", "base", "chains", "churn", "churngrid", "eventcmp", "hopdist", "lifetimecmp", "pathlen", "percolation", "qxor", "scalability", "sparse", "successors", "symphony"}
+	want := []string{"3", "6a", "6b", "7a", "7b", "base", "chains", "churn", "churngrid", "eventcmp", "frontier", "hopdist", "lifetimecmp", "pathlen", "percolation", "qxor", "scalability", "sparse", "successors", "symphony"}
 	got := Names()
 	if len(got) != len(want) {
 		t.Fatalf("Names() = %v, want %v", got, want)
@@ -289,8 +289,8 @@ func TestChurnTable(t *testing.T) {
 		t.Fatal(err)
 	}
 	tb := ts[0]
-	if tb.NumRows() != 5 {
-		t.Fatalf("rows = %d, want 5", tb.NumRows())
+	if tb.NumRows() != 6 {
+		t.Fatalf("rows = %d, want 6", tb.NumRows())
 	}
 	for r := 0; r < tb.NumRows(); r++ {
 		churn := cellF(t, tb, r, "churn success %")

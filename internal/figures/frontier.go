@@ -1,0 +1,160 @@
+package figures
+
+import (
+	"context"
+	"fmt"
+
+	"rcm/exp"
+	"rcm/internal/table"
+)
+
+func init() {
+	register("frontier", Frontier)
+}
+
+// frontierCells are E20's churn × replication settings, run for every
+// protocol. The exponential row is the friendly regime every DHT quotes;
+// the Pareto rows front-load the session hazard (PR 4's heavy-tailed
+// churn) at the same mean online/offline times, and the k=3 row buys back
+// lost lookups with replica failover paid for in repair bandwidth.
+var frontierCells = []struct {
+	label, scenario, lifetime string
+	replicas                  int
+}{
+	{"exp", "churn", "", 0},
+	{"pareto a=1.2", "heavytail", "pareto:1.2", 0},
+	{"pareto a=1.2", "heavytail", "pareto:1.2", 3},
+}
+
+// Frontier is experiment E20: the latency-vs-maintenance frontier that
+// motivates the whole geometry comparison, measured with full message
+// dynamics. Chord and Kademlia sit at the multi-hop corner — O(log N)
+// lookup hops for O(log N) routing state and cheap stabilization — while
+// singlehop (the D1HT family) sits at the opposite corner: every lookup
+// is one hop, paid for with O(N) membership views whose join transfers
+// and sweep probes dominate the maintenance column.
+//
+// The heavy-tailed rows are where single-hop's O(1) claim breaks down:
+// a Pareto session distribution at the same mean online time front-loads
+// the hazard into many short sessions, so nodes die and rejoin far more
+// often than the exponential row. Every rejoin leaves the rejoiner
+// invisible to any peer whose stabilization sweep cleared it while it was
+// down — and with a full view refresh taking sweepFraction rounds, those
+// stale-dead entries outlive the run. One-hop routing has no detour
+// around a stale view (the lookup fails outright), so singlehop's success
+// sags below the multi-hop rows under the same churn summary q_eff,
+// while its maintenance bill grows with the extra O(N) join transfers.
+// The k=3 row shows the repair half of the tentpole: replica failover
+// restores most of the lost lookups at a visible repair/node/s cost.
+func Frontier(opt Options) ([]*table.Table, error) {
+	opt = opt.withDefaults()
+	bits := opt.Bits
+	if bits > 9 {
+		bits = 9 // 2^9 nodes: O(N) singlehop maintenance stays tractable
+	}
+	const (
+		duration    = 6.0
+		meanOnline  = 4.0
+		meanOffline = 1.0
+		burnIn      = 1.0
+		buckets     = 6
+	)
+	settings := make([]exp.EventSetting, 0, len(frontierCells))
+	for _, cell := range frontierCells {
+		settings = append(settings, exp.EventSetting{
+			Scenario: cell.scenario,
+			Params: exp.EventParams{
+				MeanOnline:  meanOnline,
+				MeanOffline: meanOffline,
+				Rate:        float64(opt.Pairs),
+				Lifetime:    cell.lifetime,
+				Replicas:    cell.replicas,
+			},
+			Duration: duration,
+			Buckets:  buckets,
+			Maintain: true,
+		})
+	}
+	specs := []exp.Spec{exp.MustSpec("chord"), exp.MustSpec("kademlia"), exp.MustSpec("singlehop")}
+	plan := exp.Plan{Name: "frontier", Specs: specs, Bits: []int{bits}, Events: settings}
+
+	rows, err := exp.Run(context.Background(), plan,
+		exp.WithModes(exp.ModeEvent),
+		exp.WithPairs(opt.Pairs), exp.WithTrials(opt.Trials),
+		exp.WithSeed(opt.Seed), exp.WithSimWorkers(1),
+	)
+	if err != nil {
+		return nil, err
+	}
+
+	// Aggregate each (geometry, setting) block's post-burn-in steady
+	// window, weighted by cohort size. Rows arrive in plan order —
+	// settings-major within each spec, buckets in time order — so a cell
+	// is exactly the next `buckets` rows of its geometry.
+	type agg struct {
+		started, completed  int
+		sumHops, sumLatency float64
+		sumMaint, sumRepair float64
+		sumOnline           float64
+		buckets             int
+	}
+	groups := map[string]*agg{}
+	key := func(geometry string, setting int) string { return fmt.Sprintf("%s/%d", geometry, setting) }
+	rowsSeen := map[string]int{}
+	for _, r := range rows {
+		k := key(r.Geometry, rowsSeen[r.Geometry]/buckets)
+		rowsSeen[r.Geometry]++
+		g, ok := groups[k]
+		if !ok {
+			g = &agg{}
+			groups[k] = g
+		}
+		if r.Time-duration/buckets >= burnIn-1e-9 {
+			if r.EventStarted > 0 {
+				g.started += r.EventStarted
+				// Mean hops and latency are completed-cohort means, so they
+				// weight by the completed count (both are NaN when a bucket
+				// completed nothing).
+				completed := int(r.EventSuccess*float64(r.EventStarted) + 0.5)
+				g.completed += completed
+				if completed > 0 {
+					g.sumHops += r.EventMeanHops * float64(completed)
+					g.sumLatency += r.EventMeanLatency * float64(completed)
+				}
+			}
+			g.sumMaint += r.EventMaintNodeS
+			g.sumRepair += r.EventRepairNodeS
+			g.sumOnline += r.EventOnline
+			g.buckets++
+		}
+	}
+
+	t := table.New(fmt.Sprintf("E20 — latency-vs-maintenance frontier: multi-hop vs single-hop vs k-replication under churn (N=2^%d)", bits),
+		"protocol", "churn", "k", "event r%", "mean hops", "latency", "maint/node/s", "repair/node/s", "online %")
+	for _, s := range specs {
+		name := s.Geometry.Name() // Row.Geometry carries the geometry vocabulary
+		for i, cell := range frontierCells {
+			g, ok := groups[key(name, i)]
+			if !ok || g.started == 0 || g.completed == 0 || g.buckets == 0 {
+				return nil, fmt.Errorf("figures: frontier missing group %s/%s k=%d", name, cell.label, cell.replicas)
+			}
+			k := cell.replicas
+			if k == 0 {
+				k = 1
+			}
+			event := float64(g.completed) / float64(g.started)
+			t.AddRow(
+				s.Protocol,
+				cell.label,
+				table.I(k),
+				table.Pct(event, 2),
+				table.F(g.sumHops/float64(g.completed), 2),
+				table.F(g.sumLatency/float64(g.completed), 3),
+				table.F(g.sumMaint/float64(g.buckets), 3),
+				table.F(g.sumRepair/float64(g.buckets), 3),
+				table.Pct(g.sumOnline/float64(g.buckets), 1),
+			)
+		}
+	}
+	return []*table.Table{t}, nil
+}

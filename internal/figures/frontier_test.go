@@ -1,0 +1,82 @@
+package figures
+
+import (
+	"testing"
+)
+
+// TestFrontierShape pins E20's load-bearing comparisons: singlehop owns
+// the latency corner (one hop) while paying an order of magnitude more
+// maintenance than the multi-hop rows; heavy-tailed churn knocks its
+// lookup success below its own exponential row while driving maintenance
+// further up; and k=3 replication recovers the heavy-tail loss at a
+// nonzero repair cost that the unreplicated rows never pay.
+func TestFrontierShape(t *testing.T) {
+	ts, err := Generate("frontier", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := ts[0]
+	if tb.NumRows() != 9 { // 3 protocols × (exp, pareto, pareto k=3)
+		t.Fatalf("rows = %d, want 9", tb.NumRows())
+	}
+
+	// Index rows by (protocol, churn, k).
+	type key struct {
+		proto, churn, k string
+	}
+	rows := map[key]int{}
+	for r := 0; r < tb.NumRows(); r++ {
+		rows[key{cell(t, tb, r, "protocol"), cell(t, tb, r, "churn"), cell(t, tb, r, "k")}] = r
+	}
+	at := func(proto, churn, k, col string) float64 {
+		r, ok := rows[key{proto, churn, k}]
+		if !ok {
+			t.Fatalf("no row for %s/%s/k=%s", proto, churn, k)
+		}
+		return cellF(t, tb, r, col)
+	}
+
+	// The latency corner: one-hop lookups, several-hop multi-hop routes.
+	if h := at("singlehop", "exp", "1", "mean hops"); h > 1.05 {
+		t.Errorf("singlehop mean hops %v, want ~1", h)
+	}
+	if h := at("chord", "exp", "1", "mean hops"); h < 2 {
+		t.Errorf("chord mean hops %v, want multi-hop", h)
+	}
+	if sl, ch := at("singlehop", "exp", "1", "latency"), at("chord", "exp", "1", "latency"); sl >= ch/2 {
+		t.Errorf("singlehop latency %v not well below chord %v", sl, ch)
+	}
+
+	// The maintenance corner: full-membership upkeep costs the one-hop
+	// family an order of magnitude more than the multi-hop rows.
+	if sl, ch := at("singlehop", "exp", "1", "maint/node/s"), at("chord", "exp", "1", "maint/node/s"); sl < 5*ch {
+		t.Errorf("singlehop maintenance %v not dominating chord %v", sl, ch)
+	}
+
+	// Heavy-tailed churn is where O(1) breaks down: success sags below the
+	// exponential row and the O(N) join traffic drives maintenance up.
+	expR := at("singlehop", "exp", "1", "event r%")
+	heavyR := at("singlehop", "pareto a=1.2", "1", "event r%")
+	if heavyR >= expR-3 {
+		t.Errorf("singlehop heavy-tail success %v not clearly below exp %v", heavyR, expR)
+	}
+	if hm, em := at("singlehop", "pareto a=1.2", "1", "maint/node/s"), at("singlehop", "exp", "1", "maint/node/s"); hm <= em {
+		t.Errorf("singlehop heavy-tail maintenance %v not above exp %v", hm, em)
+	}
+
+	// Replica failover buys the loss back, paid in repair bandwidth.
+	replR := at("singlehop", "pareto a=1.2", "3", "event r%")
+	if replR <= heavyR+3 {
+		t.Errorf("k=3 heavy-tail success %v not clearly above unreplicated %v", replR, heavyR)
+	}
+	for _, proto := range []string{"chord", "kademlia", "singlehop"} {
+		if rep := at(proto, "pareto a=1.2", "3", "repair/node/s"); rep <= 0 {
+			t.Errorf("%s k=3 repair rate %v, want positive", proto, rep)
+		}
+		for _, churn := range []string{"exp", "pareto a=1.2"} {
+			if rep := at(proto, churn, "1", "repair/node/s"); rep != 0 {
+				t.Errorf("%s/%s unreplicated repair rate %v, want 0", proto, churn, rep)
+			}
+		}
+	}
+}

@@ -24,11 +24,12 @@ func PathLength(opt Options) ([]*table.Table, error) {
 		bits = 12
 	}
 	geoms := map[string]core.Geometry{
-		"plaxton":  core.Tree{},
-		"can":      core.Hypercube{},
-		"kademlia": core.XOR{},
-		"chord":    core.Ring{},
-		"symphony": core.DefaultSymphony(),
+		"plaxton":   core.Tree{},
+		"can":       core.Hypercube{},
+		"kademlia":  core.XOR{},
+		"chord":     core.Ring{},
+		"symphony":  core.DefaultSymphony(),
+		"singlehop": core.SingleHop{},
 	}
 
 	t1 := table.New("E12 — path lengths: analytic distance vs simulated hops (N=2^"+table.I(bits)+")",

@@ -32,6 +32,19 @@ func TestDetSourceObsHist(t *testing.T) {
 	runGolden(t, "detsource/obshist", "rcm/obs", DetSource)
 }
 
+// TestDetSourceReplica: rcm/replica is determinism-critical — placement
+// is a pure function of (space, root, k), so clock reads and global
+// rand draws are caught while seeded draws and pure arithmetic pass.
+func TestDetSourceReplica(t *testing.T) {
+	runGolden(t, "detsource/replica", "rcm/replica", DetSource)
+}
+
+// TestBoundaryReplicaLeaf: the placement library may import overlay and
+// stdlib only; an executor import is caught at the import site.
+func TestBoundaryReplicaLeaf(t *testing.T) {
+	runGolden(t, "boundary/replicaleaf", "rcm/replica", Boundary)
+}
+
 // TestLoopOwnerBad: exported-entry-point reads, timer-callback and
 // goroutine writes, and laundering via a method call are all caught.
 func TestLoopOwnerBad(t *testing.T) {

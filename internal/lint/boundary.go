@@ -16,11 +16,16 @@ type boundaryRule struct {
 	// a documented, deliberate exception to the layer contract, not a
 	// suppression of convenience.
 	Except []string
+	// ExceptTo lists To-side packages the rule does not forbid — the
+	// enumerated dependencies of a near-leaf library whose rule would
+	// otherwise ban the whole module.
+	ExceptTo []string
 }
 
 // BoundaryRules is the module's layer contract, bottom to top:
 //
 //	spec, overlay, obs                (leaf libraries: stdlib only)
+//	replica                           (near-leaf: overlay identifiers only)
 //	internal/...                      (model, simulators, registry)
 //	rcm, eventsim, exp                (public facade + engines)
 //	node, cluster, cmd/rcmd, examples (public-API consumers)
@@ -51,6 +56,12 @@ var BoundaryRules = []boundaryRule{
 	{From: "rcm/eventsim/...", To: "rcm/node/...", Reason: "the event engine must not depend on the live-node layer validated against it"},
 	{From: "rcm/exp/...", To: "rcm/node/...", Reason: "the experiment runner must not depend on the live-node layer"},
 	{From: "rcm/spec/...", To: "rcm/...", Reason: "spec is a leaf library (stdlib only)"},
+	// replica is the placement vocabulary shared by eventsim, node and
+	// cluster; if it reached into any executor the sim/live ownership
+	// agreement would become circular. It may see identifiers (overlay)
+	// and nothing else.
+	{From: "rcm/replica/...", To: "rcm/...", Reason: "replica is a placement leaf: overlay identifiers and stdlib only",
+		ExceptTo: []string{"rcm/overlay/..."}},
 	{From: "rcm/overlay/...", To: "rcm/...", Reason: "overlay is a leaf library (stdlib only)"},
 	{From: "rcm/obs/...", To: "rcm/...", Reason: "obs is a leaf library (stdlib only): every layer records into it"},
 }
@@ -72,7 +83,8 @@ func runBoundary(pass *Pass) error {
 				continue
 			}
 			for _, rule := range BoundaryRules {
-				if matchPattern(pass.Pkg.Path, rule.From) && matchPattern(path, rule.To) && !exempt(pass.Pkg.Path, rule.Except) {
+				if matchPattern(pass.Pkg.Path, rule.From) && matchPattern(path, rule.To) &&
+					!exempt(pass.Pkg.Path, rule.Except) && !exempt(path, rule.ExceptTo) {
 					pass.Reportf(imp.Pos(), "package %s must not import %s: %s", pass.Pkg.Path, path, rule.Reason)
 					break
 				}

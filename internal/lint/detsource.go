@@ -16,6 +16,7 @@ import (
 var DetPackages = []string{
 	"rcm/eventsim/...",
 	"rcm/overlay/...",
+	"rcm/replica/...",
 	"rcm/spec/...",
 	"rcm/obs/...",
 	"rcm/exp/...",

@@ -1,0 +1,13 @@
+// Package replicaleaf is type-checked under the import path
+// rcm/replica: the placement library may import rcm/overlay (identifier
+// vocabulary) and stdlib, and nothing else in the module — reaching
+// into an executor would make the sim/live ownership agreement
+// circular.
+package replicaleaf
+
+import (
+	_ "fmt"
+	_ "rcm/eventsim" // want `package rcm/replica must not import rcm/eventsim: replica is a placement leaf: overlay identifiers and stdlib only`
+	_ "rcm/node"     // want `package rcm/replica must not import rcm/node: replica is a placement leaf: overlay identifiers and stdlib only`
+	_ "rcm/overlay"
+)

@@ -1,0 +1,29 @@
+// Package replica is type-checked under the import path rcm/replica:
+// the placement library is determinism-critical (placement must be a
+// pure function of (space, root, k)), so clock reads and the global
+// rand source are findings while seeded draws and pure arithmetic pass.
+package replica
+
+import (
+	"math/rand"
+	"time"
+)
+
+func placementSalt() int64 {
+	return time.Now().UnixNano() // want `time\.Now in a determinism-critical package \(wall-clock read\)`
+}
+
+func jitteredOwner(n int) int {
+	return rand.Intn(n) // want `math/rand\.Intn uses the process-global, unseeded source`
+}
+
+// successor is the pure placement arithmetic the package actually uses:
+// no findings.
+func successor(root, i, size int) int {
+	return (root + i) % size
+}
+
+// seededPick draws from an explicitly seeded generator: allowed.
+func seededPick(seed int64, n int) int {
+	return rand.New(rand.NewSource(seed)).Intn(n)
+}

@@ -19,6 +19,7 @@ import (
 	"rcm/node"
 	"rcm/obs"
 	"rcm/overlay"
+	"rcm/replica"
 )
 
 // Config configures a cluster.
@@ -42,6 +43,9 @@ type Config struct {
 	Retransmits int
 	MaxHops     int
 	Deadline    time.Duration
+	// Replicas is the key replication factor every node operates with
+	// (see node.Config.Replicas); 0 and 1 both mean no replication.
+	Replicas int
 }
 
 // Cluster is a running population of live nodes, one per identifier.
@@ -108,6 +112,7 @@ func New(cfg Config) (*Cluster, error) {
 			Retransmits: cfg.Retransmits,
 			MaxHops:     cfg.MaxHops,
 			Deadline:    cfg.Deadline,
+			Replicas:    cfg.Replicas,
 		})
 		if err != nil {
 			c.closeTransports(transports)
@@ -292,6 +297,13 @@ type replayEvent struct {
 // The report's windows are in schedule time, directly comparable to the
 // eventsim.Result of the same Config — which is precisely what the
 // conformance suite does.
+//
+// When the schedule's Params carry Replicas k > 1, each lookup freezes
+// the live subset of its key's k-owner replica set at issue time — the
+// live analogue of the engine's start-time eligibility mask — and fails
+// over across it in placement order, folding every attempt's route cost
+// into the one Outcome, exactly as the engine folds prior hops into a
+// replicated lookup's total.
 func (c *Cluster) Replay(sched *eventsim.Schedule, opt ReplayOptions) (*Report, error) {
 	if sched.Nodes != len(c.nodes) {
 		return nil, fmt.Errorf("cluster: schedule population %d != cluster population %d", sched.Nodes, len(c.nodes))
@@ -299,6 +311,18 @@ func (c *Cluster) Replay(sched *eventsim.Schedule, opt ReplayOptions) (*Report, 
 	conc := opt.Concurrency
 	if conc <= 0 {
 		conc = 64
+	}
+	k := sched.Params.Replicas
+	var repl []overlay.ID
+	if k > 1 {
+		var err error
+		for root := 0; root < len(c.nodes); root++ {
+			repl, err = replica.For(c.proto, c.proto.Space(), repl, overlay.ID(root), k)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: %w", err)
+			}
+		}
+		k = len(repl) / len(c.nodes)
 	}
 
 	offline := make([]bool, len(c.nodes))
@@ -348,22 +372,37 @@ func (c *Cluster) Replay(sched *eventsim.Schedule, opt ReplayOptions) (*Report, 
 		lk := sched.Lookups[ev.lookup]
 		out := &report.Outcomes[ev.lookup]
 		out.T = lk.T
-		if offline[lk.Src] || offline[lk.Dst] {
+		var owners []overlay.ID
+		if k > 1 {
+			for i := 0; i < k; i++ {
+				if o := repl[lk.Dst*k+i]; !offline[o] {
+					owners = append(owners, o)
+				}
+			}
+		} else if !offline[lk.Dst] {
+			owners = []overlay.ID{overlay.ID(lk.Dst)}
+		}
+		if offline[lk.Src] || len(owners) == 0 {
 			out.Skipped = true
 			continue
 		}
 		drained = false
 		sem <- struct{}{}
 		wg.Add(1)
-		go func(src, dst int, out *Outcome) {
+		go func(src int, owners []overlay.ID, out *Outcome) {
 			defer wg.Done()
 			defer func() { <-sem }()
 			start := time.Now()
-			res := c.nodes[src].Lookup(overlay.ID(dst))
+			for _, o := range owners {
+				res := c.nodes[src].Lookup(o)
+				out.Hops += res.Hops
+				if res.OK() {
+					out.OK = true
+					break
+				}
+			}
 			out.Latency = time.Since(start)
-			out.OK = res.OK()
-			out.Hops = res.Hops
-		}(lk.Src, lk.Dst, out)
+		}(lk.Src, owners, out)
 	}
 	wg.Wait()
 	return report, nil

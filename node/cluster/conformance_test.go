@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"fmt"
 	"math"
 	"testing"
 	"time"
@@ -40,6 +41,7 @@ func liveCluster(t *testing.T, cfg eventsim.Config) *Cluster {
 		RTO:         15 * time.Millisecond,
 		Retransmits: -1,
 		Deadline:    3 * time.Second,
+		Replicas:    cfg.Params.Replicas,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -50,21 +52,34 @@ func liveCluster(t *testing.T, cfg eventsim.Config) *Cluster {
 
 // TestConformanceLiveVsEventsim is the acceptance gate of the live-node
 // layer: replay the massfail schedule on a 128-node in-process cluster
-// for chord and kademlia at q = 0 and q = 0.2, and require the live
-// steady-state lookup success within ±0.05 and the live mean hop count
-// within ±0.5 of eventsim's prediction for the identical configuration.
-// Both executors walk the same Forwarder candidate lists over the same
-// overlay tables against the same failed set, so the comparison pins the
-// whole live stack — wire protocol, RTO machinery, candidate failover,
-// kill semantics — to the simulator's routing discipline.
+// for chord, kademlia, singlehop and 3-replicated chord at q = 0 and
+// q = 0.2, and require the live steady-state lookup success within
+// ±0.05 and the live mean hop count within ±0.5 of eventsim's
+// prediction for the identical configuration. Both executors walk the
+// same Forwarder candidate lists over the same overlay tables against
+// the same failed set — and, replicated, the same frozen owner masks in
+// the same placement order — so the comparison pins the whole live
+// stack — wire protocol, RTO machinery, candidate failover, replica
+// failover, kill semantics — to the simulator's routing discipline.
 func TestConformanceLiveVsEventsim(t *testing.T) {
 	const (
 		bits = 7 // 128 nodes
 		seed = 11
 	)
-	for _, protocol := range []string{"chord", "kademlia"} {
+	cells := []struct {
+		protocol string
+		replicas int
+	}{
+		{"chord", 0},
+		{"kademlia", 0},
+		{"singlehop", 0},
+		{"chord", 3},
+	}
+	for _, cell := range cells {
+		protocol := fmt.Sprintf("%s/k=%d", cell.protocol, cell.replicas)
 		for _, q := range []float64{0, 0.2} {
-			cfg := conformanceConfig(protocol, bits, q, seed)
+			cfg := conformanceConfig(cell.protocol, bits, q, seed)
+			cfg.Params.Replicas = cell.replicas
 
 			res, err := eventsim.Run(cfg)
 			if err != nil {
@@ -198,6 +213,99 @@ func TestReplayChurn(t *testing.T) {
 	// Chord under mild churn with static tables still routes most pairs.
 	if frac := float64(ok) / float64(issued); frac < 0.5 {
 		t.Errorf("churn replay success %.3f (%d/%d) below sanity floor 0.5", frac, ok, issued)
+	}
+}
+
+// progScenario adapts a closure to eventsim.Scenario for tests.
+type progScenario struct {
+	name string
+	prog func(*eventsim.Env) error
+}
+
+func (s progScenario) Name() string                    { return s.name }
+func (s progScenario) Program(env *eventsim.Env) error { return s.prog(env) }
+
+// TestReplayRestartWindowNoDoubleCount pins the report's windows on a
+// kill-then-restart schedule with replication: during the outage,
+// replicated lookups to dead roots fail over — the live replay re-issues
+// the request toward the next owner — and those re-issued attempts must
+// fold into their one scheduled lookup's Outcome, never inflate the
+// window histograms. The pin is eventsim equality: the outage and
+// post-restart windows' hop distributions match the simulator bucket for
+// bucket, and the latency histogram holds exactly one observation per
+// issued lookup.
+func TestReplayRestartWindowNoDoubleCount(t *testing.T) {
+	err := eventsim.RegisterScenario("test-kill-revive", func(p eventsim.Params) (eventsim.Scenario, error) {
+		return progScenario{name: "test-kill-revive", prog: func(env *eventsim.Env) error {
+			n := env.Nodes()
+			for i := 0; i < n/4; i++ {
+				env.FailAt(1, i)
+				env.JoinAt(3, i)
+			}
+			// Guard gaps around each toggle instant keep every lookup's
+			// flight inside one population regime: the live replay drains
+			// in-flight lookups before applying a toggle, the simulator
+			// does not, and lookups crossing a toggle are the one place
+			// the two executors may legitimately diverge. Timeout chains
+			// cost one RTO per dead candidate, so the run uses a fast
+			// transport (tight RTO) and a wide gap before the revival.
+			rate := env.Params().Rate
+			env.PoissonLookups(0, 0.9, rate, nil)
+			env.PoissonLookups(1.1, 1.5, rate, nil)
+			env.PoissonLookups(3.1, env.Duration(), rate, nil)
+			return nil
+		}}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := eventsim.Config{
+		Protocol: "chord",
+		Overlay:  eventsim.OverlayConfig{Bits: 6, Seed: 9},
+		Scenario: "test-kill-revive",
+		Params:   eventsim.Params{Rate: 200, Replicas: 3},
+		Duration: 4,
+		// Unit-width buckets align the simulator's windows with the
+		// report's scheduled-time windows below.
+		Buckets:     4,
+		Seed:        9,
+		Transport:   eventsim.Constant{Latency: 0.01},
+		Retransmits: -1,
+	}
+	res, err := eventsim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := eventsim.BuildSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := liveCluster(t, cfg)
+	report, err := c.Replay(sched, ReplayOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, w := range [][2]float64{{1, 2}, {3, 4}} {
+		simDist := res.WindowHopDist(w[0], w[1])
+		liveDist := report.WindowHopDist(w[0], w[1])
+		if simDist != liveDist {
+			t.Errorf("window [%v, %v]: live hop distribution diverges from eventsim:\nlive: %s\nsim:  %s",
+				w[0], w[1], liveDist.String(), simDist.String())
+		}
+		if simDist.Count() == 0 {
+			t.Errorf("window [%v, %v]: empty hop distribution", w[0], w[1])
+		}
+		issued := 0
+		for _, o := range report.Outcomes {
+			if !o.Skipped && o.T >= w[0] && o.T <= w[1] {
+				issued++
+			}
+		}
+		if liveLat := report.WindowLatency(w[0], w[1]); liveLat.Count() != uint64(issued) {
+			t.Errorf("window [%v, %v]: latency histogram n=%d != issued lookups %d (re-issued attempts double-counted?)",
+				w[0], w[1], liveLat.Count(), issued)
+		}
 	}
 }
 

@@ -1,0 +1,155 @@
+package node
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"rcm"
+	"rcm/overlay"
+)
+
+// soloNode builds and starts a single in-memory node — lifecycle tests
+// need no peers.
+func soloNode(t *testing.T) *Node {
+	t.Helper()
+	proto, err := rcm.NewProtocol("chord", rcm.Config{Bits: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := NewMemNetwork()
+	tr := mem.Endpoint()
+	nd, err := New(Config{
+		Protocol:  proto,
+		ID:        3,
+		Transport: tr,
+		AddrOf:    func(overlay.ID) string { return tr.Addr() },
+		RTO:       10 * time.Millisecond,
+		Deadline:  time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd.Start()
+	return nd
+}
+
+// within fails the test if fn does not return inside d — the regression
+// shape for the control-after-Close hang, where the posted closure could
+// land in cmds after the drain and nobody would ever close the ack.
+func within(t *testing.T, d time.Duration, what string, fn func()) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() { defer close(done); fn() }()
+	select {
+	case <-done:
+	case <-time.After(d):
+		t.Fatalf("%s did not return within %v", what, d)
+	}
+}
+
+// TestRestartAfterCloseRejected: Restart on a closed node must return
+// promptly, must not re-arm the drained loop, and the node must keep
+// rejecting requests. Before the fix the control select was a coin flip
+// once done closed, so the call could hang or flip downNow on a dead
+// loop; many iterations make the old coin flip land on both sides.
+func TestRestartAfterCloseRejected(t *testing.T) {
+	nd := soloNode(t)
+	nd.Kill()
+	if !nd.Down() {
+		t.Fatal("Kill did not mark the node down")
+	}
+	nd.Close()
+	for i := 0; i < 50; i++ {
+		within(t, 5*time.Second, "Restart after Close", nd.Restart)
+		if !nd.Down() {
+			t.Fatalf("iteration %d: Restart after Close re-armed the node", i)
+		}
+	}
+	// The node was down when it closed and Restart must not have revived
+	// it, so requests keep failing fast on the down check.
+	res := nd.Lookup(5)
+	if res.Err == nil || !strings.Contains(res.Err.Error(), "down") {
+		t.Fatalf("lookup on killed+closed node: %+v, want down error", res)
+	}
+}
+
+// TestKillAfterCloseRejected: the mirror ordering — Kill on a closed (and
+// never-killed) node must be a prompt no-op that leaves Down() false
+// rather than posting crash cleanup at a drained loop.
+func TestKillAfterCloseRejected(t *testing.T) {
+	nd := soloNode(t)
+	nd.Close()
+	for i := 0; i < 50; i++ {
+		within(t, 5*time.Second, "Kill after Close", nd.Kill)
+		if nd.Down() {
+			t.Fatalf("iteration %d: Kill after Close mutated a closed node", i)
+		}
+	}
+	res := nd.Lookup(5)
+	if res.Err == nil || !strings.Contains(res.Err.Error(), "closed") {
+		t.Fatalf("lookup on closed node: %+v, want closed error", res)
+	}
+}
+
+// TestKillRestartCycleThenClose: the healthy ordering still works — kill,
+// restart, serve, close — and a second Close is idempotent.
+func TestKillRestartCycleThenClose(t *testing.T) {
+	nd := soloNode(t)
+	for i := 0; i < 10; i++ {
+		nd.Kill()
+		if !nd.Down() {
+			t.Fatalf("cycle %d: not down after Kill", i)
+		}
+		if res := nd.Lookup(3); res.Err == nil {
+			t.Fatalf("cycle %d: lookup on killed node succeeded: %+v", i, res)
+		}
+		nd.Restart()
+		if nd.Down() {
+			t.Fatalf("cycle %d: still down after Restart", i)
+		}
+		if res := nd.Lookup(3); !res.OK() {
+			t.Fatalf("cycle %d: self-lookup after Restart: %+v", i, res)
+		}
+	}
+	within(t, 5*time.Second, "Close", nd.Close)
+	within(t, 5*time.Second, "second Close", nd.Close)
+}
+
+// TestControlConcurrentWithClose hammers Kill/Restart from many
+// goroutines racing one Close: whatever interleaving wins, every call
+// must return. (Run with -race this also checks the control path touches
+// no loop state off-loop.)
+func TestControlConcurrentWithClose(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		nd := soloNode(t)
+		start := make(chan struct{})
+		done := make(chan struct{})
+		for g := 0; g < 4; g++ {
+			go func(g int) {
+				<-start
+				for i := 0; i < 10; i++ {
+					if (g+i)%2 == 0 {
+						nd.Kill()
+					} else {
+						nd.Restart()
+					}
+				}
+				done <- struct{}{}
+			}(g)
+		}
+		go func() {
+			<-start
+			nd.Close()
+			done <- struct{}{}
+		}()
+		close(start)
+		for i := 0; i < 5; i++ {
+			select {
+			case <-done:
+			case <-time.After(10 * time.Second):
+				t.Fatalf("round %d: lifecycle call hung racing Close", round)
+			}
+		}
+	}
+}

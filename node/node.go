@@ -9,6 +9,7 @@ import (
 
 	"rcm"
 	"rcm/overlay"
+	"rcm/replica"
 )
 
 // Config configures one live node.
@@ -44,6 +45,13 @@ type Config struct {
 	// Deadline is the per-request time-to-live carried in every message
 	// and decremented by each holder's holding time (default 5 s).
 	Deadline time.Duration
+	// Replicas is the key replication factor k: Put writes every owner in
+	// the key's replica set (placement per rcm/replica — the protocol's
+	// Replicator opt-in, or successor placement) and Get fails over across
+	// the set in placement order, treating NotFound like a routing failure
+	// until the last owner has answered. 0 and 1 both mean single-owner
+	// operation; every node of a cluster must agree on the value.
+	Replicas int
 }
 
 func (cfg Config) withDefaults() Config {
@@ -162,6 +170,9 @@ func New(cfg Config) (*Node, error) {
 	if !space.Contains(cfg.ID) {
 		return nil, fmt.Errorf("node: id %d outside the %d-bit identifier space", cfg.ID, space.Bits())
 	}
+	if err := replica.ValidateK(cfg.Replicas); err != nil {
+		return nil, fmt.Errorf("node: %w", err)
+	}
 	cfg = cfg.withDefaults()
 	return &Node{
 		cfg:      cfg,
@@ -217,6 +228,16 @@ func (n *Node) Restart() { n.control(false) }
 func (n *Node) Down() bool { return n.downNow.Load() }
 
 func (n *Node) control(down bool) {
+	select {
+	case <-n.done:
+		// Kill/Restart after Close is a rejected no-op. Without this
+		// deterministic check the select below is a coin flip once done is
+		// closed (the buffered cmds send can still win), and the posted
+		// closure would either re-arm a draining loop's downNow or — if the
+		// loop has already exited — never run, hanging the ack wait.
+		return
+	default:
+	}
 	ack := make(chan struct{})
 	select {
 	case n.cmds <- func() {
@@ -235,7 +256,13 @@ func (n *Node) control(down bool) {
 		n.downNow.Store(down)
 		close(ack)
 	}:
-		<-ack
+		select {
+		case <-ack:
+		case <-n.loopExit:
+			// Close raced us between the check above and the send: the
+			// closure may sit in cmds forever after the drain, so waiting
+			// only on ack could hang. The node is closed either way.
+		}
 	case <-n.done:
 	}
 }
@@ -329,17 +356,72 @@ func (n *Node) Lookup(dst overlay.ID) Result {
 	return n.issue(OpLookup, dst, 0, nil)
 }
 
-// Get fetches the value stored under key at its owner.
+// Get fetches the value stored under key. With replication it tries the
+// key's owners in placement order, failing over on routing failures and
+// NotFound alike, and returns the first successful read; Hops accumulates
+// across attempts (the route cost actually paid), matching eventsim's
+// replicated-lookup hop accounting.
 func (n *Node) Get(key string) Result {
-	return n.issue(OpGet, KeyID(n.space, key), KeyHash(key), nil)
+	owners, err := n.owners(KeyID(n.space, key))
+	if err != nil {
+		return Result{Err: err}
+	}
+	hash := KeyHash(key)
+	prior := 0
+	var last Result
+	for _, o := range owners {
+		r := n.issue(OpGet, o, hash, nil)
+		r.Hops += prior
+		if r.OK() {
+			return r
+		}
+		prior = r.Hops
+		last = r
+	}
+	return last
 }
 
-// Put stores value under key at its owner.
+// Put stores value under key. With replication it writes every owner in
+// the key's replica set, best-effort: the result is OK if any replica
+// stored the value (the first success's verdict), and Hops totals the
+// route cost of all attempts.
 func (n *Node) Put(key string, value []byte) Result {
 	if len(value) > MaxValueLen {
 		return Result{Err: fmt.Errorf("node: value of %d bytes exceeds the %d-byte wire limit", len(value), MaxValueLen)}
 	}
-	return n.issue(OpPut, KeyID(n.space, key), KeyHash(key), value)
+	owners, err := n.owners(KeyID(n.space, key))
+	if err != nil {
+		return Result{Err: err}
+	}
+	hash := KeyHash(key)
+	var out Result
+	stored, total := false, 0
+	for _, o := range owners {
+		r := n.issue(OpPut, o, hash, value)
+		total += r.Hops
+		if r.OK() && !stored {
+			out, stored = r, true
+		} else if !stored {
+			out = r
+		}
+	}
+	out.Hops = total
+	return out
+}
+
+// owners returns the replica set of root in placement order — just root
+// when replication is off. The slice is freshly allocated: public
+// operations run on caller goroutines and must not share loop-owned
+// buffers.
+func (n *Node) owners(root overlay.ID) ([]overlay.ID, error) {
+	if n.cfg.Replicas <= 1 {
+		return []overlay.ID{root}, nil
+	}
+	set, err := replica.For(n.cfg.Protocol, n.space, nil, root, n.cfg.Replicas)
+	if err != nil {
+		return nil, fmt.Errorf("node: %w", err)
+	}
+	return set, nil
 }
 
 // issue originates a request at this node and blocks for its verdict.
@@ -384,7 +466,21 @@ func (n *Node) issue(op Op, dst overlay.ID, key uint64, value []byte) Result {
 	if !ok {
 		return Result{Err: fmt.Errorf("node %d: closed", n.cfg.ID)}
 	}
-	return <-ch
+	select {
+	case r := <-ch:
+		return r
+	case <-n.loopExit:
+		// The post slipped into cmds after Close's drain emptied it: the
+		// closure never runs and no verdict is coming. Prefer a verdict
+		// that did land (the drain fails registered origins before the
+		// loop exits, racing this select).
+		select {
+		case r := <-ch:
+			return r
+		default:
+			return Result{Err: fmt.Errorf("node %d: closed", n.cfg.ID)}
+		}
+	}
 }
 
 // ---- Event handlers (loop goroutine only) ------------------------------

@@ -139,6 +139,51 @@ func (p *toyProtocol) Neighbors(x overlay.ID) []overlay.ID {
 	return []overlay.ID{overlay.ID((uint64(x) + 1) % p.space.Size())}
 }
 
+// TestSingleHopGrammar pins the registry grammar around the single-hop
+// family: every accepted spelling resolves to the same protocol, the
+// spellings are reserved against later registrations (alias collision in
+// both directions), and an unknown near-miss errors with the accepted
+// names listed.
+func TestSingleHopGrammar(t *testing.T) {
+	for _, name := range []string{"singlehop", "SingleHop", "onehop", "d1ht", "D1HT"} {
+		p, err := rcm.NewProtocol(name, rcm.Config{Bits: 4, Seed: 1})
+		if err != nil {
+			t.Errorf("NewProtocol(%q): %v", name, err)
+			continue
+		}
+		if p.Name() != "singlehop" {
+			t.Errorf("NewProtocol(%q).Name() = %q, want singlehop", name, p.Name())
+		}
+	}
+	// The canonical name and each alias are taken, as canonical names and
+	// as aliases of a fresh name alike.
+	for _, taken := range []string{"singlehop", "onehop", "d1ht"} {
+		if err := rcm.RegisterProtocol(taken, nil); err == nil {
+			t.Errorf("protocol name %q re-registered over singlehop", taken)
+		}
+		if err := rcm.RegisterProtocol("fresh-"+taken+"-test", func(cfg rcm.Config) (rcm.Protocol, error) {
+			s, err := overlay.NewSpace(cfg.Bits)
+			if err != nil {
+				return nil, err
+			}
+			return &toyProtocol{space: s}, nil
+		}, taken); err == nil {
+			t.Errorf("alias %q accepted over singlehop's spelling", taken)
+		}
+	}
+	// A near-miss is an unknown-name error, not a silent fallback, and the
+	// message lists the accepted spellings so typos are self-diagnosing.
+	_, err := rcm.NewProtocol("twohop", rcm.Config{Bits: 4, Seed: 1})
+	if err == nil {
+		t.Fatal("unknown protocol \"twohop\" resolved")
+	}
+	for _, want := range []string{"singlehop", "onehop", "d1ht"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("unknown-protocol error %q does not list %q", err, want)
+		}
+	}
+}
+
 func TestRegisteredProtocolFlowsThroughSimulate(t *testing.T) {
 	err := rcm.RegisterProtocol("toyproto-test", func(cfg rcm.Config) (rcm.Protocol, error) {
 		s, err := overlay.NewSpace(cfg.Bits)
