@@ -1,7 +1,7 @@
 # Developer entry points; CI calls the same targets so local runs and the
 # pipeline cannot drift.
 
-.PHONY: build test race bench profile fmt vet lint fuzz-smoke cluster-smoke
+.PHONY: build test race bench profile fmt vet lint fuzz-smoke cluster-smoke chaos-smoke
 
 build:
 	go build ./... && go build ./examples/...
@@ -35,6 +35,14 @@ profile:
 # artifact).
 cluster-smoke:
 	go test -run TestClusterSmoke -count=1 -timeout 120s -v ./node/cluster/
+
+# chaos-smoke replays a lookup schedule against a live 64-node cluster
+# while every node's transport runs a partition+duplication fault plan
+# (rcm/fault), under the race detector. The pin is recovery: every
+# lookup scheduled after the partition heals succeeds, and both fault
+# kinds demonstrably fired.
+chaos-smoke:
+	go test -race -run TestChaosSmoke -count=1 -timeout 150s -v ./node/cluster/
 
 fmt:
 	gofmt -l .

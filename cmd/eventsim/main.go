@@ -43,8 +43,12 @@ import (
 
 	"rcm/eventsim"
 	"rcm/exp"
+	"rcm/fault"
 	"rcm/internal/table"
 )
+
+// faultClauseNames lists the plan clauses for the -fault usage string.
+func faultClauseNames() []string { return fault.ClauseNames() }
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -82,6 +86,7 @@ func run(args []string, out io.Writer) error {
 		crowdMul   = fs.Float64("crowd-factor", 0, "flashcrowd: rate multiplier (0: default 10)")
 
 		transport = fs.String("transport", "constant", "transport: constant[:lat] | empirical[:median] | lossy[:rate[:inner]]")
+		faultPlan = fs.String("fault", "", `fault plan wrapped around the transport, e.g. "partition:2@2-4,dup:0.1" (see rcm/fault; clauses: `+strings.Join(faultClauseNames(), "|")+`)`)
 		replicas  = fs.Int("replicas", 0, "replicate each key across k successive owners with failover reads (0 or 1: no replication)")
 		maintain  = fs.Bool("maintain", false, "enable join/stabilize maintenance")
 		stabilize = fs.Float64("stabilize-every", 0, "per-node stabilization period (0: default 1)")
@@ -155,6 +160,12 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	tspec := *transport
+	if *faultPlan != "" {
+		// -fault composes with -transport: the plan wraps whatever inner
+		// transport was picked, in the same spec grammar the engine parses.
+		tspec = "fault:" + *faultPlan + "/" + tspec
+	}
 	setting := exp.EventSetting{
 		Scenario: *scenario,
 		Params: exp.EventParams{
@@ -175,7 +186,7 @@ func run(args []string, out io.Writer) error {
 			DiurnalAmplitude: *diurnalAmp,
 			Replicas:         *replicas,
 		},
-		Transport:      *transport,
+		Transport:      tspec,
 		Duration:       *duration,
 		Buckets:        *buckets,
 		Maintain:       *maintain,

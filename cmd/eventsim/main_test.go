@@ -228,3 +228,19 @@ func TestSchedulerFlagBitIdentical(t *testing.T) {
 		t.Errorf("scheduler changed output:\nwheel:\n%s\nheap:\n%s", wheel, heap)
 	}
 }
+
+// TestFaultFlag: -fault composes a fault plan over the -transport spec
+// (visible in the title), stays deterministic, and rejects bad plans.
+func TestFaultFlag(t *testing.T) {
+	args := append([]string{"-protocol", "chord", "-fault", "partition:2@1-2", "-seed", "4", "-mode", "event"}, quick...)
+	out := runCapture(t, args...)
+	if !strings.Contains(out, "transport fault:partition:2@1-2/constant") {
+		t.Errorf("title missing composed fault transport:\n%s", out)
+	}
+	if again := runCapture(t, args...); again != out {
+		t.Errorf("faulted run not deterministic:\n%s\nvs\n%s", out, again)
+	}
+	if err := run(append([]string{"-fault", "bogus:1"}, quick...), &strings.Builder{}); err == nil {
+		t.Error("bogus fault plan accepted")
+	}
+}

@@ -76,8 +76,10 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		op      = fs.String("op", "", "client: operation get|put|lookup")
 		key     = fs.String("key", "", "client: key (or identifier, for lookup)")
 		value   = fs.String("value", "", "client: value for put")
+		timeout = fs.Duration("timeout", 0, "client: bound the whole operation — an unreachable or dead deployment fails within this instead of the -deadline default (0: use -deadline)")
 
-		clusterN = fs.Int("cluster", 0, "interactive: boot an in-process cluster of N nodes (power of two)")
+		clusterN  = fs.Int("cluster", 0, "interactive: boot an in-process cluster of N nodes (power of two)")
+		faultSpec = fs.String("fault", "", `cluster: fault plan every node's transport runs, e.g. "partition:2@10-20,dup:0.1" (see rcm/fault; windows in seconds since boot)`)
 
 		replicas = fs.Int("replicas", 0, "daemon/cluster: replicate each key across k owners with failover reads (0 or 1: single-owner; every node of a deployment must agree)")
 
@@ -93,8 +95,15 @@ func run(args []string, in io.Reader, out io.Writer) error {
 
 	switch {
 	case *clusterN > 0:
-		return runCluster(*clusterN, *protocol, *seed, *storeSpc, *replicas, *rto, *retransmits, *deadline, *metricsAddr, in, out)
+		return runCluster(*clusterN, *protocol, *seed, *storeSpc, *replicas, *rto, *retransmits, *deadline, *faultSpec, *metricsAddr, in, out)
 	case *op != "":
+		if *timeout > 0 {
+			// -timeout caps the whole operation: the request deadline
+			// shrinks to it, so the client's response guard (deadline plus
+			// one ack exchange) concludes promptly even against a target
+			// that never answers.
+			*deadline = *timeout
+		}
 		return runClient(*connect, *protocol, *bits, *op, *key, *value, *rto, *retransmits, *deadline, out)
 	case *listen != "":
 		return runDaemon(*protocol, *bits, *seed, *id, *listen, *peers, *storeSpc, *replicas, *rto, *retransmits, *deadline, *metricsAddr, out)
@@ -254,7 +263,7 @@ func printResult(out io.Writer, op, key string, res node.Result) error {
 
 // ---- Interactive cluster mode ------------------------------------------
 
-func runCluster(n int, protocol string, seed uint64, storeSpec string, replicas int, rto time.Duration, retransmits int, deadline time.Duration, metricsAddr string, in io.Reader, out io.Writer) error {
+func runCluster(n int, protocol string, seed uint64, storeSpec string, replicas int, rto time.Duration, retransmits int, deadline time.Duration, faultSpec string, metricsAddr string, in io.Reader, out io.Writer) error {
 	bits := 0
 	for 1<<bits < n {
 		bits++
@@ -271,12 +280,20 @@ func runCluster(n int, protocol string, seed uint64, storeSpec string, replicas 
 		RTO:         rto,
 		Retransmits: retransmits,
 		Deadline:    deadline,
+		// Interactive clusters run the plan against wall time since
+		// boot: windowed clauses fire while you type.
+		Fault:          faultSpec,
+		FaultSeed:      seed,
+		FaultWallClock: true,
 	})
 	if err != nil {
 		return err
 	}
 	defer c.Close()
 	fmt.Fprintf(out, "rcmd: %d-node in-process %s cluster up\n", c.Len(), c.Protocol().Name())
+	if faultSpec != "" {
+		fmt.Fprintf(out, "rcmd: fault plan %s armed (windows in seconds since boot; see `stats` and `faults`)\n", faultSpec)
+	}
 	if metricsAddr != "" {
 		ms, err := startMetricsServer(metricsAddr, func() obs.Snapshot {
 			return obs.Default().Snapshot().Merge(c.Metrics().Snapshot("cluster"))
@@ -286,7 +303,7 @@ func runCluster(n int, protocol string, seed uint64, storeSpec string, replicas 
 		}
 		defer ms.Close()
 	}
-	fmt.Fprintln(out, "commands: put <key> <value> | get <key> | lookup <dst> | kill <id> | restart <id> | status | stats | quit")
+	fmt.Fprintln(out, "commands: put <key> <value> | get <key> | lookup <dst> | kill <id> | restart <id> | status | stats | faults | quit")
 
 	sc := bufio.NewScanner(in)
 	for {
@@ -345,6 +362,10 @@ func clusterCommand(c *cluster.Cluster, fields []string, out io.Writer) error {
 		// latency histogram summaries, in the same shape the
 		// -metrics-addr endpoint serves.
 		return c.Metrics().Snapshot("cluster").WriteText(out)
+	case "faults":
+		// Faults injected so far, by kind ("none" without a -fault plan).
+		fmt.Fprintln(out, c.FaultCounts())
+		return nil
 	case "kill", "restart":
 		if len(fields) != 2 {
 			return fmt.Errorf("usage: %s <id>", cmd)

@@ -166,3 +166,58 @@ func TestModeValidation(t *testing.T) {
 		t.Errorf("missing peers: %v", err)
 	}
 }
+
+// TestClientTimeoutUnreachable: -timeout bounds the whole client
+// operation against a deployment that never answers — the bound UDP
+// socket below swallows packets, standing in for a dead daemon.
+func TestClientTimeoutUnreachable(t *testing.T) {
+	tr, err := node.ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	start := time.Now()
+	var out strings.Builder
+	err = run([]string{
+		"-protocol", "chord", "-bits", "3", "-connect", tr.Addr(),
+		"-op", "lookup", "-key", "1", "-timeout", "200ms", "-rto", "20ms", "-retransmits", "1",
+	}, nil, &out)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatalf("lookup against a silent endpoint succeeded:\n%s", out.String())
+	}
+	// The guard is -timeout plus a couple of RTOs, far under the 5s
+	// -deadline default the flag overrides.
+	if elapsed > 2*time.Second {
+		t.Errorf("client took %v to give up, want well under the 5s default deadline", elapsed)
+	}
+}
+
+// TestClusterFaultInteractive: -fault arms every node's transport in
+// cluster mode and the faults command reports what fired.
+func TestClusterFaultInteractive(t *testing.T) {
+	in := strings.NewReader(strings.Join([]string{
+		"lookup 5",
+		"lookup 2",
+		"faults",
+		"quit",
+	}, "\n"))
+	var out strings.Builder
+	err := run([]string{"-cluster", "8", "-protocol", "chord", "-rto", "20ms", "-fault", "dup:1.0"}, in, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	text := out.String()
+	for _, want := range []string{
+		"fault plan dup:1.0 armed",
+		"lookup 5: ok",
+		"dup=", // every request duplicated, so the counter is nonzero
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+	if err := run([]string{"-cluster", "8", "-fault", "bogus:1"}, strings.NewReader(""), &strings.Builder{}); err == nil {
+		t.Error("bogus fault plan accepted")
+	}
+}

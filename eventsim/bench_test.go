@@ -120,6 +120,45 @@ func BenchmarkEventSimObs(b *testing.B) {
 	}
 }
 
+// BenchmarkEventSimFault measures the fault middleware's cost to runs
+// that do not use it: /off is the plain transport, /noop wraps the same
+// transport in a Faulty whose only clause is a partition windowed past
+// the horizon — the injector is installed and consulted on every
+// dispatch but never fires a coin or drops a request, so the event
+// sequence is identical. scripts/bench.sh gates /noop at >= 0.98x the
+// events/s of /off from the same run.
+func BenchmarkEventSimFault(b *testing.B) {
+	for _, mode := range []struct {
+		name      string
+		transport string
+	}{{"off", "constant"}, {"noop", "fault:partition:2@100-101/constant"}} {
+		b.Run(mode.name, func(b *testing.B) {
+			cfg := benchConfig(4)
+			tr, err := ParseTransport(mode.transport)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg.Transport = tr
+			if _, err := Run(cfg); err != nil {
+				b.Fatal(err)
+			}
+			var events uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				events += res.Events
+			}
+			if s := b.Elapsed().Seconds(); s > 0 {
+				b.ReportMetric(float64(events)/s, "events/s")
+			}
+			b.ReportAllocs()
+		})
+	}
+}
+
 // largeOverlay lazily builds the 2^20-node chord overlay the macro
 // benchmark routes on, once per process: construction costs far more than
 // a run and the overlay is read-only under massfail without maintenance,

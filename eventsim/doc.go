@@ -251,4 +251,28 @@
 // latency-vs-maintenance frontier this opens, including where the
 // singlehop protocol's O(1) routing claim breaks under heavy-tailed
 // churn and how much of the loss k=3 replication buys back.
+//
+// # Fault injection and the adaptive RTO
+//
+// Wrapping the transport in a Faulty (spec: fault:<plan>[/<inner>],
+// plans from rcm/fault) injects network faults beyond the lossy model:
+// timed partitions and delay spikes, duplication, reordering, corruption
+// and per-node stall episodes. Every clause faults requests only — acks
+// stay reliable, like the lossy transport, and for the same reason: it
+// is the model a live wrapper can reproduce exactly. Injected faults are
+// billed per kind into Result.Faults, and runs stay bit-identical across
+// (Seed, Shards) pairs and schedulers; without a plan the engine draws
+// no extra randomness, so fault-free runs are bit-identical to builds
+// that predate the capability. The faultstorm scenario (a stable
+// population under steady uniform load) is the intended substrate:
+// under it, every deviation from the lossless baseline is the plan's.
+//
+// Config.AdaptiveRTO replaces the fixed retransmission timeout with a
+// per-(sender, next-hop) Jacobson/Karn estimator (RFC 6298 gains,
+// samples from un-retransmitted attempts only) with exponential backoff,
+// floored at Config.RTO — so the arena-recycling invariant
+// RTO > 2×MaxLatency is preserved — and capped at 8×RTO. rcm/node
+// implements the same estimator live, and since the estimator only moves
+// timeout deadlines, a run in which no timeout fires is bit-identical
+// with the estimator on or off.
 package eventsim

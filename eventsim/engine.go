@@ -4,6 +4,7 @@ import (
 	"math"
 	"runtime"
 
+	"rcm/fault"
 	"rcm/internal/registry"
 	"rcm/obs"
 	"rcm/overlay"
@@ -20,6 +21,7 @@ const (
 	evUp                       // scenario: node comes online
 	evStab                     // periodic stabilization timer at node
 	evRetry                    // a replicated lookup fails over to its next owner at the source
+	evDup                      // the later copy of a duplicated request arrives (fault injection)
 )
 
 // ev is the uniform event record, used both in per-shard queues and in
@@ -77,15 +79,16 @@ type lookupMeta struct {
 // makes bare slot indices safe to carry in events with no generation tag.
 type pendingHop struct {
 	lk    uint32
-	node  uint32 // forwarding node
-	next  uint32 // chosen next hop, reused verbatim on retransmission
-	cand  uint16 // candidate index being tried
-	hops  uint16 // the lookup's hop count when this attempt was sent
-	try   uint8  // retransmission count for this candidate
-	live  bool   // false once acknowledged; slot awaits its timeout event
-	ri    uint8  // replica index of the owner this attempt targets
-	mask  uint8  // owner-eligibility bitmask frozen at lookup start
-	prior uint16 // hops spent by earlier failed attempts
+	node  uint32  // forwarding node
+	next  uint32  // chosen next hop, reused verbatim on retransmission
+	cand  uint16  // candidate index being tried
+	hops  uint16  // the lookup's hop count when this attempt was sent
+	try   uint8   // retransmission count for this candidate
+	live  bool    // false once acknowledged; slot awaits its timeout event
+	ri    uint8   // replica index of the owner this attempt targets
+	mask  uint8   // owner-eligibility bitmask frozen at lookup start
+	prior uint16  // hops spent by earlier failed attempts
+	sent  float64 // send time, the adaptive-RTO estimator's RTT reference
 }
 
 // bucketAcc is a shard-local metrics accumulator for one time bucket.
@@ -141,6 +144,16 @@ type shard struct {
 	candBuf []overlay.ID
 	events  uint64
 
+	// faults tallies this shard's injected faults (zero without a plan);
+	// summed into Result.Faults after the run.
+	faults fault.Counts
+
+	// rtt holds the per-(sender, next-hop) Jacobson/Karn estimator state
+	// when Config.AdaptiveRTO is on; keyed sender<<32|next. Senders are
+	// shard-owned, so the map never sees cross-shard writes, and it is
+	// only ever probed by key — no iteration, no ordering hazard.
+	rtt map[uint64]*peerRTT
+
 	// traces collects this shard's events for sampled lookups (empty
 	// unless Config.Trace > 0); merged deterministically after the run.
 	traces []traceRec
@@ -188,6 +201,19 @@ type engine struct {
 
 	dist  bool // accumulate hop/latency histograms (on unless NoDist)
 	trace int  // sample every trace-th lookup's hop trace (0 = off)
+
+	// inj is the bound fault plan when Config.Transport is a Faulty
+	// (nil otherwise — the no-plan hot path draws no extra coins and is
+	// bit-identical to builds without fault injection). innerMax caches
+	// the unwrapped transport's MaxLatency, the bound reorder holds a
+	// request back by.
+	inj      *fault.Injector
+	plan     fault.Plan // inj.Plan(), hoisted off the dispatch hot path
+	innerMax float64
+
+	// adaptive enables the per-peer RTO estimator (Config.AdaptiveRTO);
+	// off, every attempt arms the fixed cfg-derived rto below.
+	adaptive bool
 }
 
 // traced reports whether lookup lk's path is being recorded. The
@@ -283,7 +309,14 @@ func (sh *shard) runEpoch(end float64) {
 		case evAck:
 			// Retire the attempt; the slot itself is reclaimed when the
 			// attempt's timeout event arrives.
-			sh.pending[e.a].live = false
+			pd := &sh.pending[e.a]
+			if sh.eng.adaptive && pd.live && pd.try == 0 {
+				// Karn's rule: only un-retransmitted attempts contribute RTT
+				// samples (the live node cannot tell which copy a late ack
+				// answers, so the sim's estimator obeys the same restriction).
+				sh.observeRTT(pd.node, pd.next, e.t-pd.sent)
+			}
+			pd.live = false
 		case evTimeout:
 			sh.handleTimeout(e)
 		case evRetry:
@@ -294,6 +327,8 @@ func (sh *shard) runEpoch(end float64) {
 			sh.handleToggle(e.t, e.node, true)
 		case evStab:
 			sh.handleStab(e)
+		case evDup:
+			sh.handleDup(e)
 		}
 	}
 }
@@ -454,21 +489,80 @@ func (sh *shard) dispatch(t float64, lk, cur, next uint32, ci, try int, hops uin
 	eng := sh.eng
 	sh.acc[eng.bucketOf(t)].msgs++
 	lat, delivered := eng.cfg.Transport.Sample(sh.rng)
+	var dupLat float64
+	dupDelivered := false
+	if inj := eng.inj; inj != nil {
+		// Fault clauses apply to the request only (acks stay pure, like the
+		// lossy transport), in a fixed coin order — corrupt, reorder, dup —
+		// so every shard's stream is deterministic; the partition check is
+		// coin-free.
+		pl := &eng.plan
+		if pl.Corrupt > 0 && sh.rng.Bernoulli(pl.Corrupt) {
+			// The receiver's wire codec rejects the mangled packet: a drop.
+			if delivered {
+				sh.faults.Corrupts++
+			}
+			delivered = false
+		}
+		if pl.Reorder > 0 && sh.rng.Bernoulli(pl.Reorder) {
+			lat += sh.rng.Float64() * eng.innerMax
+			if delivered {
+				sh.faults.Reorders++
+			}
+		}
+		if pl.Dup > 0 && sh.rng.Bernoulli(pl.Dup) {
+			dupLat, dupDelivered = eng.cfg.Transport.Sample(sh.rng)
+		}
+		if (delivered || dupDelivered) && inj.CrossPartition(uint64(cur), uint64(next), t) {
+			sh.faults.PartitionDrops++
+			delivered, dupDelivered = false, false
+		}
+		if f := inj.DelayFactor(t); f > 1 {
+			lat *= f
+			dupLat *= f
+		}
+	}
 	if lat < eng.delta {
 		lat = eng.delta
+	}
+	rto := eng.rto
+	if eng.adaptive {
+		rto = sh.rtoFor(cur, next, try)
 	}
 	id := sh.allocPending(pendingHop{
 		lk: lk, node: cur, next: next,
 		cand: uint16(ci), hops: hops, try: uint8(try), live: true,
-		ri: ri, mask: mask, prior: prior,
+		ri: ri, mask: mask, prior: prior, sent: t,
 	})
 	if eng.traced(lk) {
 		sh.recordTrace(lk, TraceEvent{T: t, Kind: TraceSend, Node: int(cur), To: int(next), Hops: int(hops + prior), Cand: ci, Try: try})
 	}
-	if delivered {
-		sh.send(ev{t: t + lat, kind: evReq, node: next, lk: lk, a: id, b: cur, hops: hops, ri: ri, mask: mask, prior: prior})
+	req := ev{t: t + lat, kind: evReq, node: next, lk: lk, a: id, b: cur, hops: hops, ri: ri, mask: mask, prior: prior}
+	if dupDelivered {
+		if dupLat < eng.delta {
+			dupLat = eng.delta
+		}
+		sh.faults.Dups++
+		if !delivered {
+			// Only the duplicate survived: it carries the request.
+			req.t = t + dupLat
+			delivered = true
+		} else {
+			// Both copies arrive. The earlier one carries the request; the
+			// later one is absorbed by the receiver's dedupe window (one
+			// extra message, no second forwarding — see handleDup).
+			first, second := lat, dupLat
+			if second < first {
+				first, second = second, first
+			}
+			req.t = t + first
+			sh.send(ev{t: t + second, kind: evDup, node: next})
+		}
 	}
-	sh.push(ev{t: t + eng.rto, kind: evTimeout, node: cur, lk: lk, a: id})
+	if delivered {
+		sh.send(req)
+	}
+	sh.push(ev{t: t + rto, kind: evTimeout, node: cur, lk: lk, a: id})
 }
 
 func (sh *shard) handleReq(e ev) {
@@ -476,6 +570,12 @@ func (sh *shard) handleReq(e ev) {
 	y := e.node
 	if !sh.online[y] {
 		return // dead receiver: the sender's timeout will fire
+	}
+	if eng.inj != nil && eng.inj.Stalled(uint64(y), e.t) {
+		// Alive but unresponsive: no ack, no forwarding — the sender's
+		// timeout fires exactly as if the request had been lost.
+		sh.faults.StallDrops++
+		return
 	}
 	// Acknowledge (reliable, latency-only) so the sender retires the
 	// attempt, then keep forwarding — ownership of the lookup has just
@@ -494,6 +594,72 @@ func (sh *shard) handleReq(e ev) {
 		return
 	}
 	sh.forward(e.t, e.lk, y, hops, e.ri, e.mask, e.prior)
+}
+
+// handleDup absorbs the later copy of a duplicated request: an online,
+// unstalled receiver re-acknowledges out of its dedupe window and drops
+// the payload — one extra message charged, no second forwarding. This
+// mirrors the live node's seen-map exactly, which is what keeps dup
+// plans outcome-invariant (and so conformance-pinnable) over a lossless
+// inner transport.
+func (sh *shard) handleDup(e ev) {
+	eng := sh.eng
+	if !sh.online[e.node] {
+		return
+	}
+	if eng.inj != nil && eng.inj.Stalled(uint64(e.node), e.t) {
+		sh.faults.StallDrops++
+		return
+	}
+	sh.acc[eng.bucketOf(e.t)].msgs++
+}
+
+// peerRTT is one (sender, next-hop) pair's smoothed round-trip state:
+// Jacobson's estimator with the RFC 6298 gains (alpha 1/8, beta 1/4).
+type peerRTT struct {
+	srtt, rttvar float64
+}
+
+// observeRTT feeds one round-trip sample into the pair's estimator.
+// First sample initializes srtt = r, rttvar = r/2; later samples update
+// rttvar before srtt, per RFC 6298.
+func (sh *shard) observeRTT(cur, next uint32, r float64) {
+	key := uint64(cur)<<32 | uint64(next)
+	pr, ok := sh.rtt[key]
+	if !ok {
+		sh.rtt[key] = &peerRTT{srtt: r, rttvar: r / 2}
+		return
+	}
+	d := pr.srtt - r
+	if d < 0 {
+		d = -d
+	}
+	pr.rttvar += (d - pr.rttvar) / 4
+	pr.srtt += (r - pr.srtt) / 8
+}
+
+// rtoFor returns the retransmission timeout for one attempt when the
+// adaptive estimator is on: srtt + 4*rttvar, floored at the configured
+// RTO — the floor preserves the arena-recycling invariant RTO >
+// 2*MaxLatency, so an adaptive timeout can never fire before a
+// genuinely-delivered ack — doubled per retransmission (exponential
+// backoff) and capped at 8x the configured RTO.
+func (sh *shard) rtoFor(cur, next uint32, try int) float64 {
+	eng := sh.eng
+	rto := eng.rto
+	if pr, ok := sh.rtt[uint64(cur)<<32|uint64(next)]; ok {
+		if est := pr.srtt + 4*pr.rttvar; est > rto {
+			rto = est
+		}
+	}
+	ceil := 8 * eng.rto
+	for i := 0; i < try && rto < ceil; i++ {
+		rto *= 2
+	}
+	if rto > ceil {
+		rto = ceil
+	}
+	return rto
 }
 
 func (sh *shard) handleTimeout(e ev) {

@@ -7,6 +7,7 @@ import (
 	"reflect"
 	"testing"
 
+	"rcm/fault"
 	"rcm/overlay"
 )
 
@@ -279,7 +280,8 @@ func TestConfigValidation(t *testing.T) {
 		"negative fail":       func(c *Config) { c.Params.FailFraction = -1 },
 		"fail above one":      func(c *Config) { c.Params.FailFraction = 1.5 },
 		"nan rate":            func(c *Config) { c.Params.Rate = math.NaN() },
-		"loss rate 1":         func(c *Config) { c.Transport = Lossy{Rate: 1} },
+		"loss rate above 1":   func(c *Config) { c.Transport = Lossy{Rate: 1.5} },
+		"lossy over faulty":   func(c *Config) { c.Transport = Lossy{Rate: 0.1, Inner: Faulty{Plan: fault.Plan{Dup: 0.1}}} },
 		"bad empirical order": func(c *Config) { c.Transport = Empirical{Quantiles: []float64{2, 1}} },
 		"too many shards":     func(c *Config) { c.Shards = 1000 },
 		"zero bits":           func(c *Config) { c.Overlay.Bits = 0 },

@@ -5,6 +5,7 @@ import (
 	"math"
 	"strings"
 
+	"rcm/fault"
 	"rcm/internal/dht"
 	"rcm/internal/registry"
 	"rcm/obs"
@@ -74,6 +75,15 @@ type Config struct {
 	// one (default 2; negative disables retransmission). Without it a
 	// single lost request would permanently skip the best next hop.
 	Retransmits int
+	// AdaptiveRTO replaces the fixed retransmission timeout with a
+	// per-(sender, next-hop) Jacobson/Karn estimator (RFC 6298 gains:
+	// srtt + 4*rttvar, samples from un-retransmitted attempts only),
+	// floored at RTO — preserving the RTO > 2×MaxLatency invariant —
+	// with exponential backoff per retransmission, capped at 8×RTO.
+	// Off (the default), the engine is bit-identical to builds without
+	// the estimator; on, results remain deterministic across (Seed,
+	// Shards) and schedulers like every other output.
+	AdaptiveRTO bool
 	// Scheduler selects the per-shard event-queue implementation:
 	// SchedulerWheel (hierarchical timing wheels, the default — O(1)
 	// schedule on the timer-dominated churn+stabilization workload) or
@@ -273,6 +283,10 @@ type Result struct {
 	// count the engine processed.
 	Lookups int
 	Events  uint64
+	// Faults tallies the injected faults when Config.Transport is a
+	// Faulty (all zero otherwise), per kind; deterministic like every
+	// other Result field.
+	Faults fault.Counts
 }
 
 // Totals returns the whole-run aggregate: counters summed, the window
@@ -438,6 +452,16 @@ func RunOverlay(p registry.Protocol, cfg Config) (*Result, error) {
 		onlineFrac: make([]float64, cfg.Buckets),
 		dist:       !cfg.NoDist,
 		trace:      cfg.Trace,
+		adaptive:   cfg.AdaptiveRTO,
+	}
+	if ft, ok := cfg.Transport.(Faulty); ok {
+		// Bind the fault plan to the run: seed-derived partition groups and
+		// stall episodes are fixed here, once, so every shard and scheduler
+		// sees the same schedule. innerMax is the unwrapped bound the
+		// reorder clause holds requests back by.
+		e.inj = ft.Plan.Bind(cfg.Seed, cfg.Duration)
+		e.plan = e.inj.Plan()
+		e.innerMax = ft.inner().MaxLatency()
 	}
 	if cfg.Maintain {
 		if mnt, ok := p.(registry.Maintainer); ok {
@@ -461,6 +485,9 @@ func RunOverlay(p registry.Protocol, cfg Config) (*Result, error) {
 			started: overlay.NewBitset(len(env.lookups)),
 			outbox:  make([][]ev, shards),
 			acc:     make([]bucketAcc, cfg.Buckets),
+		}
+		if cfg.AdaptiveRTO {
+			e.shards[i].rtt = make(map[uint64]*peerRTT)
 		}
 	}
 
@@ -542,6 +569,7 @@ func RunOverlay(p registry.Protocol, cfg Config) (*Result, error) {
 	res.Traces = e.mergeTraces()
 	for _, sh := range e.shards {
 		res.Events += sh.events
+		res.Faults.Add(sh.faults)
 	}
 	return res, nil
 }

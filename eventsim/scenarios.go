@@ -23,6 +23,7 @@ func init() {
 		{"flashcrowd", func(p Params) (Scenario, error) { return flashcrowd{p}, nil }, []string{"crowd"}},
 		{"correlated", func(p Params) (Scenario, error) { return correlated{p}, nil }, []string{"regions"}},
 		{"zipf", func(p Params) (Scenario, error) { return zipf{p}, nil }, []string{"skewed"}},
+		{"faultstorm", func(p Params) (Scenario, error) { return faultstorm{p}, nil }, []string{"storm"}},
 		{"heavytail", newHeavytail, []string{"pareto-churn"}},
 		{"diurnal", newDiurnal, []string{"daily"}},
 		{"tracechurn", newTracechurn, []string{"trace-replay"}},
@@ -131,6 +132,22 @@ func (s correlated) Program(env *Env) error {
 		}
 	}
 	env.PoissonLookups(0, env.Duration(), p.Rate, nil)
+	return nil
+}
+
+// faultstorm is the fault-injection substrate: the whole population stays
+// online for the whole run with uniform Poisson lookups throughout, so
+// every success dip, hop inflation or timeout burst is attributable to
+// the transport's fault plan alone — pair it with a fault:<plan>/...
+// transport (rcm/fault) rather than a churn scenario, which would
+// confound node lifecycle with injected network faults. With a lossless
+// plain transport it degenerates to the uniform baseline.
+type faultstorm struct{ p Params }
+
+func (s faultstorm) Name() string { return "faultstorm" }
+
+func (s faultstorm) Program(env *Env) error {
+	env.PoissonLookups(0, env.Duration(), env.Params().Rate, nil)
 	return nil
 }
 

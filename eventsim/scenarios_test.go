@@ -23,11 +23,16 @@ func TestParseTransportErrorTable(t *testing.T) {
 		"negative constant":  {"constant:-0.1", "must be >= 0"},
 		"junk empirical":     {"empirical:x", "empirical median"},
 		"negative empirical": {"empirical:-1", "empirical median"},
-		"loss rate 1":        {"lossy:1", "out of [0,1)"},
-		"loss rate 2":        {"lossy:2", "out of [0,1)"},
+		"loss rate high":     {"lossy:2", "out of [0,1]"},
+		"loss rate negative": {"lossy:-0.1", "out of [0,1]"},
 		"junk loss rate":     {"lossy:x", "loss rate"},
 		"nested lossy":       {"lossy:0.1:lossy:0.1", "cannot nest"},
 		"bad lossy inner":    {"lossy:0.1:warp", "unknown transport"},
+		"fault empty plan":   {"fault:", "needs a plan"},
+		"fault bad clause":   {"fault:warp:1", "unknown clause"},
+		"fault bad inner":    {"fault:dup:0.1/warp", "unknown transport"},
+		"nested fault":       {"fault:dup:0.1/fault:dup:0.1/constant", "cannot nest another fault"},
+		"lossy over fault":   {"lossy:0.1:fault:dup:0.1/constant", "must be outermost"},
 	}
 	for name, tc := range cases {
 		tr, err := ParseTransport(tc.spec)

@@ -100,8 +100,8 @@ func TestNestedLossySpecErrors(t *testing.T) {
 		wantSub string
 	}{
 		"double nesting":   {"lossy:0.1:lossy:0.05:constant", "cannot nest another lossy"},
-		"rate too high":    {"lossy:1.5", "out of [0,1)"},
-		"negative rate":    {"lossy:-0.1", "out of [0,1)"},
+		"rate too high":    {"lossy:1.5", "out of [0,1]"},
+		"negative rate":    {"lossy:-0.1", "out of [0,1]"},
 		"unparseable rate": {"lossy:fast", `loss rate "fast"`},
 		"unknown inner":    {"lossy:0.05:warp", `unknown transport "warp"`},
 		"nameless inner":   {"lossy:0.05::0.1", "argument but no transport name"},

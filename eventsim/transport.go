@@ -145,7 +145,9 @@ func validateEmpirical(e Empirical) error {
 type Lossy struct {
 	// Inner is the underlying latency model (Constant{} when nil).
 	Inner Transport
-	// Rate is the independent per-message loss probability in [0,1).
+	// Rate is the independent per-message loss probability in [0,1]; 1
+	// is a total blackhole (every lookup times out and fails — useful
+	// for worst-case and invariant tests).
 	Rate float64
 }
 
@@ -188,10 +190,25 @@ func validateTransport(tr Transport) error {
 		}
 	}
 	if l, ok := tr.(Lossy); ok {
-		if l.Rate < 0 || l.Rate >= 1 || math.IsNaN(l.Rate) {
-			return fmt.Errorf("eventsim: loss rate %v out of [0,1)", l.Rate)
+		if l.Rate < 0 || l.Rate > 1 || math.IsNaN(l.Rate) {
+			return fmt.Errorf("eventsim: loss rate %v out of [0,1]", l.Rate)
+		}
+		if containsFaulty(l.inner()) {
+			return fmt.Errorf("eventsim: fault transport must be outermost (wrap %s inside fault:<plan>/... instead)", l.inner().Name())
 		}
 		return validateTransport(l.inner())
+	}
+	if f, ok := tr.(Faulty); ok {
+		if f.Plan.Empty() {
+			return fmt.Errorf("eventsim: fault transport has an empty plan")
+		}
+		if err := f.Plan.Validate(); err != nil {
+			return err
+		}
+		if containsFaulty(f.inner()) {
+			return fmt.Errorf("eventsim: fault transport cannot nest another fault transport")
+		}
+		return validateTransport(f.inner())
 	}
 	lo, hi := tr.MinLatency(), tr.MaxLatency()
 	switch {
@@ -304,6 +321,8 @@ func TransportSpec(tr Transport) string {
 		return fmt.Sprintf("empirical:%g", med)
 	case Lossy:
 		return fmt.Sprintf("lossy:%g:%s", v.Rate, TransportSpec(v.inner()))
+	case Faulty:
+		return fmt.Sprintf("fault:%s/%s", v.Plan.String(), TransportSpec(v.inner()))
 	default:
 		return tr.Name()
 	}

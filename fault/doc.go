@@ -1,0 +1,70 @@
+// Package fault defines deterministic, spec-parseable fault plans that
+// both executors — the discrete-event engine (rcm/eventsim) and the
+// live node layer (rcm/node) — inject identically, extending the
+// conformance methodology from "live matches sim" to "live matches sim
+// under injected adversity".
+//
+// A plan is a comma list of clauses in the module's name[:arg] spec
+// grammar:
+//
+//	partition:<groups>@<t0>-<t1>   id-hash groups, cross-group blackhole
+//	delayspike:<factor>@<t0>-<t1>  multiply request latency in the window
+//	dup:<p>                        duplicate each request with prob. p
+//	reorder:<p>                    hold a request back with prob. p
+//	corrupt:<p>                    corrupt a request with prob. p
+//	stall:<p>:<mean>               node alive but ignoring requests
+//
+// for example "partition:2@1-2,dup:0.1". Plans compose into transport
+// specs as fault:<plan>/<inner-transport> (eventsim.ParseTransport) and
+// into live clusters through cluster.Config.Fault; Plan.String renders
+// the canonical spelling, so plans round-trip through TransportSpec.
+//
+// # Determinism contract
+//
+// Every clause applies to forward (request) traffic only, mirroring the
+// lossy transport: acknowledgements and responses are never faulted.
+// That keeps eventsim's ACK-ownership invariant intact and means a
+// partition never needs to fault a response — a request only ever
+// reaches a holder inside the sender's own group, so replies never
+// cross the cut.
+//
+// Binding a plan (Plan.Bind) fixes its seed-derived choices. Partition
+// group membership and stall episodes are pure functions of
+// (seed, node), so the simulator and a live cluster bound to the same
+// seed agree exactly on who is cut from whom and who stalls when; the
+// Injector is stateless and safe for concurrent use. The probabilistic
+// clauses (dup, reorder, corrupt) deliberately stay coin-free in the
+// Injector: each executor draws those coins from its own deterministic
+// stream — eventsim from the owning shard's splitmix64 stream, the node
+// wrapper from a seeded per-transport stream — and only the probability
+// is shared. Coin-free clauses (partition) therefore produce exactly
+// equal outcomes in sim and live, and coin-driven but outcome-invariant
+// clauses (dup, reorder over a lossless inner transport) produce
+// exactly equal lookup outcomes too, which is what the conformance
+// fault cells pin histogram for histogram.
+//
+// # Writing a custom plan
+//
+// Compose clauses programmatically or through Parse; validate before
+// use:
+//
+//	plan := fault.Plan{
+//		Partition: &fault.Partition{Groups: 2, Window: fault.Window{From: 1, To: 2}},
+//		Dup:       0.1,
+//	}
+//	if err := plan.Validate(); err != nil { ... }
+//	inj := plan.Bind(seed, duration)
+//	if inj.CrossPartition(src, dst, t) { /* drop the request */ }
+//
+// An executor integrating a new clause kind follows three rules: fault
+// requests only; report the worst-case delivered latency through
+// Plan.InflateMax so retransmission-timeout validation stays safe; and
+// derive every choice either from (seed, node) via the Injector or from
+// the executor's own seeded stream — never from the wall clock (the
+// package is lint-enforced wall-clock-free, see internal/lint).
+//
+// To extend the grammar itself, register a clause factory in this
+// package (see fault.go's init) — the name then resolves everywhere
+// plans parse: transport specs, cluster configs and the -fault flags of
+// cmd/eventsim and cmd/rcmd.
+package fault

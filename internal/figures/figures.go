@@ -22,6 +22,8 @@
 //	E18 §1/§6      lookup performance vs lifetime family at equal q_eff
 //	E20 §1/§5      latency-vs-maintenance frontier: multi-hop vs single-hop
 //	               vs k-replication under exponential and heavy-tailed churn
+//	E21 §1/§4      routability during/after a deterministic 2-way partition
+//	               vs the static model at q=1/2, per protocol × k∈{1,3}
 //
 // The grid-shaped experiments (E3–E6, E11, E16) construct declarative
 // experiment plans and delegate execution to the public streaming runner

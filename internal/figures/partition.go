@@ -1,0 +1,144 @@
+package figures
+
+import (
+	"context"
+	"fmt"
+
+	"rcm/exp"
+	"rcm/internal/core"
+	"rcm/internal/table"
+)
+
+func init() {
+	register("partition", Partition)
+}
+
+// Partition is experiment E21: routability through a network partition,
+// scored against the static framework's prediction. A 2-way partition
+// splits the population down a deterministic cut for the middle third of
+// the run (rcm/fault's partition clause, injected at the transport);
+// from any source's viewpoint the other half of the population is
+// unreachable, which the static model summarizes as a failed fraction
+// q = 1/2. The predicted lookup success is then (1−q)·r(N,q) — the
+// destination must sit on the source's side of the cut AND the greedy
+// path must avoid it — and, with k independent replicas, one minus that
+// failing k times.
+//
+// The event columns measure the same three regimes with full message
+// dynamics: before the cut (healthy baseline), during it (cross-cut
+// requests blackhole and burn their retransmission budgets), and after
+// it heals (recovery — routing state was never torn down, so success
+// snaps back without repair traffic). The k = 3 row is the graceful-
+// degradation claim in one line: replica failover converts the cut from
+// "half the keyspace is gone" into a modest dent.
+func Partition(opt Options) ([]*table.Table, error) {
+	opt = opt.withDefaults()
+	bits := opt.Bits
+	if bits > 8 {
+		bits = 8 // full message dynamics; 2^8 keeps E21 quick
+	}
+	const (
+		duration = 6.0
+		buckets  = 6
+		from, to = 2.0, 4.0
+		q        = 0.5 // a 2-way cut hides half the population from any source
+	)
+	transport := fmt.Sprintf("fault:partition:2@%g-%g/constant:0.01", from, to)
+	ks := []int{1, 3}
+	settings := make([]exp.EventSetting, 0, len(ks))
+	for _, k := range ks {
+		settings = append(settings, exp.EventSetting{
+			Scenario:  "faultstorm",
+			Transport: transport,
+			Params: exp.EventParams{
+				Rate:     float64(opt.Pairs),
+				Replicas: k,
+			},
+			Duration: duration,
+			Buckets:  buckets,
+		})
+	}
+	specs := []exp.Spec{exp.MustSpec("chord"), exp.MustSpec("kademlia")}
+	plan := exp.Plan{Name: "partition", Specs: specs, Bits: []int{bits}, Events: settings}
+
+	rows, err := exp.Run(context.Background(), plan,
+		exp.WithModes(exp.ModeEvent),
+		exp.WithPairs(opt.Pairs), exp.WithTrials(opt.Trials),
+		exp.WithSeed(opt.Seed), exp.WithSimWorkers(1),
+	)
+	if err != nil {
+		return nil, err
+	}
+
+	// Static predictions per geometry: r(N, 1/2) from the paper's
+	// framework, then success = (1−q)·r and its k-replica extension.
+	pred := map[string][2]float64{} // geometry name → {k=1, k=3}
+	for _, g := range core.AllGeometries() {
+		r, err := core.Routability(g, bits, q)
+		if err != nil {
+			continue // geometries without an analytic form don't appear here
+		}
+		single := (1 - q) * r
+		pred[g.Name()] = [2]float64{single, 1 - (1-single)*(1-single)*(1-single)}
+	}
+
+	// Aggregate each (geometry, k) block's lookups into the three
+	// regimes by bucket start time. Rows arrive in plan order —
+	// settings-major within each spec, buckets in time order — so a cell
+	// is exactly the next `buckets` rows of its geometry.
+	type agg struct {
+		started, completed [3]int // pre, during, post
+	}
+	groups := map[string]*agg{}
+	key := func(geometry string, setting int) string { return fmt.Sprintf("%s/%d", geometry, setting) }
+	rowsSeen := map[string]int{}
+	width := duration / buckets
+	for _, r := range rows {
+		k := key(r.Geometry, rowsSeen[r.Geometry]/buckets)
+		rowsSeen[r.Geometry]++
+		g, ok := groups[k]
+		if !ok {
+			g = &agg{}
+			groups[k] = g
+		}
+		if r.EventStarted == 0 {
+			continue
+		}
+		start := r.Time - width // lookups are bucketed by start time
+		regime := 0
+		switch {
+		case start >= to-1e-9:
+			regime = 2
+		case start >= from-1e-9:
+			regime = 1
+		}
+		g.started[regime] += r.EventStarted
+		g.completed[regime] += int(r.EventSuccess*float64(r.EventStarted) + 0.5)
+	}
+
+	t := table.New(fmt.Sprintf("E21 — routability through a 2-way partition (window [%g, %g)) vs static model at q=%.2g (N=2^%d)", from, to, q, bits),
+		"protocol", "k", "pre %", "during %", "post %", "static pred %")
+	for _, s := range specs {
+		name := s.Geometry.Name()
+		for i, k := range ks {
+			g, ok := groups[key(name, i)]
+			if !ok {
+				return nil, fmt.Errorf("figures: partition missing group %s k=%d", name, k)
+			}
+			cells := []string{s.Protocol, table.I(k)}
+			for regime := 0; regime < 3; regime++ {
+				if g.started[regime] == 0 {
+					return nil, fmt.Errorf("figures: partition %s k=%d regime %d started no lookups", name, k, regime)
+				}
+				cells = append(cells, table.Pct(float64(g.completed[regime])/float64(g.started[regime]), 2))
+			}
+			p, ok := pred[name]
+			if !ok {
+				return nil, fmt.Errorf("figures: partition has no static prediction for %s", name)
+			}
+			cells = append(cells, table.Pct(p[i], 2))
+			t.AddRow(cells...)
+		}
+	}
+	return []*table.Table{t}, nil
+}

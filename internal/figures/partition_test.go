@@ -1,0 +1,58 @@
+package figures
+
+import (
+	"testing"
+)
+
+// TestPartitionShape pins E21's load-bearing comparisons: success is
+// essentially perfect outside the partition window (and snaps back after
+// the heal without repair traffic), drops hard while the cut is up, and
+// k=3 replica failover recovers a clear share of the cross-cut loss.
+func TestPartitionShape(t *testing.T) {
+	ts, err := Generate("partition", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := ts[0]
+	if tb.NumRows() != 4 { // 2 protocols × k∈{1,3}
+		t.Fatalf("rows = %d, want 4", tb.NumRows())
+	}
+	type key struct{ proto, k string }
+	rows := map[key]int{}
+	for r := 0; r < tb.NumRows(); r++ {
+		rows[key{cell(t, tb, r, "protocol"), cell(t, tb, r, "k")}] = r
+	}
+	at := func(proto, k, col string) float64 {
+		r, ok := rows[key{proto, k}]
+		if !ok {
+			t.Fatalf("no row for %s/k=%s", proto, k)
+		}
+		return cellF(t, tb, r, col)
+	}
+	for _, proto := range []string{"chord", "kademlia"} {
+		for _, k := range []string{"1", "3"} {
+			// Healthy before the cut; healed after — routing state is never
+			// torn down, so recovery needs no repair round.
+			if pre := at(proto, k, "pre %"); pre < 97 {
+				t.Errorf("%s k=%s pre-window success %v, want ≈100", proto, k, pre)
+			}
+			if post := at(proto, k, "post %"); post < 97 {
+				t.Errorf("%s k=%s post-heal success %v, want ≈100", proto, k, post)
+			}
+			// During the cut half the keyspace is behind the blackhole.
+			if during := at(proto, k, "during %"); during >= 95 {
+				t.Errorf("%s k=%s mid-partition success %v, want a real dent", proto, k, during)
+			}
+		}
+		// Replica failover converts the cut into a modest dent, tracking
+		// the static model's ordering (k=3 prediction above k=1's).
+		k1, k3 := at(proto, "1", "during %"), at(proto, "3", "during %")
+		if k3 <= k1+5 {
+			t.Errorf("%s: k=3 mid-partition success %v not clearly above k=1 %v", proto, k3, k1)
+		}
+		p1, p3 := at(proto, "1", "static pred %"), at(proto, "3", "static pred %")
+		if p3 <= p1 {
+			t.Errorf("%s: static predictions not ordered (k=3 %v vs k=1 %v)", proto, p3, p1)
+		}
+	}
+}

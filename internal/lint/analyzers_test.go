@@ -45,6 +45,21 @@ func TestBoundaryReplicaLeaf(t *testing.T) {
 	runGolden(t, "boundary/replicaleaf", "rcm/replica", Boundary)
 }
 
+// TestDetSourceFault: rcm/fault is determinism-critical — a bound
+// injector must decide identically in the simulator and on the live
+// wire, so clock reads and global rand draws are caught while seeded
+// draws and pure hashing pass.
+func TestDetSourceFault(t *testing.T) {
+	runGolden(t, "detsource/fault", "rcm/fault", DetSource)
+}
+
+// TestBoundaryFaultLeaf: the failure-plan library may import overlay,
+// spec and stdlib only; an executor import is caught at the import
+// site.
+func TestBoundaryFaultLeaf(t *testing.T) {
+	runGolden(t, "boundary/faultleaf", "rcm/fault", Boundary)
+}
+
 // TestLoopOwnerBad: exported-entry-point reads, timer-callback and
 // goroutine writes, and laundering via a method call are all caught.
 func TestLoopOwnerBad(t *testing.T) {

@@ -26,6 +26,7 @@ type boundaryRule struct {
 //
 //	spec, overlay, obs                (leaf libraries: stdlib only)
 //	replica                           (near-leaf: overlay identifiers only)
+//	fault                             (near-leaf: overlay identifiers + spec grammar)
 //	internal/...                      (model, simulators, registry)
 //	rcm, eventsim, exp                (public facade + engines)
 //	node, cluster, cmd/rcmd, examples (public-API consumers)
@@ -62,6 +63,13 @@ var BoundaryRules = []boundaryRule{
 	// and nothing else.
 	{From: "rcm/replica/...", To: "rcm/...", Reason: "replica is a placement leaf: overlay identifiers and stdlib only",
 		ExceptTo: []string{"rcm/overlay/..."}},
+	// fault is the failure-plan vocabulary shared by the event engine, the
+	// live transport wrapper and the cluster harness; if it reached into
+	// any executor the sim↔live conformance agreement would become
+	// circular. It may see identifiers (overlay), the spec grammar it
+	// parses plans with, and nothing else.
+	{From: "rcm/fault/...", To: "rcm/...", Reason: "fault is a failure-plan leaf: overlay identifiers, spec grammar and stdlib only",
+		ExceptTo: []string{"rcm/overlay/...", "rcm/spec/..."}},
 	{From: "rcm/overlay/...", To: "rcm/...", Reason: "overlay is a leaf library (stdlib only)"},
 	{From: "rcm/obs/...", To: "rcm/...", Reason: "obs is a leaf library (stdlib only): every layer records into it"},
 }

@@ -15,6 +15,7 @@ import (
 // ordered output from totally-ordered iteration.
 var DetPackages = []string{
 	"rcm/eventsim/...",
+	"rcm/fault/...",
 	"rcm/overlay/...",
 	"rcm/replica/...",
 	"rcm/spec/...",

@@ -1,0 +1,14 @@
+// Package faultleaf is type-checked under the import path rcm/fault:
+// the failure-plan library may import rcm/overlay (identifier
+// vocabulary), rcm/spec (the plan grammar) and stdlib, and nothing else
+// in the module — reaching into an executor would make the sim↔live
+// conformance agreement circular.
+package faultleaf
+
+import (
+	_ "fmt"
+	_ "rcm/eventsim" // want `package rcm/fault must not import rcm/eventsim: fault is a failure-plan leaf: overlay identifiers, spec grammar and stdlib only`
+	_ "rcm/node"     // want `package rcm/fault must not import rcm/node: fault is a failure-plan leaf: overlay identifiers, spec grammar and stdlib only`
+	_ "rcm/overlay"
+	_ "rcm/spec"
+)

@@ -1,0 +1,31 @@
+// Package fault is type-checked under the import path rcm/fault: the
+// failure-plan library is determinism-critical (a bound injector must
+// make identical drop/dup/corrupt decisions in the simulator and on the
+// live wire for the same (plan, seed)), so clock reads and the global
+// rand source are findings while seeded draws and pure hashing pass.
+package fault
+
+import (
+	"math/rand"
+	"time"
+)
+
+func windowNow() float64 {
+	return float64(time.Now().UnixNano()) / 1e9 // want `time\.Now in a determinism-critical package \(wall-clock read\)`
+}
+
+func coin(p float64) bool {
+	return rand.Float64() < p // want `math/rand\.Float64 uses the process-global, unseeded source`
+}
+
+// group is the pure hashing the package actually uses: no findings.
+func group(seed, node uint64, groups int) int {
+	h := seed ^ node*0x9e3779b97f4a7c15
+	h ^= h >> 33
+	return int(h % uint64(groups))
+}
+
+// seededCoin draws from an explicitly seeded generator: allowed.
+func seededCoin(seed int64, p float64) bool {
+	return rand.New(rand.NewSource(seed)).Float64() < p
+}

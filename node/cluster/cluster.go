@@ -12,10 +12,12 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rcm"
 	"rcm/eventsim"
+	"rcm/fault"
 	"rcm/node"
 	"rcm/obs"
 	"rcm/overlay"
@@ -46,13 +48,48 @@ type Config struct {
 	// Replicas is the key replication factor every node operates with
 	// (see node.Config.Replicas); 0 and 1 both mean no replication.
 	Replicas int
+	// Fault is an optional rcm/fault plan ("partition:2@1-3,dup:0.2",
+	// ...); when set, every node's transport is wrapped in a
+	// node.FaultTransport running the plan against the cluster's shared
+	// plan clock, which Replay advances in schedule time — so the live
+	// cluster suffers the same fault schedule an eventsim run of the
+	// fault-wrapped transport simulates.
+	Fault string
+	// FaultSeed seeds the plan's derived choices (partition cut, stall
+	// episodes); use the simulation seed for conformance.
+	FaultSeed uint64
+	// FaultHorizon is the plan's time horizon in schedule seconds
+	// (stall-episode placement); use the schedule duration for
+	// conformance. Defaults to 3600.
+	FaultHorizon float64
+	// FaultWallClock evaluates the plan against wall-clock seconds since
+	// boot instead of the replay-driven schedule clock — for interactive
+	// clusters, where nothing advances the schedule clock.
+	FaultWallClock bool
+	// AdaptiveRTO enables the per-peer adaptive retransmission timeout
+	// on every node (see node.Config.AdaptiveRTO).
+	AdaptiveRTO bool
+	// MaxInFlight bounds every node's forward table (see
+	// node.Config.MaxInFlight); 0 selects the node default.
+	MaxInFlight int
 }
+
+// planClock is the cluster-wide fault-plan clock: Replay advances it to
+// each event's schedule time, so windowed fault clauses fire in schedule
+// time exactly as they do in simulated time.
+type planClock struct{ bits atomic.Uint64 }
+
+func (c *planClock) set(t float64) { c.bits.Store(math.Float64bits(t)) }
+func (c *planClock) now() float64  { return math.Float64frombits(c.bits.Load()) }
 
 // Cluster is a running population of live nodes, one per identifier.
 type Cluster struct {
-	proto rcm.Protocol
-	nodes []*node.Node
-	addrs []string
+	proto  rcm.Protocol
+	nodes  []*node.Node
+	addrs  []string
+	faults []*node.FaultTransport
+	clock  planClock
+	bounds []float64 // fault-plan window edges, ascending
 }
 
 // New builds the overlay, boots one node per identifier and starts them
@@ -94,6 +131,50 @@ func New(cfg Config) (*Cluster, error) {
 		c.addrs[i] = tr.Addr()
 	}
 
+	if cfg.Fault != "" {
+		plan, err := fault.Parse(cfg.Fault)
+		if err != nil {
+			c.closeTransports(transports)
+			return nil, fmt.Errorf("cluster: %w", err)
+		}
+		horizon := cfg.FaultHorizon
+		if horizon <= 0 {
+			horizon = 3600
+		}
+		addrToID := make(map[string]uint64, n)
+		for i, a := range c.addrs {
+			addrToID[a] = uint64(i)
+		}
+		now := c.clock.now
+		if cfg.FaultWallClock {
+			now = nil // node.WrapFault defaults to wall time since creation
+		}
+		c.faults = make([]*node.FaultTransport, n)
+		for i := 0; i < n; i++ {
+			ft, err := node.WrapFault(transports[i], node.FaultConfig{
+				Plan:    plan,
+				Seed:    cfg.FaultSeed,
+				Horizon: horizon,
+				Self:    uint64(i),
+				IDOf:    func(addr string) (uint64, bool) { id, ok := addrToID[addr]; return id, ok },
+				Now:     now,
+				// The in-memory (or loopback) substrate delivers in
+				// microseconds; a small hold budget keeps reordering well
+				// under any sane RTO, mirroring the engine's
+				// inner-MaxLatency scaling.
+				Latency: 2 * time.Millisecond,
+			})
+			if err != nil {
+				c.closeTransports(transports)
+				return nil, fmt.Errorf("cluster: %w", err)
+			}
+			transports[i] = ft
+			c.faults[i] = ft
+		}
+		c.bounds = plan.Boundaries()
+		sort.Float64s(c.bounds)
+	}
+
 	addrOf := func(id overlay.ID) string { return c.addrs[id] }
 	for i := 0; i < n; i++ {
 		store, err := node.ParseStore(cfg.Store)
@@ -113,6 +194,8 @@ func New(cfg Config) (*Cluster, error) {
 			MaxHops:     cfg.MaxHops,
 			Deadline:    cfg.Deadline,
 			Replicas:    cfg.Replicas,
+			AdaptiveRTO: cfg.AdaptiveRTO,
+			MaxInFlight: cfg.MaxInFlight,
 		})
 		if err != nil {
 			c.closeTransports(transports)
@@ -155,6 +238,16 @@ func (c *Cluster) Kill(i int) { c.nodes[i].Kill() }
 
 // Restart revives node i (idempotent).
 func (c *Cluster) Restart(i int) { c.nodes[i].Restart() }
+
+// FaultCounts sums the faults injected so far across every node's
+// wrapper (all zero when the cluster runs without a fault plan).
+func (c *Cluster) FaultCounts() fault.Counts {
+	var out fault.Counts
+	for _, ft := range c.faults {
+		out.Add(ft.Counts())
+	}
+	return out
+}
 
 // Metrics snapshots every node's instrumentation and merges it into a
 // cluster-wide aggregate (counters sum, histograms merge).
@@ -350,7 +443,22 @@ func (c *Cluster) Replay(sched *eventsim.Schedule, opt ReplayOptions) (*Report, 
 	sem := make(chan struct{}, conc)
 	drained := true
 
+	bi := 0
 	for _, ev := range events {
+		// Advance the fault-plan clock, draining in-flight lookups before
+		// it crosses a plan window edge: every lookup then observes one
+		// side of each fault window — the regime the engine's lookups see
+		// when the scenario keeps guard gaps around the edges, which is
+		// what makes fault cells conformance-pinnable.
+		for bi < len(c.bounds) && ev.t >= c.bounds[bi] {
+			if !drained {
+				wg.Wait()
+				drained = true
+			}
+			bi++
+		}
+		c.clock.set(ev.t)
+
 		if ev.toggle >= 0 {
 			if !drained {
 				wg.Wait()

@@ -15,6 +15,7 @@ type stats struct {
 	reqsIn, acksIn, respsIn    uint64
 	reqsOut, acksOut, respsOut uint64
 	dupReqs                    uint64 // duplicate request deliveries dropped by the dedupe window
+	shed                       uint64 // relayed requests refused (unacked) because the forward table was full
 	timeouts                   uint64 // RTO expiries acted on (stale timer pops excluded)
 	retransmits                uint64 // re-sends to the same candidate
 	failovers                  uint64 // candidate-list advances after exhausted retransmissions
@@ -41,6 +42,10 @@ type Metrics struct {
 	// DupReqs counts duplicate request deliveries dropped by the
 	// dedupe window (lost-ACK retransmissions arriving twice).
 	DupReqs uint64
+	// Shed counts relayed requests this node refused — silently, with no
+	// ACK — because its forward table was at Config.MaxInFlight; the
+	// sender's RTO machinery routes around the overload.
+	Shed uint64
 	// Timeouts counts RTO expiries that found their attempt still
 	// outstanding; Retransmits the re-sends to the same candidate;
 	// Failovers the advances to the next candidate.
@@ -105,6 +110,7 @@ func (n *Node) snapshotMetrics() Metrics {
 		ReqsIn: n.stats.reqsIn, AcksIn: n.stats.acksIn, RespsIn: n.stats.respsIn,
 		ReqsOut: n.stats.reqsOut, AcksOut: n.stats.acksOut, RespsOut: n.stats.respsOut,
 		DupReqs:       n.stats.dupReqs,
+		Shed:          n.stats.shed,
 		Timeouts:      n.stats.timeouts,
 		Retransmits:   n.stats.retransmits,
 		Failovers:     n.stats.failovers,
@@ -181,6 +187,7 @@ func MergeMetrics(ms ...Metrics) Metrics {
 		out.AcksOut += m.AcksOut
 		out.RespsOut += m.RespsOut
 		out.DupReqs += m.DupReqs
+		out.Shed += m.Shed
 		out.Timeouts += m.Timeouts
 		out.Retransmits += m.Retransmits
 		out.Failovers += m.Failovers
@@ -218,6 +225,7 @@ func (m Metrics) Snapshot(prefix string) obs.Snapshot {
 		{Name: prefix + "_resps_out", Value: int64(m.RespsOut)},
 		{Name: prefix + "_retransmits", Value: int64(m.Retransmits)},
 		{Name: prefix + "_rto_timeouts", Value: int64(m.Timeouts)},
+		{Name: prefix + "_shed", Value: int64(m.Shed)},
 		{Name: prefix + "_store_evictions", Value: int64(m.StoreEvictions)},
 		{Name: prefix + "_store_gets", Value: int64(m.StoreGets)},
 		{Name: prefix + "_store_hits", Value: int64(m.StoreHits)},

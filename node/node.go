@@ -52,6 +52,23 @@ type Config struct {
 	// until the last owner has answered. 0 and 1 both mean single-owner
 	// operation; every node of a cluster must agree on the value.
 	Replicas int
+	// AdaptiveRTO replaces the fixed retransmission timeout with a
+	// per-peer Jacobson/Karn estimator (RFC 6298 gains, samples from
+	// un-retransmitted attempts only — Karn's rule) with exponential
+	// backoff, floored at max(1ms, RTO/8) and capped at 8×RTO. The same
+	// estimator eventsim runs with Config.AdaptiveRTO, except the live
+	// floor may undercut the fixed RTO: a consistently fast peer is
+	// declared lost sooner, which is the point. Off by default.
+	AdaptiveRTO bool
+	// MaxInFlight bounds the forward-attempt table: once this many
+	// relayed requests await hop acknowledgements, further requests for
+	// other owners are shed — dropped without an acknowledgement, so the
+	// upstream sender's RTO machinery routes around this node exactly as
+	// it would a lost request. Shedding is deterministic (a pure function
+	// of table occupancy), never applies to requests this node owns, and
+	// is counted in Metrics.Shed. 0 selects the default 4096; negative
+	// disables the bound.
+	MaxInFlight int
 }
 
 func (cfg Config) withDefaults() Config {
@@ -72,6 +89,12 @@ func (cfg Config) withDefaults() Config {
 	}
 	if cfg.Deadline <= 0 {
 		cfg.Deadline = 5 * time.Second
+	}
+	switch {
+	case cfg.MaxInFlight == 0:
+		cfg.MaxInFlight = 4096
+	case cfg.MaxInFlight < 0:
+		cfg.MaxInFlight = int(^uint(0) >> 1) // unbounded
 	}
 	return cfg
 }
@@ -103,6 +126,7 @@ type pendingFwd struct {
 	attempt  uint64       // guards against stale timer firings
 	timer    *time.Timer
 	deadline time.Time // absolute per-message deadline at this holder
+	sentAt   time.Time // this attempt's send time — the RTT sample reference
 }
 
 // originWait is one locally-originated request awaiting its verdict:
@@ -138,14 +162,15 @@ type Node struct {
 	// The rcm:loop-owned markers are enforced by rcmlint's loopowner
 	// analyzer: any read or write outside code reachable from the
 	// rcm:event-loop dispatch is a lint error, not a latent race.
-	pending    map[uint64]*pendingFwd // rcm:loop-owned
-	origins    map[uint64]originWait  // rcm:loop-owned
-	attemptSeq uint64                 // rcm:loop-owned
-	seen       map[uint64]struct{}    // rcm:loop-owned — recently handled request ids (dedupe)
-	seenFIFO   []uint64               // rcm:loop-owned
-	encBuf     []byte                 // rcm:loop-owned
-	candBuf    []overlay.ID           // rcm:loop-owned
-	stats      stats                  // rcm:loop-owned — instrumentation (see metrics.go)
+	pending    map[uint64]*pendingFwd   // rcm:loop-owned
+	origins    map[uint64]originWait    // rcm:loop-owned
+	attemptSeq uint64                   // rcm:loop-owned
+	seen       map[uint64]struct{}      // rcm:loop-owned — recently handled request ids (dedupe)
+	seenFIFO   []uint64                 // rcm:loop-owned
+	encBuf     []byte                   // rcm:loop-owned
+	candBuf    []overlay.ID             // rcm:loop-owned
+	rtt        map[overlay.ID]*rttState // rcm:loop-owned — per-peer adaptive-RTO estimator (see rto.go)
+	stats      stats                    // rcm:loop-owned — instrumentation (see metrics.go)
 }
 
 const seenCap = 4096
@@ -174,7 +199,7 @@ func New(cfg Config) (*Node, error) {
 		return nil, fmt.Errorf("node: %w", err)
 	}
 	cfg = cfg.withDefaults()
-	return &Node{
+	n := &Node{
 		cfg:      cfg,
 		fwd:      fwd,
 		space:    space,
@@ -186,7 +211,9 @@ func New(cfg Config) (*Node, error) {
 		pending:  make(map[uint64]*pendingFwd),
 		origins:  make(map[uint64]originWait),
 		seen:     make(map[uint64]struct{}),
-	}, nil
+		rtt:      make(map[overlay.ID]*rttState),
+	}
+	return n, nil
 }
 
 // ID returns the node's overlay identifier.
@@ -503,17 +530,30 @@ func (n *Node) handle(m message, from string) {
 
 // handleReq mirrors eventsim's handleReq: acknowledge so the sender
 // retires its attempt — ownership of the request transfers here with the
-// message — then apply or keep forwarding.
+// message — then apply or keep forwarding. Duplicates are acknowledged
+// and dropped; a fresh request that would overflow the forward table is
+// shed *without* an acknowledgement, so the sender's RTO machinery
+// routes around the overload exactly as it would a lost request.
 func (n *Node) handleReq(m message, from string) {
-	n.sendMsg(from, &message{Kind: msgAck, ReqID: m.ReqID})
 	if _, dup := n.seen[m.ReqID]; dup {
+		n.sendMsg(from, &message{Kind: msgAck, ReqID: m.ReqID})
 		n.stats.dupReqs++
 		return // duplicate delivery (our ACK was lost); already handled
 	}
 	if _, fwding := n.pending[m.ReqID]; fwding {
+		n.sendMsg(from, &message{Kind: msgAck, ReqID: m.ReqID})
 		n.stats.dupReqs++
 		return // retransmission of an attempt we accepted moments ago
 	}
+	if overlay.ID(m.Dst) != n.cfg.ID && len(n.pending) >= n.cfg.MaxInFlight {
+		// Graceful degradation: the forward table is full, so refuse
+		// responsibility for relayed work (requests we own are always
+		// served — they never enter the table). Deterministic, silent,
+		// counted.
+		n.stats.shed++
+		return
+	}
+	n.sendMsg(from, &message{Kind: msgAck, ReqID: m.ReqID})
 	n.markSeen(m.ReqID)
 	m.Hops++
 	n.hold(m, time.Now())
@@ -559,10 +599,15 @@ func (n *Node) dispatch(st *pendingFwd) {
 	out := st.msg
 	out.Budget--
 	out.Deadline = uint32(remaining / time.Millisecond)
+	st.sentAt = time.Now()
 	n.sendMsg(n.cfg.AddrOf(st.cands[st.ci]), &out)
 	attempt := st.attempt
 	reqID := st.msg.ReqID
-	st.timer = time.AfterFunc(n.cfg.RTO, func() {
+	rto := n.cfg.RTO
+	if n.cfg.AdaptiveRTO {
+		rto = n.rtoFor(st.cands[st.ci], st.try)
+	}
+	st.timer = time.AfterFunc(rto, func() {
 		n.post(func() { n.handleTimeout(reqID, attempt) })
 	})
 }
@@ -575,6 +620,12 @@ func (n *Node) handleAck(m message) {
 		return
 	}
 	st.timer.Stop()
+	if n.cfg.AdaptiveRTO && st.try == 0 {
+		// Karn's rule: only un-retransmitted attempts yield RTT samples —
+		// after a retransmission the ack is ambiguous about which copy it
+		// answers.
+		n.observeRTT(st.cands[st.ci], time.Since(st.sentAt))
+	}
 	delete(n.pending, m.ReqID)
 }
 

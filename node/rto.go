@@ -1,0 +1,69 @@
+package node
+
+import (
+	"time"
+
+	"rcm/overlay"
+)
+
+// rttState is the per-peer smoothed RTT estimator behind
+// Config.AdaptiveRTO — the standard Jacobson/Karn machinery (RFC 6298):
+// an exponentially weighted mean (srtt) and mean deviation (rttvar),
+// combined as srtt + 4·rttvar to pick a retransmission timeout that
+// tracks the path instead of a static worst case. The simulator runs the
+// identical estimator (eventsim's peerRTT) so sim and live agree on the
+// algorithm; only the floor differs (see rtoFor).
+type rttState struct {
+	srtt, rttvar time.Duration
+}
+
+// observeRTT feeds one RTT sample for peer into the estimator.
+// rcm:loop-owned — called only from the event loop (handleAck), under
+// Karn's rule: the caller samples only attempts that were never
+// retransmitted.
+func (n *Node) observeRTT(peer overlay.ID, r time.Duration) {
+	st, ok := n.rtt[peer]
+	if !ok {
+		n.rtt[peer] = &rttState{srtt: r, rttvar: r / 2}
+		return
+	}
+	// RFC 6298 §2.3: update rttvar before srtt — the deviation is
+	// measured against the previous smoothed mean.
+	d := st.srtt - r
+	if d < 0 {
+		d = -d
+	}
+	st.rttvar += (d - st.rttvar) / 4
+	st.srtt += (r - st.srtt) / 8
+}
+
+// rtoFor returns the retransmission timeout for attempt try to peer:
+// srtt + 4·rttvar, floored at max(1ms, RTO/8), doubled per retry
+// (exponential backoff) and capped at 8×RTO. Unlike the simulator —
+// whose floor is the configured RTO, preserving the engine's
+// RTO > 2×MaxLatency arena invariant — the live floor may undercut the
+// fixed RTO: a nearby responsive peer is probed faster, and dead peers
+// are detected sooner. That is safe here because pending state lives in
+// maps keyed by request id, not recycled arena slots.
+func (n *Node) rtoFor(peer overlay.ID, try int) time.Duration {
+	rto := n.cfg.RTO
+	if st, ok := n.rtt[peer]; ok {
+		floor := n.cfg.RTO / 8
+		if floor < time.Millisecond {
+			floor = time.Millisecond
+		}
+		if est := st.srtt + 4*st.rttvar; est > floor {
+			rto = est
+		} else {
+			rto = floor
+		}
+	}
+	ceil := 8 * n.cfg.RTO
+	for i := 0; i < try && rto < ceil; i++ {
+		rto *= 2
+	}
+	if rto > ceil {
+		rto = ceil
+	}
+	return rto
+}

@@ -46,7 +46,7 @@ echo "== event engine (BENCH_eventsim.json) =="
 # the {1,2,4,8} shard sweep) at the configured benchtime, and the 2^20-node
 # macro-benchmark shard sweep at 2x — one million-node run per shard count
 # is plenty, and the shared prebuilt overlay amortizes construction.
-go test -bench 'BenchmarkEventSim$|BenchmarkEventSimShards|BenchmarkEventSimScheduler|BenchmarkEventSimObs' \
+go test -bench 'BenchmarkEventSim$|BenchmarkEventSimShards|BenchmarkEventSimScheduler|BenchmarkEventSimObs|BenchmarkEventSimFault' \
   -benchmem -benchtime "$eventtime" -run '^$' ./eventsim | tee bench_eventsim.txt
 go test -bench 'BenchmarkEventSimLarge' \
   -benchmem -benchtime 2x -run '^$' ./eventsim | tee -a bench_eventsim.txt
@@ -69,6 +69,15 @@ go run ./cmd/benchcmp -file BENCH_eventsim.json \
 echo "== histogram-overhead gate: obs on vs off (cmd/benchcmp) =="
 go run ./cmd/benchcmp -file BENCH_eventsim.json \
   -base BenchmarkEventSimObs/off -new BenchmarkEventSimObs/on \
+  -metric events_per_s -tolerance 0.02
+
+# Fault-middleware gate: a bound fault plan whose clauses never fire on
+# the benchmark workload (a partition window after the run ends) must
+# cost under 2% events/s versus the bare transport (same machine, same
+# binary) — fault injection is pay-for-what-you-use.
+echo "== fault-middleware gate: noop plan vs off (cmd/benchcmp) =="
+go run ./cmd/benchcmp -file BENCH_eventsim.json \
+  -base BenchmarkEventSimFault/off -new BenchmarkEventSimFault/noop \
   -metric events_per_s -tolerance 0.02
 
 # Shard-scaling gate: four shards must beat one shard's events/s by a
